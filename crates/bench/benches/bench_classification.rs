@@ -1,0 +1,92 @@
+//! Benchmarks for the classification path (Table 2, Fig. 3) and the
+//! classifier-stage ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xborder::{World, WorldConfig};
+use xborder_browser::{run_study, ExtensionDataset, StudyConfig};
+use xborder_classify::classifier::{classify_with_stages, ClassifierStages};
+use xborder_classify::{classify, generate_lists, FilterList};
+
+fn dataset() -> (World, ExtensionDataset, FilterList, FilterList) {
+    let mut world = World::build(WorldConfig::small(11));
+    let mut rng = StdRng::seed_from_u64(12);
+    let ds = run_study(&StudyConfig::small(), &world.graph, &mut world.dns, &mut rng);
+    let (el, ep) = generate_lists(&world.graph);
+    (world, ds, el, ep)
+}
+
+fn bench_table2_classify(c: &mut Criterion) {
+    let (_world, ds, el, ep) = dataset();
+    let mut g = c.benchmark_group("table2");
+    g.throughput(Throughput::Elements(ds.requests.len() as u64));
+    g.bench_function("classify_full", |b| {
+        b.iter(|| classify(&ds.requests, &el, &ep))
+    });
+    g.finish();
+}
+
+fn bench_ablation_stages(c: &mut Criterion) {
+    // Ablation: which stage contributes what cost (and, in EXPERIMENTS.md,
+    // what recall).
+    let (_world, ds, el, ep) = dataset();
+    let mut g = c.benchmark_group("ablation_classifier_stages");
+    let configs = [
+        ("lists_only", ClassifierStages { referrer_propagation: false, require_args: true, keywords: false }),
+        ("lists_plus_referrer", ClassifierStages { referrer_propagation: true, require_args: true, keywords: false }),
+        ("lists_plus_keywords", ClassifierStages { referrer_propagation: false, require_args: true, keywords: true }),
+        ("full", ClassifierStages::default()),
+        ("no_args_requirement", ClassifierStages { referrer_propagation: true, require_args: false, keywords: true }),
+    ];
+    for (name, stages) in configs {
+        g.bench_function(name, |b| {
+            b.iter(|| classify_with_stages(&ds.requests, &el, &ep, stages))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig3_top_tlds(c: &mut Criterion) {
+    let (_world, ds, el, ep) = dataset();
+    let res = classify(&ds.requests, &el, &ep);
+    let out = xborder::pipeline::StudyOutputs {
+        dataset: ds,
+        classification: res,
+        easylist: el,
+        easyprivacy: ep,
+        tracker_ips: Default::default(),
+        completion: xborder::ips::CompletionStats {
+            n_observed: 0,
+            n_added: 0,
+            v4_share: 0.0,
+            added_v4_share: 0.0,
+        },
+        ipmap_estimates: Default::default(),
+        maxmind_estimates: Default::default(),
+        ipapi_estimates: Default::default(),
+    };
+    c.bench_function("fig3/top_tlds", |b| {
+        b.iter(|| xborder::report::Fig3Data::compute(&out, 20))
+    });
+}
+
+fn bench_filter_list_matching(c: &mut Criterion) {
+    let (_world, ds, el, _ep) = dataset();
+    let mut g = c.benchmark_group("filterlist");
+    g.throughput(Throughput::Elements(1));
+    let r = &ds.requests[ds.requests.len() / 2];
+    g.bench_function("match_one_request", |b| {
+        b.iter(|| el.matches(&r.host, &r.url))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table2_classify,
+    bench_ablation_stages,
+    bench_fig3_top_tlds,
+    bench_filter_list_matching
+);
+criterion_main!(benches);

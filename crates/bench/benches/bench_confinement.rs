@@ -1,0 +1,33 @@
+//! Benchmarks for the border-crossing analyses (Figs. 6–8).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xborder::confine::{country_matrix_eu28, region_breakdown_eu28, region_matrix};
+use xborder_bench::{Repro, Scale};
+
+fn bench_confinement(c: &mut Criterion) {
+    let repro = Repro::run(Scale::Small, 31);
+    let n = repro.out.dataset.requests.len() as u64;
+
+    let mut g = c.benchmark_group("confinement");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("fig6/region_matrix", |b| {
+        b.iter(|| region_matrix(&repro.out, &repro.out.ipmap_estimates))
+    });
+    g.bench_function("fig7/eu28_breakdown_ipmap", |b| {
+        b.iter(|| region_breakdown_eu28(&repro.out, &repro.out.ipmap_estimates))
+    });
+    g.bench_function("fig7/eu28_breakdown_maxmind", |b| {
+        b.iter(|| region_breakdown_eu28(&repro.out, &repro.out.maxmind_estimates))
+    });
+    g.bench_function("fig8/country_matrix", |b| {
+        b.iter(|| country_matrix_eu28(&repro.out, &repro.out.ipmap_estimates))
+    });
+    g.finish();
+
+    // Derived-metric cost on the computed matrices.
+    let m = country_matrix_eu28(&repro.out, &repro.out.ipmap_estimates);
+    c.bench_function("fig8/termination_shares", |b| b.iter(|| m.termination_shares()));
+}
+
+criterion_group!(benches, bench_confinement);
+criterion_main!(benches);

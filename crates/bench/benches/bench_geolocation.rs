@@ -1,0 +1,123 @@
+//! Benchmarks for geolocation (Tables 3–4) and the probe-count ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::IpAddr;
+use xborder::{World, WorldConfig};
+use xborder_geoloc::{agreement, IpMap, IpMapConfig, RegistryDb, RegistryStyle};
+
+fn world_and_ips() -> (World, Vec<IpAddr>) {
+    let world = World::build(WorldConfig::small(21));
+    let mut ips: Vec<IpAddr> = world.infra.servers().iter().map(|s| s.ip).collect();
+    ips.sort();
+    ips.truncate(64);
+    (world, ips)
+}
+
+fn bench_ipmap_locate(c: &mut Criterion) {
+    let (world, ips) = world_and_ips();
+    let mut rng = StdRng::seed_from_u64(22);
+    let ipmap = IpMap::new(IpMapConfig::small(), &world.infra, &mut rng);
+    let mut i = 0usize;
+    c.bench_function("table3/ipmap_locate_one_ip", |b| {
+        b.iter(|| {
+            i = (i + 1) % ips.len();
+            xborder_geoloc::Geolocator::locate(&ipmap, ips[i])
+        })
+    });
+}
+
+fn bench_registry_build_and_locate(c: &mut Criterion) {
+    let (world, ips) = world_and_ips();
+    c.bench_function("table4/registry_build", |b| {
+        b.iter(|| {
+            let mut seat = StdRng::seed_from_u64(1);
+            let mut noise = StdRng::seed_from_u64(2);
+            RegistryDb::build(RegistryStyle::MaxMindLike, &world.infra, &mut seat, &mut noise)
+        })
+    });
+    let mut seat = StdRng::seed_from_u64(1);
+    let mut noise = StdRng::seed_from_u64(2);
+    let db = RegistryDb::build(RegistryStyle::MaxMindLike, &world.infra, &mut seat, &mut noise);
+    let mut i = 0usize;
+    c.bench_function("table4/registry_locate_one_ip", |b| {
+        b.iter(|| {
+            i = (i + 1) % ips.len();
+            xborder_geoloc::Geolocator::locate(&db, ips[i])
+        })
+    });
+}
+
+fn bench_pairwise_agreement(c: &mut Criterion) {
+    let (world, ips) = world_and_ips();
+    let mut seat = StdRng::seed_from_u64(1);
+    let mut noise = StdRng::seed_from_u64(2);
+    let mm = RegistryDb::build(RegistryStyle::MaxMindLike, &world.infra, &mut seat, &mut noise);
+    let mut seat = StdRng::seed_from_u64(1);
+    let mut noise = StdRng::seed_from_u64(3);
+    let ia = RegistryDb::build(RegistryStyle::IpApiLike, &world.infra, &mut seat, &mut noise);
+    c.bench_function("table3/pairwise_agreement_64ips", |b| {
+        b.iter(|| agreement(&mm, &ia, &ips))
+    });
+}
+
+fn bench_ablation_probe_count(c: &mut Criterion) {
+    // Ablation: IPmap accuracy/cost vs probes per target. The latency cost
+    // scales linearly; EXPERIMENTS.md tracks the accuracy side.
+    let (world, ips) = world_and_ips();
+    let mut g = c.benchmark_group("ablation_probe_count");
+    for probes in [5usize, 25, 50, 100] {
+        let cfg = IpMapConfig {
+            total_probes: 1_200,
+            probes_per_target: probes,
+            samples_per_probe: 3,
+            landmarks: 32,
+        };
+        let mut rng = StdRng::seed_from_u64(23);
+        let ipmap = IpMap::new(cfg, &world.infra, &mut rng);
+        let mut i = 0usize;
+        g.bench_with_input(BenchmarkId::from_parameter(probes), &probes, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % ips.len();
+                xborder_geoloc::Geolocator::locate(&ipmap, ips[i])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablation_estimator(c: &mut Criterion) {
+    // Ablation: majority-vote (IPmap-style) vs constraint-based (CBG)
+    // estimation over identical measurements.
+    let (world, ips) = world_and_ips();
+    let mut rng = StdRng::seed_from_u64(24);
+    let ipmap = IpMap::new(IpMapConfig::small(), &world.infra, &mut rng);
+    let cbg = xborder_geoloc::Cbg::new(&ipmap);
+    let mut g = c.benchmark_group("ablation_estimator");
+    let mut i = 0usize;
+    g.bench_function("majority_vote", |b| {
+        b.iter(|| {
+            i = (i + 1) % ips.len();
+            xborder_geoloc::Geolocator::locate(&ipmap, ips[i])
+        })
+    });
+    let mut j = 0usize;
+    g.bench_function("cbg", |b| {
+        b.iter(|| {
+            j = (j + 1) % ips.len();
+            xborder_geoloc::Geolocator::locate(&cbg, ips[j])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ipmap_locate,
+    bench_registry_build_and_locate,
+    bench_pairwise_agreement,
+    bench_ablation_probe_count,
+    bench_ablation_estimator
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Benchmarks for sensitive-category detection and tracing (Figs. 9–11).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xborder::sensitive::{detect_sensitive_sites, trace_sensitive_flows, DetectorConfig};
+use xborder_bench::{Repro, Scale};
+
+fn bench_sensitive(c: &mut Criterion) {
+    let repro = Repro::run(Scale::Small, 51);
+
+    c.bench_function("fig9/detect_sensitive_sites", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(52);
+            detect_sensitive_sites(&repro.world.graph, &DetectorConfig::default(), &mut rng)
+        })
+    });
+
+    let mut rng = StdRng::seed_from_u64(53);
+    let sites = detect_sensitive_sites(&repro.world.graph, &DetectorConfig::default(), &mut rng);
+    let mut g = c.benchmark_group("fig10");
+    g.throughput(Throughput::Elements(repro.out.dataset.requests.len() as u64));
+    g.bench_function("trace_sensitive_flows", |b| {
+        b.iter(|| {
+            trace_sensitive_flows(&repro.out, &repro.world.graph, &sites, &repro.out.ipmap_estimates)
+        })
+    });
+    g.finish();
+
+    let stats = trace_sensitive_flows(&repro.out, &repro.world.graph, &sites, &repro.out.ipmap_estimates);
+    c.bench_function("fig11/per_category_metrics", |b| {
+        b.iter(|| {
+            xborder_webgraph::SiteCategory::SENSITIVE
+                .iter()
+                .map(|cat| (stats.category_share(*cat), stats.category_leakage(*cat)))
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_sensitive);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Benchmarks for the localization what-if engine (Tables 5–6).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xborder_bench::{Repro, Scale};
+
+fn bench_whatif(c: &mut Criterion) {
+    let repro = Repro::run(Scale::Small, 41);
+    let n = repro.out.dataset.requests.len() as u64;
+    let mut g = c.benchmark_group("table5");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("all_scenarios", |b| {
+        b.iter(|| xborder::whatif::run(&repro.world, &repro.out, &repro.out.ipmap_estimates))
+    });
+    g.finish();
+}
+
+fn bench_service_clouds(c: &mut Criterion) {
+    // Table 6's per-service mirroring sets hinge on this lookup.
+    let repro = Repro::run(Scale::Small, 42);
+    let ids: Vec<_> = repro.world.graph.services.iter().map(|s| s.id).collect();
+    let mut i = 0usize;
+    c.bench_function("table6/service_clouds", |b| {
+        b.iter(|| {
+            i = (i + 1) % ids.len();
+            repro.world.service_clouds(ids[i])
+        })
+    });
+}
+
+criterion_group!(benches, bench_whatif, bench_service_clouds);
+criterion_main!(benches);

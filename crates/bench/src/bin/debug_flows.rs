@@ -1,0 +1,77 @@
+//! Diagnostic: where do one country's tracking flows actually go, and
+//! through which organizations? Used for calibration, not part of the
+//! reproduction surface.
+
+use std::collections::HashMap;
+use xborder_bench::{Repro, Scale};
+use xborder_geo::CountryCode;
+
+fn main() {
+    let country = std::env::args().nth(1).unwrap_or_else(|| "ES".into());
+    let country = CountryCode::parse(&country).expect("alpha-2 code");
+    let scale = match std::env::args().nth(2).as_deref() {
+        Some("paper") => Scale::Paper,
+        _ => Scale::Small,
+    };
+    let repro = Repro::run(scale, 2018);
+    let (world, out) = (&repro.world, &repro.out);
+
+    let mut per_org: HashMap<String, (u64, u64, u64)> = HashMap::new(); // flows, confined, has_local_alternative
+    let mut direct = 0u64;
+    let mut cascade = 0u64;
+    // Precompute per-host observed destination countries.
+    let mut host_countries: HashMap<&xborder_webgraph::Domain, std::collections::HashSet<CountryCode>> =
+        HashMap::new();
+    for (i, r) in out.dataset.requests.iter().enumerate() {
+        if !out.classification.is_tracking(i) {
+            continue;
+        }
+        if let Some(est) = out.ipmap_estimates.get(&r.ip) {
+            host_countries.entry(&r.host).or_default().insert(est.country);
+        }
+    }
+    for (i, r) in out.dataset.requests.iter().enumerate() {
+        if !out.classification.is_tracking(i) {
+            continue;
+        }
+        if out.dataset.user_country(r.user) != country {
+            continue;
+        }
+        let Some(est) = out.ipmap_estimates.get(&r.ip) else {
+            continue;
+        };
+        match r.referrer {
+            xborder_browser::Referrer::Request(_) => cascade += 1,
+            _ => direct += 1,
+        }
+        let org = world
+            .graph
+            .service_by_host(&r.host)
+            .map(|s| world.graph.service(s).tld.as_str().to_owned())
+            .unwrap_or_default();
+        let e = per_org.entry(org).or_default();
+        e.0 += 1;
+        if est.country == country {
+            e.1 += 1;
+        }
+        if host_countries
+            .get(&r.host)
+            .is_some_and(|set| set.contains(&country))
+        {
+            e.2 += 1;
+        }
+    }
+    let total: u64 = per_org.values().map(|v| v.0).sum();
+    println!("{country} tracking flows: {total} (direct {direct}, cascade {cascade})");
+    let mut rows: Vec<_> = per_org.into_iter().collect();
+    rows.sort_by(|a, b| b.1 .0.cmp(&a.1 .0));
+    println!("{:<18} {:>8} {:>7} {:>9} {:>12}", "org", "flows", "share", "confined", "fqdn-alt");
+    for (org, (flows, confined, alt)) in rows.iter().take(20) {
+        println!(
+            "{org:<18} {flows:>8} {:>6.1}% {:>8.1}% {:>11.1}%",
+            *flows as f64 / total as f64 * 100.0,
+            *confined as f64 / *flows as f64 * 100.0,
+            *alt as f64 / *flows as f64 * 100.0
+        );
+    }
+}

@@ -1,0 +1,354 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--scale small|paper] [--seed N] [--exp <id>[,<id>...]] [--json DIR]
+//! ```
+//!
+//! Experiment ids: `table1 table2 table3 table4 table5 table6 table7 table8
+//! table9 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+//! ipcompletion all` (default: `all`), plus the extensions `collab`
+//! (inter-tracker collaboration graph), `compliance` (GDPR/COPPA/US-state
+//! audits), `rollout` (DNS-redirection TTL latency) and `stability`
+//! (multi-seed variance; not part of `all`, slow).
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use xborder::pipeline::EstimateMap;
+use xborder::report;
+use xborder_bench::{Repro, Scale};
+use xborder_geoloc::{agreement, wrong_location_stats, GeoEstimate, Geolocator};
+
+/// Adapter: a frozen estimate map as a `Geolocator`.
+struct Frozen<'a>(&'a EstimateMap, &'static str);
+
+impl Geolocator for Frozen<'_> {
+    fn locate(&self, ip: IpAddr) -> Option<GeoEstimate> {
+        self.0.get(&ip).copied()
+    }
+    fn name(&self) -> &str {
+        self.1
+    }
+}
+
+struct Args {
+    scale: Scale,
+    seed: u64,
+    exps: Vec<String>,
+    json_dir: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: Scale::Small,
+        seed: 2018,
+        exps: vec!["all".into()],
+        json_dir: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = it.next().expect("--scale needs a value");
+                args.scale = Scale::parse(&v).unwrap_or_else(|| panic!("bad scale {v:?}"));
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed must be an integer");
+            }
+            "--exp" => {
+                args.exps = it
+                    .next()
+                    .expect("--exp needs a value")
+                    .split(',')
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--json" => args.json_dir = it.next(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--scale small|paper] [--seed N] [--exp id,...] [--json DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    args
+}
+
+fn wants(exps: &[String], id: &str) -> bool {
+    exps.iter().any(|e| e == id || e == "all")
+}
+
+fn main() {
+    let args = parse_args();
+    let t0 = std::time::Instant::now();
+    eprintln!("# building world + running extension pipeline ({:?}, seed {})...", args.scale, args.seed);
+    let mut repro = Repro::run(args.scale, args.seed);
+    eprintln!("# pipeline done in {:.1}s: {:?}", t0.elapsed().as_secs_f64(), repro.world);
+
+    let mut json: HashMap<String, serde_json::Value> = HashMap::new();
+    let emit = |id: &str, text: String, value: serde_json::Value, json: &mut HashMap<String, serde_json::Value>| {
+        println!("{text}");
+        json.insert(id.to_owned(), value);
+    };
+
+    let exps = args.exps.clone();
+
+    if wants(&exps, "table1") {
+        let stats = repro.out.dataset.stats();
+        emit("table1", report::fmt_table1(&stats), serde_json::to_value(stats).unwrap(), &mut json);
+    }
+    if wants(&exps, "fig2") {
+        let data = report::Fig2Data::compute(&repro.out);
+        let text = report::fmt_fig2(&data);
+        let medians = data.medians();
+        emit("fig2", text, serde_json::json!({ "medians": medians }), &mut json);
+    }
+    if wants(&exps, "table2") {
+        emit(
+            "table2",
+            report::fmt_table2(&repro.out),
+            serde_json::json!({
+                "abp": repro.out.classification.abp,
+                "semi": repro.out.classification.semi,
+            }),
+            &mut json,
+        );
+    }
+    if wants(&exps, "fig3") {
+        let data = report::Fig3Data::compute(&repro.out, 20);
+        emit("fig3", report::fmt_fig3(&data), serde_json::to_value(&data).unwrap(), &mut json);
+    }
+    if wants(&exps, "ipcompletion") {
+        emit(
+            "ipcompletion",
+            report::fmt_completion(&repro.out.completion),
+            serde_json::to_value(repro.out.completion).unwrap(),
+            &mut json,
+        );
+    }
+    if wants(&exps, "fig4") || wants(&exps, "fig5") {
+        let analysis = repro.dedicated();
+        if wants(&exps, "fig4") {
+            emit(
+                "fig4",
+                report::fmt_fig4(&analysis),
+                serde_json::json!({
+                    "single_tld_request_share": analysis.single_tld_request_share(),
+                    "multi_tld_ip_share": analysis.multi_tld_ip_share(),
+                    "cdf": analysis.request_weighted_cdf(),
+                }),
+                &mut json,
+            );
+        }
+        if wants(&exps, "fig5") {
+            emit(
+                "fig5",
+                report::fmt_fig5(&analysis, &repro.out.ipmap_estimates),
+                serde_json::json!({
+                    "n_heavy": analysis.heavy_sharers(10).len(),
+                    "countries": analysis
+                        .heavy_sharer_countries(10, &repro.out.ipmap_estimates)
+                        .into_iter()
+                        .map(|(c, n)| (c.to_string(), n))
+                        .collect::<HashMap<String, usize>>(),
+                }),
+                &mut json,
+            );
+        }
+    }
+    if wants(&exps, "table3") {
+        let ips: Vec<IpAddr> = {
+            let mut v: Vec<IpAddr> = repro.out.tracker_ips.ips.keys().copied().collect();
+            v.sort();
+            v
+        };
+        let mm = Frozen(&repro.out.maxmind_estimates, "MaxMind");
+        let ia = Frozen(&repro.out.ipapi_estimates, "ip-api");
+        let im = Frozen(&repro.out.ipmap_estimates, "RIPE IPmap");
+        let a1 = agreement(&ia, &mm, &ips);
+        let a2 = agreement(&ia, &im, &ips);
+        let a3 = agreement(&mm, &im, &ips);
+        emit(
+            "table3",
+            report::fmt_table3(&a1, &a2, &a3),
+            serde_json::json!({ "ipapi_maxmind": a1, "ipapi_ipmap": a2, "maxmind_ipmap": a3 }),
+            &mut json,
+        );
+    }
+    if wants(&exps, "table4") {
+        let mut rows = Vec::new();
+        for major in ["gtrack", "amzads", "fbook"] {
+            let weighted: Vec<(IpAddr, u64)> = repro
+                .out
+                .tracker_ips
+                .ips
+                .iter()
+                .filter(|(ip, _)| {
+                    repro
+                        .world
+                        .infra
+                        .server_by_ip(**ip)
+                        .and_then(|s| repro.world.infra.org(s.org).ok())
+                        .is_some_and(|o| o.name == major)
+                })
+                .map(|(ip, info)| (*ip, info.requests))
+                .collect();
+            let mm = Frozen(&repro.out.maxmind_estimates, "MaxMind");
+            let stats = wrong_location_stats(&mm, &repro.world.infra, &weighted);
+            rows.push((format!("{major} ads+tracking"), stats));
+        }
+        emit(
+            "table4",
+            report::fmt_table4(&rows),
+            serde_json::to_value(rows.iter().map(|(n, s)| (n.clone(), *s)).collect::<Vec<_>>()).unwrap(),
+            &mut json,
+        );
+    }
+    if wants(&exps, "fig6") {
+        let m = repro.fig6();
+        emit("fig6", report::fmt_fig6(&m), serde_json::to_value(&m).unwrap(), &mut json);
+    }
+    if wants(&exps, "fig7") {
+        let (mm, im) = repro.fig7();
+        emit(
+            "fig7",
+            report::fmt_fig7(&mm, &im),
+            serde_json::json!({ "maxmind": mm, "ipmap": im }),
+            &mut json,
+        );
+    }
+    if wants(&exps, "fig8") {
+        let m = repro.fig8();
+        emit("fig8", report::fmt_fig8(&m), serde_json::to_value(&m).unwrap(), &mut json);
+    }
+    if wants(&exps, "table5") || wants(&exps, "table6") {
+        let w = repro.whatif();
+        if wants(&exps, "table5") {
+            emit("table5", report::fmt_table5(&w), serde_json::to_value(&w).unwrap(), &mut json);
+        }
+        if wants(&exps, "table6") {
+            emit("table6", report::fmt_table6(&w), serde_json::to_value(&w.per_country).unwrap(), &mut json);
+        }
+    }
+    if wants(&exps, "fig9") || wants(&exps, "fig10") || wants(&exps, "fig11") {
+        let (sites, stats) = repro.sensitive(args.seed ^ 0x5E51);
+        if wants(&exps, "fig9") {
+            emit(
+                "fig9",
+                report::fmt_fig9(&stats, sites.inspected, sites.detected.len()),
+                serde_json::to_value(&stats).unwrap(),
+                &mut json,
+            );
+        }
+        if wants(&exps, "fig10") {
+            emit("fig10", report::fmt_fig10(&stats), serde_json::to_value(&stats.dest_by_category).unwrap(), &mut json);
+        }
+        if wants(&exps, "fig11") {
+            emit("fig11", report::fmt_fig11(&stats), serde_json::to_value(&stats.per_country).unwrap(), &mut json);
+        }
+    }
+    if wants(&exps, "table7") {
+        emit("table7", report::fmt_table7(), serde_json::json!("static"), &mut json);
+    }
+    if wants(&exps, "table8") || wants(&exps, "fig12") {
+        eprintln!("# running ISP study...");
+        let results = repro.isp_study(args.scale);
+        if wants(&exps, "table8") {
+            emit("table8", report::fmt_table8(&results), serde_json::to_value(&results).unwrap(), &mut json);
+        }
+        if wants(&exps, "fig12") {
+            emit("fig12", report::fmt_fig12(&results), serde_json::json!("see table8"), &mut json);
+        }
+    }
+    if wants(&exps, "collab") {
+        let graph = repro.collab();
+        emit(
+            "collab",
+            xborder::collab::fmt_collab(&graph),
+            serde_json::json!({
+                "orgs": graph.n_orgs(),
+                "edges": graph.edges.len(),
+                "handoffs": graph.total_handoffs,
+                "cross_country_share": graph.cross_country_share(),
+                "eu28_boundary_share": graph.eu28_boundary_share(),
+                "components": graph.n_components(),
+            }),
+            &mut json,
+        );
+    }
+    if wants(&exps, "compliance") {
+        let (sites, _) = repro.sensitive(args.seed ^ 0xC0DE);
+        for reg in xborder::regulations::Regulation::ALL {
+            let report = xborder::regulations::audit(
+                reg,
+                &repro.world,
+                &repro.out,
+                &repro.out.ipmap_estimates,
+                &sites,
+            );
+            emit(
+                &format!("compliance_{reg:?}").to_lowercase(),
+                xborder::regulations::fmt_compliance(&report),
+                serde_json::to_value(&report).unwrap(),
+                &mut json,
+            );
+        }
+    }
+    if wants(&exps, "rollout") {
+        let stats = xborder::whatif::redirection_rollout(&repro.world, &repro.out);
+        emit(
+            "rollout",
+            format!(
+                "DNS redirection rollout (Sect 5.1)\n\
+                 flows redirectable within 300 s: {:.1}%\n\
+                 flows redirectable within 2 h:   {:.1}%\n\
+                 flow-weighted mean TTL: {:.0} s\n",
+                stats.share_within(300) * 100.0,
+                stats.share_within(7200) * 100.0,
+                stats.mean_ttl()
+            ),
+            serde_json::to_value(&stats.flows_per_ttl.iter().map(|(k, v)| (k.to_string(), *v)).collect::<HashMap<String, u64>>()).unwrap(),
+            &mut json,
+        );
+    }
+    if exps.iter().any(|e| e == "stability") {
+        eprintln!("# running multi-seed stability study (8 seeds)...");
+        let report = xborder_bench::stability_study(8, args.seed);
+        emit(
+            "stability",
+            format!(
+                "Multi-seed stability (8 small worlds)\n\
+                 EU28 confinement: {:.1}% +/- {:.1}\n\
+                 NA share:         {:.1}% +/- {:.1}\n\
+                 semi/ABP ratio:   {:.2} +/- {:.2}\n",
+                report.eu28_confinement.mean * 100.0,
+                report.eu28_confinement.std * 100.0,
+                report.na_share.mean * 100.0,
+                report.na_share.std * 100.0,
+                report.semi_over_abp.mean,
+                report.semi_over_abp.std
+            ),
+            serde_json::to_value(&report).unwrap(),
+            &mut json,
+        );
+    }
+    if wants(&exps, "table9") {
+        emit("table9", report::fmt_table9(), serde_json::to_value(xborder::related::table9()).unwrap(), &mut json);
+    }
+
+    if let Some(dir) = &args.json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        for (id, value) in &json {
+            let path = format!("{dir}/{id}.json");
+            std::fs::write(&path, serde_json::to_string_pretty(value).unwrap())
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        }
+        eprintln!("# wrote {} JSON files to {dir}", json.len());
+    }
+    eprintln!("# total {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,402 @@
+//! The study driver: simulates the 4.5-month extension deployment and
+//! produces the dataset behind the paper's Tables 1–2 and Figures 2–8.
+
+use crate::render::{RenderConfig, RenderEngine};
+use crate::request::LoggedRequest;
+use crate::user::{UserId, UserPopulation, UserPopulationConfig};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use xborder_dns::DnsSim;
+use xborder_geo::CountryCode;
+use xborder_netsim::time::{anchors, SimTime, TimeWindow};
+use xborder_webgraph::{Audience, Domain, PublisherId, WebGraph};
+
+/// Configuration of the whole extension study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Recruited population.
+    pub population: UserPopulationConfig,
+    /// Mean site visits per user over the study (paper: 76,507 first-party
+    /// requests over 350 users ≈ 219 each).
+    pub visits_per_user_mean: f64,
+    /// Study window.
+    pub window: TimeWindow,
+    /// Render model.
+    pub render: RenderConfig,
+    /// Share of a user's visits going to national sites of their own
+    /// country (domestic browsing locality; ~35-45 % in European traffic
+    /// studies). Within each stage, sites are drawn by popularity.
+    pub home_visit_share: f64,
+    /// Weight multiplier for *foreign* national sites in the global stage
+    /// (a Greek user rarely reads Polish local news).
+    pub foreign_site_damping: f64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            population: UserPopulationConfig::default(),
+            visits_per_user_mean: 219.0,
+            window: TimeWindow::new(anchors::STUDY_START, anchors::STUDY_END),
+            render: RenderConfig::default(),
+            home_visit_share: 0.42,
+            foreign_site_damping: 0.02,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// Small study for tests.
+    pub fn small() -> Self {
+        StudyConfig {
+            population: UserPopulationConfig::small(),
+            visits_per_user_mean: 30.0,
+            ..Default::default()
+        }
+    }
+}
+
+/// One first-party page view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Visit {
+    /// Who.
+    pub user: UserId,
+    /// Which site.
+    pub publisher: PublisherId,
+    /// When.
+    pub time: SimTime,
+}
+
+/// The produced dataset.
+#[derive(Debug)]
+pub struct ExtensionDataset {
+    /// The recruited users.
+    pub users: UserPopulation,
+    /// Every first-party page view, in generation order.
+    pub visits: Vec<Visit>,
+    /// Every logged third-party request, in generation order (cascade
+    /// referrers index into this vector).
+    pub requests: Vec<LoggedRequest>,
+}
+
+impl ExtensionDataset {
+    /// Table-1-style dataset statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let mut visited_publishers: HashSet<PublisherId> = HashSet::new();
+        for v in &self.visits {
+            visited_publishers.insert(v.publisher);
+        }
+        let third_party_domains: HashSet<&Domain> = self.requests.iter().map(|r| &r.host).collect();
+        DatasetStats {
+            n_users: self.users.users.len(),
+            n_first_party_domains: visited_publishers.len(),
+            n_first_party_requests: self.visits.len(),
+            n_third_party_domains: third_party_domains.len(),
+            n_third_party_requests: self.requests.len(),
+        }
+    }
+
+    /// Distinct server IPs observed across all requests.
+    pub fn observed_ips(&self) -> HashSet<std::net::IpAddr> {
+        self.requests.iter().map(|r| r.ip).collect()
+    }
+
+    /// Request count per publisher (Fig. 2's per-website distribution).
+    pub fn requests_per_publisher(&self) -> HashMap<PublisherId, usize> {
+        let mut m = HashMap::new();
+        for r in &self.requests {
+            *m.entry(r.publisher).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// The country of a user.
+    pub fn user_country(&self, id: UserId) -> CountryCode {
+        self.users.users[id.0 as usize].country
+    }
+}
+
+/// Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Recruited users.
+    pub n_users: usize,
+    /// Distinct first-party domains visited.
+    pub n_first_party_domains: usize,
+    /// Total first-party page views.
+    pub n_first_party_requests: usize,
+    /// Distinct third-party FQDNs contacted.
+    pub n_third_party_domains: usize,
+    /// Total third-party requests logged.
+    pub n_third_party_requests: usize,
+}
+
+/// Per-country publisher sampling, built once per country on demand.
+///
+/// Two-stage locality model shared by the extension study and the ISP
+/// traffic generator: with probability `home_visit_share` a user visits a
+/// national site of their own country (a Greek reader's top sites are
+/// Greek portals, whatever their global rank); otherwise they draw from
+/// the global pool (with foreign national sites damped). Within each
+/// stage, sites are drawn by Zipf popularity.
+#[derive(Debug, Default)]
+pub struct VisitSampler {
+    /// Per-country cumulative weights over the country's national sites.
+    home: HashMap<CountryCode, (Vec<u32>, Vec<f64>)>,
+    /// Per-country cumulative weights over the global/foreign pool.
+    away: HashMap<CountryCode, Vec<f64>>,
+}
+
+impl VisitSampler {
+    /// An empty sampler; per-country tables build lazily.
+    pub fn new() -> Self {
+        VisitSampler::default()
+    }
+
+    fn home_for(&mut self, country: CountryCode, graph: &WebGraph) -> &(Vec<u32>, Vec<f64>) {
+        self.home.entry(country).or_insert_with(|| {
+            let mut ids = Vec::new();
+            let mut cum = Vec::new();
+            let mut acc = 0.0;
+            for p in &graph.publishers {
+                if p.audience == Audience::National(country) {
+                    ids.push(p.id.0);
+                    acc += p.popularity;
+                    cum.push(acc);
+                }
+            }
+            (ids, cum)
+        })
+    }
+
+    fn away_for(
+        &mut self,
+        country: CountryCode,
+        graph: &WebGraph,
+        foreign_site_damping: f64,
+    ) -> &[f64] {
+        self.away.entry(country).or_insert_with(|| {
+            let mut acc = 0.0;
+            graph
+                .publishers
+                .iter()
+                .map(|p| {
+                    let factor = match p.audience {
+                        Audience::Global => 1.0,
+                        // Home sites live in the home stage; excluded here.
+                        Audience::National(c) if c == country => 0.0,
+                        Audience::National(_) => foreign_site_damping,
+                    };
+                    acc += p.popularity * factor;
+                    acc
+                })
+                .collect()
+        })
+    }
+
+    /// Draws one publisher for a user in `country`.
+    pub fn sample<R: Rng + ?Sized>(
+        &mut self,
+        country: CountryCode,
+        graph: &WebGraph,
+        home_visit_share: f64,
+        foreign_site_damping: f64,
+        rng: &mut R,
+    ) -> PublisherId {
+        if rng.gen::<f64>() < home_visit_share {
+            let (ids, cum) = self.home_for(country, graph);
+            if let Some(&total) = cum.last() {
+                if total > 0.0 {
+                    let x = rng.gen::<f64>() * total;
+                    let idx = cum.partition_point(|&c| c < x).min(cum.len() - 1);
+                    return PublisherId(ids[idx]);
+                }
+            }
+            // No national sites for this country: fall through to global.
+        }
+        let cum = self.away_for(country, graph, foreign_site_damping);
+        let total = *cum.last().expect("publishers exist");
+        let x = rng.gen::<f64>() * total;
+        let idx = cum.partition_point(|&c| c < x).min(cum.len() - 1);
+        PublisherId(idx as u32)
+    }
+}
+
+/// Runs the full study: generates the population, simulates every visit,
+/// and returns the dataset. All DNS resolutions flow through `dns` (and
+/// therefore into its passive-DNS sensor).
+pub fn run_study<R: Rng>(
+    cfg: &StudyConfig,
+    graph: &WebGraph,
+    dns: &mut DnsSim,
+    rng: &mut R,
+) -> ExtensionDataset {
+    let users = UserPopulation::generate(&cfg.population, rng);
+    let engine = RenderEngine::new(graph, cfg.render);
+    let mut sampler = VisitSampler::new();
+
+    let mut visits = Vec::new();
+    let mut requests = Vec::new();
+
+    let mean_activity: f64 =
+        users.users.iter().map(|u| u.activity).sum::<f64>() / users.users.len().max(1) as f64;
+    let window_len = cfg.window.len_secs().max(1);
+
+    for user in &users.users {
+        let n_visits = ((cfg.visits_per_user_mean * user.activity / mean_activity).round()
+            as usize)
+            .max(1);
+        for _ in 0..n_visits {
+            let t = SimTime(cfg.window.start.0 + rng.gen_range(0..window_len));
+            let pid = sampler.sample(
+                user.country,
+                graph,
+                cfg.home_visit_share,
+                cfg.foreign_site_damping,
+                rng,
+            );
+            let publisher = graph.publisher(pid);
+            visits.push(Visit {
+                user: user.id,
+                publisher: pid,
+                time: t,
+            });
+            engine.render_visit(user, publisher, t, dns, &mut requests, rng);
+        }
+    }
+
+    // Logs arrive at the collection server in timestamp order.
+    // (Requests keep generation order because cascade referrers are
+    // positional; visits can be sorted freely.)
+    visits.sort_by_key(|v| v.time);
+
+    ExtensionDataset {
+        users,
+        visits,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use xborder_dns::{MappingPolicy, ZoneEntry, ZoneServer};
+    use xborder_geo::WORLD;
+    use xborder_netsim::ServerId;
+    use xborder_webgraph::{generate, WebGraphConfig};
+
+    fn wire_all(graph: &WebGraph, dns: &mut DnsSim) {
+        let de = WORLD.country_or_panic(CountryCode::parse("DE").unwrap());
+        let mut next = 0u32;
+        for s in &graph.services {
+            for h in &s.hosts {
+                next += 1;
+                let ip = std::net::Ipv4Addr::from(0x0200_0000u32 + next);
+                dns.add_zone(ZoneEntry {
+                    host: h.clone(),
+                    servers: vec![ZoneServer {
+                        server: ServerId(next),
+                        ip: std::net::IpAddr::V4(ip),
+                        country: de.code,
+                        location: de.centroid(),
+                        valid: None,
+                    }],
+                    policy: MappingPolicy::Pinned,
+                    ttl_secs: 300,
+                })
+                .unwrap();
+            }
+        }
+    }
+
+    fn run_small(seed: u64) -> (WebGraph, ExtensionDataset) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = generate(&WebGraphConfig::small(), &mut rng);
+        let mut dns = DnsSim::new();
+        wire_all(&graph, &mut dns);
+        let ds = run_study(&StudyConfig::small(), &graph, &mut dns, &mut rng);
+        (graph, ds)
+    }
+
+    #[test]
+    fn study_produces_consistent_stats() {
+        let (_, ds) = run_small(1);
+        let stats = ds.stats();
+        assert_eq!(stats.n_users, 40);
+        assert!(stats.n_first_party_requests >= 40);
+        assert_eq!(stats.n_first_party_requests, ds.visits.len());
+        assert_eq!(stats.n_third_party_requests, ds.requests.len());
+        assert!(stats.n_third_party_requests > stats.n_first_party_requests,
+            "third-party requests should dominate");
+        assert!(stats.n_third_party_domains > 50);
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let (_, a) = run_small(9);
+        let (_, b) = run_small(9);
+        assert_eq!(a.requests.len(), b.requests.len());
+        assert_eq!(a.visits, b.visits);
+        for (x, y) in a.requests.iter().zip(&b.requests) {
+            assert_eq!(x.url, y.url);
+            assert_eq!(x.ip, y.ip);
+        }
+    }
+
+    #[test]
+    fn visits_fall_in_window() {
+        let (_, ds) = run_small(2);
+        let w = StudyConfig::small().window;
+        for v in &ds.visits {
+            assert!(w.contains(v.time));
+        }
+    }
+
+    #[test]
+    fn national_users_visit_home_sites_more() {
+        let (graph, ds) = run_small(3);
+        // Count, per user country, the share of visits to national sites of
+        // that same country vs foreign national sites.
+        let mut home = 0usize;
+        let mut foreign = 0usize;
+        for v in &ds.visits {
+            let p = graph.publisher(v.publisher);
+            if let Audience::National(c) = p.audience {
+                if c == ds.user_country(v.user) {
+                    home += 1;
+                } else {
+                    foreign += 1;
+                }
+            }
+        }
+        assert!(home > foreign, "home {home} vs foreign {foreign}");
+    }
+
+    #[test]
+    fn pdns_sensor_saw_resolutions() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let graph = generate(&WebGraphConfig::small(), &mut rng);
+        let mut dns = DnsSim::new();
+        wire_all(&graph, &mut dns);
+        let ds = run_study(&StudyConfig::small(), &graph, &mut dns, &mut rng);
+        assert!(!dns.pdns().is_empty());
+        assert!(dns.pdns().len() <= ds.stats().n_third_party_domains.max(1) * 2);
+    }
+
+    #[test]
+    fn observed_ips_are_a_subset_of_wired_ips() {
+        let (_, ds) = run_small(5);
+        for ip in ds.observed_ips() {
+            assert!(xborder_netsim::ip::is_simulator_address(ip));
+        }
+    }
+
+    #[test]
+    fn requests_per_publisher_sums_to_total() {
+        let (_, ds) = run_small(6);
+        let total: usize = ds.requests_per_publisher().values().sum();
+        assert_eq!(total, ds.requests.len());
+    }
+}

@@ -1,0 +1,322 @@
+//! The page-render model: embeds fire, cascades run, requests get logged.
+
+use crate::request::{LoggedRequest, Referrer, RequestId};
+use crate::user::User;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use xborder_dns::DnsSim;
+use xborder_netsim::time::SimTime;
+use xborder_webgraph::{
+    url, Domain, EmbedMode, Publisher, ServiceId, ServiceKind, WebGraph,
+};
+
+/// Tunables of the render model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RenderConfig {
+    /// Mean number of *additional* requests a fired embed issues beyond its
+    /// first (script fetch + beacons + refreshes).
+    pub extra_requests_mean: f64,
+    /// Share of requests expected over HTTPS (paper: 83.14 %).
+    pub https_share: f64,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        RenderConfig {
+            extra_requests_mean: 1.6,
+            https_share: 0.8314,
+        }
+    }
+}
+
+/// Renders visits against a web graph, resolving hosts through DNS and
+/// appending [`LoggedRequest`]s to the dataset under construction.
+#[derive(Debug)]
+pub struct RenderEngine<'a> {
+    graph: &'a WebGraph,
+    cfg: RenderConfig,
+}
+
+impl<'a> RenderEngine<'a> {
+    /// Creates an engine over a web graph.
+    pub fn new(graph: &'a WebGraph, cfg: RenderConfig) -> Self {
+        RenderEngine { graph, cfg }
+    }
+
+    /// The underlying web graph.
+    pub fn graph(&self) -> &WebGraph {
+        self.graph
+    }
+
+    /// Issues one request to `service` and logs it. Returns the new
+    /// request's id, or `None` if DNS could not resolve the chosen host
+    /// (unwired worlds in tests).
+    ///
+    /// `style_override` lets the caller force the URL shape: the first
+    /// request of an embed is the tag/script fetch (plain), follow-ups are
+    /// beacons in the service's own style.
+    #[allow(clippy::too_many_arguments)]
+    fn issue_request<R: Rng + ?Sized>(
+        &self,
+        out: &mut Vec<LoggedRequest>,
+        user: &User,
+        publisher: &Publisher,
+        service: ServiceId,
+        referrer: Referrer,
+        style_override: Option<xborder_webgraph::url::UrlStyle>,
+        t: SimTime,
+        dns: &mut DnsSim,
+        rng: &mut R,
+    ) -> Option<RequestId> {
+        let svc = self.graph.service(service);
+        let host: &Domain = &svc.hosts[rng.gen_range(0..svc.hosts.len())];
+        let answer = dns.resolve(host, &user.client_ctx(), t, rng).ok()?;
+        // Stable per-(user, service) identity: the tracker's cookie id.
+        let identity = (user.id.0 as u64) << 32 | service.0 as u64;
+        let style = style_override.unwrap_or(svc.url_style);
+        let u = url::synth_url(rng, host, style, self.cfg.https_share, identity);
+        let id = RequestId(out.len() as u32);
+        out.push(LoggedRequest {
+            user: user.id,
+            time: t,
+            first_party: publisher.domain.clone(),
+            publisher: publisher.id,
+            url: u.to_string().into_boxed_str(),
+            host: host.clone(),
+            referrer,
+            ip: answer.ip,
+        });
+        Some(id)
+    }
+
+    /// Additional requests a fired embed issues beyond its first.
+    fn extra_requests<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let mean = self.cfg.extra_requests_mean;
+        if mean <= 0.0 {
+            return 0;
+        }
+        let p = 1.0 / (mean + 1.0);
+        let cap = (mean * 6.0).ceil() as usize;
+        let mut n = 0usize;
+        while n < cap && rng.gen::<f64>() > p {
+            n += 1;
+        }
+        n
+    }
+
+    /// Renders one visit of `user` to `publisher` at time `t`, appending
+    /// all generated requests to `out`. Returns how many were appended.
+    pub fn render_visit<R: Rng + ?Sized>(
+        &self,
+        user: &User,
+        publisher: &Publisher,
+        t: SimTime,
+        dns: &mut DnsSim,
+        out: &mut Vec<LoggedRequest>,
+        rng: &mut R,
+    ) -> usize {
+        let before = out.len();
+        for embed in &publisher.embeds {
+            // Does the embed fire on this page view?
+            let gate = match embed.mode {
+                EmbedMode::OnInteraction => embed.probability * user.interaction_p,
+                _ => embed.probability,
+            };
+            if rng.gen::<f64>() >= gate {
+                continue;
+            }
+            // First request of the embed always has the first-party page as
+            // its referrer (the snippet/iframe src is on the page).
+            let Some(first_id) = self.issue_request(
+                out,
+                user,
+                publisher,
+                embed.service,
+                Referrer::FirstParty,
+                Some(xborder_webgraph::url::UrlStyle::Plain),
+                t,
+                dns,
+                rng,
+            ) else {
+                continue;
+            };
+            // Follow-up requests: first-party-context embeds keep the page
+            // as referrer; third-party-context (iframe) requests refer to
+            // the iframe's own first request.
+            let followup_ref = match embed.mode {
+                EmbedMode::FirstPartyContext | EmbedMode::OnInteraction => Referrer::FirstParty,
+                EmbedMode::ThirdPartyContext => Referrer::Request(first_id),
+            };
+            for _ in 0..self.extra_requests(rng) {
+                self.issue_request(
+                    out, user, publisher, embed.service, followup_ref, None, t, dns, rng,
+                );
+            }
+            // RTB cascade: only ad networks fan out further.
+            let svc = self.graph.service(embed.service);
+            if svc.kind == ServiceKind::AdNetwork {
+                if let Some(template) = self.graph.cascades.get(&embed.service) {
+                    // Track which steps fired and the request id of each, so
+                    // children can refer to their parent's URL.
+                    let mut fired: Vec<Option<RequestId>> = vec![None; template.steps.len()];
+                    for (i, step) in template.steps.iter().enumerate() {
+                        let parent_req = match step.parent {
+                            Some(p) => {
+                                let Some(id) = fired[p as usize] else {
+                                    continue; // parent never fired
+                                };
+                                Referrer::Request(id)
+                            }
+                            None => Referrer::Request(first_id),
+                        };
+                        if rng.gen::<f64>() >= step.probability {
+                            continue;
+                        }
+                        fired[i] = self.issue_request(
+                            out, user, publisher, step.service, parent_req, None, t, dns, rng,
+                        );
+                    }
+                }
+            }
+        }
+        out.len() - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::user::{UserPopulation, UserPopulationConfig};
+    use rand::{rngs::StdRng, SeedableRng};
+    use xborder_dns::{MappingPolicy, ZoneEntry, ZoneServer};
+    use xborder_geo::{CountryCode, WORLD};
+    use xborder_netsim::ServerId;
+    use xborder_webgraph::{generate, WebGraphConfig};
+
+    /// Wires every host in the graph to a single-server zone in a fixed
+    /// country (enough for render-path tests).
+    fn wire_all(graph: &WebGraph, dns: &mut DnsSim) {
+        let de = WORLD.country_or_panic(CountryCode::parse("DE").unwrap());
+        let mut next = 0u32;
+        for s in &graph.services {
+            for h in &s.hosts {
+                next += 1;
+                let ip = std::net::Ipv4Addr::from(0x0100_0000u32 + next);
+                dns.add_zone(ZoneEntry {
+                    host: h.clone(),
+                    servers: vec![ZoneServer {
+                        server: ServerId(next),
+                        ip: std::net::IpAddr::V4(ip),
+                        country: de.code,
+                        location: de.centroid(),
+                        valid: None,
+                    }],
+                    policy: MappingPolicy::Pinned,
+                    ttl_secs: 300,
+                })
+                .unwrap();
+            }
+        }
+    }
+
+    fn setup() -> (WebGraph, DnsSim, UserPopulation) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let graph = generate(&WebGraphConfig::small(), &mut rng);
+        let mut dns = DnsSim::new();
+        wire_all(&graph, &mut dns);
+        let pop = UserPopulation::generate(&UserPopulationConfig::small(), &mut rng);
+        (graph, dns, pop)
+    }
+
+    #[test]
+    fn render_produces_requests() {
+        let (graph, mut dns, pop) = setup();
+        let engine = RenderEngine::new(&graph, RenderConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut out = Vec::new();
+        let mut total = 0usize;
+        for p in graph.publishers.iter().take(30) {
+            total += engine.render_visit(&pop.users[0], p, SimTime(100), &mut dns, &mut out, &mut rng);
+        }
+        assert_eq!(total, out.len());
+        assert!(total > 100, "only {total} requests from 30 visits");
+    }
+
+    #[test]
+    fn cascade_requests_have_request_referrers() {
+        let (graph, mut dns, pop) = setup();
+        let engine = RenderEngine::new(&graph, RenderConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        for p in &graph.publishers {
+            engine.render_visit(&pop.users[1], p, SimTime(100), &mut dns, &mut out, &mut rng);
+        }
+        let cascade_reqs = out
+            .iter()
+            .filter(|r| matches!(r.referrer, Referrer::Request(_)))
+            .count();
+        assert!(cascade_reqs > 20, "only {cascade_reqs} cascade requests");
+        // Referrer indices always point backwards.
+        for (i, r) in out.iter().enumerate() {
+            if let Referrer::Request(RequestId(p)) = r.referrer {
+                assert!((p as usize) < i, "forward referrer at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn interaction_gates_lazy_embeds() {
+        let (graph, mut dns, pop) = setup();
+        let engine = RenderEngine::new(&graph, RenderConfig::default());
+
+        let mut eager = pop.users[0].clone();
+        eager.interaction_p = 1.0;
+        let mut passive = pop.users[0].clone();
+        passive.interaction_p = 0.0;
+
+        let mut count_for = |user: &User, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            for p in &graph.publishers {
+                engine.render_visit(user, p, SimTime(100), &mut dns, &mut out, &mut rng);
+            }
+            out.len()
+        };
+        // Average over a few seeds to avoid flakiness.
+        let eager_total: usize = (0..3).map(|s| count_for(&eager, 100 + s)).sum();
+        let passive_total: usize = (0..3).map(|s| count_for(&passive, 200 + s)).sum();
+        assert!(
+            eager_total > passive_total,
+            "eager {eager_total} <= passive {passive_total}"
+        );
+    }
+
+    #[test]
+    fn requests_resolve_to_wired_ips() {
+        let (graph, mut dns, pop) = setup();
+        let engine = RenderEngine::new(&graph, RenderConfig::default());
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut out = Vec::new();
+        for p in graph.publishers.iter().take(10) {
+            engine.render_visit(&pop.users[2], p, SimTime(100), &mut dns, &mut out, &mut rng);
+        }
+        for r in &out {
+            assert!(xborder_netsim::ip::is_simulator_address(r.ip));
+            // Host must belong to a known service.
+            assert!(graph.service_by_host(&r.host).is_some(), "orphan host {}", r.host);
+        }
+    }
+
+    #[test]
+    fn unwired_dns_yields_no_requests() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let graph = generate(&WebGraphConfig::small(), &mut rng);
+        let mut dns = DnsSim::new(); // nothing wired
+        let pop = UserPopulation::generate(&UserPopulationConfig::small(), &mut rng);
+        let engine = RenderEngine::new(&graph, RenderConfig::default());
+        let mut out = Vec::new();
+        let n = engine.render_visit(&pop.users[0], &graph.publishers[0], SimTime(0), &mut dns, &mut out, &mut rng);
+        assert_eq!(n, 0);
+        assert!(out.is_empty());
+    }
+}

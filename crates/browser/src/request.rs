@@ -1,0 +1,101 @@
+//! The logged third-party request record.
+//!
+//! Mirrors the extension's ethics-constrained schema (paper Sect. 3.1):
+//! first-party *domain* (never the full first-party URL), the third-party
+//! request URL, the referrer relation, and the final server IP from the
+//! response. User identity is a study-local index.
+
+use crate::user::UserId;
+use serde::{Deserialize, Serialize};
+use std::net::IpAddr;
+use xborder_netsim::time::SimTime;
+use xborder_webgraph::{Domain, PublisherId, Url};
+
+/// Index of a request within an [`crate::ExtensionDataset`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId(pub u32);
+
+/// What the `Referer` header pointed at.
+///
+/// Stored as a relation rather than a copied URL string: the classifier
+/// resolves [`Referrer::Request`] back to the parent's URL through the
+/// dataset, which keeps 7M-record datasets compact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Referrer {
+    /// No referrer was sent.
+    None,
+    /// The first-party page URL (embeds executing in first-party context).
+    FirstParty,
+    /// The URL of an earlier logged request (RTB cascade step).
+    Request(RequestId),
+}
+
+/// One logged third-party request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoggedRequest {
+    /// Who made it.
+    pub user: UserId,
+    /// When.
+    pub time: SimTime,
+    /// The site being visited (first party).
+    pub first_party: Domain,
+    /// Generator-internal publisher id (stable join key for analyses; the
+    /// real extension only had the domain, which maps 1:1 to this).
+    pub publisher: PublisherId,
+    /// The requested third-party URL, as a string (what the log stores).
+    pub url: Box<str>,
+    /// The request host, pre-extracted for cheap grouping.
+    pub host: Domain,
+    /// Referrer relation.
+    pub referrer: Referrer,
+    /// Final server IP observed in the response.
+    pub ip: IpAddr,
+}
+
+impl LoggedRequest {
+    /// Parses the stored URL string back into a structured [`Url`].
+    pub fn parse_url(&self) -> Option<Url> {
+        Url::parse(&self.url)
+    }
+
+    /// True if the URL carries query arguments (cheap string check; agrees
+    /// with [`Url::has_args`] for simulator-produced URLs).
+    pub fn has_args(&self) -> bool {
+        self.url.contains('?')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LoggedRequest {
+        LoggedRequest {
+            user: UserId(3),
+            time: SimTime(1000),
+            first_party: Domain::new("news.example.com"),
+            publisher: PublisherId(9),
+            url: "https://sync.t.com/usermatch?rtb_id=abc".into(),
+            host: Domain::new("sync.t.com"),
+            referrer: Referrer::FirstParty,
+            ip: "1.2.3.4".parse().unwrap(),
+        }
+    }
+
+    #[test]
+    fn url_roundtrip() {
+        let r = sample();
+        let url = r.parse_url().unwrap();
+        assert_eq!(url.host, r.host);
+        assert!(url.has_args());
+        assert!(url.has_tracking_keyword());
+        assert!(r.has_args());
+    }
+
+    #[test]
+    fn args_check_without_query() {
+        let mut r = sample();
+        r.url = "https://cdn.x.com/js/widget.js".into();
+        assert!(!r.has_args());
+    }
+}

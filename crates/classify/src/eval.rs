@@ -1,0 +1,107 @@
+//! Scoring the classifier against the synthetic world's ground truth.
+//!
+//! Ground truth (`ServiceKind::is_tracking`) exists only because this is a
+//! simulation; the paper could not compute recall. We can, and use it to
+//! verify the mechanism the paper argues for: blocklists alone miss a large
+//! share of cascade traffic, and the semi-automatic pass recovers most of
+//! it without flagging clean services.
+
+use crate::classifier::ClassificationResult;
+use serde::{Deserialize, Serialize};
+use xborder_browser::LoggedRequest;
+use xborder_webgraph::WebGraph;
+
+/// Confusion counts of a classification run against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Tracking requests correctly flagged.
+    pub true_positives: usize,
+    /// Clean requests incorrectly flagged.
+    pub false_positives: usize,
+    /// Tracking requests missed.
+    pub false_negatives: usize,
+    /// Clean requests correctly passed.
+    pub true_negatives: usize,
+}
+
+impl Evaluation {
+    /// Precision (1.0 when nothing was flagged).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall (1.0 when nothing was trackable).
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Evaluates a classification result against the web graph's ground truth.
+pub fn evaluate(
+    requests: &[LoggedRequest],
+    result: &ClassificationResult,
+    graph: &WebGraph,
+) -> Evaluation {
+    let mut e = Evaluation::default();
+    for (i, r) in requests.iter().enumerate() {
+        let truth = graph
+            .service_by_host(&r.host)
+            .map(|s| graph.service(s).is_tracking())
+            .unwrap_or(false);
+        let flagged = result.is_tracking(i);
+        match (truth, flagged) {
+            (true, true) => e.true_positives += 1,
+            (false, true) => e.false_positives += 1,
+            (true, false) => e.false_negatives += 1,
+            (false, false) => e.true_negatives += 1,
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_formulas() {
+        let e = Evaluation {
+            true_positives: 80,
+            false_positives: 0,
+            false_negatives: 20,
+            true_negatives: 100,
+        };
+        assert!((e.precision() - 1.0).abs() < 1e-9);
+        assert!((e.recall() - 0.8).abs() < 1e-9);
+        assert!((e.f1() - (2.0 * 0.8 / 1.8)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let empty = Evaluation::default();
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+        assert_eq!(empty.f1(), 1.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Tracking-flow classification (paper Sect. 3.2).
+//!
+//! The paper identifies tracking flows in three stages:
+//!
+//! 1. **Blocklists, used passively.** The easylist/easyprivacy rules are
+//!    matched against every logged request, but nothing is blocked — the
+//!    extension let the page run, so cascade requests exist in the log.
+//!    Matching requests form the initial *list of tracking flows* (LTF).
+//! 2. **Referrer propagation.** A request whose referrer URL is already in
+//!    the LTF *and* whose URL carries arguments (argument passing is how
+//!    trackers move identifiers) joins the LTF. This is what catches the
+//!    RTB cascade the blocklists never see, roughly doubling detected
+//!    flows (Table 2).
+//! 3. **Keyword matching.** Remaining requests with arguments and telltale
+//!    keywords ("usermatch", "rtb", "cookiesync", ...) join the LTF.
+//!
+//! [`rules`] is the filter-list engine, [`listgen`] writes
+//! easylist/easyprivacy-style lists from the synthetic world's blocklist
+//! bits, [`classifier`] runs the three stages, and [`eval`] scores the
+//! result against ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod eval;
+pub mod listgen;
+pub mod rules;
+
+pub use classifier::{classify, Classification, ClassificationResult, MethodCounts};
+pub use eval::{evaluate, Evaluation};
+pub use listgen::generate_lists;
+pub use rules::{FilterList, FilterRule};

@@ -1,0 +1,303 @@
+//! Inter-tracker collaboration analysis.
+//!
+//! The paper's stated future work: *"extend our methodology to go beyond
+//! the terminating end-point of tracking to capture inter-tracker
+//! collaboration and data exchange."* The extension dataset already holds
+//! the evidence — RTB cascades leave referrer chains, and a request to
+//! tracker B whose referrer is a URL of tracker A is a data handoff
+//! (bid solicitation, cookie sync, ID match) from A to B.
+//!
+//! This module builds the directed collaboration graph over *organizations*
+//! and asks the cross-border question one level deeper than the paper did:
+//! not just "where does my data terminate?" but "when trackers exchange my
+//! data among themselves, does the handoff cross a jurisdiction border?"
+
+use crate::pipeline::{EstimateMap, StudyOutputs};
+use crate::worldgen::World;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use xborder_browser::Referrer;
+use xborder_geo::WORLD;
+
+/// One directed collaboration edge between two organizations.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollabEdge {
+    /// Observed handoffs (child requests whose referrer belongs to the
+    /// other org).
+    pub handoffs: u64,
+    /// Handoffs where the two serving endpoints sat in different countries.
+    pub cross_country: u64,
+    /// Handoffs where one endpoint was inside EU28 and the other outside —
+    /// the user's data left GDPR jurisdiction *between trackers*.
+    pub leaves_eu28: u64,
+    /// Distinct users whose data flowed over this edge.
+    pub users: u64,
+}
+
+/// The assembled collaboration graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CollabGraph {
+    /// Directed edges keyed by (upstream org name, downstream org name).
+    pub edges: HashMap<(String, String), CollabEdge>,
+    /// Total handoffs observed.
+    pub total_handoffs: u64,
+}
+
+impl CollabGraph {
+    /// Builds the graph from classified study data.
+    ///
+    /// Only tracking→tracking handoffs across *different* organizations
+    /// count: in-org chains (a tracker talking to its own sync endpoint)
+    /// are internal plumbing, not collaboration.
+    pub fn build(world: &World, out: &StudyOutputs, estimates: &EstimateMap) -> CollabGraph {
+        let mut graph = CollabGraph::default();
+        // (edge) -> set of users, folded into counts at the end.
+        let mut edge_users: HashMap<(String, String), HashSet<u32>> = HashMap::new();
+
+        for (i, r) in out.dataset.requests.iter().enumerate() {
+            if !out.classification.is_tracking(i) {
+                continue;
+            }
+            let Referrer::Request(parent_id) = r.referrer else {
+                continue;
+            };
+            let parent = &out.dataset.requests[parent_id.0 as usize];
+            if !out.classification.is_tracking(parent_id.0 as usize) {
+                continue;
+            }
+            let (Some(child_svc), Some(parent_svc)) = (
+                world.graph.service_by_host(&r.host),
+                world.graph.service_by_host(&parent.host),
+            ) else {
+                continue;
+            };
+            let upstream = world.graph.org_of(parent_svc);
+            let downstream = world.graph.org_of(child_svc);
+            if upstream.id == downstream.id {
+                continue;
+            }
+
+            let key = (upstream.name.clone(), downstream.name.clone());
+            let edge = graph.edges.entry(key.clone()).or_default();
+            edge.handoffs += 1;
+            graph.total_handoffs += 1;
+            edge_users.entry(key).or_default().insert(r.user.0);
+
+            if let (Some(up_est), Some(down_est)) =
+                (estimates.get(&parent.ip), estimates.get(&r.ip))
+            {
+                if up_est.country != down_est.country {
+                    let edge = graph
+                        .edges
+                        .get_mut(&(upstream.name.clone(), downstream.name.clone()))
+                        .expect("edge just inserted");
+                    edge.cross_country += 1;
+                    let up_eu = WORLD.country_or_panic(up_est.country).eu28;
+                    let down_eu = WORLD.country_or_panic(down_est.country).eu28;
+                    if up_eu != down_eu {
+                        edge.leaves_eu28 += 1;
+                    }
+                }
+            }
+        }
+        for (key, users) in edge_users {
+            graph.edges.get_mut(&key).expect("edge exists").users = users.len() as u64;
+        }
+        graph
+    }
+
+    /// Number of distinct organizations appearing in the graph.
+    pub fn n_orgs(&self) -> usize {
+        let mut names: HashSet<&str> = HashSet::new();
+        for (a, b) in self.edges.keys() {
+            names.insert(a);
+            names.insert(b);
+        }
+        names.len()
+    }
+
+    /// Edges ranked by handoff volume, descending.
+    pub fn top_edges(&self, n: usize) -> Vec<(&(String, String), &CollabEdge)> {
+        let mut v: Vec<_> = self.edges.iter().collect();
+        v.sort_by(|a, b| b.1.handoffs.cmp(&a.1.handoffs).then(a.0.cmp(b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Share of handoffs whose endpoints sit in different countries.
+    pub fn cross_country_share(&self) -> f64 {
+        if self.total_handoffs == 0 {
+            return 0.0;
+        }
+        let cross: u64 = self.edges.values().map(|e| e.cross_country).sum();
+        cross as f64 / self.total_handoffs as f64
+    }
+
+    /// Share of handoffs where data crossed the EU28 boundary *between
+    /// trackers* — invisible to an endpoint-only analysis like the paper's.
+    pub fn eu28_boundary_share(&self) -> f64 {
+        if self.total_handoffs == 0 {
+            return 0.0;
+        }
+        let out: u64 = self.edges.values().map(|e| e.leaves_eu28).sum();
+        out as f64 / self.total_handoffs as f64
+    }
+
+    /// Out-degree (distinct downstream partners) per organization,
+    /// descending — "who spreads data widest".
+    pub fn out_degrees(&self) -> Vec<(String, usize)> {
+        let mut deg: HashMap<&str, HashSet<&str>> = HashMap::new();
+        for (a, b) in self.edges.keys() {
+            deg.entry(a).or_default().insert(b);
+        }
+        let mut v: Vec<(String, usize)> = deg
+            .into_iter()
+            .map(|(k, s)| (k.to_owned(), s.len()))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Weakly connected components over the org set (union-find).
+    pub fn n_components(&self) -> usize {
+        let mut names: Vec<&str> = Vec::new();
+        let mut index: HashMap<&str, usize> = HashMap::new();
+        for (a, b) in self.edges.keys() {
+            for n in [a.as_str(), b.as_str()] {
+                if !index.contains_key(n) {
+                    index.insert(n, names.len());
+                    names.push(n);
+                }
+            }
+        }
+        let mut parent: Vec<usize> = (0..names.len()).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (a, b) in self.edges.keys() {
+            let (ia, ib) = (index[a.as_str()], index[b.as_str()]);
+            let (ra, rb) = (find(&mut parent, ia), find(&mut parent, ib));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        let mut roots = HashSet::new();
+        for i in 0..names.len() {
+            let r = find(&mut parent, i);
+            roots.insert(r);
+        }
+        roots.len()
+    }
+}
+
+/// Renders the collaboration summary (the "beyond the endpoint" report).
+pub fn fmt_collab(graph: &CollabGraph) -> String {
+    use std::fmt::Write as _;
+    let mut t = format!(
+        "Inter-tracker collaboration (paper future work)\n\
+         organizations: {}, edges: {}, handoffs: {}\n\
+         handoffs crossing a country border: {:.1}%\n\
+         handoffs crossing the EU28 boundary: {:.1}%\n\
+         components: {}\n\
+         top data-exchange edges:\n",
+        graph.n_orgs(),
+        graph.edges.len(),
+        graph.total_handoffs,
+        graph.cross_country_share() * 100.0,
+        graph.eu28_boundary_share() * 100.0,
+        graph.n_components(),
+    );
+    for ((a, b), e) in graph.top_edges(12) {
+        let _ = writeln!(
+            t,
+            "  {a:<14} -> {b:<14} {:>8} handoffs, {:>5.1}% cross-border, {} users",
+            e.handoffs,
+            e.cross_country as f64 / e.handoffs.max(1) as f64 * 100.0,
+            e.users
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::run_extension_pipeline;
+    use crate::worldgen::WorldConfig;
+
+    fn graph() -> CollabGraph {
+        let mut world = World::build(WorldConfig::small(61));
+        let out = run_extension_pipeline(&mut world);
+        CollabGraph::build(&world, &out, &out.ipmap_estimates)
+    }
+
+    #[test]
+    fn cascades_produce_collaboration_edges() {
+        let g = graph();
+        assert!(g.total_handoffs > 100, "handoffs {}", g.total_handoffs);
+        assert!(g.n_orgs() > 5);
+        assert!(!g.edges.is_empty());
+    }
+
+    #[test]
+    fn ad_networks_are_upstream_hubs() {
+        // Ad networks solicit bids: the Google-like network must appear as
+        // an upstream node with high out-degree.
+        let g = graph();
+        let degrees = g.out_degrees();
+        assert!(degrees.iter().any(|(name, d)| name == "gtrack" && *d >= 2),
+            "gtrack missing from upstream hubs: {degrees:?}");
+    }
+
+    #[test]
+    fn no_self_edges() {
+        let g = graph();
+        for (a, b) in g.edges.keys() {
+            assert_ne!(a, b, "self-edge {a}");
+        }
+    }
+
+    #[test]
+    fn shares_are_probabilities_and_ordered() {
+        let g = graph();
+        let cross = g.cross_country_share();
+        let eu = g.eu28_boundary_share();
+        assert!((0.0..=1.0).contains(&cross));
+        assert!((0.0..=1.0).contains(&eu));
+        // Leaving EU28 implies changing country.
+        assert!(eu <= cross + 1e-9);
+    }
+
+    #[test]
+    fn edge_invariants() {
+        let g = graph();
+        let sum: u64 = g.edges.values().map(|e| e.handoffs).sum();
+        assert_eq!(sum, g.total_handoffs);
+        for e in g.edges.values() {
+            assert!(e.cross_country <= e.handoffs);
+            assert!(e.leaves_eu28 <= e.cross_country);
+            assert!(e.users >= 1);
+            assert!(e.users <= e.handoffs);
+        }
+    }
+
+    #[test]
+    fn components_connect_through_shared_exchanges() {
+        // The RTB core (shared exchanges, big DSPs) should pull most
+        // collaborating orgs into one giant component.
+        let g = graph();
+        assert!(g.n_components() * 4 <= g.n_orgs(), "{} components over {} orgs", g.n_components(), g.n_orgs());
+    }
+
+    #[test]
+    fn report_renders() {
+        let g = graph();
+        let text = fmt_collab(&g);
+        assert!(text.contains("handoffs"));
+        assert!(text.contains("->"));
+    }
+}

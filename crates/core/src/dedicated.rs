@@ -1,0 +1,182 @@
+//! Dedicated-IP analysis (Sect. 3.3, Figs. 4–5).
+//!
+//! Is a tracker IP *dedicated* to one pay-level domain, or shared ad-
+//! exchange infrastructure serving many? The paper answers with reverse
+//! passive DNS: ~85 % of requests hit single-TLD IPs, under 2 % of IPs
+//! serve more than one TLD, and a small set (114) serves ten or more —
+//! ad exchanges, RTB auction points and cookie-sync hubs.
+
+use crate::pipeline::{EstimateMap, StudyOutputs};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::IpAddr;
+use xborder_dns::PassiveDnsDb;
+use xborder_geo::CountryCode;
+use xborder_netsim::time::{anchors, TimeWindow};
+
+/// Per-IP domain-sharing record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IpSharing {
+    /// The IP.
+    pub ip: IpAddr,
+    /// Distinct pay-level domains served (reverse pDNS within the study
+    /// window).
+    pub n_tlds: usize,
+    /// Tracking requests observed to this IP.
+    pub requests: u64,
+}
+
+/// The full dedicated-IP analysis output.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DedicatedAnalysis {
+    /// One record per tracker IP.
+    pub per_ip: Vec<IpSharing>,
+}
+
+impl DedicatedAnalysis {
+    /// Runs the analysis over the study's tracker IPs using reverse pDNS.
+    pub fn run(out: &StudyOutputs, pdns: &PassiveDnsDb) -> DedicatedAnalysis {
+        let window = TimeWindow::new(anchors::STUDY_START, anchors::STUDY_END);
+        let mut per_ip: Vec<IpSharing> = out
+            .tracker_ips
+            .ips
+            .iter()
+            .map(|(ip, info)| {
+                // Reverse pDNS: every TLD seen answering from this IP.
+                let mut tlds = pdns.tlds_on_ip(*ip, window);
+                // The IP's own observed hosts count even if sensors missed
+                // them.
+                for h in &info.hosts {
+                    let t = h.tld();
+                    if !tlds.contains(&t) {
+                        tlds.push(t);
+                    }
+                }
+                IpSharing {
+                    ip: *ip,
+                    n_tlds: tlds.len(),
+                    requests: info.requests,
+                }
+            })
+            .collect();
+        per_ip.sort_by_key(|r| r.ip);
+        DedicatedAnalysis { per_ip }
+    }
+
+    /// Share of *requests* served by IPs hosting exactly one TLD
+    /// (paper: ~85 %).
+    pub fn single_tld_request_share(&self) -> f64 {
+        let total: u64 = self.per_ip.iter().map(|r| r.requests).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let single: u64 = self
+            .per_ip
+            .iter()
+            .filter(|r| r.n_tlds <= 1)
+            .map(|r| r.requests)
+            .sum();
+        single as f64 / total as f64
+    }
+
+    /// Share of *IPs* serving more than one TLD (paper: <2 %).
+    pub fn multi_tld_ip_share(&self) -> f64 {
+        if self.per_ip.is_empty() {
+            return 0.0;
+        }
+        let multi = self.per_ip.iter().filter(|r| r.n_tlds > 1).count();
+        multi as f64 / self.per_ip.len() as f64
+    }
+
+    /// IPs serving at least `threshold` TLDs (Fig. 5 uses 10).
+    pub fn heavy_sharers(&self, threshold: usize) -> Vec<&IpSharing> {
+        self.per_ip.iter().filter(|r| r.n_tlds >= threshold).collect()
+    }
+
+    /// Geolocates the heavy sharers and histograms them by country
+    /// (Fig. 5's bar chart).
+    pub fn heavy_sharer_countries(
+        &self,
+        threshold: usize,
+        estimates: &EstimateMap,
+    ) -> HashMap<CountryCode, usize> {
+        let mut m = HashMap::new();
+        for r in self.heavy_sharers(threshold) {
+            if let Some(est) = estimates.get(&r.ip) {
+                *m.entry(est.country).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+
+    /// `(n_tlds, cumulative request share)` points of the CDF in Fig. 4.
+    pub fn request_weighted_cdf(&self) -> Vec<(usize, f64)> {
+        let total: u64 = self.per_ip.iter().map(|r| r.requests).sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut by_n: HashMap<usize, u64> = HashMap::new();
+        for r in &self.per_ip {
+            *by_n.entry(r.n_tlds).or_insert(0) += r.requests;
+        }
+        let mut keys: Vec<usize> = by_n.keys().copied().collect();
+        keys.sort();
+        let mut acc = 0u64;
+        keys.into_iter()
+            .map(|k| {
+                acc += by_n[&k];
+                (k, acc as f64 / total as f64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sharing(n_tlds: usize, requests: u64, last_octet: u8) -> IpSharing {
+        IpSharing {
+            ip: IpAddr::V4(std::net::Ipv4Addr::new(1, 2, 3, last_octet)),
+            n_tlds,
+            requests,
+        }
+    }
+
+    #[test]
+    fn shares_compute_correctly() {
+        let a = DedicatedAnalysis {
+            per_ip: vec![
+                sharing(1, 850, 1),
+                sharing(2, 100, 2),
+                sharing(12, 50, 3),
+            ],
+        };
+        assert!((a.single_tld_request_share() - 0.85).abs() < 1e-9);
+        assert!((a.multi_tld_ip_share() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(a.heavy_sharers(10).len(), 1);
+        assert_eq!(a.heavy_sharers(2).len(), 2);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let a = DedicatedAnalysis {
+            per_ip: vec![sharing(1, 10, 1), sharing(3, 5, 2), sharing(1, 5, 3)],
+        };
+        let cdf = a.request_weighted_cdf();
+        assert_eq!(cdf.first().unwrap().0, 1);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        for w in cdf.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn empty_analysis_is_safe() {
+        let a = DedicatedAnalysis::default();
+        assert_eq!(a.single_tld_request_share(), 0.0);
+        assert_eq!(a.multi_tld_ip_share(), 0.0);
+        assert!(a.request_weighted_cdf().is_empty());
+    }
+}

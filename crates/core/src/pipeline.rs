@@ -1,0 +1,213 @@
+//! The end-to-end measurement pipeline: study → classification → IP set →
+//! geolocation.
+//!
+//! [`run_extension_pipeline`] is the workhorse behind every figure that
+//! uses extension data: it runs the simulated 4.5-month study, classifies
+//! the request log, completes the tracker IP set through passive DNS, and
+//! geolocates every tracker IP with all three providers.
+
+use crate::ips::{CompletionStats, TrackerIpSet};
+use crate::worldgen::World;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::net::IpAddr;
+use xborder_browser::{run_study, ExtensionDataset};
+use xborder_classify::{classify, generate_lists, ClassificationResult, FilterList};
+use xborder_geoloc::{GeoEstimate, Geolocator, IpMap, RegistryDb, RegistryStyle};
+
+/// Per-provider frozen estimates over the tracker IP set.
+pub type EstimateMap = HashMap<IpAddr, GeoEstimate>;
+
+/// Everything the downstream analyses consume.
+pub struct StudyOutputs {
+    /// The simulated extension dataset.
+    pub dataset: ExtensionDataset,
+    /// Per-request tracking labels and Table-2 counts.
+    pub classification: ClassificationResult,
+    /// The generated easylist analogue (kept for ablations).
+    pub easylist: FilterList,
+    /// The generated easyprivacy analogue.
+    pub easyprivacy: FilterList,
+    /// Tracker IPs (observed + pDNS-completed) with validity windows.
+    pub tracker_ips: TrackerIpSet,
+    /// pDNS completion summary (Sect. 3.3 numbers).
+    pub completion: CompletionStats,
+    /// IPmap estimates per tracker IP.
+    pub ipmap_estimates: EstimateMap,
+    /// MaxMind-style estimates per tracker IP.
+    pub maxmind_estimates: EstimateMap,
+    /// ip-api-style estimates per tracker IP.
+    pub ipapi_estimates: EstimateMap,
+}
+
+impl StudyOutputs {
+    /// Destination estimate for a request's IP under a chosen provider map.
+    pub fn estimate_for(&self, map: &EstimateMap, ip: IpAddr) -> Option<GeoEstimate> {
+        map.get(&ip).copied()
+    }
+}
+
+/// Freezes a provider's answers over an IP list into a map.
+pub fn freeze_estimates<G: Geolocator + ?Sized>(provider: &G, ips: &[IpAddr]) -> EstimateMap {
+    ips.iter()
+        .filter_map(|ip| provider.locate(*ip).map(|e| (*ip, e)))
+        .collect()
+}
+
+/// Runs the full extension pipeline against a built world.
+///
+/// Consumes the world's dedicated study RNG stream, so repeated calls on
+/// the same `World` value continue the stream (build a fresh `World` for a
+/// bit-identical rerun).
+pub fn run_extension_pipeline(world: &mut World) -> StudyOutputs {
+    // 1. The 4.5-month study.
+    let mut rng = StdRng::seed_from_u64(world.study_rng.gen());
+    let dataset = run_study(&world.config.study, &world.graph, &mut world.dns, &mut rng);
+
+    // 2. Classification (Table 2).
+    let (easylist, easyprivacy) = generate_lists(&world.graph);
+    let classification = classify(&dataset.requests, &easylist, &easyprivacy);
+
+    // 3. Tracker IP set + pDNS completion (Sect. 3.3).
+    let mut tracker_ips = TrackerIpSet::from_dataset(&dataset, &classification);
+    let completion = tracker_ips.complete_with_pdns(world.dns.pdns());
+
+    // 4. Geolocation with all three providers (Sect. 3.4).
+    let ip_list: Vec<IpAddr> = {
+        let mut v: Vec<IpAddr> = tracker_ips.ips.keys().copied().collect();
+        v.sort();
+        v
+    };
+    let ipmap = IpMap::new(world.config.ipmap, &world.infra, &mut rng);
+    let ipmap_estimates = freeze_estimates(&ipmap, &ip_list);
+    // MaxMind and ip-api share their seat-vs-truth coin (correlated errors,
+    // Table 3) but perturb independently.
+    let seat_seed: u64 = rng.gen();
+    let mm = {
+        let mut seat = StdRng::seed_from_u64(seat_seed);
+        let mut noise = StdRng::seed_from_u64(rng.gen());
+        RegistryDb::build(RegistryStyle::MaxMindLike, &world.infra, &mut seat, &mut noise)
+    };
+    let ia = {
+        let mut seat = StdRng::seed_from_u64(seat_seed);
+        let mut noise = StdRng::seed_from_u64(rng.gen());
+        RegistryDb::build(RegistryStyle::IpApiLike, &world.infra, &mut seat, &mut noise)
+    };
+    let maxmind_estimates = freeze_estimates(&mm, &ip_list);
+    let ipapi_estimates = freeze_estimates(&ia, &ip_list);
+
+    StudyOutputs {
+        dataset,
+        classification,
+        easylist,
+        easyprivacy,
+        tracker_ips,
+        completion,
+        ipmap_estimates,
+        maxmind_estimates,
+        ipapi_estimates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worldgen::WorldConfig;
+    use xborder_geo::WORLD;
+
+    fn outputs() -> (World, StudyOutputs) {
+        let mut world = World::build(WorldConfig::small(11));
+        let out = run_extension_pipeline(&mut world);
+        (world, out)
+    }
+
+    #[test]
+    fn pipeline_produces_tracking_flows() {
+        let (_, out) = outputs();
+        assert!(out.dataset.requests.len() > 1_000);
+        assert!(out.classification.abp.n_total_requests > 0);
+        assert!(out.classification.semi.n_total_requests > 0);
+        assert!(!out.tracker_ips.is_empty());
+    }
+
+    #[test]
+    fn completion_adds_a_small_fraction() {
+        let (_, out) = outputs();
+        let frac = out.completion.added_fraction();
+        assert!(frac > 0.0, "pDNS completion added nothing");
+        assert!(frac < 0.5, "pDNS completion added {frac}, too much");
+    }
+
+    #[test]
+    fn every_tracker_ip_is_geolocated_by_ipmap() {
+        let (_, out) = outputs();
+        for ip in out.tracker_ips.ips.keys() {
+            assert!(out.ipmap_estimates.contains_key(ip), "{ip} missing from IPmap");
+            assert!(out.maxmind_estimates.contains_key(ip), "{ip} missing from MaxMind");
+        }
+    }
+
+    #[test]
+    fn ipmap_beats_registries_on_accuracy() {
+        let (world, out) = outputs();
+        let acc = |map: &EstimateMap| {
+            let mut right = 0usize;
+            let mut total = 0usize;
+            for (ip, est) in map {
+                if let Some(truth) = world.infra.true_country_of(*ip) {
+                    total += 1;
+                    if est.country == truth {
+                        right += 1;
+                    }
+                }
+            }
+            right as f64 / total.max(1) as f64
+        };
+        let ipmap_acc = acc(&out.ipmap_estimates);
+        let mm_acc = acc(&out.maxmind_estimates);
+        assert!(
+            ipmap_acc > mm_acc + 0.1,
+            "ipmap {ipmap_acc} vs maxmind {mm_acc}"
+        );
+        assert!(ipmap_acc > 0.8, "ipmap accuracy {ipmap_acc}");
+    }
+
+    #[test]
+    fn registries_agree_with_each_other() {
+        let (_, out) = outputs();
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for (ip, mm) in &out.maxmind_estimates {
+            if let Some(ia) = out.ipapi_estimates.get(ip) {
+                total += 1;
+                if mm.country == ia.country {
+                    agree += 1;
+                }
+            }
+        }
+        let share = agree as f64 / total.max(1) as f64;
+        assert!(share > 0.9, "registry agreement {share}");
+    }
+
+    #[test]
+    fn v4_dominates_tracker_ips() {
+        let (_, out) = outputs();
+        let v4 = out.tracker_ips.ips.keys().filter(|ip| ip.is_ipv4()).count();
+        let share = v4 as f64 / out.tracker_ips.len() as f64;
+        assert!(share > 0.9, "v4 share {share}");
+    }
+
+    #[test]
+    fn eu28_users_exist_in_dataset() {
+        let (_, out) = outputs();
+        let eu = out
+            .dataset
+            .users
+            .users
+            .iter()
+            .filter(|u| WORLD.country_or_panic(u.country).eu28)
+            .count();
+        assert!(eu > 5);
+    }
+}

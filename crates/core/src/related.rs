@@ -1,0 +1,150 @@
+//! The related-work comparison matrix (Table 9).
+//!
+//! Static data: the paper rates fourteen studies (itself included) along
+//! the methodological axes its challenges define. Reproduced here so the
+//! repro harness can regenerate the table.
+
+use serde::{Deserialize, Serialize};
+
+/// A three-valued feature rating, as in the paper's legend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rating {
+    /// "X Positive" in the paper.
+    Positive,
+    /// "† Negative".
+    Negative,
+    /// "• Neutral".
+    Neutral,
+    /// Feature not applicable / not used.
+    Absent,
+}
+
+impl Rating {
+    /// The paper's legend symbol.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            Rating::Positive => "X",
+            Rating::Negative => "†",
+            Rating::Neutral => "•",
+            Rating::Absent => "",
+        }
+    }
+}
+
+/// One related-work row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RelatedWork {
+    /// Citation key as the paper numbers it.
+    pub cite: &'static str,
+    /// Short description.
+    pub name: &'static str,
+    /// Request classification via ABP lists.
+    pub abp_lists: Rating,
+    /// Uses custom corrections / own lists.
+    pub custom_lists: Rating,
+    /// Covers ads, tracking, or both.
+    pub covers_ads: bool,
+    /// Covers tracking requests.
+    pub covers_tracking: bool,
+    /// Active measurement.
+    pub active: bool,
+    /// Passive measurement.
+    pub passive: bool,
+    /// Desktop platform.
+    pub desktop: bool,
+    /// Mobile platform.
+    pub mobile: bool,
+    /// Data from real users (vs crawling).
+    pub real_users: Rating,
+    /// Infrastructure geolocation quality.
+    pub geolocation: Rating,
+    /// Works on encrypted (HTTPS) traffic.
+    pub https: Rating,
+}
+
+/// The fourteen rows of Table 9 (condensed to the axes the paper scores).
+pub fn table9() -> Vec<RelatedWork> {
+    use Rating::*;
+    let row = |cite,
+               name,
+               abp: Rating,
+               custom: Rating,
+               ads,
+               tracking,
+               active,
+               passive,
+               desktop,
+               mobile,
+               real: Rating,
+               geo: Rating,
+               https: Rating| RelatedWork {
+        cite,
+        name,
+        abp_lists: abp,
+        custom_lists: custom,
+        covers_ads: ads,
+        covers_tracking: tracking,
+        active,
+        passive,
+        desktop,
+        mobile,
+        real_users: real,
+        geolocation: geo,
+        https,
+    };
+    vec![
+        row("[52]", "Razaghpanah et al., NDSS'18", Neutral, Positive, true, true, true, true, false, true, Positive, Negative, Positive),
+        row("[36]", "Gervais et al.", Neutral, Positive, true, true, true, false, true, false, Negative, Negative, Positive),
+        row("[29]", "Bangera & Gorinsky", Neutral, Absent, true, true, true, false, true, false, Negative, Absent, Positive),
+        row("[58]", "Englehardt & Narayanan, CCS'16", Neutral, Positive, true, true, true, false, true, false, Negative, Absent, Positive),
+        row("[30]", "Bashir et al.", Neutral, Absent, true, true, true, false, true, false, Negative, Absent, Positive),
+        row("[42]", "Leung et al., IMC'16", Neutral, Absent, true, true, true, false, true, true, Negative, Absent, Positive),
+        row("[53]", "Reuben et al.", Neutral, Absent, false, true, true, false, false, true, Negative, Negative, Positive),
+        row("[41]", "Lerner et al., USENIX Sec'16", Neutral, Absent, true, true, true, false, true, false, Negative, Absent, Negative),
+        row("[35]", "Fruchter et al.", Neutral, Absent, false, true, true, false, true, false, Negative, Absent, Negative),
+        row("[61]", "Walls et al., IMC'15", Neutral, Negative, true, false, true, false, true, false, Negative, Absent, Negative),
+        row("[28]", "Balebako et al.", Absent, Negative, true, false, true, false, true, false, Negative, Absent, Negative),
+        row("[60]", "Vallina-Rodriguez et al., IMC'12", Absent, Absent, true, true, false, true, false, true, Negative, Absent, Negative),
+        row("[51]", "Pujol et al., IMC'15", Neutral, Positive, true, false, false, true, true, false, Positive, Absent, Positive),
+        row("This Work", "Iordanou et al., IMC'18", Neutral, Positive, true, true, true, true, true, false, Positive, Positive, Positive),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_rows() {
+        assert_eq!(table9().len(), 14);
+    }
+
+    #[test]
+    fn this_work_scores_best() {
+        let rows = table9();
+        let this = rows.last().unwrap();
+        assert_eq!(this.cite, "This Work");
+        assert_eq!(this.real_users, Rating::Positive);
+        assert_eq!(this.geolocation, Rating::Positive);
+        assert_eq!(this.https, Rating::Positive);
+        assert!(this.active && this.passive);
+        // No other row is positive on real users, geolocation AND https.
+        let rivals = rows
+            .iter()
+            .take(rows.len() - 1)
+            .filter(|r| {
+                r.real_users == Rating::Positive
+                    && r.geolocation == Rating::Positive
+                    && r.https == Rating::Positive
+            })
+            .count();
+        assert_eq!(rivals, 0);
+    }
+
+    #[test]
+    fn symbols_match_legend() {
+        assert_eq!(Rating::Positive.symbol(), "X");
+        assert_eq!(Rating::Negative.symbol(), "†");
+        assert_eq!(Rating::Neutral.symbol(), "•");
+    }
+}

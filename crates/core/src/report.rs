@@ -1,0 +1,596 @@
+//! Rendering every table and figure as terminal text (and JSON via the
+//! analysis structs' `Serialize` impls).
+//!
+//! The `repro` binary in `xborder-bench` calls these to regenerate the
+//! paper's evaluation artifacts; EXPERIMENTS.md records the output next to
+//! the paper's numbers.
+
+use crate::confine::{CountryMatrix, DestBreakdown, RegionMatrix};
+use crate::dedicated::DedicatedAnalysis;
+use crate::ips::CompletionStats;
+use crate::ispstudy::{rest_world_share, snapshot_days, IspStudyResults};
+use crate::pipeline::{EstimateMap, StudyOutputs};
+use crate::sensitive::SensitiveFlowStats;
+use crate::whatif::WhatIfResults;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use xborder_browser::DatasetStats;
+use xborder_classify::Classification;
+use xborder_geo::{Region, WORLD};
+use xborder_geoloc::{Agreement, WrongLocationStats};
+use xborder_netflow::IspProfile;
+use xborder_webgraph::{Domain, SiteCategory};
+
+/// Percent with one decimal.
+fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Serializes any report struct to pretty JSON.
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("report structs serialize")
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 / Table 2 / Fig 2 / Fig 3
+// ---------------------------------------------------------------------------
+
+/// Table 1: dataset statistics.
+pub fn fmt_table1(stats: &DatasetStats) -> String {
+    format!(
+        "Table 1 — real-users dataset statistics\n\
+         {:<28}{:>12}\n{:<28}{:>12}\n{:<28}{:>12}\n{:<28}{:>12}\n{:<28}{:>12}\n",
+        "# Users", stats.n_users,
+        "# 1st-party domains", stats.n_first_party_domains,
+        "# 1st-party requests", stats.n_first_party_requests,
+        "# 3rd-party domains", stats.n_third_party_domains,
+        "# 3rd-party requests", stats.n_third_party_requests,
+    )
+}
+
+/// Table 2: ABP lists vs semi-automatic classification.
+pub fn fmt_table2(out: &StudyOutputs) -> String {
+    let a = &out.classification.abp;
+    let s = &out.classification.semi;
+    let mut t = String::from(
+        "Table 2 — third-party request classification\n\
+         method            #FQDN    #TLD   #UniqueReq   #TotalReq\n",
+    );
+    let _ = writeln!(
+        t,
+        "AdBlockPlus     {:>7} {:>7} {:>12} {:>11}",
+        a.n_fqdn, a.n_tld, a.n_unique_urls, a.n_total_requests
+    );
+    let _ = writeln!(
+        t,
+        "Semi-automatic  {:>7} {:>7} {:>12} {:>11}",
+        s.n_fqdn, s.n_tld, s.n_unique_urls, s.n_total_requests
+    );
+    let _ = writeln!(
+        t,
+        "Total           {:>7} {:>7} {:>12} {:>11}",
+        a.n_fqdn + s.n_fqdn,
+        a.n_tld + s.n_tld,
+        a.n_unique_urls + s.n_unique_urls,
+        a.n_total_requests + s.n_total_requests
+    );
+    t
+}
+
+/// Per-website request-count distributions behind Fig. 2.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Fig2Data {
+    /// Per-publisher (clean, tracking, all) request counts.
+    pub per_site: Vec<(u64, u64, u64)>,
+}
+
+impl Fig2Data {
+    /// Computes the per-site splits from a study.
+    pub fn compute(out: &StudyOutputs) -> Fig2Data {
+        let mut per_pub: HashMap<u32, (u64, u64, u64)> = HashMap::new();
+        for (i, r) in out.dataset.requests.iter().enumerate() {
+            let e = per_pub.entry(r.publisher.0).or_default();
+            e.2 += 1;
+            if out.classification.is_tracking(i) {
+                e.1 += 1;
+            } else {
+                e.0 += 1;
+            }
+        }
+        let mut per_site: Vec<(u64, u64, u64)> = per_pub.into_values().collect();
+        per_site.sort();
+        Fig2Data { per_site }
+    }
+
+    fn percentile(mut values: Vec<u64>, p: f64) -> u64 {
+        if values.is_empty() {
+            return 0;
+        }
+        values.sort_unstable();
+        let idx = ((values.len() - 1) as f64 * p).round() as usize;
+        values[idx]
+    }
+
+    /// Median per-site counts `(clean, tracking, all)`.
+    pub fn medians(&self) -> (u64, u64, u64) {
+        (
+            Self::percentile(self.per_site.iter().map(|x| x.0).collect(), 0.5),
+            Self::percentile(self.per_site.iter().map(|x| x.1).collect(), 0.5),
+            Self::percentile(self.per_site.iter().map(|x| x.2).collect(), 0.5),
+        )
+    }
+}
+
+/// Fig. 2: CDF summary of third-party requests per website.
+pub fn fmt_fig2(data: &Fig2Data) -> String {
+    let mut t = String::from(
+        "Fig 2 — 3rd-party requests per website (per-site distribution)\n\
+         percentile     clean   ad+tracking       all\n",
+    );
+    for p in [0.25, 0.5, 0.75, 0.9, 0.99] {
+        let clean = Fig2Data::percentile(data.per_site.iter().map(|x| x.0).collect(), p);
+        let track = Fig2Data::percentile(data.per_site.iter().map(|x| x.1).collect(), p);
+        let all = Fig2Data::percentile(data.per_site.iter().map(|x| x.2).collect(), p);
+        let _ = writeln!(t, "p{:<12}{:>6} {:>13} {:>9}", (p * 100.0) as u32, clean, track, all);
+    }
+    let (mc, mt, ma) = data.medians();
+    let _ = writeln!(
+        t,
+        "takeaway: median site issues {mt} tracking vs {mc} clean requests (all: {ma})"
+    );
+    t
+}
+
+/// Top tracking TLDs with the ABP/SEMI detection split (Fig. 3).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Fig3Data {
+    /// `(tld, abp_requests, semi_requests)`, descending by total.
+    pub top: Vec<(String, u64, u64)>,
+}
+
+impl Fig3Data {
+    /// Computes the top-`n` tracking TLDs.
+    pub fn compute(out: &StudyOutputs, n: usize) -> Fig3Data {
+        let mut per_tld: HashMap<Domain, (u64, u64)> = HashMap::new();
+        for (i, r) in out.dataset.requests.iter().enumerate() {
+            match out.classification.label(i) {
+                Classification::AbpTracking => per_tld.entry(r.host.tld()).or_default().0 += 1,
+                Classification::SemiTracking => per_tld.entry(r.host.tld()).or_default().1 += 1,
+                Classification::Clean => {}
+            }
+        }
+        let mut v: Vec<(String, u64, u64)> = per_tld
+            .into_iter()
+            .map(|(d, (a, s))| (d.as_str().to_owned(), a, s))
+            .collect();
+        v.sort_by(|x, y| (y.1 + y.2).cmp(&(x.1 + x.2)).then(x.0.cmp(&y.0)));
+        v.truncate(n);
+        Fig3Data { top: v }
+    }
+}
+
+/// Fig. 3: top tracking TLDs by request count, ABP vs SEMI.
+pub fn fmt_fig3(data: &Fig3Data) -> String {
+    let mut t = String::from("Fig 3 — top tracking TLDs (requests: ABP / SEMI)\n");
+    for (tld, abp, semi) in &data.top {
+        let _ = writeln!(t, "{tld:<24} {abp:>9} {semi:>9}");
+    }
+    t
+}
+
+/// Sect. 3.3: IP-set completion numbers.
+pub fn fmt_completion(stats: &CompletionStats) -> String {
+    format!(
+        "Sect 3.3 — tracker IP completion via passive DNS\n\
+         observed IPs: {}\n\
+         pDNS-added IPs: {} (+{})\n\
+         IPv4 share: {} (additions: {})\n",
+        stats.n_observed,
+        stats.n_added,
+        pct(stats.added_fraction()),
+        pct(stats.v4_share),
+        pct(stats.added_v4_share),
+    )
+}
+
+/// Fig. 4: domains-behind-an-IP distribution.
+pub fn fmt_fig4(analysis: &DedicatedAnalysis) -> String {
+    let mut t = String::from("Fig 4 — TLDs served per tracking IP\n");
+    let _ = writeln!(
+        t,
+        "requests to single-TLD IPs: {}",
+        pct(analysis.single_tld_request_share())
+    );
+    let _ = writeln!(
+        t,
+        "IPs serving >1 TLD: {}",
+        pct(analysis.multi_tld_ip_share())
+    );
+    let _ = writeln!(t, "request-weighted CDF (n_tlds -> cumulative share):");
+    for (n, share) in analysis.request_weighted_cdf().iter().take(8) {
+        let _ = writeln!(t, "  <= {n:>3} TLDs: {}", pct(*share));
+    }
+    t
+}
+
+/// Fig. 5: heavy-sharer IPs and their locations.
+pub fn fmt_fig5(analysis: &DedicatedAnalysis, estimates: &EstimateMap) -> String {
+    let heavy = analysis.heavy_sharers(10);
+    let mut t = format!("Fig 5 — IPs serving >= 10 tracking TLDs: {}\n", heavy.len());
+    let mut countries: Vec<(String, usize)> = analysis
+        .heavy_sharer_countries(10, estimates)
+        .into_iter()
+        .map(|(c, n)| (c.to_string(), n))
+        .collect();
+    countries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (c, n) in countries {
+        let _ = writeln!(t, "  {c}: {n}");
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Tables 3-4, Figs 6-8
+// ---------------------------------------------------------------------------
+
+/// Table 3: pairwise geolocation agreement.
+pub fn fmt_table3(
+    ipapi_maxmind: &Agreement,
+    ipapi_ipmap: &Agreement,
+    maxmind_ipmap: &Agreement,
+) -> String {
+    let mut t = String::from(
+        "Table 3 — pairwise geolocation agreement (country / continent)\n",
+    );
+    let _ = writeln!(
+        t,
+        "ip-api vs MaxMind   : {} / {}  ({} IPs)",
+        pct(ipapi_maxmind.country),
+        pct(ipapi_maxmind.continent),
+        ipapi_maxmind.compared
+    );
+    let _ = writeln!(
+        t,
+        "ip-api vs RIPE IPmap: {} / {}  ({} IPs)",
+        pct(ipapi_ipmap.country),
+        pct(ipapi_ipmap.continent),
+        ipapi_ipmap.compared
+    );
+    let _ = writeln!(
+        t,
+        "MaxMind vs RIPE IPmap: {} / {}  ({} IPs)",
+        pct(maxmind_ipmap.country),
+        pct(maxmind_ipmap.continent),
+        maxmind_ipmap.compared
+    );
+    t
+}
+
+/// Table 4: registry mis-geolocation of the major providers.
+pub fn fmt_table4(rows: &[(String, WrongLocationStats)]) -> String {
+    let mut t = String::from(
+        "Table 4 — MaxMind-style errors on major ad+tracking providers\n\
+         provider        #IPs  wrongCty  wrongCont   #Req    wrongCty  wrongCont\n",
+    );
+    for (name, s) in rows {
+        let _ = writeln!(
+            t,
+            "{name:<14} {:>6}  {:>8}  {:>9} {:>8}  {:>8}  {:>9}",
+            s.n_ips,
+            pct(s.wrong_country_ip_share()),
+            pct(s.wrong_continent_ip_share()),
+            s.n_requests,
+            pct(s.wrong_country_request_share()),
+            pct(s.wrong_continent_request_share()),
+        );
+    }
+    t
+}
+
+/// Fig. 6: region Sankey (termination shares + confinements).
+pub fn fmt_fig6(m: &RegionMatrix) -> String {
+    let mut t = String::from("Fig 6 — tracking flows between regions\n");
+    let _ = writeln!(t, "termination shares:");
+    for r in Region::ALL {
+        let _ = writeln!(t, "  {:<16}{}", r.name(), pct(m.termination_share(r)));
+    }
+    let _ = writeln!(t, "confinement (origin stays in origin region):");
+    for r in Region::ALL {
+        if m.outgoing(r) > 0 {
+            let _ = writeln!(t, "  {:<16}{}", r.name(), pct(m.confinement(r)));
+        }
+    }
+    t
+}
+
+/// Fig. 7: EU28 destination mix under two geolocation providers.
+pub fn fmt_fig7(maxmind: &DestBreakdown, ipmap: &DestBreakdown) -> String {
+    let mut t = String::from(
+        "Fig 7 — destinations of EU28 users' tracking flows\n\
+         region            MaxMind     RIPE IPmap\n",
+    );
+    for r in Region::ALL {
+        let _ = writeln!(
+            t,
+            "{:<16} {:>9} {:>13}",
+            r.name(),
+            pct(maxmind.share(r)),
+            pct(ipmap.share(r))
+        );
+    }
+    t
+}
+
+/// Fig. 8: per-country origin/destination for EU28 users.
+pub fn fmt_fig8(m: &CountryMatrix) -> String {
+    let mut t = String::from("Fig 8 — EU28 national confinement (per origin country)\n");
+    for (c, flows) in m.origins() {
+        let name = WORLD.country_or_panic(c).name;
+        let _ = writeln!(
+            t,
+            "  {name:<16} confinement {:>7}  ({} flows)",
+            pct(m.confinement(c)),
+            flows
+        );
+    }
+    let _ = writeln!(t, "top destinations:");
+    for (c, share) in m.termination_shares().into_iter().take(12) {
+        let name = WORLD.country_or_panic(c).name;
+        let _ = writeln!(t, "  {name:<16} {}", pct(share));
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Tables 5-6, Figs 9-11
+// ---------------------------------------------------------------------------
+
+/// Table 5: localization scenarios.
+pub fn fmt_table5(r: &WhatIfResults) -> String {
+    let mut t = format!(
+        "Table 5 — localization scenarios over {} EU28 tracking flows\n\
+         scenario                       country   continent   (improvement)\n",
+        r.n_flows
+    );
+    let base = r.default;
+    let mut row = |name: &str, s: &crate::whatif::ScenarioRow| {
+        let d = s.improvement_over(&base);
+        let _ = writeln!(
+            t,
+            "{name:<30} {:>8} {:>10}   (+{} / +{})",
+            pct(s.country),
+            pct(s.continent),
+            pct(d.country),
+            pct(d.continent)
+        );
+    };
+    row("Default", &r.default);
+    row("Redirection (FQDN)", &r.redirect_fqdn);
+    row("Redirection (TLD)", &r.redirect_tld);
+    row("PoP Mirroring (Cloud)", &r.pop_mirroring);
+    row("Redirection + Mirroring", &r.tld_plus_mirroring);
+    row("Migration to Cloud", &r.cloud_migration);
+    t
+}
+
+/// Table 6: per-country improvements over TLD redirection.
+pub fn fmt_table6(r: &WhatIfResults) -> String {
+    let mut t = String::from(
+        "Table 6 — per-country national confinement gains over Redirection (TLD)\n\
+         country            flows   mirroring-gain   migration-gain\n",
+    );
+    let mut rows: Vec<_> = r.per_country.iter().collect();
+    rows.sort_by(|a, b| b.1.flows.cmp(&a.1.flows));
+    for (c, cs) in rows {
+        let name = WORLD.country_or_panic(*c).name;
+        let _ = writeln!(
+            t,
+            "{name:<18} {:>6}   {:>14}   {:>14}",
+            cs.flows,
+            pct((cs.tld_plus_mirroring - cs.tld).max(0.0)),
+            pct((cs.migration - cs.tld).max(0.0)),
+        );
+    }
+    t
+}
+
+/// Fig. 9: sensitive-category flow shares.
+pub fn fmt_fig9(s: &SensitiveFlowStats, inspected: usize, detected: usize) -> String {
+    let mut t = format!(
+        "Fig 9 — sensitive tracking flows: {} of {} tracking flows ({})\n\
+         inspected {} domains, identified {} sensitive\n",
+        s.total_sensitive_flows,
+        s.total_tracking_flows,
+        pct(s.sensitive_share()),
+        inspected,
+        detected
+    );
+    for cat in SiteCategory::SENSITIVE {
+        let _ = writeln!(t, "  {:<20}{}", cat.slug(), pct(s.category_share(cat)));
+    }
+    t
+}
+
+/// Fig. 10: destination regions per sensitive category.
+pub fn fmt_fig10(s: &SensitiveFlowStats) -> String {
+    let mut t = format!(
+        "Fig 10 — destinations of sensitive flows (EU28 users; overall EU28 share {})\n\
+         category              EU28    leak-out\n",
+        pct(s.eu28_dest_share())
+    );
+    let mut cats: Vec<SiteCategory> = SiteCategory::SENSITIVE.to_vec();
+    cats.sort_by(|a, b| s.category_leakage(*b).total_cmp(&s.category_leakage(*a)));
+    for cat in cats {
+        let leak = s.category_leakage(cat);
+        let _ = writeln!(t, "{:<20} {:>6} {:>10}", cat.slug(), pct(1.0 - leak), pct(leak));
+    }
+    t
+}
+
+/// Fig. 11: per-country sensitive-flow leakage.
+pub fn fmt_fig11(s: &SensitiveFlowStats) -> String {
+    let mut t = String::from(
+        "Fig 11 — sensitive flows leaving the user's country (EU28)\n\
+         country            total    leaving    share\n",
+    );
+    let mut rows: Vec<_> = s.per_country.iter().collect();
+    rows.sort_by(|a, b| b.1 .0.cmp(&a.1 .0));
+    for (c, (total, leaving)) in rows {
+        let name = WORLD.country_or_panic(*c).name;
+        let share = *leaving as f64 / (*total).max(1) as f64;
+        let _ = writeln!(t, "{name:<18} {total:>6} {leaving:>10} {:>8}", pct(share));
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Tables 7-9, Fig 12
+// ---------------------------------------------------------------------------
+
+/// Table 7: ISP profiles.
+pub fn fmt_table7() -> String {
+    let mut t = String::from("Table 7 — profile of the four European ISPs\n");
+    for p in IspProfile::all() {
+        let kind = match p.access {
+            xborder_netflow::AccessKind::Broadband => "broadband households".to_owned(),
+            xborder_netflow::AccessKind::Mobile => "mobile users".to_owned(),
+            xborder_netflow::AccessKind::Mixed { mobile_share } => {
+                format!("mixed ({:.0}% mobile)", mobile_share * 100.0)
+            }
+        };
+        let _ = writeln!(
+            t,
+            "{:<14} {}  {:>5.0}M+ {kind}",
+            p.name,
+            WORLD.country_or_panic(p.country).name,
+            p.subscribers_m
+        );
+    }
+    t
+}
+
+/// Table 8: sampled tracking flows per ISP and day, by destination region.
+pub fn fmt_table8(r: &IspStudyResults) -> String {
+    let mut t = String::from("Table 8 — sampled tracking flows across ISPs and days\n");
+    for profile in IspProfile::all() {
+        let _ = writeln!(t, "{}", profile.name);
+        for (day, _) in snapshot_days() {
+            let Some(cell) = r.cell(profile.name, day) else {
+                continue;
+            };
+            let _ = writeln!(
+                t,
+                "  {day:<9} flows {:>9}  EU28 {:>6}  NAm {:>6}  RoEu {:>6}  Asia {:>6}  Rest {:>6}",
+                cell.tracking_flows,
+                pct(cell.region_share(Region::Eu28)),
+                pct(cell.region_share(Region::NorthAmerica)),
+                pct(cell.region_share(Region::RestOfEurope)),
+                pct(cell.region_share(Region::Asia)),
+                pct(rest_world_share(cell)),
+            );
+        }
+    }
+    t
+}
+
+/// Fig. 12: top-5 destination countries per ISP (April 4 snapshot).
+pub fn fmt_fig12(r: &IspStudyResults) -> String {
+    let mut t = String::from("Fig 12 — top destination countries per ISP (April 4)\n");
+    for profile in IspProfile::all() {
+        let Some(cell) = r.cell(profile.name, "April 4") else {
+            continue;
+        };
+        let _ = writeln!(
+            t,
+            "{} (national confinement {}):",
+            profile.name,
+            pct(cell.national_share(profile.country))
+        );
+        for (c, share) in cell.top_countries(5) {
+            let name = WORLD.country_or_panic(c).name;
+            let _ = writeln!(t, "  {name:<16} {}", pct(share));
+        }
+    }
+    t
+}
+
+/// Table 9: the related-work matrix.
+pub fn fmt_table9() -> String {
+    let mut t = String::from(
+        "Table 9 — related work comparison\n\
+         work                                  users  geo    https  active passive\n",
+    );
+    for row in crate::related::table9() {
+        let _ = writeln!(
+            t,
+            "{:<37} {:<6} {:<6} {:<6} {:<6} {}",
+            format!("{} {}", row.cite, row.name),
+            row.real_users.symbol(),
+            row.geolocation.symbol(),
+            row.https.symbol(),
+            if row.active { "•" } else { "" },
+            if row.passive { "•" } else { "" },
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::run_extension_pipeline;
+    use crate::worldgen::{World, WorldConfig};
+
+    #[test]
+    fn static_tables_render() {
+        let t7 = fmt_table7();
+        assert!(t7.contains("DE-Broadband"));
+        assert!(t7.contains("Hungary"));
+        let t9 = fmt_table9();
+        assert!(t9.contains("This Work"));
+    }
+
+    #[test]
+    fn dynamic_reports_render() {
+        let mut world = World::build(WorldConfig::small(41));
+        let out = run_extension_pipeline(&mut world);
+
+        let t1 = fmt_table1(&out.dataset.stats());
+        assert!(t1.contains("# Users"));
+        let t2 = fmt_table2(&out);
+        assert!(t2.contains("Semi-automatic"));
+
+        let fig2 = Fig2Data::compute(&out);
+        assert!(!fig2.per_site.is_empty());
+        assert!(fmt_fig2(&fig2).contains("p50"));
+
+        let fig3 = Fig3Data::compute(&out, 20);
+        assert!(fig3.top.len() <= 20);
+        assert!(!fig3.top.is_empty());
+        assert!(fmt_fig3(&fig3).contains("Fig 3"));
+
+        assert!(fmt_completion(&out.completion).contains("pDNS"));
+    }
+
+    #[test]
+    fn fig3_is_sorted_descending() {
+        let mut world = World::build(WorldConfig::small(42));
+        let out = run_extension_pipeline(&mut world);
+        let fig3 = Fig3Data::compute(&out, 20);
+        for w in fig3.top.windows(2) {
+            assert!(w[0].1 + w[0].2 >= w[1].1 + w[1].2);
+        }
+    }
+
+    #[test]
+    fn json_export_works() {
+        let mut world = World::build(WorldConfig::small(43));
+        let out = run_extension_pipeline(&mut world);
+        let fig2 = Fig2Data::compute(&out);
+        let json = to_json(&fig2);
+        assert!(json.starts_with('{'));
+        let json = to_json(&out.dataset.stats());
+        assert!(json.contains("n_users"));
+    }
+}

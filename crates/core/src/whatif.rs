@@ -1,0 +1,404 @@
+//! "What-if" localization scenarios (Sect. 5, Tables 5–6).
+//!
+//! Could tracking operators keep flows local without new infrastructure?
+//! The paper evaluates, over every EU28-origin tracking flow:
+//!
+//! * **DNS redirection (FQDN)** — answer with an alternative server already
+//!   observed for the *same FQDN*;
+//! * **DNS redirection (TLD)** — allow any server of any FQDN under the
+//!   same pay-level domain;
+//! * **PoP mirroring (Cloud)** — operators already renting from one of the
+//!   nine public clouds may light up that provider's other PoPs;
+//! * **Migration to cloud** — the extreme case: any PoP of any of the nine
+//!   providers;
+//! * combinations thereof.
+//!
+//! A flow counts as confinable at country level when the candidate set
+//! contains the user's country, and at continent level when it contains
+//! any European country (EU28 users only, so "continent" = Europe).
+
+use crate::pipeline::{EstimateMap, StudyOutputs};
+use crate::worldgen::World;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use xborder_geo::{Continent, CountryCode, WORLD};
+use xborder_netsim::CLOUDS;
+use xborder_webgraph::Domain;
+
+/// One scenario's confinement percentages (a row of Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioRow {
+    /// Share of flows confinable within the user's country.
+    pub country: f64,
+    /// Share of flows confinable within Europe.
+    pub continent: f64,
+}
+
+impl ScenarioRow {
+    /// Improvement over a baseline row, in percentage points.
+    pub fn improvement_over(&self, base: &ScenarioRow) -> ScenarioRow {
+        ScenarioRow {
+            country: self.country - base.country,
+            continent: self.continent - base.continent,
+        }
+    }
+}
+
+/// All scenario rows (Table 5) plus the per-country views (Table 6).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WhatIfResults {
+    /// Flows evaluated (EU28-origin tracking flows with an estimate).
+    pub n_flows: u64,
+    /// Baseline: where flows terminate today.
+    pub default: ScenarioRow,
+    /// DNS redirection within the same FQDN.
+    pub redirect_fqdn: ScenarioRow,
+    /// DNS redirection within the same TLD.
+    pub redirect_tld: ScenarioRow,
+    /// PoP mirroring over the operator's existing cloud providers.
+    pub pop_mirroring: ScenarioRow,
+    /// TLD redirection + PoP mirroring combined.
+    pub tld_plus_mirroring: ScenarioRow,
+    /// Full migration to any of the nine clouds.
+    pub cloud_migration: ScenarioRow,
+    /// Per-origin-country confinement shares under selected scenarios:
+    /// (flows, default, tld, tld+mirror, migration).
+    pub per_country: HashMap<CountryCode, CountryScenarios>,
+}
+
+/// Per-origin-country scenario outcomes (Table 6 source data).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CountryScenarios {
+    /// EU28-origin flows from this country.
+    pub flows: u64,
+    /// Nationally confined today.
+    pub default: f64,
+    /// Confinable nationally under TLD redirection.
+    pub tld: f64,
+    /// Confinable nationally under TLD redirection + PoP mirroring.
+    pub tld_plus_mirroring: f64,
+    /// Confinable nationally under full cloud migration.
+    pub migration: f64,
+}
+
+fn is_europe(c: CountryCode) -> bool {
+    WORLD.country_or_panic(c).continent == Continent::Europe
+}
+
+/// Runs every scenario.
+pub fn run(world: &World, out: &StudyOutputs, estimates: &EstimateMap) -> WhatIfResults {
+    // --- Candidate-set preparation -------------------------------------
+    // Destinations observed in the dataset per FQDN and per TLD, using the
+    // same estimates that place the default destinations.
+    let mut fqdn_alts: HashMap<&Domain, HashSet<CountryCode>> = HashMap::new();
+    let mut tld_alts: HashMap<Domain, HashSet<CountryCode>> = HashMap::new();
+    for (i, r) in out.dataset.requests.iter().enumerate() {
+        if !out.classification.is_tracking(i) {
+            continue;
+        }
+        if let Some(est) = estimates.get(&r.ip) {
+            fqdn_alts.entry(&r.host).or_default().insert(est.country);
+            tld_alts.entry(r.host.tld()).or_default().insert(est.country);
+        }
+    }
+    // Cloud PoP countries per *service* (mirroring can only use the
+    // providers the specific tracking domain already rents from — paper
+    // Sect. 5.2).
+    let mut service_cloud_countries: HashMap<u32, HashSet<CountryCode>> = HashMap::new();
+    for svc in &world.graph.services {
+        let clouds = world.service_clouds(svc.id);
+        if clouds.is_empty() {
+            continue;
+        }
+        let countries: HashSet<CountryCode> = clouds
+            .iter()
+            .flat_map(|cid| {
+                CLOUDS
+                    .iter()
+                    .find(|c| c.id == *cid)
+                    .map(|c| c.pop_countries.clone())
+                    .unwrap_or_default()
+            })
+            .collect();
+        service_cloud_countries.insert(svc.id.0, countries);
+    }
+    let all_cloud_countries: HashSet<CountryCode> =
+        xborder_netsim::cloud::any_cloud_countries().into_iter().collect();
+
+    // --- Per-flow evaluation --------------------------------------------
+    let mut n_flows = 0u64;
+    let mut tallies = [Tally::default(); 6]; // default, fqdn, tld, mirror, tld+mirror, migration
+    let mut per_country: HashMap<CountryCode, CountryScenarios> = HashMap::new();
+
+    for (i, r) in out.dataset.requests.iter().enumerate() {
+        if !out.classification.is_tracking(i) {
+            continue;
+        }
+        let user_country = out.dataset.user_country(r.user);
+        if !WORLD.country_or_panic(user_country).eu28 {
+            continue;
+        }
+        let Some(est) = estimates.get(&r.ip) else {
+            continue;
+        };
+        n_flows += 1;
+        let dest = est.country;
+        let cs = per_country.entry(user_country).or_default();
+        cs.flows += 1;
+
+        // Candidate sets per scenario; every set implicitly contains the
+        // current destination.
+        let empty: HashSet<CountryCode> = HashSet::new();
+        let fqdn_set = fqdn_alts.get(&r.host).unwrap_or(&empty);
+        let tld_set = tld_alts.get(&r.host.tld()).unwrap_or(&empty);
+        let mirror_set = world
+            .graph
+            .service_by_host(&r.host)
+            .and_then(|sid| service_cloud_countries.get(&sid.0).cloned())
+            .unwrap_or_default();
+
+        let eval = |set: &HashSet<CountryCode>, extra: Option<&HashSet<CountryCode>>| -> (bool, bool) {
+            let country_ok = dest == user_country
+                || set.contains(&user_country)
+                || extra.is_some_and(|e| e.contains(&user_country));
+            let continent_ok = is_europe(dest)
+                || set.iter().any(|c| is_europe(*c))
+                || extra.is_some_and(|e| e.iter().any(|c| is_europe(*c)));
+            (country_ok, continent_ok)
+        };
+
+        // Default: only the current destination.
+        tallies[0].add(dest == user_country, is_europe(dest));
+        if dest == user_country {
+            cs.default += 1.0;
+        }
+        // FQDN redirection.
+        let (c, k) = eval(fqdn_set, None);
+        tallies[1].add(c, k);
+        // TLD redirection.
+        let (c_tld, k_tld) = eval(tld_set, None);
+        tallies[2].add(c_tld, k_tld);
+        if c_tld {
+            cs.tld += 1.0;
+        }
+        // PoP mirroring only.
+        let (c, k) = eval(&mirror_set, None);
+        tallies[3].add(c, k);
+        // TLD + mirroring.
+        let (c_comb, k_comb) = eval(tld_set, Some(&mirror_set));
+        tallies[4].add(c_comb, k_comb);
+        if c_comb {
+            cs.tld_plus_mirroring += 1.0;
+        }
+        // Full cloud migration.
+        let (c_mig, k_mig) = eval(&all_cloud_countries, None);
+        tallies[5].add(c_mig, k_mig);
+        if c_mig {
+            cs.migration += 1.0;
+        }
+    }
+
+    // Normalize per-country counters into shares.
+    for cs in per_country.values_mut() {
+        let f = cs.flows.max(1) as f64;
+        cs.default /= f;
+        cs.tld /= f;
+        cs.tld_plus_mirroring /= f;
+        cs.migration /= f;
+    }
+
+    WhatIfResults {
+        n_flows,
+        default: tallies[0].row(n_flows),
+        redirect_fqdn: tallies[1].row(n_flows),
+        redirect_tld: tallies[2].row(n_flows),
+        pop_mirroring: tallies[3].row(n_flows),
+        tld_plus_mirroring: tallies[4].row(n_flows),
+        cloud_migration: tallies[5].row(n_flows),
+        per_country,
+    }
+}
+
+/// How fast would a DNS redirection actually roll out? (Sect. 5.1)
+///
+/// Every cached answer lingers for up to one TTL, so the flow-weighted TTL
+/// distribution is the rollout-latency distribution. Short-TTL operators
+/// (the Google-like majors at 300 s) can redirect "within seconds", the
+/// long-TTL tail takes hours — the paper's exact point.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RolloutStats {
+    /// Tracking-flow count per TTL value (seconds).
+    pub flows_per_ttl: HashMap<u32, u64>,
+    /// Total tracking flows considered.
+    pub total: u64,
+}
+
+impl RolloutStats {
+    /// Share of flows redirectable within `seconds`.
+    pub fn share_within(&self, seconds: u32) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let covered: u64 = self
+            .flows_per_ttl
+            .iter()
+            .filter(|(ttl, _)| **ttl <= seconds)
+            .map(|(_, n)| n)
+            .sum();
+        covered as f64 / self.total as f64
+    }
+
+    /// Flow-weighted mean TTL in seconds.
+    pub fn mean_ttl(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.flows_per_ttl.iter().map(|(t, n)| *t as u64 * n).sum();
+        sum as f64 / self.total as f64
+    }
+}
+
+/// Computes the redirection-rollout distribution over all tracking flows.
+pub fn redirection_rollout(world: &World, out: &StudyOutputs) -> RolloutStats {
+    let mut stats = RolloutStats::default();
+    for (i, r) in out.dataset.requests.iter().enumerate() {
+        if !out.classification.is_tracking(i) {
+            continue;
+        }
+        let Some(zone) = world.dns.zone(&r.host) else {
+            continue;
+        };
+        *stats.flows_per_ttl.entry(zone.ttl_secs).or_insert(0) += 1;
+        stats.total += 1;
+    }
+    stats
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Tally {
+    country: u64,
+    continent: u64,
+}
+
+impl Tally {
+    fn add(&mut self, country: bool, continent: bool) {
+        if country {
+            self.country += 1;
+        }
+        if continent {
+            self.continent += 1;
+        }
+    }
+
+    fn row(&self, total: u64) -> ScenarioRow {
+        let t = total.max(1) as f64;
+        ScenarioRow {
+            country: self.country as f64 / t,
+            continent: self.continent as f64 / t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::run_extension_pipeline;
+    use crate::worldgen::WorldConfig;
+    use xborder_geo::cc;
+
+    fn results() -> WhatIfResults {
+        let mut world = World::build(WorldConfig::small(13));
+        let out = run_extension_pipeline(&mut world);
+        run(&world, &out, &out.ipmap_estimates)
+    }
+
+    #[test]
+    fn scenarios_are_monotone() {
+        let r = results();
+        assert!(r.n_flows > 100);
+        // Each widening of the candidate set can only help.
+        assert!(r.redirect_fqdn.country >= r.default.country);
+        assert!(r.redirect_tld.country >= r.redirect_fqdn.country);
+        assert!(r.tld_plus_mirroring.country >= r.redirect_tld.country);
+        assert!(r.tld_plus_mirroring.country >= r.pop_mirroring.country);
+        assert!(r.redirect_tld.continent >= r.redirect_fqdn.continent);
+        assert!(r.redirect_fqdn.continent >= r.default.continent);
+    }
+
+    #[test]
+    fn redirection_improves_country_confinement_substantially() {
+        let r = results();
+        let gain = r.redirect_tld.country - r.default.country;
+        assert!(gain > 0.05, "TLD redirection gained only {gain}");
+    }
+
+    #[test]
+    fn shares_are_probabilities() {
+        let r = results();
+        for row in [
+            r.default,
+            r.redirect_fqdn,
+            r.redirect_tld,
+            r.pop_mirroring,
+            r.tld_plus_mirroring,
+            r.cloud_migration,
+        ] {
+            assert!((0.0..=1.0).contains(&row.country), "{row:?}");
+            assert!((0.0..=1.0).contains(&row.continent), "{row:?}");
+            assert!(row.continent >= row.country, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn cyprus_gains_nothing_from_cloud_migration() {
+        let r = results();
+        if let Some(cy) = r.per_country.get(&cc!("CY")) {
+            // No cloud PoP in Cyprus: migration cannot add national
+            // confinement beyond what redirection finds.
+            assert!(
+                cy.migration <= cy.tld + 1e-9,
+                "CY migration {} > tld {}",
+                cy.migration,
+                cy.tld
+            );
+        }
+    }
+
+    #[test]
+    fn per_country_shares_are_normalized() {
+        let r = results();
+        for (c, cs) in &r.per_country {
+            assert!(cs.flows > 0, "{c} has zero flows");
+            for v in [cs.default, cs.tld, cs.tld_plus_mirroring, cs.migration] {
+                assert!((0.0..=1.0).contains(&v), "{c}: {v}");
+            }
+            assert!(cs.tld >= cs.default - 1e-9, "{c} tld < default");
+        }
+    }
+
+    #[test]
+    fn rollout_distribution_is_bimodal() {
+        // Majors run 300 s TTLs, the tail 7,200 s: both modes must carry
+        // flows, and every flow must be counted once.
+        let mut world = World::build(WorldConfig::small(14));
+        let out = crate::pipeline::run_extension_pipeline(&mut world);
+        let stats = redirection_rollout(&world, &out);
+        assert!(stats.total > 100);
+        assert!(stats.flows_per_ttl.get(&300).copied().unwrap_or(0) > 0, "no short-TTL flows");
+        assert!(stats.flows_per_ttl.get(&7200).copied().unwrap_or(0) > 0, "no long-TTL flows");
+        let within_5m = stats.share_within(300);
+        let within_2h = stats.share_within(7200);
+        assert!(within_5m > 0.0 && within_5m < 1.0);
+        assert!((within_2h - 1.0).abs() < 1e-9);
+        assert!(stats.mean_ttl() > 300.0 && stats.mean_ttl() < 7200.0);
+    }
+
+    #[test]
+    fn improvement_arithmetic() {
+        let a = ScenarioRow { country: 0.6, continent: 0.95 };
+        let b = ScenarioRow { country: 0.3, continent: 0.9 };
+        let d = a.improvement_over(&b);
+        assert!((d.country - 0.3).abs() < 1e-9);
+        assert!((d.continent - 0.05).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,632 @@
+//! Materializing a synthetic world: web graph → physical infrastructure →
+//! DNS zones.
+//!
+//! `xborder-webgraph` decides *who exists* (organizations, services,
+//! hosting archetypes as country sets); this module decides *where the
+//! machines are*: it racks servers into `xborder-netsim` PoPs, assigns IPs,
+//! and writes the authoritative DNS zones that map users onto servers.
+//! Shared ad-exchange infrastructure (many domains behind one IP — the
+//! paper's Fig. 4/5 tail) is built here too.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use xborder_browser::StudyConfig;
+use xborder_dns::{DnsSim, MappingPolicy, ZoneEntry, ZoneServer};
+use xborder_geo::{CountryCode, WORLD};
+use xborder_geoloc::IpMapConfig;
+use xborder_netsim::{
+    CloudId, Infrastructure, OrgId, OrgKind, PopKind, ServerId, ServerRole, CLOUDS,
+};
+use xborder_netsim::time::anchors;
+use xborder_webgraph::{
+    generate as generate_graph, HostingPolicy, ServiceId, ServiceKind, WebGraph, WebGraphConfig,
+};
+
+/// Top-level configuration of a synthetic world.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Master seed; every run with the same config is bit-identical.
+    pub seed: u64,
+    /// Web-ecosystem shape.
+    pub web: WebGraphConfig,
+    /// Extension-study shape.
+    pub study: StudyConfig,
+    /// IPmap probe-mesh shape.
+    pub ipmap: IpMapConfig,
+    /// Fraction of (host, server) pairs global passive-DNS sensors catch.
+    /// Tuned so forward-completion adds a small percentage of IPs, like the
+    /// paper's +2.78 %.
+    pub pdns_coverage: f64,
+    /// Probability a multi-country org racks in a public-cloud PoP (vs
+    /// national colo) where one exists.
+    pub cloud_affinity: f64,
+    /// Share of servers given IPv6 addresses (paper: <3 % of tracker IPs).
+    pub ipv6_share: f64,
+    /// Geo-DNS dispersion: probability an answer is load-balanced to a
+    /// random PoP instead of the nearest one. Real mapping is coarse; this
+    /// slack is what DNS redirection recovers in Table 5.
+    pub dns_epsilon: f64,
+    /// Probability a secondary FQDN's zone keeps each of its org's
+    /// deployment countries. Real services expose different footprints per
+    /// hostname (sync endpoints live in fewer sites than ad serving); the
+    /// FQDN→TLD redirection gap of Table 5 comes from exactly this.
+    pub fqdn_footprint_keep: f64,
+    /// Probability a dedicated tracking server gets rotated to a fresh
+    /// address mid-study. Over the paper's 4.5 months operators re-number;
+    /// the pDNS validity windows of Sect. 3.3 exist to handle exactly this
+    /// churn (it's also why the NetFlow matcher scopes IPs in time).
+    pub churn_rate: f64,
+}
+
+impl WorldConfig {
+    /// Full paper-scale configuration.
+    pub fn paper_scale(seed: u64) -> WorldConfig {
+        WorldConfig {
+            seed,
+            web: WebGraphConfig::default(),
+            study: StudyConfig::default(),
+            ipmap: IpMapConfig::default(),
+            pdns_coverage: 0.10,
+            cloud_affinity: 0.08,
+            ipv6_share: 0.03,
+            dns_epsilon: 0.08,
+            fqdn_footprint_keep: 0.90,
+            churn_rate: 0.10,
+        }
+    }
+
+    /// Small configuration for tests and quick examples.
+    pub fn small(seed: u64) -> WorldConfig {
+        WorldConfig {
+            seed,
+            web: WebGraphConfig::small(),
+            study: StudyConfig::small(),
+            ipmap: IpMapConfig::small(),
+            pdns_coverage: 0.10,
+            cloud_affinity: 0.08,
+            ipv6_share: 0.03,
+            dns_epsilon: 0.08,
+            fqdn_footprint_keep: 0.90,
+            churn_rate: 0.10,
+        }
+    }
+}
+
+/// A fully materialized world.
+pub struct World {
+    /// The configuration it was built from.
+    pub config: WorldConfig,
+    /// Static web content.
+    pub graph: WebGraph,
+    /// Physical infrastructure (ground truth for geolocation).
+    pub infra: Infrastructure,
+    /// Authoritative DNS + passive-DNS sensor.
+    pub dns: DnsSim,
+    /// netsim org id per webgraph org index.
+    pub org_map: Vec<OrgId>,
+    /// Dedicated RNG stream for the study phase (worldgen consumed its own).
+    pub study_rng: StdRng,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "World(seed={}, {} publishers, {} services, {} servers, {} zones)",
+            self.config.seed,
+            self.graph.publishers.len(),
+            self.graph.services.len(),
+            self.infra.servers().len(),
+            self.dns.n_zones()
+        )
+    }
+}
+
+/// How many servers an org gets per (service, country): heads get more,
+/// and every org's home country gets a multiple — real operators
+/// concentrate address space at home, which is what keeps registry
+/// databases' per-IP error rates (Table 4) below their per-request ones.
+fn servers_per_site(weight: f64, at_home: bool) -> usize {
+    let base = if weight >= 10.0 {
+        3
+    } else if weight >= 1.0 {
+        2
+    } else {
+        1
+    };
+    if at_home {
+        base * 4
+    } else {
+        base
+    }
+}
+
+impl World {
+    /// Builds the world deterministically from its config.
+    pub fn build(config: WorldConfig) -> World {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let graph = generate_graph(&config.web, &mut rng);
+        let mut infra = Infrastructure::new();
+        let mut dns = DnsSim::new();
+
+        // 1. Mirror webgraph orgs into the infrastructure registry.
+        let mut org_map = Vec::with_capacity(graph.orgs.len());
+        for o in &graph.orgs {
+            let tracking_org = o
+                .services
+                .iter()
+                .any(|s| graph.service(*s).is_tracking());
+            let kind = if tracking_org {
+                OrgKind::AdTech
+            } else {
+                OrgKind::OtherService
+            };
+            org_map.push(infra.add_org(o.name.clone(), kind, o.legal_seat));
+        }
+
+        // 2. Deploy each service's servers and collect them per service.
+        let mut service_servers: HashMap<ServiceId, Vec<ServerId>> = HashMap::new();
+        // Mid-study address rotations: server -> the window it answers in.
+        let mut server_windows: HashMap<ServerId, xborder_netsim::TimeWindow> = HashMap::new();
+        // Shared ad-exchange clusters: (country -> shared server) pools,
+        // filled lazily as shared services land in a country.
+        let mut shared_pool: HashMap<CountryCode, Vec<ServerId>> = HashMap::new();
+
+        for svc in &graph.services {
+            let org = graph.org(svc.org);
+            let netsim_org = org_map[svc.org.0 as usize];
+            let mut countries = match &org.hosting {
+                HostingPolicy::HomeOnly => vec![org.legal_seat],
+                other => other.countries(),
+            };
+            if countries.is_empty() {
+                countries.push(org.legal_seat);
+            }
+            let weight = graph.org_weight[svc.org.0 as usize];
+
+            let mut servers = Vec::new();
+            for country in countries {
+                if !WORLD.contains(country) {
+                    continue;
+                }
+                let per_site = servers_per_site(weight, country == org.legal_seat);
+                let own_dc = weight >= 5.0;
+                if svc.shared_infra {
+                    // Shared exchange infrastructure: join (or grow) the
+                    // country's shared server pool instead of racking
+                    // dedicated machines. Pools hold several IPs per
+                    // country (the paper's 114 heavy-sharer IPs), which
+                    // also keeps one border-case mis-geolocation from
+                    // swinging a whole exchange's traffic.
+                    let pool = shared_pool.entry(country).or_default();
+                    let reuse = pool.len() >= 3 || (!pool.is_empty() && rng.gen::<f64>() < 0.6);
+                    let pick = |pool: &Vec<ServerId>, rng: &mut StdRng| {
+                        pool[rng.gen_range(0..pool.len())]
+                    };
+                    if reuse {
+                        servers.push(pick(pool, &mut rng));
+                        // Big exchanges answer from more than one shared IP.
+                        if weight >= 5.0 {
+                            servers.push(pick(pool, &mut rng));
+                            servers.push(pick(pool, &mut rng));
+                        }
+                    } else {
+                        let pop = pick_pop(&mut infra, &config, country, &mut rng);
+                        let sid = infra
+                            .add_server(netsim_org, pop, ServerRole::AdExchange, false)
+                            .expect("valid org/pop");
+                        pool.push(sid);
+                        servers.push(sid);
+                    }
+                    servers.sort();
+                    servers.dedup();
+                } else {
+                    for _ in 0..per_site {
+                        let pop = if own_dc {
+                            // The heads of the market (Google/Amazon/
+                            // Facebook-like) run their own facilities, so
+                            // public-cloud PoP mirroring cannot help them —
+                            // a big part of why Table 5's mirroring row
+                            // gains so little.
+                            infra
+                                .pop_of_kind_in(PopKind::OwnDatacenter, country, &mut rng)
+                                .expect("country in world table")
+                        } else {
+                            pick_pop(&mut infra, &config, country, &mut rng)
+                        };
+                        let role = match svc.kind {
+                            ServiceKind::AdCdn => ServerRole::CdnEdge,
+                            k if k.is_tracking() => ServerRole::DedicatedTracking,
+                            _ => ServerRole::OtherService,
+                        };
+                        let v6 = rng.gen::<f64>() < config.ipv6_share;
+                        let sid = infra
+                            .add_server(netsim_org, pop, role, v6)
+                            .expect("valid org/pop");
+                        servers.push(sid);
+                        // Mid-study renumbering: retire this address at a
+                        // random point and bring up a replacement in the
+                        // same facility.
+                        if rng.gen::<f64>() < config.churn_rate {
+                            let rotate_at = xborder_netsim::SimTime(
+                                anchors::STUDY_START.0
+                                    + rng.gen_range(
+                                        0..(anchors::STUDY_END.0 - anchors::STUDY_START.0),
+                                    ),
+                            );
+                            server_windows.insert(
+                                sid,
+                                xborder_netsim::TimeWindow::new(
+                                    xborder_netsim::SimTime(0),
+                                    rotate_at,
+                                ),
+                            );
+                            let replacement = infra
+                                .add_server(netsim_org, pop, role, v6)
+                                .expect("valid org/pop");
+                            server_windows.insert(
+                                replacement,
+                                xborder_netsim::TimeWindow::new(
+                                    rotate_at,
+                                    xborder_netsim::SimTime(u64::MAX),
+                                ),
+                            );
+                            servers.push(replacement);
+                        }
+                    }
+                }
+            }
+            service_servers.insert(svc.id, servers);
+        }
+
+        // 3. Write DNS zones: every host of a service answers from the
+        // service's full server set.
+        for svc in &graph.services {
+            let servers = &service_servers[&svc.id];
+            if servers.is_empty() {
+                continue;
+            }
+            let zone_servers: Vec<ZoneServer> = servers
+                .iter()
+                .map(|sid| {
+                    let s = infra.server(*sid).expect("deployed server");
+                    let pop = infra.pop(s.pop).expect("server pop");
+                    ZoneServer {
+                        server: s.id,
+                        ip: s.ip,
+                        country: pop.country,
+                        location: pop.location,
+                        valid: server_windows.get(sid).copied(),
+                    }
+                })
+                .collect();
+            let multi_country = {
+                let mut cs: Vec<CountryCode> = zone_servers.iter().map(|z| z.country).collect();
+                cs.sort();
+                cs.dedup();
+                cs.len() > 1
+            };
+            let weight = graph.org_weight[svc.org.0 as usize];
+            let policy = if multi_country {
+                MappingPolicy::NearestToResolver {
+                    epsilon: config.dns_epsilon,
+                }
+            } else if zone_servers.len() > 1 {
+                MappingPolicy::RoundRobin
+            } else {
+                MappingPolicy::Pinned
+            };
+            // Majors run short TTLs (Google: 300 s); the tail doesn't
+            // bother (Facebook-like 7,200 s).
+            let ttl = if weight >= 5.0 { 300 } else { 7200 };
+            for (host_idx, host) in svc.hosts.iter().enumerate() {
+                // The primary host exposes the full footprint; secondary
+                // FQDNs run from a country subset.
+                let servers_for_host = if host_idx == 0 || !multi_country {
+                    zone_servers.clone()
+                } else {
+                    let mut kept_countries: Vec<CountryCode> = zone_servers
+                        .iter()
+                        .map(|z| z.country)
+                        .collect();
+                    kept_countries.sort();
+                    kept_countries.dedup();
+                    kept_countries.retain(|_| rng.gen::<f64>() < config.fqdn_footprint_keep);
+                    let subset: Vec<ZoneServer> = zone_servers
+                        .iter()
+                        .filter(|z| kept_countries.contains(&z.country))
+                        .copied()
+                        .collect();
+                    if subset.is_empty() {
+                        // Keep at least the first deployment site.
+                        let first_country = zone_servers[0].country;
+                        zone_servers
+                            .iter()
+                            .filter(|z| z.country == first_country)
+                            .copied()
+                            .collect()
+                    } else {
+                        subset
+                    }
+                };
+                dns.add_zone(ZoneEntry {
+                    host: host.clone(),
+                    servers: servers_for_host,
+                    policy,
+                    ttl_secs: ttl,
+                })
+                .expect("non-empty zone");
+            }
+        }
+
+        // 4. Global passive-DNS backfill over the study window.
+        dns.seed_global_pdns(
+            anchors::STUDY_START,
+            anchors::STUDY_END,
+            config.pdns_coverage,
+            &mut rng,
+        );
+
+        let study_rng = StdRng::seed_from_u64(rng.gen());
+        World {
+            config,
+            graph,
+            infra,
+            dns,
+            org_map,
+            study_rng,
+        }
+    }
+
+    /// All distinct countries a service answers from (its zone footprint).
+    pub fn service_countries(&self, svc: ServiceId) -> Vec<CountryCode> {
+        let service = self.graph.service(svc);
+        let Some(zone) = self.dns.zone(&service.hosts[0]) else {
+            return Vec::new();
+        };
+        zone.countries()
+    }
+
+    /// The cloud providers hosting a specific service's servers (via its
+    /// primary host's zone, which carries the full footprint).
+    pub fn service_clouds(&self, svc: ServiceId) -> Vec<CloudId> {
+        let service = self.graph.service(svc);
+        let Some(zone) = self.dns.zone(&service.hosts[0]) else {
+            return Vec::new();
+        };
+        let mut clouds: Vec<CloudId> = zone
+            .servers
+            .iter()
+            .filter_map(|zs| {
+                let s = self.infra.server_by_ip(zs.ip)?;
+                match self.infra.pop(s.pop).ok()?.kind {
+                    PopKind::Cloud(c) => Some(c),
+                    _ => None,
+                }
+            })
+            .collect();
+        clouds.sort();
+        clouds.dedup();
+        clouds
+    }
+
+    /// The cloud providers hosting any of an org's servers.
+    pub fn org_clouds(&self, org: OrgId) -> Vec<CloudId> {
+        let mut clouds: Vec<CloudId> = self
+            .infra
+            .servers_of_org(org)
+            .iter()
+            .filter_map(|sid| {
+                let s = self.infra.server(*sid).ok()?;
+                match self.infra.pop(s.pop).ok()?.kind {
+                    PopKind::Cloud(c) => Some(c),
+                    _ => None,
+                }
+            })
+            .collect();
+        clouds.sort();
+        clouds.dedup();
+        clouds
+    }
+}
+
+fn pick_pop(
+    infra: &mut Infrastructure,
+    config: &WorldConfig,
+    country: CountryCode,
+    rng: &mut StdRng,
+) -> xborder_netsim::PopId {
+    // Prefer a public-cloud PoP when one exists in the country and the org
+    // rolls cloud affinity; otherwise national colo. Cloudflare is a CDN
+    // proxy, not a place trackers rack backends, so it is not a hosting
+    // target (it still counts as cloud footprint in the what-if analysis).
+    let clouds_here: Vec<CloudId> = CLOUDS
+        .iter()
+        .filter(|c| c.id != CloudId::Cloudflare && c.has_pop_in(country))
+        .map(|c| c.id)
+        .collect();
+    let kind = if !clouds_here.is_empty() && rng.gen::<f64>() < config.cloud_affinity {
+        PopKind::Cloud(clouds_here[rng.gen_range(0..clouds_here.len())])
+    } else {
+        PopKind::NationalColo
+    };
+    infra
+        .pop_of_kind_in(kind, country, rng)
+        .expect("country in world table")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn small_world() -> World {
+        World::build(WorldConfig::small(7))
+    }
+
+    #[test]
+    fn world_builds_and_is_consistent() {
+        let w = small_world();
+        assert!(w.graph.validate().is_ok());
+        assert!(!w.infra.servers().is_empty());
+        assert!(w.dns.n_zones() >= w.graph.n_third_party_fqdns());
+    }
+
+    #[test]
+    fn every_service_host_has_a_zone() {
+        let w = small_world();
+        for svc in &w.graph.services {
+            for host in &svc.hosts {
+                assert!(w.dns.zone(host).is_some(), "host {host} unzoned");
+            }
+        }
+    }
+
+    #[test]
+    fn zone_servers_match_infrastructure() {
+        let w = small_world();
+        for zone in w.dns.zones() {
+            for zs in &zone.servers {
+                let server = w.infra.server_by_ip(zs.ip).expect("zone IP in registry");
+                assert_eq!(server.id, zs.server);
+                let pop = w.infra.pop(server.pop).unwrap();
+                assert_eq!(pop.country, zs.country, "zone {} country mismatch", zone.host);
+            }
+        }
+    }
+
+    #[test]
+    fn home_only_orgs_deploy_at_home() {
+        let w = small_world();
+        for (i, o) in w.graph.orgs.iter().enumerate() {
+            if o.hosting != HostingPolicy::HomeOnly {
+                continue;
+            }
+            for sid in w.infra.servers_of_org(w.org_map[i]) {
+                let s = w.infra.server(*sid).unwrap();
+                let pop = w.infra.pop(s.pop).unwrap();
+                assert_eq!(pop.country, o.legal_seat, "org {} strayed", o.name);
+            }
+        }
+    }
+
+    #[test]
+    fn anycast_orgs_span_countries() {
+        let w = small_world();
+        let gtrack_idx = w.graph.orgs.iter().position(|o| o.name == "gtrack").unwrap();
+        let countries: HashSet<CountryCode> = w
+            .infra
+            .servers_of_org(w.org_map[gtrack_idx])
+            .iter()
+            .map(|sid| {
+                let s = w.infra.server(*sid).unwrap();
+                w.infra.pop(s.pop).unwrap().country
+            })
+            .collect();
+        assert!(countries.len() >= 10, "gtrack spans {} countries", countries.len());
+    }
+
+    #[test]
+    fn shared_infra_ips_serve_many_services() {
+        let w = small_world();
+        // Map server -> set of service TLDs answering from it.
+        let mut services_per_server: HashMap<ServerId, HashSet<&str>> = HashMap::new();
+        for svc in &w.graph.services {
+            if let Some(zone) = w.dns.zone(&svc.hosts[0]) {
+                for zs in &zone.servers {
+                    services_per_server
+                        .entry(zs.server)
+                        .or_default()
+                        .insert(svc.tld.as_str());
+                }
+            }
+        }
+        let max_shared = services_per_server.values().map(|s| s.len()).max().unwrap_or(0);
+        assert!(max_shared >= 3, "max TLDs per server {max_shared}");
+        // But the typical server is dedicated.
+        let dedicated = services_per_server.values().filter(|s| s.len() == 1).count();
+        assert!(
+            dedicated * 10 >= services_per_server.len() * 8,
+            "only {dedicated}/{} dedicated",
+            services_per_server.len()
+        );
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = World::build(WorldConfig::small(3));
+        let b = World::build(WorldConfig::small(3));
+        assert_eq!(a.infra.servers().len(), b.infra.servers().len());
+        for (x, y) in a.infra.servers().iter().zip(b.infra.servers()) {
+            assert_eq!(x.ip, y.ip);
+        }
+        assert_eq!(a.dns.n_zones(), b.dns.n_zones());
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = World::build(WorldConfig::small(3));
+        let b = World::build(WorldConfig::small(4));
+        let ips_a: HashSet<_> = a.infra.servers().iter().map(|s| s.ip).collect();
+        let ips_b: HashSet<_> = b.infra.servers().iter().map(|s| s.ip).collect();
+        // Address plans are sequential so overlap is expected, but server
+        // counts and graph content should differ.
+        assert!(
+            a.graph.publishers.iter().zip(&b.graph.publishers).any(|(x, y)| x.domain != y.domain)
+                || ips_a.len() != ips_b.len()
+        );
+    }
+
+    #[test]
+    fn churn_rotates_addresses_mid_study() {
+        use xborder_netsim::time::anchors;
+        let mut cfg = WorldConfig::small(8);
+        cfg.churn_rate = 0.5; // make rotations plentiful
+        let w = World::build(cfg);
+        // Some zone entries must carry validity windows...
+        let mut windowed = 0usize;
+        let mut rotations_verified = 0usize;
+        for zone in w.dns.zones() {
+            let retired: Vec<_> = zone
+                .servers
+                .iter()
+                .filter(|s| s.valid.is_some_and(|v| v.end.0 < u64::MAX))
+                .collect();
+            windowed += retired.len();
+            for old in retired {
+                // ...and every retired address has a successor picking up
+                // exactly where it stopped.
+                let handover = old.valid.unwrap().end;
+                assert!(
+                    zone.servers.iter().any(|s| {
+                        s.valid.is_some_and(|v| v.start == handover) && s.ip != old.ip
+                    }),
+                    "no successor for {} in {}",
+                    old.ip,
+                    zone.host
+                );
+                rotations_verified += 1;
+            }
+        }
+        assert!(windowed > 10, "only {windowed} windowed servers");
+        assert!(rotations_verified > 10);
+        // Resolution across the study window never fails for primary hosts.
+        let _ = anchors::STUDY_END;
+    }
+
+    #[test]
+    fn pdns_backfill_happened() {
+        let w = small_world();
+        assert!(!w.dns.pdns().is_empty());
+    }
+
+    #[test]
+    fn some_v6_servers_exist() {
+        let w = small_world();
+        let v6 = w.infra.servers().iter().filter(|s| s.ip.is_ipv6()).count();
+        let share = v6 as f64 / w.infra.servers().len() as f64;
+        assert!(share > 0.0 && share < 0.10, "v6 share {share}");
+    }
+}

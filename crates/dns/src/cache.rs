@@ -1,0 +1,201 @@
+//! A TTL-honouring stub-resolver cache.
+//!
+//! Why it matters for the paper: DNS redirection (Table 5's best lever)
+//! only takes effect once cached answers expire. The paper contrasts
+//! Google's 300 s TTLs with Facebook's 7,200 s ones (Sect. 5.1) — a
+//! redirection rolls out "from seconds to a few hours". This cache makes
+//! that dynamic measurable: resolve through it, flip the zone, and watch
+//! the old answer linger for exactly one TTL.
+
+use crate::resolver::ClientCtx;
+use crate::sim::DnsSim;
+use crate::zone::ZoneServer;
+use crate::DnsError;
+use rand::Rng;
+use std::collections::HashMap;
+use xborder_netsim::time::SimTime;
+use xborder_webgraph::Domain;
+
+/// One cached answer.
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    answer: ZoneServer,
+    expires: SimTime,
+}
+
+/// A per-client (or per-resolver) answer cache.
+#[derive(Debug, Default)]
+pub struct DnsCache {
+    entries: HashMap<Domain, CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DnsCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves through the cache: returns the cached answer while its TTL
+    /// lasts, otherwise asks the authoritative simulator and caches the
+    /// fresh answer.
+    pub fn resolve<R: Rng + ?Sized>(
+        &mut self,
+        dns: &mut DnsSim,
+        host: &Domain,
+        client: &ClientCtx,
+        now: SimTime,
+        rng: &mut R,
+    ) -> Result<ZoneServer, DnsError> {
+        if let Some(entry) = self.entries.get(host) {
+            if now < entry.expires {
+                self.hits += 1;
+                return Ok(entry.answer);
+            }
+        }
+        self.misses += 1;
+        let answer = dns.resolve(host, client, now, rng)?;
+        let ttl = dns.zone(host).map(|z| z.ttl_secs).unwrap_or(300);
+        self.entries.insert(
+            host.clone(),
+            CacheEntry {
+                answer,
+                expires: now.plus_secs(ttl as u64),
+            },
+        );
+        Ok(answer)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (authoritative queries) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of live entries at `now`.
+    pub fn live_entries(&self, now: SimTime) -> usize {
+        self.entries.values().filter(|e| now < e.expires).count()
+    }
+
+    /// Drops expired entries (housekeeping; correctness never needs it).
+    pub fn evict_expired(&mut self, now: SimTime) {
+        self.entries.retain(|_, e| now < e.expires);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zone::{MappingPolicy, ZoneEntry};
+    use rand::{rngs::StdRng, SeedableRng};
+    use xborder_geo::{cc, CountryCode, WORLD};
+    use xborder_netsim::ServerId;
+
+    fn zone(host: &str, ip: &str, country: &str, ttl: u32) -> ZoneEntry {
+        let c = WORLD.country_or_panic(CountryCode::parse(country).unwrap());
+        ZoneEntry {
+            host: Domain::new(host),
+            servers: vec![ZoneServer {
+                server: ServerId(1),
+                ip: ip.parse().unwrap(),
+                country: c.code,
+                location: c.centroid(),
+                        valid: None,
+            }],
+            policy: MappingPolicy::Pinned,
+            ttl_secs: ttl,
+        }
+    }
+
+    fn client() -> ClientCtx {
+        let de = WORLD.country_or_panic(cc!("DE"));
+        ClientCtx::with_isp_resolver(cc!("DE"), de.centroid())
+    }
+
+    #[test]
+    fn caches_within_ttl() {
+        let mut dns = DnsSim::new();
+        dns.add_zone(zone("t.x.com", "1.0.0.1", "DE", 300)).unwrap();
+        let mut cache = DnsCache::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let host = Domain::new("t.x.com");
+
+        cache.resolve(&mut dns, &host, &client(), SimTime(0), &mut rng).unwrap();
+        cache.resolve(&mut dns, &host, &client(), SimTime(299), &mut rng).unwrap();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        // The authoritative side (and its pDNS sensor) saw exactly one query.
+        assert_eq!(dns.pdns().forward(&host).len(), 1);
+        assert_eq!(dns.pdns().forward(&host)[0].count, 1);
+    }
+
+    #[test]
+    fn expires_after_ttl() {
+        let mut dns = DnsSim::new();
+        dns.add_zone(zone("t.x.com", "1.0.0.1", "DE", 300)).unwrap();
+        let mut cache = DnsCache::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let host = Domain::new("t.x.com");
+
+        cache.resolve(&mut dns, &host, &client(), SimTime(0), &mut rng).unwrap();
+        cache.resolve(&mut dns, &host, &client(), SimTime(300), &mut rng).unwrap();
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn redirection_takes_one_ttl_to_roll_out() {
+        // The paper's Sect. 5.1 dynamic: flip the zone to a new country and
+        // the old answer lingers until the TTL runs out.
+        let mut dns = DnsSim::new();
+        dns.add_zone(zone("t.x.com", "1.0.0.1", "US", 7200)).unwrap();
+        let mut cache = DnsCache::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let host = Domain::new("t.x.com");
+
+        let before = cache.resolve(&mut dns, &host, &client(), SimTime(0), &mut rng).unwrap();
+        assert_eq!(before.country, cc!("US"));
+
+        // Operator redirects to a German server ("GDPR-friendly DNS").
+        dns.add_zone(zone("t.x.com", "1.0.0.2", "DE", 7200)).unwrap();
+
+        // Mid-TTL: still the stale US answer.
+        let stale = cache.resolve(&mut dns, &host, &client(), SimTime(3600), &mut rng).unwrap();
+        assert_eq!(stale.country, cc!("US"));
+        // Post-TTL: the redirection is live.
+        let fresh = cache.resolve(&mut dns, &host, &client(), SimTime(7200), &mut rng).unwrap();
+        assert_eq!(fresh.country, cc!("DE"));
+    }
+
+    #[test]
+    fn eviction_and_live_count() {
+        let mut dns = DnsSim::new();
+        dns.add_zone(zone("a.x.com", "1.0.0.1", "DE", 100)).unwrap();
+        dns.add_zone(zone("b.x.com", "1.0.0.2", "DE", 1000)).unwrap();
+        let mut cache = DnsCache::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        cache.resolve(&mut dns, &Domain::new("a.x.com"), &client(), SimTime(0), &mut rng).unwrap();
+        cache.resolve(&mut dns, &Domain::new("b.x.com"), &client(), SimTime(0), &mut rng).unwrap();
+        assert_eq!(cache.live_entries(SimTime(50)), 2);
+        assert_eq!(cache.live_entries(SimTime(500)), 1);
+        cache.evict_expired(SimTime(500));
+        assert_eq!(cache.live_entries(SimTime(50)), 1);
+    }
+
+    #[test]
+    fn nxdomain_is_not_cached() {
+        let mut dns = DnsSim::new();
+        let mut cache = DnsCache::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let host = Domain::new("missing.com");
+        for _ in 0..3 {
+            assert!(cache.resolve(&mut dns, &host, &client(), SimTime(0), &mut rng).is_err());
+        }
+        assert_eq!(cache.misses(), 3);
+    }
+}

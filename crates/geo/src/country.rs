@@ -1,0 +1,187 @@
+//! Country codes and per-country static facts.
+
+use crate::region::{Continent, Region};
+use crate::GeoError;
+use serde::{Deserialize, Serialize};
+
+/// ISO-3166-1 alpha-2 country code, packed into two bytes.
+///
+/// `CountryCode` is `Copy` and `Ord`, so it can serve as a map key or be
+/// embedded in flow records without allocation. Construction validates that
+/// both bytes are ASCII uppercase letters; it does *not* check membership in
+/// the world table (use [`crate::World::country`] for that).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(try_from = "String", into = "String")]
+pub struct CountryCode([u8; 2]);
+
+impl CountryCode {
+    /// Builds a code from a 2-byte array of ASCII uppercase letters.
+    pub const fn new(bytes: [u8; 2]) -> Self {
+        // const-compatible assert: both bytes must be 'A'..='Z'.
+        assert!(bytes[0] >= b'A' && bytes[0] <= b'Z');
+        assert!(bytes[1] >= b'A' && bytes[1] <= b'Z');
+        CountryCode(bytes)
+    }
+
+    /// Parses a code from a string slice.
+    pub fn parse(s: &str) -> Result<Self, GeoError> {
+        let b = s.as_bytes();
+        if b.len() != 2 || !b[0].is_ascii_uppercase() || !b[1].is_ascii_uppercase() {
+            return Err(GeoError::BadCountryCode(s.to_owned()));
+        }
+        Ok(CountryCode([b[0], b[1]]))
+    }
+
+    /// The code as a `&str`.
+    pub fn as_str(&self) -> &str {
+        // Both bytes are validated ASCII uppercase, so this cannot fail.
+        std::str::from_utf8(&self.0).expect("country code is ASCII")
+    }
+
+    /// The two raw bytes.
+    pub const fn bytes(&self) -> [u8; 2] {
+        self.0
+    }
+
+    /// A dense index usable for small lookup tables: `(b0-'A')*26 + (b1-'A')`,
+    /// in `0..676`.
+    pub const fn dense_index(&self) -> usize {
+        ((self.0[0] - b'A') as usize) * 26 + (self.0[1] - b'A') as usize
+    }
+}
+
+impl std::fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::fmt::Debug for CountryCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl std::str::FromStr for CountryCode {
+    type Err = GeoError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CountryCode::parse(s)
+    }
+}
+
+impl TryFrom<String> for CountryCode {
+    type Error = GeoError;
+    fn try_from(s: String) -> Result<Self, Self::Error> {
+        CountryCode::parse(&s)
+    }
+}
+
+impl From<CountryCode> for String {
+    fn from(c: CountryCode) -> String {
+        c.as_str().to_owned()
+    }
+}
+
+/// Shorthand used throughout the workspace: `cc!("DE")`.
+#[macro_export]
+macro_rules! cc {
+    ($s:literal) => {{
+        const BYTES: &[u8] = $s.as_bytes();
+        $crate::CountryCode::new([BYTES[0], BYTES[1]])
+    }};
+}
+
+/// Static facts about one country.
+///
+/// The numeric columns are coarse, publicly known magnitudes (2018-era):
+/// they parameterize the synthetic world, they are not measurement output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Country {
+    /// ISO alpha-2 code.
+    pub code: CountryCode,
+    /// English short name.
+    pub name: &'static str,
+    /// Physical continent.
+    pub continent: Continent,
+    /// Member of the EU28 (2018 membership, including the UK).
+    pub eu28: bool,
+    /// Geographic centroid (used by the latency model).
+    pub centroid_lat: f64,
+    /// Geographic centroid longitude.
+    pub centroid_lon: f64,
+    /// Approximate country "radius" in km for sampling points inside it.
+    pub radius_km: f64,
+    /// Population, millions.
+    pub population_m: f64,
+    /// IT-infrastructure density index in `[0, 1]`: relative availability of
+    /// datacenters/colocation/cloud PoPs. Drives server placement and hence
+    /// the confinement correlation the paper reports.
+    pub it_index: f64,
+    /// Relative weight of this country in global web-server hosting.
+    pub hosting_weight: f64,
+}
+
+impl Country {
+    /// The paper's region for this country (EU28 split out of Europe).
+    pub fn region(&self) -> Region {
+        if self.eu28 {
+            Region::Eu28
+        } else {
+            Region::from_continent(self.continent)
+        }
+    }
+
+    /// Centroid as a [`crate::LatLon`].
+    pub fn centroid(&self) -> crate::LatLon {
+        crate::LatLon::new(self.centroid_lat, self.centroid_lon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let c = CountryCode::parse("DE").unwrap();
+        assert_eq!(c.as_str(), "DE");
+        assert_eq!(c.to_string(), "DE");
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        for bad in ["", "D", "DEU", "de", "D1", "🇩🇪"] {
+            assert!(CountryCode::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn dense_index_is_unique_and_bounded() {
+        let a = CountryCode::parse("AA").unwrap();
+        let z = CountryCode::parse("ZZ").unwrap();
+        assert_eq!(a.dense_index(), 0);
+        assert_eq!(z.dense_index(), 675);
+        let de = CountryCode::parse("DE").unwrap();
+        let dk = CountryCode::parse("DK").unwrap();
+        assert_ne!(de.dense_index(), dk.dense_index());
+    }
+
+    #[test]
+    fn cc_macro_matches_parse() {
+        assert_eq!(cc!("FR"), CountryCode::parse("FR").unwrap());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = cc!("ES");
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(json, "\"ES\"");
+        let back: CountryCode = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn serde_rejects_malformed() {
+        assert!(serde_json::from_str::<CountryCode>("\"d3\"").is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Great-circle geometry used by the latency model and the IPmap-style
+//! geolocator.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// A WGS-84-ish latitude/longitude pair in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatLon {
+    /// Latitude in degrees, clamped to `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, normalized to `[-180, 180)`.
+    pub lon: f64,
+}
+
+impl LatLon {
+    /// Builds a coordinate, clamping latitude and wrapping longitude.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        let lat = lat.clamp(-90.0, 90.0);
+        let mut lon = (lon + 180.0).rem_euclid(360.0) - 180.0;
+        if lon == 180.0 {
+            lon = -180.0;
+        }
+        LatLon { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in km.
+    pub fn distance_km(&self, other: &LatLon) -> f64 {
+        haversine_km(*self, *other)
+    }
+
+    /// Samples a point uniformly-ish inside a disc of `radius_km` around
+    /// `self`. Good enough for placing servers/users "somewhere in a
+    /// country"; not exact at high latitudes but we never sample near the
+    /// poles.
+    pub fn jitter<R: Rng + ?Sized>(&self, radius_km: f64, rng: &mut R) -> LatLon {
+        // Uniform over the disc: radius ~ sqrt(U) * R.
+        let r = radius_km * rng.gen::<f64>().sqrt();
+        let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+        let dlat = (r * theta.sin()) / 110.574; // km per degree latitude
+        let coslat = self.lat.to_radians().cos().max(0.087); // avoid blow-up past ~85°
+        let dlon = (r * theta.cos()) / (111.320 * coslat);
+        LatLon::new(self.lat + dlat, self.lon + dlon)
+    }
+}
+
+/// Haversine great-circle distance between two coordinates, in km.
+pub fn haversine_km(a: LatLon, b: LatLon) -> f64 {
+    let (lat1, lon1) = (a.lat.to_radians(), a.lon.to_radians());
+    let (lat2, lon2) = (b.lat.to_radians(), b.lon.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// Converts a great-circle distance to a one-way propagation delay in
+/// milliseconds.
+///
+/// Light in fibre travels at roughly 2/3 c ≈ 200 km/ms; real paths are not
+/// geodesics, so we apply the conventional path-stretch factor. This is the
+/// standard speed-of-internet model used by delay-based geolocation work
+/// (e.g. Katz-Bassett et al., IMC 2006) that RIPE IPmap builds on.
+pub fn propagation_delay_ms(distance_km: f64) -> f64 {
+    const KM_PER_MS_FIBRE: f64 = 200.0;
+    const PATH_STRETCH: f64 = 1.5;
+    distance_km * PATH_STRETCH / KM_PER_MS_FIBRE
+}
+
+/// Inverse of [`propagation_delay_ms`]: the maximum great-circle distance a
+/// target can be from a probe given an observed one-way delay.
+pub fn max_distance_km(delay_ms: f64) -> f64 {
+    const KM_PER_MS_FIBRE: f64 = 200.0;
+    const PATH_STRETCH: f64 = 1.5;
+    delay_ms * KM_PER_MS_FIBRE / PATH_STRETCH
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn ll(lat: f64, lon: f64) -> LatLon {
+        LatLon::new(lat, lon)
+    }
+
+    #[test]
+    fn known_distances() {
+        // Berlin -> Madrid ~ 1869 km.
+        let berlin = ll(52.52, 13.405);
+        let madrid = ll(40.4168, -3.7038);
+        let d = haversine_km(berlin, madrid);
+        assert!((d - 1869.0).abs() < 30.0, "got {d}");
+
+        // Berlin -> New York ~ 6385 km.
+        let nyc = ll(40.7128, -74.006);
+        let d = haversine_km(berlin, nyc);
+        assert!((d - 6385.0).abs() < 60.0, "got {d}");
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = ll(48.2, 16.37);
+        assert!(haversine_km(p, p) < 1e-9);
+    }
+
+    #[test]
+    fn delay_roundtrip() {
+        for d in [10.0, 100.0, 1000.0, 8000.0] {
+            let ms = propagation_delay_ms(d);
+            let back = max_distance_km(ms);
+            assert!((back - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn jitter_stays_within_radius() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let center = ll(50.0, 10.0);
+        for _ in 0..500 {
+            let p = center.jitter(300.0, &mut rng);
+            // Allow a small slack for the flat-earth approximation.
+            assert!(haversine_km(center, p) <= 310.0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric(lat1 in -80.0..80.0f64, lon1 in -179.0..179.0f64,
+                                 lat2 in -80.0..80.0f64, lon2 in -179.0..179.0f64) {
+            let a = ll(lat1, lon1);
+            let b = ll(lat2, lon2);
+            let d1 = haversine_km(a, b);
+            let d2 = haversine_km(b, a);
+            prop_assert!((d1 - d2).abs() < 1e-6);
+        }
+
+        #[test]
+        fn distance_bounded_by_half_circumference(lat1 in -90.0..90.0f64, lon1 in -180.0..180.0f64,
+                                                  lat2 in -90.0..90.0f64, lon2 in -180.0..180.0f64) {
+            let d = haversine_km(ll(lat1, lon1), ll(lat2, lon2));
+            prop_assert!(d >= 0.0);
+            prop_assert!(d <= std::f64::consts::PI * EARTH_RADIUS_KM + 1.0);
+        }
+
+        #[test]
+        fn triangle_inequality(lat1 in -80.0..80.0f64, lon1 in -179.0..179.0f64,
+                               lat2 in -80.0..80.0f64, lon2 in -179.0..179.0f64,
+                               lat3 in -80.0..80.0f64, lon3 in -179.0..179.0f64) {
+            let a = ll(lat1, lon1);
+            let b = ll(lat2, lon2);
+            let c = ll(lat3, lon3);
+            prop_assert!(haversine_km(a, c) <= haversine_km(a, b) + haversine_km(b, c) + 1e-6);
+        }
+
+        #[test]
+        fn latlon_normalization(lat in -500.0..500.0f64, lon in -1000.0..1000.0f64) {
+            let p = LatLon::new(lat, lon);
+            prop_assert!((-90.0..=90.0).contains(&p.lat));
+            prop_assert!((-180.0..180.0).contains(&p.lon));
+        }
+    }
+}

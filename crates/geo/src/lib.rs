@@ -1,0 +1,54 @@
+//! World model for the `xborder` reproduction of *Tracing Cross Border Web
+//! Tracking* (IMC 2018).
+//!
+//! This crate is the geographic substrate every other crate builds on. It
+//! provides:
+//!
+//! * [`CountryCode`] — a compact, copyable ISO-3166-1 alpha-2 code.
+//! * [`Country`] — static per-country facts: name, continent, EU28
+//!   membership, centroid, approximate radius, population and an *IT
+//!   infrastructure density* index. The last one drives the paper's central
+//!   correlation: countries with dense datacenter footprints confine more
+//!   tracking flows within their borders (Sect. 5 and 7.3 of the paper).
+//! * [`Continent`] and [`Region`] — the paper distinguishes the EU28 GDPR
+//!   jurisdiction from the rest of Europe, so its "continents" are really
+//!   regions. Both views are provided.
+//! * [`geodesy`] — great-circle distance and coordinate sampling used by the
+//!   latency model and the IPmap-style geolocator.
+//! * [`WORLD`] — the static world table plus lookup helpers.
+//!
+//! Everything here is deterministic and allocation-free on the hot paths;
+//! countries are interned and referenced by [`CountryCode`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod country;
+pub mod geodesy;
+pub mod region;
+pub mod world;
+
+pub use country::{Country, CountryCode};
+pub use geodesy::{haversine_km, LatLon};
+pub use region::{Continent, Region};
+pub use world::{World, WORLD};
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeoError {
+    /// The alpha-2 code is not two ASCII uppercase letters.
+    BadCountryCode(String),
+    /// The code parses but is not in the world table.
+    UnknownCountry(CountryCode),
+}
+
+impl std::fmt::Display for GeoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeoError::BadCountryCode(s) => write!(f, "malformed country code {s:?}"),
+            GeoError::UnknownCountry(c) => write!(f, "unknown country {c}"),
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}

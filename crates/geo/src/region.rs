@@ -1,0 +1,167 @@
+//! Continents and the paper's region partition.
+//!
+//! The paper's Sankey diagrams (Figs. 6–8) partition the world into
+//! *regions*: the EU28 GDPR jurisdiction is split out of Europe, everything
+//! else maps to its physical continent. [`Continent`] is the physical view,
+//! [`Region`] the paper's analytical view.
+
+use serde::{Deserialize, Serialize};
+
+/// A physical continent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Continent {
+    /// Africa.
+    Africa,
+    /// Asia (incl. Middle East for our purposes).
+    Asia,
+    /// Europe (both EU28 and the rest).
+    Europe,
+    /// North and Central America (incl. the Caribbean).
+    NorthAmerica,
+    /// South America.
+    SouthAmerica,
+    /// Oceania.
+    Oceania,
+}
+
+impl Continent {
+    /// All continents, in display order.
+    pub const ALL: [Continent; 6] = [
+        Continent::Africa,
+        Continent::Asia,
+        Continent::Europe,
+        Continent::NorthAmerica,
+        Continent::SouthAmerica,
+        Continent::Oceania,
+    ];
+
+    /// Human-readable name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Continent::Africa => "Africa",
+            Continent::Asia => "Asia",
+            Continent::Europe => "Europe",
+            Continent::NorthAmerica => "N. America",
+            Continent::SouthAmerica => "S. America",
+            Continent::Oceania => "Oceania",
+        }
+    }
+}
+
+impl std::fmt::Display for Continent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The paper's region partition: EU28 is split out of Europe.
+///
+/// A tracking flow is *region-confined* when source and destination regions
+/// are equal; EU28 confinement is the paper's headline metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// The 28 EU member states of 2018 (GDPR jurisdiction).
+    Eu28,
+    /// European countries outside the EU28 (e.g. Switzerland, Russia).
+    RestOfEurope,
+    /// North America.
+    NorthAmerica,
+    /// South America.
+    SouthAmerica,
+    /// Asia.
+    Asia,
+    /// Africa.
+    Africa,
+    /// Oceania.
+    Oceania,
+}
+
+impl Region {
+    /// All regions, in the order the paper's figures list them.
+    pub const ALL: [Region; 7] = [
+        Region::Eu28,
+        Region::RestOfEurope,
+        Region::NorthAmerica,
+        Region::SouthAmerica,
+        Region::Asia,
+        Region::Africa,
+        Region::Oceania,
+    ];
+
+    /// The region of a non-EU28 country on the given continent.
+    ///
+    /// EU28 membership cannot be derived from the continent alone, so this
+    /// maps `Europe` to [`Region::RestOfEurope`]; callers who know the
+    /// country should use [`crate::Country::region`].
+    pub fn from_continent(c: Continent) -> Region {
+        match c {
+            Continent::Africa => Region::Africa,
+            Continent::Asia => Region::Asia,
+            Continent::Europe => Region::RestOfEurope,
+            Continent::NorthAmerica => Region::NorthAmerica,
+            Continent::SouthAmerica => Region::SouthAmerica,
+            Continent::Oceania => Region::Oceania,
+        }
+    }
+
+    /// The physical continent this region lies on.
+    pub fn continent(&self) -> Continent {
+        match self {
+            Region::Eu28 | Region::RestOfEurope => Continent::Europe,
+            Region::NorthAmerica => Continent::NorthAmerica,
+            Region::SouthAmerica => Continent::SouthAmerica,
+            Region::Asia => Continent::Asia,
+            Region::Africa => Continent::Africa,
+            Region::Oceania => Continent::Oceania,
+        }
+    }
+
+    /// Name as used in the paper's figures ("EU 28", "Rest of Europe", ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Region::Eu28 => "EU 28",
+            Region::RestOfEurope => "Rest of Europe",
+            Region::NorthAmerica => "N. America",
+            Region::SouthAmerica => "S. America",
+            Region::Asia => "Asia",
+            Region::Africa => "Africa",
+            Region::Oceania => "Oceania",
+        }
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_continent_roundtrip() {
+        for r in Region::ALL {
+            // Every region's continent maps back to a region on the same
+            // continent (EU28 folds into RestOfEurope, which is fine).
+            let c = r.continent();
+            let back = Region::from_continent(c);
+            assert_eq!(back.continent(), c);
+        }
+    }
+
+    #[test]
+    fn eu28_is_on_europe() {
+        assert_eq!(Region::Eu28.continent(), Continent::Europe);
+        assert_eq!(Region::RestOfEurope.continent(), Continent::Europe);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Region::ALL.iter().map(|r| r.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), Region::ALL.len());
+    }
+}

@@ -1,0 +1,314 @@
+//! The static world table and lookup helpers.
+//!
+//! The per-country numeric columns (population, IT-infrastructure index,
+//! hosting weight) are coarse 2018-era magnitudes used to *parameterize the
+//! synthetic world*; they are configuration, not measurement output. The
+//! IT-infrastructure index is the knob behind the paper's observation that
+//! datacenter-dense countries (DE, NL, IE, GB, ...) confine more tracking
+//! flows nationally than datacenter-poor ones (CY, GR, RO, ...).
+
+use crate::country::{Country, CountryCode};
+use crate::region::{Continent, Region};
+use crate::GeoError;
+
+macro_rules! country {
+    ($code:literal, $name:literal, $cont:ident, $eu:literal,
+     $lat:literal, $lon:literal, $radius:literal, $pop:literal, $it:literal, $host:literal) => {
+        Country {
+            code: crate::cc!($code),
+            name: $name,
+            continent: Continent::$cont,
+            eu28: $eu,
+            centroid_lat: $lat,
+            centroid_lon: $lon,
+            radius_km: $radius,
+            population_m: $pop,
+            it_index: $it,
+            hosting_weight: $host,
+        }
+    };
+}
+
+/// All countries in the synthetic world, EU28 first.
+///
+/// 2018 EU28 membership is used throughout (the UK is a member; the paper
+/// predates Brexit taking effect).
+pub static COUNTRIES: &[Country] = &[
+    // --- EU28 -----------------------------------------------------------
+    country!("AT", "Austria", Europe, true, 47.5, 14.5, 150.0, 8.9, 0.65, 2.0),
+    country!("BE", "Belgium", Europe, true, 50.8, 4.5, 100.0, 11.5, 0.55, 1.0),
+    country!("BG", "Bulgaria", Europe, true, 42.7, 25.4, 180.0, 7.0, 0.30, 0.5),
+    country!("HR", "Croatia", Europe, true, 45.1, 15.2, 150.0, 4.1, 0.25, 0.2),
+    country!("CY", "Cyprus", Europe, true, 35.1, 33.4, 60.0, 0.9, 0.10, 0.05),
+    country!("CZ", "Czechia", Europe, true, 49.8, 15.5, 180.0, 10.6, 0.45, 0.6),
+    country!("DK", "Denmark", Europe, true, 56.0, 10.0, 150.0, 5.8, 0.55, 0.5),
+    country!("EE", "Estonia", Europe, true, 58.6, 25.0, 130.0, 1.3, 0.40, 0.15),
+    country!("FI", "Finland", Europe, true, 64.0, 26.0, 400.0, 5.5, 0.55, 0.5),
+    country!("FR", "France", Europe, true, 46.6, 2.4, 420.0, 67.0, 0.75, 3.5),
+    country!("DE", "Germany", Europe, true, 51.2, 10.4, 350.0, 83.0, 0.95, 6.0),
+    country!("GR", "Greece", Europe, true, 39.1, 22.9, 220.0, 10.7, 0.25, 0.3),
+    country!("HU", "Hungary", Europe, true, 47.2, 19.5, 170.0, 9.8, 0.35, 0.5),
+    country!("IE", "Ireland", Europe, true, 53.4, -8.0, 150.0, 4.9, 0.85, 3.0),
+    country!("IT", "Italy", Europe, true, 42.8, 12.8, 400.0, 60.0, 0.55, 1.5),
+    country!("LV", "Latvia", Europe, true, 56.9, 24.9, 150.0, 1.9, 0.30, 0.15),
+    country!("LT", "Lithuania", Europe, true, 55.2, 23.9, 150.0, 2.8, 0.35, 0.2),
+    country!("LU", "Luxembourg", Europe, true, 49.8, 6.1, 40.0, 0.6, 0.60, 0.3),
+    country!("MT", "Malta", Europe, true, 35.9, 14.4, 20.0, 0.5, 0.20, 0.05),
+    country!("NL", "Netherlands", Europe, true, 52.2, 5.3, 120.0, 17.3, 0.95, 5.0),
+    country!("PL", "Poland", Europe, true, 52.1, 19.4, 300.0, 38.0, 0.45, 0.9),
+    country!("PT", "Portugal", Europe, true, 39.6, -8.0, 220.0, 10.3, 0.35, 0.3),
+    country!("RO", "Romania", Europe, true, 45.9, 25.0, 250.0, 19.4, 0.30, 0.5),
+    country!("SK", "Slovakia", Europe, true, 48.7, 19.7, 140.0, 5.4, 0.30, 0.2),
+    country!("SI", "Slovenia", Europe, true, 46.1, 14.8, 80.0, 2.1, 0.30, 0.1),
+    country!("ES", "Spain", Europe, true, 40.2, -3.6, 400.0, 47.0, 0.60, 1.5),
+    country!("SE", "Sweden", Europe, true, 62.0, 15.0, 450.0, 10.2, 0.65, 0.8),
+    country!("GB", "United Kingdom", Europe, true, 54.0, -2.5, 350.0, 66.0, 0.92, 4.5),
+    // --- Rest of Europe ---------------------------------------------------
+    country!("CH", "Switzerland", Europe, false, 46.8, 8.2, 120.0, 8.5, 0.70, 1.2),
+    country!("NO", "Norway", Europe, false, 61.5, 9.0, 400.0, 5.3, 0.55, 0.4),
+    country!("RU", "Russia", Europe, false, 55.7, 37.6, 1500.0, 144.0, 0.45, 1.5),
+    country!("RS", "Serbia", Europe, false, 44.2, 20.9, 150.0, 7.0, 0.20, 0.1),
+    country!("MD", "Moldova", Europe, false, 47.2, 28.5, 100.0, 2.7, 0.15, 0.08),
+    country!("UA", "Ukraine", Europe, false, 49.0, 31.4, 400.0, 44.0, 0.30, 0.4),
+    country!("TR", "Turkey", Europe, false, 39.0, 35.2, 500.0, 82.0, 0.35, 0.5),
+    country!("IS", "Iceland", Europe, false, 64.9, -19.0, 200.0, 0.36, 0.50, 0.15),
+    // --- North America ----------------------------------------------------
+    country!("US", "United States", NorthAmerica, false, 39.8, -98.6, 2000.0, 327.0, 1.0, 20.0),
+    country!("CA", "Canada", NorthAmerica, false, 56.1, -106.3, 1800.0, 37.0, 0.70, 1.5),
+    country!("MX", "Mexico", NorthAmerica, false, 23.6, -102.5, 800.0, 126.0, 0.30, 0.3),
+    country!("PA", "Panama", NorthAmerica, false, 8.5, -80.8, 120.0, 4.2, 0.15, 0.08),
+    // --- South America ----------------------------------------------------
+    country!("BR", "Brazil", SouthAmerica, false, -10.8, -52.9, 1800.0, 209.0, 0.40, 0.8),
+    country!("AR", "Argentina", SouthAmerica, false, -34.0, -64.0, 1200.0, 44.0, 0.30, 0.2),
+    country!("CL", "Chile", SouthAmerica, false, -35.7, -71.5, 900.0, 18.7, 0.35, 0.15),
+    country!("CO", "Colombia", SouthAmerica, false, 3.9, -73.1, 700.0, 49.0, 0.25, 0.15),
+    country!("PE", "Peru", SouthAmerica, false, -9.2, -75.0, 700.0, 32.0, 0.20, 0.08),
+    // --- Asia --------------------------------------------------------------
+    country!("JP", "Japan", Asia, false, 36.5, 138.0, 600.0, 126.0, 0.80, 2.0),
+    country!("CN", "China", Asia, false, 35.9, 104.2, 1800.0, 1393.0, 0.60, 2.0),
+    country!("IN", "India", Asia, false, 22.9, 79.6, 1400.0, 1353.0, 0.40, 1.0),
+    country!("SG", "Singapore", Asia, false, 1.35, 103.8, 30.0, 5.6, 0.90, 1.5),
+    country!("HK", "Hong Kong", Asia, false, 22.3, 114.2, 30.0, 7.5, 0.75, 0.8),
+    country!("TW", "Taiwan", Asia, false, 23.7, 121.0, 180.0, 23.6, 0.60, 0.5),
+    country!("KR", "South Korea", Asia, false, 36.4, 127.8, 220.0, 51.6, 0.70, 0.8),
+    country!("MY", "Malaysia", Asia, false, 4.1, 109.1, 600.0, 31.5, 0.35, 0.2),
+    country!("TH", "Thailand", Asia, false, 15.1, 101.0, 500.0, 69.4, 0.35, 0.2),
+    country!("ID", "Indonesia", Asia, false, -2.2, 117.3, 1500.0, 267.0, 0.30, 0.2),
+    country!("IL", "Israel", Asia, false, 31.4, 35.0, 150.0, 8.9, 0.60, 0.3),
+    country!("AE", "United Arab Emirates", Asia, false, 23.9, 54.3, 250.0, 9.6, 0.50, 0.25),
+    // --- Oceania ------------------------------------------------------------
+    country!("AU", "Australia", Oceania, false, -25.7, 134.5, 1700.0, 25.0, 0.60, 0.7),
+    country!("NZ", "New Zealand", Oceania, false, -41.8, 172.8, 500.0, 4.9, 0.45, 0.1),
+    // --- Africa -------------------------------------------------------------
+    country!("ZA", "South Africa", Africa, false, -29.0, 25.1, 700.0, 57.8, 0.40, 0.25),
+    country!("EG", "Egypt", Africa, false, 26.6, 29.9, 600.0, 98.0, 0.25, 0.15),
+    country!("NG", "Nigeria", Africa, false, 9.6, 8.1, 600.0, 196.0, 0.20, 0.1),
+    country!("TN", "Tunisia", Africa, false, 34.1, 9.6, 250.0, 11.6, 0.20, 0.05),
+    country!("KE", "Kenya", Africa, false, 0.6, 37.8, 450.0, 51.0, 0.25, 0.08),
+    country!("MA", "Morocco", Africa, false, 31.9, -6.9, 400.0, 36.0, 0.20, 0.06),
+];
+
+/// Land-border (or near-border) neighbour pairs used by the geolocation
+/// simulator: IPmap's rare country-level disagreements happen "around the
+/// borders of neighboring countries" (paper, Sect. 3.4), so probes sometimes
+/// vote for a neighbour instead.
+pub static NEIGHBOURS: &[(&str, &str)] = &[
+    ("DE", "NL"), ("DE", "FR"), ("DE", "AT"), ("DE", "PL"), ("DE", "CZ"),
+    ("DE", "DK"), ("DE", "BE"), ("DE", "LU"), ("DE", "CH"),
+    ("FR", "BE"), ("FR", "ES"), ("FR", "IT"), ("FR", "CH"), ("FR", "LU"),
+    ("ES", "PT"), ("IT", "AT"), ("IT", "SI"), ("IT", "CH"),
+    ("AT", "CZ"), ("AT", "SK"), ("AT", "HU"), ("AT", "SI"), ("AT", "CH"),
+    ("PL", "CZ"), ("PL", "SK"), ("PL", "LT"), ("PL", "UA"),
+    ("HU", "SK"), ("HU", "RO"), ("HU", "RS"), ("HU", "HR"), ("HU", "UA"),
+    ("RO", "BG"), ("RO", "MD"), ("RO", "RS"), ("RO", "UA"),
+    ("BG", "GR"), ("BG", "RS"), ("BG", "TR"), ("GR", "TR"),
+    ("HR", "SI"), ("HR", "RS"), ("SE", "FI"), ("SE", "NO"), ("SE", "DK"),
+    ("FI", "EE"), ("FI", "RU"), ("EE", "LV"), ("LV", "LT"), ("LT", "RU"),
+    ("GB", "IE"), ("GB", "FR"), ("NL", "BE"), ("CZ", "SK"),
+    ("RU", "UA"), ("RU", "NO"), ("US", "CA"), ("US", "MX"),
+    ("BR", "AR"), ("BR", "CO"), ("BR", "PE"), ("AR", "CL"), ("CO", "PE"),
+    ("CN", "IN"), ("MY", "SG"), ("MY", "TH"), ("MY", "ID"),
+    ("EG", "IL"), ("MA", "TN"),
+];
+
+/// Indexed view over [`COUNTRIES`] with O(1) lookup by code.
+pub struct World {
+    by_dense: [Option<u16>; 676],
+    neighbours: Vec<Vec<CountryCode>>,
+}
+
+impl World {
+    fn build() -> World {
+        let mut by_dense = [None; 676];
+        for (i, c) in COUNTRIES.iter().enumerate() {
+            let slot = &mut by_dense[c.code.dense_index()];
+            assert!(slot.is_none(), "duplicate country {}", c.code);
+            *slot = Some(i as u16);
+        }
+        let mut neighbours: Vec<Vec<CountryCode>> = vec![Vec::new(); COUNTRIES.len()];
+        for (a, b) in NEIGHBOURS {
+            let ca = CountryCode::parse(a).expect("static neighbour code");
+            let cb = CountryCode::parse(b).expect("static neighbour code");
+            let ia = by_dense[ca.dense_index()].expect("neighbour in table") as usize;
+            let ib = by_dense[cb.dense_index()].expect("neighbour in table") as usize;
+            neighbours[ia].push(cb);
+            neighbours[ib].push(ca);
+        }
+        World { by_dense, neighbours }
+    }
+
+    /// Looks a country up by code.
+    pub fn country(&self, code: CountryCode) -> Result<&'static Country, GeoError> {
+        self.by_dense[code.dense_index()]
+            .map(|i| &COUNTRIES[i as usize])
+            .ok_or(GeoError::UnknownCountry(code))
+    }
+
+    /// Same as [`World::country`] but panics; for static codes known to exist.
+    pub fn country_or_panic(&self, code: CountryCode) -> &'static Country {
+        self.country(code).expect("country in world table")
+    }
+
+    /// True if the code exists in the world table.
+    pub fn contains(&self, code: CountryCode) -> bool {
+        self.by_dense[code.dense_index()].is_some()
+    }
+
+    /// All countries.
+    pub fn countries(&self) -> &'static [Country] {
+        COUNTRIES
+    }
+
+    /// Countries in the given region.
+    pub fn in_region(&self, region: Region) -> impl Iterator<Item = &'static Country> {
+        COUNTRIES.iter().filter(move |c| c.region() == region)
+    }
+
+    /// Countries on the given physical continent.
+    pub fn on_continent(&self, continent: Continent) -> impl Iterator<Item = &'static Country> {
+        COUNTRIES.iter().filter(move |c| c.continent == continent)
+    }
+
+    /// The EU28 member states.
+    pub fn eu28(&self) -> impl Iterator<Item = &'static Country> {
+        COUNTRIES.iter().filter(|c| c.eu28)
+    }
+
+    /// Land-border neighbours of `code` present in the world table.
+    pub fn neighbours(&self, code: CountryCode) -> &[CountryCode] {
+        match self.by_dense[code.dense_index()] {
+            Some(i) => &self.neighbours[i as usize],
+            None => &[],
+        }
+    }
+
+    /// The region of a country code, if known.
+    pub fn region_of(&self, code: CountryCode) -> Result<Region, GeoError> {
+        Ok(self.country(code)?.region())
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "World({} countries)", COUNTRIES.len())
+    }
+}
+
+/// The global world table, built once on first use.
+pub static WORLD: std::sync::LazyLock<World> = std::sync::LazyLock::new(World::build);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc;
+
+    #[test]
+    fn eu28_has_28_members() {
+        assert_eq!(WORLD.eu28().count(), 28);
+    }
+
+    #[test]
+    fn uk_is_eu28_in_2018() {
+        assert!(WORLD.country_or_panic(cc!("GB")).eu28);
+        assert_eq!(WORLD.region_of(cc!("GB")).unwrap(), Region::Eu28);
+    }
+
+    #[test]
+    fn switzerland_is_rest_of_europe() {
+        let ch = WORLD.country_or_panic(cc!("CH"));
+        assert!(!ch.eu28);
+        assert_eq!(ch.region(), Region::RestOfEurope);
+        assert_eq!(ch.continent, Continent::Europe);
+    }
+
+    #[test]
+    fn unknown_country_errors() {
+        let xx = CountryCode::parse("XX").unwrap();
+        assert!(WORLD.country(xx).is_err());
+        assert!(!WORLD.contains(xx));
+        assert!(WORLD.neighbours(xx).is_empty());
+    }
+
+    #[test]
+    fn every_region_is_populated() {
+        for r in Region::ALL {
+            assert!(WORLD.in_region(r).count() > 0, "region {r} empty");
+        }
+    }
+
+    #[test]
+    fn neighbours_are_symmetric() {
+        for c in WORLD.countries() {
+            for n in WORLD.neighbours(c.code) {
+                assert!(
+                    WORLD.neighbours(*n).contains(&c.code),
+                    "{} -> {n} not symmetric",
+                    c.code
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbours_are_geographically_close() {
+        for c in WORLD.countries() {
+            for n in WORLD.neighbours(c.code) {
+                let other = WORLD.country_or_panic(*n);
+                let d = c.centroid().distance_km(&other.centroid());
+                // Centroid gap bounded by the two radii plus slack; catches
+                // typos in the static table.
+                assert!(
+                    d <= c.radius_km + other.radius_km + 1500.0,
+                    "{} - {} are {d} km apart",
+                    c.code,
+                    n
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sanity_of_numeric_columns() {
+        for c in WORLD.countries() {
+            assert!((0.0..=1.0).contains(&c.it_index), "{}", c.code);
+            assert!(c.population_m > 0.0, "{}", c.code);
+            assert!(c.radius_km > 0.0, "{}", c.code);
+            assert!(c.hosting_weight > 0.0, "{}", c.code);
+        }
+    }
+
+    #[test]
+    fn germany_outranks_cyprus_in_it() {
+        let de = WORLD.country_or_panic(cc!("DE"));
+        let cy = WORLD.country_or_panic(cc!("CY"));
+        assert!(de.it_index > cy.it_index);
+    }
+
+    #[test]
+    fn lookup_is_consistent_with_slice() {
+        for c in WORLD.countries() {
+            let via_lookup = WORLD.country(c.code).unwrap();
+            assert_eq!(via_lookup.name, c.name);
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! RIPE-IPmap-style active geolocation.
+//!
+//! IPmap assigns ~100 RIPE-Atlas probes to each target, runs latency
+//! measurements, and aggregates per-probe location estimates by majority
+//! vote. The Atlas footprint is very dense in Europe (>5K probes of ~11K),
+//! dense in the US (>1K), thin elsewhere — which is why the paper trusts it
+//! at country level within Europe.
+//!
+//! The simulation reproduces the pipeline mechanically:
+//!
+//! 1. A [`ProbeMesh`] is generated with the Atlas-like density profile.
+//! 2. For a target IP, the `k` probes nearest to the target's *announced
+//!    region* are assigned (IPmap pre-selects plausibly-near probes using
+//!    prior anchors; we model that with a coarse pre-localization step that
+//!    picks the assignment neighbourhood from min-RTT to a few landmark
+//!    probes).
+//! 3. Every assigned probe measures min-of-n RTT through the
+//!    [`xborder_netsim::LatencyModel`].
+//! 4. Each probe votes for its own country *weighted by an RTT-derived
+//!    plausibility*; the majority country wins (ties → nearest probe).
+//!
+//! Errors emerge, rather than being injected: a target in a small country
+//! whose nearest probes sit across a border gets outvoted — the paper's
+//! observation that country-level disagreement clusters "around the borders
+//! of neighboring countries".
+
+use crate::truth::GroundTruth;
+use crate::{GeoEstimate, Geolocator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::net::IpAddr;
+use xborder_geo::{CountryCode, LatLon, WORLD};
+use xborder_netsim::LatencyModel;
+
+/// One measurement probe.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Probe {
+    /// Country hosting the probe.
+    pub country: CountryCode,
+    /// Physical location.
+    pub location: LatLon,
+}
+
+/// The Atlas-like probe mesh.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbeMesh {
+    probes: Vec<Probe>,
+}
+
+impl ProbeMesh {
+    /// Generates a mesh of roughly `total` probes with the Atlas density
+    /// profile: European countries get a large fixed share, the US a
+    /// sizeable one, everywhere else thin coverage proportional to
+    /// population × IT index. Every country gets at least one probe.
+    pub fn generate<R: Rng + ?Sized>(total: usize, rng: &mut R) -> ProbeMesh {
+        let countries = WORLD.countries();
+        // Density weights: Europe 6x, US 3x, rest 1x — scaled by
+        // population^0.5 * it_index so small dense countries still show up.
+        let weight = |c: &xborder_geo::Country| -> f64 {
+            let base = c.population_m.sqrt() * (0.3 + c.it_index);
+            match c.continent {
+                xborder_geo::Continent::Europe => base * 6.0,
+                _ if c.code.as_str() == "US" => base * 3.0,
+                _ => base,
+            }
+        };
+        let total_w: f64 = countries.iter().map(weight).sum();
+        let mut probes = Vec::with_capacity(total);
+        for c in countries {
+            let n = ((weight(c) / total_w) * total as f64).round().max(1.0) as usize;
+            for _ in 0..n {
+                probes.push(Probe {
+                    country: c.code,
+                    location: c.centroid().jitter(c.radius_km * 0.9, rng),
+                });
+            }
+        }
+        ProbeMesh { probes }
+    }
+
+    /// All probes.
+    pub fn probes(&self) -> &[Probe] {
+        &self.probes
+    }
+
+    /// Number of probes in `country`.
+    pub fn count_in(&self, country: CountryCode) -> usize {
+        self.probes.iter().filter(|p| p.country == country).count()
+    }
+
+    /// Indices of the `k` probes nearest to `loc`.
+    fn nearest_k(&self, loc: LatLon, k: usize) -> Vec<usize> {
+        let mut order: Vec<(usize, f64)> = self
+            .probes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.location.distance_km(&loc)))
+            .collect();
+        order.sort_by(|a, b| a.1.total_cmp(&b.1));
+        order.truncate(k);
+        order.into_iter().map(|(i, _)| i).collect()
+    }
+}
+
+/// Tunables of the IPmap simulation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IpMapConfig {
+    /// Probe-mesh size (Atlas had ~11 K active probes in 2018).
+    pub total_probes: usize,
+    /// Probes assigned per geolocation request (paper: "more than 100").
+    pub probes_per_target: usize,
+    /// RTT samples each probe takes (min is used).
+    pub samples_per_probe: usize,
+    /// Landmark probes used for the coarse pre-localization.
+    pub landmarks: usize,
+}
+
+impl Default for IpMapConfig {
+    fn default() -> Self {
+        IpMapConfig {
+            total_probes: 11_000,
+            probes_per_target: 100,
+            samples_per_probe: 5,
+            landmarks: 64,
+        }
+    }
+}
+
+impl IpMapConfig {
+    /// Small mesh for tests.
+    pub fn small() -> Self {
+        IpMapConfig {
+            total_probes: 1_200,
+            probes_per_target: 40,
+            samples_per_probe: 3,
+            landmarks: 32,
+        }
+    }
+}
+
+/// The IPmap-style geolocator bound to a ground-truth world.
+///
+/// Holding `&G` is how the simulation "sends packets": the latency model
+/// needs the target's true coordinates to produce an RTT, just as the real
+/// network does. The *estimate* is computed only from probe RTTs and probe
+/// metadata.
+pub struct IpMap<'w, G: GroundTruth + ?Sized> {
+    mesh: ProbeMesh,
+    cfg: IpMapConfig,
+    latency: LatencyModel,
+    truth: &'w G,
+    /// Deterministic per-target measurement noise: seeds derive from the IP.
+    seed: u64,
+}
+
+impl<'w, G: GroundTruth + ?Sized> IpMap<'w, G> {
+    /// Builds the geolocator with a generated mesh.
+    pub fn new<R: Rng + ?Sized>(cfg: IpMapConfig, truth: &'w G, rng: &mut R) -> Self {
+        let mesh = ProbeMesh::generate(cfg.total_probes, rng);
+        IpMap {
+            mesh,
+            cfg,
+            latency: LatencyModel::default(),
+            truth,
+            seed: rng.gen(),
+        }
+    }
+
+    /// Access to the probe mesh.
+    pub fn mesh(&self) -> &ProbeMesh {
+        &self.mesh
+    }
+
+    fn rng_for(&self, ip: IpAddr) -> StdRng {
+        // Stable measurement noise per target: repeat lookups agree.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        use std::hash::{Hash, Hasher};
+        ip.hash(&mut h);
+        self.seed.hash(&mut h);
+        StdRng::seed_from_u64(h.finish())
+    }
+
+    /// Runs the measurement stages for `ip` (landmark pre-localization,
+    /// assignment, two measurement rounds), returning the assigned probes'
+    /// indices with their min-RTTs. This is the raw material both the
+    /// majority-vote estimator and the CBG estimator consume.
+    pub fn measure(&self, ip: IpAddr) -> Option<Vec<(usize, f64)>> {
+        let target = self.truth.true_location(ip)?;
+        let mut rng = self.rng_for(ip);
+
+        // Stage 1: coarse pre-localization from landmark RTTs. Real IPmap
+        // narrows the probe assignment with prior knowledge; we use the
+        // lowest-RTT landmark as the assignment anchor.
+        let stride = (self.mesh.probes.len() / self.cfg.landmarks).max(1);
+        let mut anchor = target; // fallback
+        let mut best_rtt = f64::INFINITY;
+        for i in (0..self.mesh.probes.len()).step_by(stride) {
+            let p = &self.mesh.probes[i];
+            let rtt = self
+                .latency
+                .min_rtt_ms(p.location, target, self.cfg.samples_per_probe, &mut rng);
+            if rtt < best_rtt {
+                best_rtt = rtt;
+                anchor = p.location;
+            }
+        }
+
+        // Stage 2: assign the probes nearest the anchor and measure; then
+        // one refinement round re-anchored at the lowest-RTT probe (real
+        // IPmap iterates its probe selection the same way).
+        let mut measured: Vec<(usize, f64)> = Vec::new();
+        for round in 0..2 {
+            measured.clear();
+            for idx in self.mesh.nearest_k(anchor, self.cfg.probes_per_target) {
+                let p = &self.mesh.probes[idx];
+                let rtt = self
+                    .latency
+                    .min_rtt_ms(p.location, target, self.cfg.samples_per_probe, &mut rng);
+                measured.push((idx, rtt));
+            }
+            let (best_idx, _) = *measured
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("probes assigned");
+            if round == 0 {
+                anchor = self.mesh.probes[best_idx].location;
+            }
+        }
+        Some(measured)
+    }
+
+    /// Per-probe distance constraints for `ip`: `(probe location, distance
+    /// upper bound in km)` — the CBG estimator's input.
+    pub fn measure_constraints(&self, ip: IpAddr) -> Option<Vec<(LatLon, f64)>> {
+        let measured = self.measure(ip)?;
+        Some(
+            measured
+                .into_iter()
+                .map(|(idx, rtt)| {
+                    (
+                        self.mesh.probes[idx].location,
+                        self.latency.rtt_to_max_distance_km(rtt).max(1.0),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Runs the full measurement pipeline for `ip`, returning per-probe
+    /// votes alongside the final estimate (exposed for the probe-count
+    /// ablation bench).
+    pub fn locate_with_votes(&self, ip: IpAddr) -> Option<(GeoEstimate, Vec<(CountryCode, f64)>)> {
+        let measured = self.measure(ip)?;
+
+        // Stage 3: only probes whose RTT-derived distance bound is within
+        // 1.5x of the tightest bound carry location information; farther
+        // probes only confirm the continent. Each surviving probe votes its
+        // own country, weighted by bound^-2.
+        let min_bound = measured
+            .iter()
+            .map(|(_, rtt)| self.latency.rtt_to_max_distance_km(*rtt).max(1.0))
+            .fold(f64::INFINITY, f64::min);
+        let mut votes: Vec<(CountryCode, f64)> = Vec::new();
+        for (idx, rtt) in &measured {
+            let bound_km = self.latency.rtt_to_max_distance_km(*rtt).max(1.0);
+            if bound_km > min_bound * 1.5 + 50.0 {
+                continue;
+            }
+            let p = &self.mesh.probes[*idx];
+            votes.push((p.country, 1.0 / (bound_km * bound_km)));
+        }
+
+        // Stage 4: weighted majority. BTreeMap keeps tie-breaking
+        // deterministic (ties resolve to the lexicographically first
+        // country instead of hash order).
+        let mut tally: std::collections::BTreeMap<CountryCode, f64> = Default::default();
+        for (c, w) in &votes {
+            *tally.entry(*c).or_insert(0.0) += *w;
+        }
+        let winner = tally
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(c, _)| c)?;
+        Some((GeoEstimate { country: winner }, votes))
+    }
+
+    /// Majority agreement among the assigned probes for `ip`: the winning
+    /// country's share of the total vote weight. The paper reports >90 %
+    /// agreement, with dissent concentrated at borders.
+    pub fn vote_agreement(&self, ip: IpAddr) -> Option<f64> {
+        let (est, votes) = self.locate_with_votes(ip)?;
+        let total: f64 = votes.iter().map(|(_, w)| w).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let winner: f64 = votes
+            .iter()
+            .filter(|(c, _)| *c == est.country)
+            .map(|(_, w)| w)
+            .sum();
+        Some(winner / total)
+    }
+}
+
+impl<G: GroundTruth + ?Sized> Geolocator for IpMap<'_, G> {
+    fn locate(&self, ip: IpAddr) -> Option<GeoEstimate> {
+        self.locate_with_votes(ip).map(|(e, _)| e)
+    }
+
+    fn name(&self) -> &str {
+        "RIPE IPmap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xborder_geo::cc;
+    use xborder_netsim::{Infrastructure, OrgKind, PopKind, ServerRole};
+
+    fn world_with_servers(countries: &[&str], per: usize) -> (Infrastructure, Vec<IpAddr>) {
+        let mut infra = Infrastructure::new();
+        let mut rng = StdRng::seed_from_u64(77);
+        let org = infra.add_org("t", OrgKind::AdTech, cc!("US"));
+        let mut ips = Vec::new();
+        for c in countries {
+            let code = CountryCode::parse(c).unwrap();
+            let pop = infra.add_pop(PopKind::NationalColo, code, &mut rng).unwrap();
+            for _ in 0..per {
+                let s = infra.add_server(org, pop, ServerRole::DedicatedTracking, false).unwrap();
+                ips.push(infra.server(s).unwrap().ip);
+            }
+        }
+        (infra, ips)
+    }
+
+    #[test]
+    fn mesh_has_atlas_density_profile() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mesh = ProbeMesh::generate(11_000, &mut rng);
+        let de = mesh.count_in(cc!("DE"));
+        let us = mesh.count_in(cc!("US"));
+        let cy = mesh.count_in(cc!("CY"));
+        let ng = mesh.count_in(cc!("NG"));
+        assert!(de > 300, "DE {de}");
+        assert!(us > 300, "US {us}");
+        assert!(cy >= 1);
+        assert!(de > ng * 5, "DE {de} vs NG {ng}");
+        // Every country covered.
+        for c in WORLD.countries() {
+            assert!(mesh.count_in(c.code) >= 1, "{} uncovered", c.code);
+        }
+        // Europe holds the majority of probes.
+        let europe: usize = WORLD
+            .on_continent(xborder_geo::Continent::Europe)
+            .map(|c| mesh.count_in(c.code))
+            .sum();
+        assert!(europe * 2 > mesh.probes().len(), "europe {europe}");
+    }
+
+    #[test]
+    fn locates_big_country_servers_correctly() {
+        let (infra, ips) = world_with_servers(&["DE", "FR", "US"], 10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ipmap = IpMap::new(IpMapConfig::small(), &infra, &mut rng);
+        let mut right = 0;
+        for ip in &ips {
+            let est = ipmap.locate(*ip).unwrap();
+            if Some(est.country) == infra.true_country_of(*ip) {
+                right += 1;
+            }
+        }
+        let acc = right as f64 / ips.len() as f64;
+        assert!(acc >= 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn continent_is_essentially_always_right() {
+        let (infra, ips) = world_with_servers(&["DE", "GR", "US", "SG", "BR"], 6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ipmap = IpMap::new(IpMapConfig::small(), &infra, &mut rng);
+        for ip in &ips {
+            let est = ipmap.locate(*ip).unwrap();
+            let truth = WORLD.country_or_panic(infra.true_country_of(*ip).unwrap());
+            assert_eq!(est.continent(), truth.continent, "ip {ip}");
+        }
+    }
+
+    #[test]
+    fn repeat_lookups_are_stable() {
+        let (infra, ips) = world_with_servers(&["NL"], 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let ipmap = IpMap::new(IpMapConfig::small(), &infra, &mut rng);
+        for ip in &ips {
+            let a = ipmap.locate(*ip).unwrap();
+            let b = ipmap.locate(*ip).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn unknown_ip_is_none() {
+        let (infra, _) = world_with_servers(&["NL"], 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let ipmap = IpMap::new(IpMapConfig::small(), &infra, &mut rng);
+        assert!(ipmap.locate("203.0.113.7".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn validation_against_published_cloud_ranges() {
+        // The paper validated IPmap against AWS/Azure ranges with
+        // published locations: 99.58 % country, 100 % continent. Recreate
+        // the setup: servers in cloud PoPs across probe-dense countries,
+        // then measure accuracy over exactly those IPs.
+        use xborder_netsim::CloudId;
+        let mut infra = Infrastructure::new();
+        let mut rng = StdRng::seed_from_u64(88);
+        let org = infra.add_org("cloud-tenant", OrgKind::AdTech, cc!("US"));
+        let mut ips = Vec::new();
+        for c in ["US", "IE", "DE", "GB", "FR", "NL", "SE", "JP"] {
+            let code = CountryCode::parse(c).unwrap();
+            let pop = infra
+                .add_pop(PopKind::Cloud(CloudId::Aws), code, &mut rng)
+                .unwrap();
+            for _ in 0..5 {
+                let s = infra
+                    .add_server(org, pop, ServerRole::DedicatedTracking, false)
+                    .unwrap();
+                ips.push(infra.server(s).unwrap().ip);
+            }
+        }
+        let ipmap = IpMap::new(IpMapConfig::small(), &infra, &mut rng);
+        let acc = crate::metrics::accuracy(&ipmap, &infra, &ips);
+        assert_eq!(acc.n, ips.len());
+        assert!(acc.country >= 0.9, "country accuracy {}", acc.country);
+        assert!(acc.continent >= 0.97, "continent accuracy {}", acc.continent);
+    }
+
+    #[test]
+    fn vote_agreement_is_high_inland() {
+        // Servers in the middle of big, probe-dense countries get
+        // near-unanimous votes.
+        let (infra, ips) = world_with_servers(&["DE", "FR"], 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let ipmap = IpMap::new(IpMapConfig::small(), &infra, &mut rng);
+        let mean: f64 = ips
+            .iter()
+            .map(|ip| ipmap.vote_agreement(*ip).unwrap())
+            .sum::<f64>()
+            / ips.len() as f64;
+        assert!(mean > 0.7, "mean agreement {mean}");
+    }
+}

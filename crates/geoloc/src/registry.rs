@@ -1,0 +1,247 @@
+//! Registry-style commercial geolocation databases (MaxMind / ip-api).
+//!
+//! These databases optimize for locating *end users*; infrastructure IPs
+//! routinely get placed at the operating organization's legal seat (the
+//! WHOIS registrant), because that is the strongest paperwork signal
+//! available. The paper demonstrates the consequence: roughly half the
+//! tracker IPs of Google/Amazon/Facebook land in the wrong country
+//! (Table 4) and the EU28 destination mix flips from 85 % EU to 66 % North
+//! America (Fig. 7).
+//!
+//! The simulated database assigns, per IP:
+//!
+//! * with probability `seat_bias` — the operator's **legal seat** country;
+//! * otherwise — the **true** country (the registry got a better signal,
+//!   e.g. a regional sub-allocation), with a small `noise` chance of a
+//!   neighbouring country instead.
+//!
+//! Two databases built with different styles share most seat-derived
+//! answers, which is exactly why MaxMind and ip-api agree ~96 % with each
+//! other while both disagree with IPmap (Table 3).
+
+use crate::truth::GroundTruth;
+use crate::{GeoEstimate, Geolocator};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::IpAddr;
+use xborder_geo::{CountryCode, WORLD};
+
+/// Parameter presets for the two modelled registries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RegistryStyle {
+    /// MaxMind-like database.
+    MaxMindLike,
+    /// ip-api-like free database; derived from similar paperwork, with a
+    /// little extra noise relative to MaxMind.
+    IpApiLike,
+}
+
+impl RegistryStyle {
+    /// Probability an infrastructure IP is placed at the operator's seat.
+    pub fn seat_bias(&self) -> f64 {
+        match self {
+            RegistryStyle::MaxMindLike => 0.75,
+            RegistryStyle::IpApiLike => 0.75,
+        }
+    }
+
+    /// Probability an answer is perturbed to a neighbouring country.
+    /// Kept small: MaxMind and ip-api agree on >96 % of countries in the
+    /// paper's Table 3, so their independent noise must be a few percent.
+    pub fn noise(&self) -> f64 {
+        match self {
+            RegistryStyle::MaxMindLike => 0.012,
+            RegistryStyle::IpApiLike => 0.025,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RegistryStyle::MaxMindLike => "MaxMind",
+            RegistryStyle::IpApiLike => "ip-api",
+        }
+    }
+}
+
+/// A frozen registry database: IP → country.
+#[derive(Debug, Clone)]
+pub struct RegistryDb {
+    style: RegistryStyle,
+    entries: HashMap<IpAddr, CountryCode>,
+}
+
+impl RegistryDb {
+    /// Builds a database over every server IP in the world.
+    ///
+    /// `seat_coin` must yield the *same* sequence for databases that should
+    /// share the seat-vs-truth decision (the correlated-error model):
+    /// build both databases with RNGs seeded identically, and the per-IP
+    /// decision streams line up.
+    pub fn build<G: GroundTruth + ?Sized, R: Rng + ?Sized>(
+        style: RegistryStyle,
+        truth: &G,
+        seat_coin: &mut R,
+        noise_coin: &mut R,
+    ) -> RegistryDb {
+        let mut entries = HashMap::new();
+        let mut ips = truth.all_server_ips();
+        ips.sort(); // deterministic iteration order for the coin streams
+        for ip in ips {
+            let (Some(true_country), Some(seat)) = (truth.true_country(ip), truth.operator_seat(ip))
+            else {
+                continue;
+            };
+            let seat_decision = seat_coin.gen::<f64>() < style.seat_bias();
+            let mut answer = if seat_decision { seat } else { true_country };
+            if noise_coin.gen::<f64>() < style.noise() {
+                let neighbours = WORLD.neighbours(answer);
+                if !neighbours.is_empty() {
+                    answer = neighbours[noise_coin.gen_range(0..neighbours.len())];
+                }
+            }
+            entries.insert(ip, answer);
+        }
+        RegistryDb { style, entries }
+    }
+
+    /// The style this database was built with.
+    pub fn style(&self) -> RegistryStyle {
+        self.style
+    }
+
+    /// Number of covered IPs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Geolocator for RegistryDb {
+    fn locate(&self, ip: IpAddr) -> Option<GeoEstimate> {
+        self.entries.get(&ip).map(|c| GeoEstimate { country: *c })
+    }
+
+    fn name(&self) -> &str {
+        self.style.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use xborder_geo::cc;
+    use xborder_netsim::{Infrastructure, OrgKind, PopKind, ServerRole};
+
+    /// US-seated org with many German servers: the classic MaxMind trap.
+    fn us_org_de_servers(n: usize) -> (Infrastructure, Vec<IpAddr>) {
+        let mut infra = Infrastructure::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let org = infra.add_org("gtrack", OrgKind::AdTech, cc!("US"));
+        let pop = infra.add_pop(PopKind::NationalColo, cc!("DE"), &mut rng).unwrap();
+        let mut ips = Vec::new();
+        for _ in 0..n {
+            let s = infra.add_server(org, pop, ServerRole::DedicatedTracking, false).unwrap();
+            ips.push(infra.server(s).unwrap().ip);
+        }
+        (infra, ips)
+    }
+
+    #[test]
+    fn seat_bias_dominates_for_foreign_infrastructure() {
+        let (infra, ips) = us_org_de_servers(500);
+        let mut c1 = StdRng::seed_from_u64(1);
+        let mut c2 = StdRng::seed_from_u64(2);
+        let db = RegistryDb::build(RegistryStyle::MaxMindLike, &infra, &mut c1, &mut c2);
+        let to_us = ips
+            .iter()
+            .filter(|ip| db.locate(**ip).unwrap().country == cc!("US"))
+            .count();
+        let share = to_us as f64 / ips.len() as f64;
+        assert!((share - 0.80).abs() < 0.07, "US share {share}");
+    }
+
+    #[test]
+    fn correlated_databases_mostly_agree() {
+        let (infra, ips) = us_org_de_servers(800);
+        // Same seat seed, different noise seeds — the correlated-error
+        // model for MaxMind vs ip-api.
+        let mm = {
+            let mut seat = StdRng::seed_from_u64(42);
+            let mut noise = StdRng::seed_from_u64(100);
+            RegistryDb::build(RegistryStyle::MaxMindLike, &infra, &mut seat, &mut noise)
+        };
+        let ia = {
+            let mut seat = StdRng::seed_from_u64(42);
+            let mut noise = StdRng::seed_from_u64(200);
+            RegistryDb::build(RegistryStyle::IpApiLike, &infra, &mut seat, &mut noise)
+        };
+        let agree = ips
+            .iter()
+            .filter(|ip| mm.locate(**ip).unwrap().country == ia.locate(**ip).unwrap().country)
+            .count();
+        let share = agree as f64 / ips.len() as f64;
+        assert!(share > 0.90, "agreement {share}");
+    }
+
+    #[test]
+    fn uncorrelated_seats_agree_less() {
+        let (infra, ips) = us_org_de_servers(800);
+        let a = {
+            let mut seat = StdRng::seed_from_u64(1);
+            let mut noise = StdRng::seed_from_u64(100);
+            RegistryDb::build(RegistryStyle::MaxMindLike, &infra, &mut seat, &mut noise)
+        };
+        let b = {
+            let mut seat = StdRng::seed_from_u64(99);
+            let mut noise = StdRng::seed_from_u64(200);
+            RegistryDb::build(RegistryStyle::MaxMindLike, &infra, &mut seat, &mut noise)
+        };
+        let agree = ips
+            .iter()
+            .filter(|ip| a.locate(**ip).unwrap().country == b.locate(**ip).unwrap().country)
+            .count();
+        let share = agree as f64 / ips.len() as f64;
+        // Independent coins: agreement = p² + (1-p)² ≈ 0.68 plus noise.
+        assert!(share < 0.85, "agreement {share}");
+    }
+
+    #[test]
+    fn home_hosted_servers_geolocate_fine() {
+        // A US org with US servers: seat == truth, answer always right
+        // (modulo noise) — registries are only wrong *abroad*.
+        let mut infra = Infrastructure::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        let org = infra.add_org("usads", OrgKind::AdTech, cc!("US"));
+        let pop = infra.add_pop(PopKind::NationalColo, cc!("US"), &mut rng).unwrap();
+        let mut ips = Vec::new();
+        for _ in 0..200 {
+            let s = infra.add_server(org, pop, ServerRole::DedicatedTracking, false).unwrap();
+            ips.push(infra.server(s).unwrap().ip);
+        }
+        let mut c1 = StdRng::seed_from_u64(1);
+        let mut c2 = StdRng::seed_from_u64(2);
+        let db = RegistryDb::build(RegistryStyle::MaxMindLike, &infra, &mut c1, &mut c2);
+        let right = ips
+            .iter()
+            .filter(|ip| db.locate(**ip).unwrap().country == cc!("US"))
+            .count();
+        assert!(right as f64 / ips.len() as f64 > 0.93);
+    }
+
+    #[test]
+    fn uncovered_ip_is_none() {
+        let (infra, _) = us_org_de_servers(1);
+        let mut c1 = StdRng::seed_from_u64(1);
+        let mut c2 = StdRng::seed_from_u64(2);
+        let db = RegistryDb::build(RegistryStyle::MaxMindLike, &infra, &mut c1, &mut c2);
+        assert!(db.locate("200.200.200.200".parse().unwrap()).is_none());
+        assert_eq!(db.len(), 1);
+    }
+}

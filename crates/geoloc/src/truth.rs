@@ -1,0 +1,68 @@
+//! Ground-truth access used to *build* the simulated geolocation providers.
+//!
+//! Real geolocation providers derive their answers from registry paperwork
+//! (commercial databases) or physics (active measurement). In the simulator
+//! both derivations start from the world's actual state, so the providers
+//! are constructed *from* ground truth with each family's characteristic
+//! distortion applied. Evaluation code also uses ground truth — as the
+//! reference, never as a shortcut inside a provider's answer path.
+
+use std::net::IpAddr;
+use xborder_geo::{CountryCode, LatLon};
+use xborder_netsim::Infrastructure;
+
+/// Access to the world's true server locations and ownership.
+pub trait GroundTruth {
+    /// Physical country of the server answering at `ip`.
+    fn true_country(&self, ip: IpAddr) -> Option<CountryCode>;
+    /// Physical coordinates of the server answering at `ip`.
+    fn true_location(&self, ip: IpAddr) -> Option<LatLon>;
+    /// Legal seat of the organization operating `ip`.
+    fn operator_seat(&self, ip: IpAddr) -> Option<CountryCode>;
+    /// Every server address in the world (provider database coverage).
+    fn all_server_ips(&self) -> Vec<IpAddr>;
+}
+
+impl GroundTruth for Infrastructure {
+    fn true_country(&self, ip: IpAddr) -> Option<CountryCode> {
+        self.true_country_of(ip)
+    }
+
+    fn true_location(&self, ip: IpAddr) -> Option<LatLon> {
+        self.true_location_of(ip)
+    }
+
+    fn operator_seat(&self, ip: IpAddr) -> Option<CountryCode> {
+        let server = self.server_by_ip(ip)?;
+        self.org(server.org).ok().map(|o| o.legal_seat)
+    }
+
+    fn all_server_ips(&self) -> Vec<IpAddr> {
+        self.servers().iter().map(|s| s.ip).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use xborder_geo::cc;
+    use xborder_netsim::{OrgKind, PopKind, ServerRole};
+
+    #[test]
+    fn infra_implements_ground_truth() {
+        let mut infra = Infrastructure::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let org = infra.add_org("t", OrgKind::AdTech, cc!("US"));
+        let pop = infra.add_pop(PopKind::NationalColo, cc!("DE"), &mut rng).unwrap();
+        let sid = infra.add_server(org, pop, ServerRole::DedicatedTracking, false).unwrap();
+        let ip = infra.server(sid).unwrap().ip;
+
+        let gt: &dyn GroundTruth = &infra;
+        assert_eq!(gt.true_country(ip), Some(cc!("DE")));
+        assert_eq!(gt.operator_seat(ip), Some(cc!("US")));
+        assert!(gt.true_location(ip).is_some());
+        assert_eq!(gt.all_server_ips(), vec![ip]);
+        assert_eq!(gt.true_country("9.9.9.9".parse().unwrap()), None);
+    }
+}

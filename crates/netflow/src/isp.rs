@@ -1,0 +1,134 @@
+//! The four ISP profiles of the paper's Table 7.
+
+use serde::{Deserialize, Serialize};
+use xborder_geo::CountryCode;
+
+/// Access technology mix of an ISP's subscriber base.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Fixed broadband only.
+    Broadband,
+    /// Mobile only.
+    Mobile,
+    /// Both, with the given mobile share.
+    Mixed {
+        /// Fraction of subscribers on mobile access.
+        mobile_share: f64,
+    },
+}
+
+/// One ISP as the study sees it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IspProfile {
+    /// Study name ("DE-Broadband", ...).
+    pub name: &'static str,
+    /// Country of operation (also the anonymized subscriber label).
+    pub country: CountryCode,
+    /// Subscriber count, millions (households for broadband, users for
+    /// mobile — Table 7's footnote distinction, which doesn't matter for
+    /// flow shares).
+    pub subscribers_m: f64,
+    /// Access mix.
+    pub access: AccessKind,
+    /// Share of subscribers using third-party public DNS. Mobile devices
+    /// essentially always use the carrier resolver; broadband users
+    /// increasingly don't (Sect. 7.3) — this is the knob behind the
+    /// mobile-vs-broadband confinement gap.
+    pub public_dns_share: f64,
+    /// NetFlow packet-sampling interval (1-in-N).
+    pub sampling_interval: u16,
+    /// Relative web activity per subscriber (mobile browses the web less;
+    /// app traffic doesn't run through the browser — Sect. 7.3).
+    pub web_activity: f64,
+}
+
+impl IspProfile {
+    /// The four studied ISPs.
+    pub fn all() -> Vec<IspProfile> {
+        let cc = |s: &str| CountryCode::parse(s).expect("static code");
+        vec![
+            IspProfile {
+                name: "DE-Broadband",
+                country: cc("DE"),
+                subscribers_m: 15.0,
+                access: AccessKind::Broadband,
+                public_dns_share: 0.40,
+                sampling_interval: 1000,
+                web_activity: 1.0,
+            },
+            IspProfile {
+                name: "DE-Mobile",
+                country: cc("DE"),
+                subscribers_m: 40.0,
+                access: AccessKind::Mobile,
+                public_dns_share: 0.03,
+                sampling_interval: 1000,
+                web_activity: 0.025,
+            },
+            IspProfile {
+                name: "PL",
+                country: cc("PL"),
+                subscribers_m: 11.0,
+                access: AccessKind::Mixed { mobile_share: 0.6 },
+                public_dns_share: 0.30,
+                sampling_interval: 1000,
+                web_activity: 0.018,
+            },
+            IspProfile {
+                name: "HU",
+                country: cc("HU"),
+                subscribers_m: 6.0,
+                access: AccessKind::Mixed { mobile_share: 0.85 },
+                public_dns_share: 0.08,
+                sampling_interval: 1000,
+                web_activity: 0.10,
+            },
+        ]
+    }
+
+    /// Profile by study name.
+    pub fn by_name(name: &str) -> Option<IspProfile> {
+        Self::all().into_iter().find(|p| p.name == name)
+    }
+
+    /// Effective share of traffic behind the ISP's own resolver.
+    pub fn isp_resolver_share(&self) -> f64 {
+        1.0 - self.public_dns_share
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xborder_geo::cc;
+
+    #[test]
+    fn four_profiles_match_table7() {
+        let all = IspProfile::all();
+        assert_eq!(all.len(), 4);
+        let de_b = IspProfile::by_name("DE-Broadband").unwrap();
+        assert_eq!(de_b.country, cc!("DE"));
+        assert!(de_b.subscribers_m >= 15.0);
+        let de_m = IspProfile::by_name("DE-Mobile").unwrap();
+        assert!(de_m.subscribers_m >= 40.0);
+        let pl = IspProfile::by_name("PL").unwrap();
+        assert_eq!(pl.country, cc!("PL"));
+        let hu = IspProfile::by_name("HU").unwrap();
+        assert_eq!(hu.country, cc!("HU"));
+        assert!(IspProfile::by_name("XX").is_none());
+    }
+
+    #[test]
+    fn mobile_uses_carrier_resolver() {
+        let de_m = IspProfile::by_name("DE-Mobile").unwrap();
+        let de_b = IspProfile::by_name("DE-Broadband").unwrap();
+        assert!(de_m.public_dns_share < de_b.public_dns_share);
+        assert!(de_m.isp_resolver_share() > 0.9);
+    }
+
+    #[test]
+    fn totals_exceed_sixty_million() {
+        let total: f64 = IspProfile::all().iter().map(|p| p.subscribers_m).sum();
+        assert!(total >= 60.0, "total {total}M");
+    }
+}

@@ -1,0 +1,238 @@
+//! The nine public cloud providers of the paper's Sect. 5.2, with
+//! country-level PoP footprints, plus generic national colocation.
+//!
+//! The paper's "what-if" localization analysis (Tables 5–6) only needs the
+//! *set of countries* each provider can serve from, as advertised on the
+//! providers' websites in 2018. The footprints below are coarse snapshots of
+//! that public information. Two paper facts the tables depend on are
+//! preserved:
+//!
+//! * Cyprus has **no** public-cloud PoP ("none of the nine cloud services in
+//!   our study has a presence in the country"), so PoP mirroring cannot help
+//!   it; and
+//! * every EU28 country still has at least one *national datacenter*
+//!   (colocation), which is why "migration to any datacenter" achieves full
+//!   national confinement. National colo is modelled by
+//!   [`national_colo_countries`].
+
+use serde::{Deserialize, Serialize};
+use xborder_geo::{CountryCode, WORLD};
+
+/// Identifier of one of the nine modelled cloud providers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CloudId {
+    /// Amazon AWS.
+    Aws,
+    /// Microsoft Azure.
+    Azure,
+    /// Google Cloud.
+    GoogleCloud,
+    /// IBM Cloud (SoftLayer/Bluemix).
+    IbmCloud,
+    /// Cloudflare's anycast edge.
+    Cloudflare,
+    /// DigitalOcean.
+    DigitalOcean,
+    /// Equinix colocation/interconnection.
+    Equinix,
+    /// Oracle Cloud.
+    OracleCloud,
+    /// Rackspace.
+    Rackspace,
+}
+
+impl CloudId {
+    /// All nine providers.
+    pub const ALL: [CloudId; 9] = [
+        CloudId::Aws,
+        CloudId::Azure,
+        CloudId::GoogleCloud,
+        CloudId::IbmCloud,
+        CloudId::Cloudflare,
+        CloudId::DigitalOcean,
+        CloudId::Equinix,
+        CloudId::OracleCloud,
+        CloudId::Rackspace,
+    ];
+
+    /// Provider display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CloudId::Aws => "Amazon AWS",
+            CloudId::Azure => "Microsoft Azure",
+            CloudId::GoogleCloud => "Google Cloud",
+            CloudId::IbmCloud => "IBM Cloud",
+            CloudId::Cloudflare => "Cloudflare",
+            CloudId::DigitalOcean => "DigitalOcean",
+            CloudId::Equinix => "Equinix",
+            CloudId::OracleCloud => "Oracle Cloud",
+            CloudId::Rackspace => "Rackspace",
+        }
+    }
+}
+
+/// A cloud provider with a static country-level PoP footprint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CloudProvider {
+    /// Which provider.
+    pub id: CloudId,
+    /// Countries with at least one datacenter region / edge PoP (2018-era).
+    pub pop_countries: Vec<CountryCode>,
+}
+
+impl CloudProvider {
+    /// True if the provider has a PoP in `country`.
+    pub fn has_pop_in(&self, country: CountryCode) -> bool {
+        self.pop_countries.contains(&country)
+    }
+}
+
+fn codes(list: &[&str]) -> Vec<CountryCode> {
+    list.iter()
+        .map(|s| {
+            let c = CountryCode::parse(s).expect("static cloud footprint code");
+            assert!(WORLD.contains(c), "cloud footprint country {c} not in world");
+            c
+        })
+        .collect()
+}
+
+/// Builds the static table of the nine providers.
+pub fn cloud_providers() -> Vec<CloudProvider> {
+    vec![
+        CloudProvider {
+            id: CloudId::Aws,
+            pop_countries: codes(&[
+                "US", "CA", "BR", "IE", "DE", "GB", "FR", "SE", "JP", "SG", "KR", "IN", "AU", "CN",
+            ]),
+        },
+        CloudProvider {
+            id: CloudId::Azure,
+            pop_countries: codes(&[
+                "US", "CA", "BR", "IE", "NL", "GB", "FR", "DE", "AT", "JP", "SG", "HK", "KR", "IN",
+                "AU",
+            ]),
+        },
+        CloudProvider {
+            id: CloudId::GoogleCloud,
+            pop_countries: codes(&[
+                "US", "BR", "BE", "NL", "GB", "DE", "FI", "JP", "SG", "TW", "IN", "AU",
+            ]),
+        },
+        CloudProvider {
+            id: CloudId::IbmCloud,
+            pop_countries: codes(&[
+                "US", "CA", "BR", "MX", "GB", "DE", "FR", "NL", "IT", "NO", "JP", "SG", "HK", "IN",
+                "AU",
+            ]),
+        },
+        CloudProvider {
+            id: CloudId::Cloudflare,
+            pop_countries: codes(&[
+                "US", "CA", "BR", "CL", "AR", "CO", "PA", "GB", "IE", "FR", "DE", "NL", "BE", "ES",
+                "PT", "IT", "CH", "AT", "PL", "CZ", "RO", "HU", "BG", "GR", "SE", "DK", "NO", "FI",
+                "RU", "UA", "RS", "TR", "JP", "SG", "HK", "TW", "KR", "MY", "TH", "IN", "AE", "IL",
+                "AU", "NZ", "ZA", "EG", "KE", "MA",
+            ]),
+        },
+        CloudProvider {
+            id: CloudId::DigitalOcean,
+            pop_countries: codes(&["US", "CA", "GB", "NL", "DE", "IN", "SG"]),
+        },
+        CloudProvider {
+            id: CloudId::Equinix,
+            pop_countries: codes(&[
+                "US", "CA", "BR", "GB", "IE", "NL", "DE", "FR", "CH", "IT", "ES", "PL", "SE", "FI",
+                "TR", "AE", "JP", "SG", "HK", "AU",
+            ]),
+        },
+        CloudProvider {
+            id: CloudId::OracleCloud,
+            pop_countries: codes(&["US", "GB", "DE"]),
+        },
+        CloudProvider {
+            id: CloudId::Rackspace,
+            pop_countries: codes(&["US", "GB", "DE", "HK", "AU"]),
+        },
+    ]
+}
+
+/// The lazily-built static provider table.
+pub static CLOUDS: std::sync::LazyLock<Vec<CloudProvider>> =
+    std::sync::LazyLock::new(cloud_providers);
+
+/// Countries where *any* of the nine providers has a PoP.
+pub fn any_cloud_countries() -> Vec<CountryCode> {
+    let mut set: Vec<CountryCode> = CLOUDS
+        .iter()
+        .flat_map(|c| c.pop_countries.iter().copied())
+        .collect();
+    set.sort();
+    set.dedup();
+    set
+}
+
+/// Countries with generic national colocation datacenters.
+///
+/// The paper notes that every EU28 country has at least one datacenter even
+/// if no big cloud is present; we extend that to every country in the world
+/// table (a tracking operator *could* rent a rack anywhere).
+pub fn national_colo_countries() -> Vec<CountryCode> {
+    WORLD.countries().iter().map(|c| c.code).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xborder_geo::cc;
+
+    #[test]
+    fn nine_providers() {
+        assert_eq!(CLOUDS.len(), 9);
+        assert_eq!(CloudId::ALL.len(), 9);
+    }
+
+    #[test]
+    fn cyprus_has_no_cloud_pop() {
+        // Load-bearing for Table 6: Cyprus cannot benefit from cloud
+        // migration.
+        assert!(!any_cloud_countries().contains(&cc!("CY")));
+    }
+
+    #[test]
+    fn malta_has_no_cloud_pop() {
+        assert!(!any_cloud_countries().contains(&cc!("MT")));
+    }
+
+    #[test]
+    fn big_hubs_have_many_providers() {
+        for hub in [cc!("US"), cc!("GB"), cc!("DE"), cc!("NL")] {
+            let n = CLOUDS.iter().filter(|c| c.has_pop_in(hub)).count();
+            assert!(n >= 4, "{hub} has only {n} providers");
+        }
+    }
+
+    #[test]
+    fn footprints_are_deduplicated() {
+        for c in CLOUDS.iter() {
+            let mut v = c.pop_countries.clone();
+            v.sort();
+            v.dedup();
+            assert_eq!(v.len(), c.pop_countries.len(), "{:?} has dup PoPs", c.id);
+        }
+    }
+
+    #[test]
+    fn every_country_has_national_colo() {
+        let colo = national_colo_countries();
+        assert!(colo.contains(&cc!("CY")));
+        assert!(colo.contains(&cc!("MT")));
+        assert_eq!(colo.len(), WORLD.countries().len());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(CloudId::Aws.name(), "Amazon AWS");
+        assert_eq!(CloudId::Cloudflare.name(), "Cloudflare");
+    }
+}

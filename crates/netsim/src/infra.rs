@@ -1,0 +1,385 @@
+//! The assembled infrastructure registry.
+//!
+//! [`Infrastructure`] owns every organization, PoP and server in a synthetic
+//! world and provides the lookups the rest of the pipeline needs: server by
+//! IP (the NetFlow matcher), servers of an organization (DNS zone
+//! construction), ground-truth country of an IP (geolocation evaluation).
+
+use crate::cloud::CloudId;
+use crate::ip::IpAllocator;
+use crate::org::{Org, OrgId, OrgKind};
+use crate::pop::{Pop, PopId, PopKind};
+use crate::server::{Server, ServerId, ServerRole};
+use crate::NetsimError;
+use rand::Rng;
+use std::collections::HashMap;
+use std::net::IpAddr;
+use xborder_geo::{CountryCode, LatLon, WORLD};
+
+/// Mutable builder/registry for a world's physical infrastructure.
+#[derive(Debug, Default)]
+pub struct Infrastructure {
+    orgs: Vec<Org>,
+    pops: Vec<Pop>,
+    servers: Vec<Server>,
+    alloc: IpAllocator,
+    by_ip: HashMap<IpAddr, ServerId>,
+    pops_by_country: HashMap<CountryCode, Vec<PopId>>,
+    servers_by_org: HashMap<OrgId, Vec<ServerId>>,
+    // (org, country) -> next host offset within the current /24, plus the
+    // prefix being filled. Keeps each org+country's servers in contiguous
+    // address space, like a real allocation.
+    v4_cursor: HashMap<(OrgId, CountryCode), (crate::ip::Ipv4Prefix, u64)>,
+}
+
+impl Infrastructure {
+    /// An empty registry with a fresh address plan.
+    pub fn new() -> Self {
+        Infrastructure {
+            alloc: IpAllocator::new(),
+            ..Default::default()
+        }
+    }
+
+    /// Registers an organization and returns its id.
+    pub fn add_org(&mut self, name: impl Into<String>, kind: OrgKind, legal_seat: CountryCode) -> OrgId {
+        let id = OrgId(self.orgs.len() as u32);
+        self.orgs.push(Org::new(id, name, kind, legal_seat));
+        id
+    }
+
+    /// Registers a PoP in `country`, sampling its physical location inside
+    /// the country.
+    pub fn add_pop<R: Rng + ?Sized>(
+        &mut self,
+        kind: PopKind,
+        country: CountryCode,
+        rng: &mut R,
+    ) -> Result<PopId, NetsimError> {
+        let c = WORLD
+            .country(country)
+            .map_err(|_| NetsimError::UnknownPop(PopId(u32::MAX)))?;
+        let id = PopId(self.pops.len() as u32);
+        let location = c.centroid().jitter(c.radius_km * 0.7, rng);
+        self.pops.push(Pop {
+            id,
+            kind,
+            country,
+            location,
+        });
+        self.pops_by_country.entry(country).or_default().push(id);
+        Ok(id)
+    }
+
+    /// Racks a new server for `org` at `pop`, allocating the next IPv4
+    /// address from the org's per-country block (or an IPv6 one when
+    /// `want_v6`).
+    pub fn add_server(
+        &mut self,
+        org: OrgId,
+        pop: PopId,
+        role: ServerRole,
+        want_v6: bool,
+    ) -> Result<ServerId, NetsimError> {
+        if org.0 as usize >= self.orgs.len() {
+            return Err(NetsimError::UnknownOrg(org));
+        }
+        let pop_rec = self
+            .pops
+            .get(pop.0 as usize)
+            .ok_or(NetsimError::UnknownPop(pop))?;
+        let country = pop_rec.country;
+
+        let ip: IpAddr = if want_v6 {
+            let p = self.alloc.alloc_v6_slash48()?;
+            // One server per /48 keeps things simple; v6 is <3 % of IPs.
+            IpAddr::V6(p.nth(1).expect("/48 has hosts"))
+        } else {
+            let cursor = self.v4_cursor.entry((org, country));
+            let (prefix, used) = match cursor {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let (p, used) = *e.get();
+                    if used + 1 < p.size() {
+                        e.insert((p, used + 1));
+                        (p, used + 1)
+                    } else {
+                        let np = self.alloc.alloc_v4_slash24()?;
+                        e.insert((np, 1));
+                        (np, 1)
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let np = self.alloc.alloc_v4_slash24()?;
+                    e.insert((np, 1));
+                    (np, 1)
+                }
+            };
+            IpAddr::V4(prefix.nth(used).expect("cursor within /24"))
+        };
+
+        let id = ServerId(self.servers.len() as u32);
+        self.servers.push(Server {
+            id,
+            org,
+            pop,
+            ip,
+            role,
+        });
+        let prev = self.by_ip.insert(ip, id);
+        assert!(prev.is_none(), "allocator produced duplicate IP {ip}");
+        self.servers_by_org.entry(org).or_default().push(id);
+        Ok(id)
+    }
+
+    /// All organizations.
+    pub fn orgs(&self) -> &[Org] {
+        &self.orgs
+    }
+
+    /// All PoPs.
+    pub fn pops(&self) -> &[Pop] {
+        &self.pops
+    }
+
+    /// All servers.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Looks up an organization.
+    pub fn org(&self, id: OrgId) -> Result<&Org, NetsimError> {
+        self.orgs.get(id.0 as usize).ok_or(NetsimError::UnknownOrg(id))
+    }
+
+    /// Looks up a PoP.
+    pub fn pop(&self, id: PopId) -> Result<&Pop, NetsimError> {
+        self.pops.get(id.0 as usize).ok_or(NetsimError::UnknownPop(id))
+    }
+
+    /// Looks up a server.
+    pub fn server(&self, id: ServerId) -> Result<&Server, NetsimError> {
+        self.servers
+            .get(id.0 as usize)
+            .ok_or(NetsimError::UnknownServer(id))
+    }
+
+    /// The server answering at `ip`, if any.
+    pub fn server_by_ip(&self, ip: IpAddr) -> Option<&Server> {
+        self.by_ip.get(&ip).map(|id| &self.servers[id.0 as usize])
+    }
+
+    /// Ground-truth country of `ip` (the country of the PoP its server is
+    /// racked in). `None` for addresses without a server.
+    pub fn true_country_of(&self, ip: IpAddr) -> Option<CountryCode> {
+        let s = self.server_by_ip(ip)?;
+        Some(self.pops[s.pop.0 as usize].country)
+    }
+
+    /// Ground-truth physical location of `ip`.
+    pub fn true_location_of(&self, ip: IpAddr) -> Option<LatLon> {
+        let s = self.server_by_ip(ip)?;
+        Some(self.pops[s.pop.0 as usize].location)
+    }
+
+    /// The autonomous system originating `ip` (the operating org's AS).
+    pub fn asn_of(&self, ip: IpAddr) -> Option<u32> {
+        let s = self.server_by_ip(ip)?;
+        Some(self.orgs[s.org.0 as usize].asn)
+    }
+
+    /// Servers operated by `org`.
+    pub fn servers_of_org(&self, org: OrgId) -> &[ServerId] {
+        self.servers_by_org.get(&org).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// PoPs located in `country`.
+    pub fn pops_in_country(&self, country: CountryCode) -> &[PopId] {
+        self.pops_by_country
+            .get(&country)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Finds (or creates) a PoP of the given kind in `country`. Used by the
+    /// world generator to avoid duplicating facilities.
+    pub fn pop_of_kind_in<R: Rng + ?Sized>(
+        &mut self,
+        kind: PopKind,
+        country: CountryCode,
+        rng: &mut R,
+    ) -> Result<PopId, NetsimError> {
+        if let Some(existing) = self
+            .pops_by_country
+            .get(&country)
+            .and_then(|ids| ids.iter().find(|id| self.pops[id.0 as usize].kind == kind))
+        {
+            return Ok(*existing);
+        }
+        self.add_pop(kind, country, rng)
+    }
+
+    /// Number of distinct cloud providers with a PoP in `country` in this
+    /// registry (not the static table — what was actually built).
+    pub fn cloud_presence(&self, country: CountryCode) -> usize {
+        let mut seen: Vec<CloudId> = self
+            .pops_in_country(country)
+            .iter()
+            .filter_map(|id| match self.pops[id.0 as usize].kind {
+                PopKind::Cloud(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        seen.sort();
+        seen.dedup();
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use xborder_geo::cc;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn build_small_world() {
+        let mut infra = Infrastructure::new();
+        let mut rng = rng();
+        let org = infra.add_org("tracker-a", OrgKind::AdTech, cc!("US"));
+        let pop_de = infra.add_pop(PopKind::NationalColo, cc!("DE"), &mut rng).unwrap();
+        let pop_us = infra.add_pop(PopKind::Cloud(CloudId::Aws), cc!("US"), &mut rng).unwrap();
+        let s1 = infra.add_server(org, pop_de, ServerRole::DedicatedTracking, false).unwrap();
+        let s2 = infra.add_server(org, pop_us, ServerRole::DedicatedTracking, false).unwrap();
+
+        assert_eq!(infra.servers_of_org(org).len(), 2);
+        let ip1 = infra.server(s1).unwrap().ip;
+        let ip2 = infra.server(s2).unwrap().ip;
+        assert_ne!(ip1, ip2);
+        assert_eq!(infra.true_country_of(ip1), Some(cc!("DE")));
+        assert_eq!(infra.true_country_of(ip2), Some(cc!("US")));
+        assert_eq!(infra.server_by_ip(ip1).unwrap().id, s1);
+    }
+
+    #[test]
+    fn asn_lookup_follows_org() {
+        let mut infra = Infrastructure::new();
+        let mut rng = rng();
+        let a = infra.add_org("a", OrgKind::AdTech, cc!("US"));
+        let b = infra.add_org("b", OrgKind::AdTech, cc!("US"));
+        let pop = infra.add_pop(PopKind::NationalColo, cc!("DE"), &mut rng).unwrap();
+        let sa = infra.add_server(a, pop, ServerRole::DedicatedTracking, false).unwrap();
+        let sb = infra.add_server(b, pop, ServerRole::DedicatedTracking, false).unwrap();
+        let ip_a = infra.server(sa).unwrap().ip;
+        let ip_b = infra.server(sb).unwrap().ip;
+        assert_eq!(infra.asn_of(ip_a), Some(infra.org(a).unwrap().asn));
+        assert_eq!(infra.asn_of(ip_b), Some(infra.org(b).unwrap().asn));
+        assert_ne!(infra.asn_of(ip_a), infra.asn_of(ip_b));
+        assert_eq!(infra.asn_of("9.9.9.9".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn pop_location_is_inside_country_radius() {
+        let mut infra = Infrastructure::new();
+        let mut rng = rng();
+        for _ in 0..50 {
+            let id = infra.add_pop(PopKind::NationalColo, cc!("ES"), &mut rng).unwrap();
+            let pop = infra.pop(id).unwrap();
+            let es = WORLD.country_or_panic(cc!("ES"));
+            let d = pop.location.distance_km(&es.centroid());
+            assert!(d <= es.radius_km * 0.7 + 20.0, "pop {d} km from centroid");
+        }
+    }
+
+    #[test]
+    fn same_org_country_servers_share_prefix() {
+        let mut infra = Infrastructure::new();
+        let mut rng = rng();
+        let org = infra.add_org("t", OrgKind::AdTech, cc!("US"));
+        let pop = infra.add_pop(PopKind::NationalColo, cc!("FR"), &mut rng).unwrap();
+        let mut ips = Vec::new();
+        for _ in 0..10 {
+            let s = infra.add_server(org, pop, ServerRole::DedicatedTracking, false).unwrap();
+            ips.push(infra.server(s).unwrap().ip);
+        }
+        // All ten in one /24.
+        if let IpAddr::V4(first) = ips[0] {
+            let prefix = crate::ip::Ipv4Prefix::new(first, 24);
+            for ip in &ips {
+                match ip {
+                    IpAddr::V4(v4) => assert!(prefix.contains(*v4)),
+                    _ => panic!("expected v4"),
+                }
+            }
+        } else {
+            panic!("expected v4");
+        }
+    }
+
+    #[test]
+    fn v24_rollover_allocates_new_prefix() {
+        let mut infra = Infrastructure::new();
+        let mut rng = rng();
+        let org = infra.add_org("t", OrgKind::AdTech, cc!("US"));
+        let pop = infra.add_pop(PopKind::NationalColo, cc!("FR"), &mut rng).unwrap();
+        let mut ips = std::collections::HashSet::new();
+        for _ in 0..600 {
+            let s = infra.add_server(org, pop, ServerRole::DedicatedTracking, false).unwrap();
+            assert!(ips.insert(infra.server(s).unwrap().ip), "duplicate IP");
+        }
+        assert_eq!(ips.len(), 600);
+    }
+
+    #[test]
+    fn v6_servers_get_doc_range_addresses() {
+        let mut infra = Infrastructure::new();
+        let mut rng = rng();
+        let org = infra.add_org("t", OrgKind::AdTech, cc!("US"));
+        let pop = infra.add_pop(PopKind::NationalColo, cc!("NL"), &mut rng).unwrap();
+        let s = infra.add_server(org, pop, ServerRole::DedicatedTracking, true).unwrap();
+        match infra.server(s).unwrap().ip {
+            IpAddr::V6(v6) => assert!(v6.segments()[0] == 0x2001 && v6.segments()[1] == 0xdb8),
+            _ => panic!("expected v6"),
+        }
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let infra = Infrastructure::new();
+        assert!(infra.org(OrgId(0)).is_err());
+        assert!(infra.pop(PopId(0)).is_err());
+        assert!(infra.server(ServerId(0)).is_err());
+        assert!(infra.server_by_ip("9.9.9.9".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn pop_of_kind_reuses_existing() {
+        let mut infra = Infrastructure::new();
+        let mut rng = rng();
+        let a = infra.pop_of_kind_in(PopKind::Cloud(CloudId::Aws), cc!("IE"), &mut rng).unwrap();
+        let b = infra.pop_of_kind_in(PopKind::Cloud(CloudId::Aws), cc!("IE"), &mut rng).unwrap();
+        let c = infra.pop_of_kind_in(PopKind::Cloud(CloudId::Azure), cc!("IE"), &mut rng).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(infra.cloud_presence(cc!("IE")), 2);
+    }
+
+    #[test]
+    fn add_server_rejects_bad_refs() {
+        let mut infra = Infrastructure::new();
+        let mut rng = rng();
+        let org = infra.add_org("t", OrgKind::AdTech, cc!("US"));
+        assert!(matches!(
+            infra.add_server(org, PopId(99), ServerRole::CdnEdge, false),
+            Err(NetsimError::UnknownPop(_))
+        ));
+        let pop = infra.add_pop(PopKind::NationalColo, cc!("DE"), &mut rng).unwrap();
+        assert!(matches!(
+            infra.add_server(OrgId(99), pop, ServerRole::CdnEdge, false),
+            Err(NetsimError::UnknownOrg(_))
+        ));
+    }
+}

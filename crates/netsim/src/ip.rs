@@ -1,0 +1,300 @@
+//! IP prefixes and globally-unique allocation.
+//!
+//! The simulator hands every (organization, country) pair its own IPv4 /24s
+//! (and occasionally IPv6 /48s — the paper found >97 % of tracker IPs were
+//! IPv4, so v6 is a small minority here too). Allocation is strictly
+//! sequential from a seam-free pool, which guarantees global uniqueness:
+//! an IP identifies exactly one server for the lifetime of a world, and
+//! reverse lookups are unambiguous.
+
+use crate::NetsimError;
+use serde::{Deserialize, Serialize};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// An IPv4 prefix (`addr/len`), e.g. `10.1.2.0/24`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv4Prefix {
+    /// Network address with host bits zeroed.
+    pub addr: Ipv4Addr,
+    /// Prefix length in `0..=32`.
+    pub len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Builds a prefix, zeroing host bits.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} > 32");
+        let mask = Self::mask(len);
+        Ipv4Prefix {
+            addr: Ipv4Addr::from(u32::from(addr) & mask),
+            len,
+        }
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// True if `ip` falls inside this prefix.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        (u32::from(ip) & Self::mask(self.len)) == u32::from(self.addr)
+    }
+
+    /// Number of addresses covered.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// The `i`-th address of the prefix, if in range.
+    pub fn nth(&self, i: u64) -> Option<Ipv4Addr> {
+        if i >= self.size() {
+            return None;
+        }
+        Some(Ipv4Addr::from(u32::from(self.addr) + i as u32))
+    }
+
+    /// Iterates over every address in the prefix.
+    pub fn iter(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        (0..self.size()).map(|i| self.nth(i).expect("index in range"))
+    }
+}
+
+impl std::fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+/// An IPv6 prefix (`addr/len`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv6Prefix {
+    /// Network address with host bits zeroed.
+    pub addr: Ipv6Addr,
+    /// Prefix length in `0..=128`.
+    pub len: u8,
+}
+
+impl Ipv6Prefix {
+    /// Builds a prefix, zeroing host bits.
+    pub fn new(addr: Ipv6Addr, len: u8) -> Self {
+        assert!(len <= 128, "prefix length {len} > 128");
+        let mask = Self::mask(len);
+        Ipv6Prefix {
+            addr: Ipv6Addr::from(u128::from(addr) & mask),
+            len,
+        }
+    }
+
+    fn mask(len: u8) -> u128 {
+        if len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - len)
+        }
+    }
+
+    /// True if `ip` falls inside this prefix.
+    pub fn contains(&self, ip: Ipv6Addr) -> bool {
+        (u128::from(ip) & Self::mask(self.len)) == u128::from(self.addr)
+    }
+
+    /// The `i`-th address of the prefix, if in range (indexing is capped at
+    /// 2^64 hosts, which every prefix of len >= 64 fits and wider prefixes
+    /// trivially exceed).
+    pub fn nth(&self, i: u64) -> Option<Ipv6Addr> {
+        if self.len <= 64 {
+            // More than 2^64 hosts: any u64 index is in range.
+            return Some(Ipv6Addr::from(u128::from(self.addr) + i as u128));
+        }
+        let size: u128 = 1u128 << (128 - self.len);
+        if (i as u128) >= size {
+            return None;
+        }
+        Some(Ipv6Addr::from(u128::from(self.addr) + i as u128))
+    }
+}
+
+impl std::fmt::Display for Ipv6Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+/// Sequential, seam-free allocator for simulator address space.
+///
+/// IPv4 prefixes come out of `1.0.0.0`–`126.255.255.0` in /24 steps,
+/// skipping `10.0.0.0/8` (private) and `127.0.0.0/8` (loopback). IPv6
+/// prefixes come out of `2001:db8::/32` (the documentation range) in /48
+/// steps. Allocation order is deterministic, so a seeded world always gets
+/// the same address plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IpAllocator {
+    next_v4_slash24: u32, // index of the next /24 (addr >> 8)
+    next_v6_slash48: u32, // index of the next /48 within 2001:db8::/32
+}
+
+impl Default for IpAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IpAllocator {
+    /// A fresh allocator starting at the bottom of the pool.
+    pub fn new() -> Self {
+        IpAllocator {
+            next_v4_slash24: 0x0100_00, // 1.0.0.0 >> 8
+            next_v6_slash48: 0,
+        }
+    }
+
+    /// Allocates the next free IPv4 /24.
+    pub fn alloc_v4_slash24(&mut self) -> Result<Ipv4Prefix, NetsimError> {
+        loop {
+            let idx = self.next_v4_slash24;
+            if idx > 0x7EFF_FF {
+                // past 126.255.255.0
+                return Err(NetsimError::Ipv4Exhausted);
+            }
+            self.next_v4_slash24 += 1;
+            let first_octet = (idx >> 16) as u8;
+            if first_octet == 10 || first_octet == 127 {
+                continue; // skip private and loopback /8s
+            }
+            let addr = Ipv4Addr::from(idx << 8);
+            return Ok(Ipv4Prefix::new(addr, 24));
+        }
+    }
+
+    /// Allocates the next free IPv6 /48 inside `2001:db8::/32`.
+    pub fn alloc_v6_slash48(&mut self) -> Result<Ipv6Prefix, NetsimError> {
+        if self.next_v6_slash48 == u16::MAX as u32 + 1 {
+            return Err(NetsimError::Ipv6Exhausted);
+        }
+        let idx = self.next_v6_slash48 as u128;
+        self.next_v6_slash48 += 1;
+        let base: u128 = 0x2001_0db8_0000_0000_0000_0000_0000_0000;
+        let addr = Ipv6Addr::from(base | (idx << 80));
+        Ok(Ipv6Prefix::new(addr, 48))
+    }
+}
+
+/// True for addresses this simulator could have allocated to servers.
+pub fn is_simulator_address(ip: IpAddr) -> bool {
+    match ip {
+        IpAddr::V4(v4) => {
+            let o = v4.octets()[0];
+            (1..=126).contains(&o) && o != 10 && o != 127
+        }
+        IpAddr::V6(v6) => Ipv6Prefix::new(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 0), 32).contains(v6),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn v4_prefix_contains_its_addresses() {
+        let p = Ipv4Prefix::new(Ipv4Addr::new(1, 2, 3, 99), 24);
+        assert_eq!(p.addr, Ipv4Addr::new(1, 2, 3, 0));
+        assert!(p.contains(Ipv4Addr::new(1, 2, 3, 0)));
+        assert!(p.contains(Ipv4Addr::new(1, 2, 3, 255)));
+        assert!(!p.contains(Ipv4Addr::new(1, 2, 4, 0)));
+        assert_eq!(p.size(), 256);
+    }
+
+    #[test]
+    fn v4_nth_and_iter_agree() {
+        let p = Ipv4Prefix::new(Ipv4Addr::new(9, 9, 9, 0), 30);
+        let all: Vec<_> = p.iter().collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0], Ipv4Addr::new(9, 9, 9, 0));
+        assert_eq!(all[3], Ipv4Addr::new(9, 9, 9, 3));
+        assert_eq!(p.nth(4), None);
+    }
+
+    #[test]
+    fn allocator_skips_reserved_ranges() {
+        let mut a = IpAllocator::new();
+        let mut seen_first_octets = std::collections::HashSet::new();
+        // Walk far enough to cross the 10/8 hole: 9 * 65536 /24s.
+        for _ in 0..(10 * 65536) {
+            let p = a.alloc_v4_slash24().unwrap();
+            seen_first_octets.insert(p.addr.octets()[0]);
+        }
+        assert!(seen_first_octets.contains(&1));
+        assert!(seen_first_octets.contains(&9));
+        assert!(seen_first_octets.contains(&11));
+        assert!(!seen_first_octets.contains(&10), "10/8 must be skipped");
+        assert!(!seen_first_octets.contains(&0));
+    }
+
+    #[test]
+    fn allocator_yields_disjoint_prefixes() {
+        let mut a = IpAllocator::new();
+        let mut prev = None;
+        for _ in 0..10_000 {
+            let p = a.alloc_v4_slash24().unwrap();
+            if let Some(q) = prev {
+                assert_ne!(p, q);
+                let q: Ipv4Prefix = q;
+                assert!(!p.contains(q.addr) && !q.contains(p.addr));
+            }
+            prev = Some(p);
+        }
+    }
+
+    #[test]
+    fn v6_allocation_is_in_doc_range() {
+        let mut a = IpAllocator::new();
+        let p1 = a.alloc_v6_slash48().unwrap();
+        let p2 = a.alloc_v6_slash48().unwrap();
+        assert_ne!(p1, p2);
+        let doc = Ipv6Prefix::new("2001:db8::".parse().unwrap(), 32);
+        assert!(doc.contains(p1.addr));
+        assert!(doc.contains(p2.addr));
+        assert!(is_simulator_address(IpAddr::V6(p1.nth(1).unwrap())));
+    }
+
+    #[test]
+    fn simulator_address_predicate() {
+        assert!(is_simulator_address("1.2.3.4".parse().unwrap()));
+        assert!(!is_simulator_address("10.0.0.1".parse().unwrap()));
+        assert!(!is_simulator_address("127.0.0.1".parse().unwrap()));
+        assert!(!is_simulator_address("192.168.1.1".parse().unwrap()));
+        assert!(!is_simulator_address("2001:db9::1".parse().unwrap()));
+    }
+
+    proptest! {
+        #[test]
+        fn v4_new_zeroes_host_bits(a in any::<u32>(), len in 0u8..=32) {
+            let p = Ipv4Prefix::new(Ipv4Addr::from(a), len);
+            prop_assert!(p.contains(p.addr));
+            // Network address has no host bits set.
+            if len < 32 {
+                let host_mask = u32::MAX >> len;
+                prop_assert_eq!(u32::from(p.addr) & host_mask, 0);
+            }
+        }
+
+        #[test]
+        fn v4_contains_iff_same_network(a in any::<u32>(), b in any::<u32>(), len in 1u8..=32) {
+            let p = Ipv4Prefix::new(Ipv4Addr::from(a), len);
+            let q = Ipv4Prefix::new(Ipv4Addr::from(b), len);
+            let same = p == q;
+            prop_assert_eq!(p.contains(q.addr) && q.contains(p.addr), same);
+        }
+
+        #[test]
+        fn v6_mask_is_consistent(a in any::<u128>(), len in 32u8..=64) {
+            let p = Ipv6Prefix::new(Ipv6Addr::from(a), len);
+            prop_assert!(p.contains(p.addr));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Round-trip-time model between points on the globe.
+//!
+//! Used in two places: the IPmap-style geolocator measures RTTs from its
+//! probe mesh to a target server, and the DNS mapping policies prefer
+//! low-RTT PoPs. The model is the standard delay-based-geolocation one:
+//! great-circle propagation at ~2/3 c with path stretch, plus a last-mile
+//! constant and log-normal-ish queueing jitter.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use xborder_geo::{geodesy, LatLon};
+
+/// Parameters of the RTT model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Fixed per-end processing + last-mile delay added to every RTT, ms.
+    pub last_mile_ms: f64,
+    /// Upper bound of uniformly-sampled queueing jitter added per
+    /// measurement, ms.
+    pub jitter_ms: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            last_mile_ms: 2.0,
+            jitter_ms: 3.0,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Deterministic baseline RTT (no jitter) between two points, ms.
+    pub fn baseline_rtt_ms(&self, a: LatLon, b: LatLon) -> f64 {
+        let d = geodesy::haversine_km(a, b);
+        2.0 * geodesy::propagation_delay_ms(d) + self.last_mile_ms
+    }
+
+    /// One measured RTT sample with queueing jitter, ms.
+    ///
+    /// Jitter is strictly additive: queues only ever slow a packet down, so
+    /// the minimum of many samples converges to the baseline — the property
+    /// delay-based geolocation relies on.
+    pub fn sample_rtt_ms<R: Rng + ?Sized>(&self, a: LatLon, b: LatLon, rng: &mut R) -> f64 {
+        let base = self.baseline_rtt_ms(a, b);
+        // Mixture: mostly small jitter, occasionally a queueing spike.
+        let jitter = if rng.gen::<f64>() < 0.9 {
+            rng.gen::<f64>() * self.jitter_ms
+        } else {
+            self.jitter_ms + rng.gen::<f64>() * 4.0 * self.jitter_ms
+        };
+        base + jitter
+    }
+
+    /// Minimum of `n` RTT samples — what an active geolocator actually uses.
+    pub fn min_rtt_ms<R: Rng + ?Sized>(&self, a: LatLon, b: LatLon, n: usize, rng: &mut R) -> f64 {
+        assert!(n > 0, "need at least one sample");
+        (0..n)
+            .map(|_| self.sample_rtt_ms(a, b, rng))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Converts a measured RTT back to an upper bound on distance, km.
+    ///
+    /// Subtracts the last-mile constant first; clamps at zero.
+    pub fn rtt_to_max_distance_km(&self, rtt_ms: f64) -> f64 {
+        let one_way = ((rtt_ms - self.last_mile_ms) / 2.0).max(0.0);
+        geodesy::max_distance_km(one_way)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn ll(lat: f64, lon: f64) -> LatLon {
+        LatLon::new(lat, lon)
+    }
+
+    #[test]
+    fn baseline_grows_with_distance() {
+        let m = LatencyModel::default();
+        let berlin = ll(52.5, 13.4);
+        let paris = ll(48.9, 2.35);
+        let tokyo = ll(35.7, 139.7);
+        assert!(m.baseline_rtt_ms(berlin, paris) < m.baseline_rtt_ms(berlin, tokyo));
+    }
+
+    #[test]
+    fn baseline_is_plausible_for_europe() {
+        let m = LatencyModel::default();
+        // Berlin <-> Paris ~880 km -> ~2*6.6+2 ≈ 15 ms.
+        let rtt = m.baseline_rtt_ms(ll(52.5, 13.4), ll(48.9, 2.35));
+        assert!((5.0..40.0).contains(&rtt), "got {rtt}");
+        // Berlin <-> US east coast: should clearly exceed 60 ms.
+        let rtt = m.baseline_rtt_ms(ll(52.5, 13.4), ll(40.7, -74.0));
+        assert!(rtt > 60.0, "got {rtt}");
+    }
+
+    #[test]
+    fn samples_never_undershoot_baseline() {
+        let m = LatencyModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = ll(50.0, 8.0);
+        let b = ll(41.0, -3.0);
+        let base = m.baseline_rtt_ms(a, b);
+        for _ in 0..1000 {
+            assert!(m.sample_rtt_ms(a, b, &mut rng) >= base);
+        }
+    }
+
+    #[test]
+    fn min_rtt_converges_to_baseline() {
+        let m = LatencyModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = ll(50.0, 8.0);
+        let b = ll(41.0, -3.0);
+        let base = m.baseline_rtt_ms(a, b);
+        let min = m.min_rtt_ms(a, b, 50, &mut rng);
+        assert!(min >= base && min <= base + m.jitter_ms, "min {min} base {base}");
+    }
+
+    #[test]
+    fn rtt_distance_roundtrip_bounds_truth() {
+        let m = LatencyModel::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = ll(52.5, 13.4);
+        let b = ll(40.4, -3.7); // ~1869 km
+        let rtt = m.min_rtt_ms(a, b, 20, &mut rng);
+        let bound = m.rtt_to_max_distance_km(rtt);
+        // The bound must never be tighter than the true distance.
+        assert!(bound >= 1860.0, "bound {bound}");
+    }
+
+    #[test]
+    fn zero_rtt_maps_to_zero_distance() {
+        let m = LatencyModel::default();
+        assert_eq!(m.rtt_to_max_distance_km(0.0), 0.0);
+    }
+}

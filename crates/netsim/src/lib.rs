@@ -1,0 +1,74 @@
+//! Internet infrastructure substrate for the `xborder` reproduction.
+//!
+//! The paper's measurements ride on real infrastructure: tracking
+//! organizations lease servers in datacenters and cloud PoPs, those servers
+//! get IP addresses out of the operators' prefixes, and DNS maps users onto
+//! them. Since the real infrastructure is unobservable to us, this crate
+//! builds a deterministic synthetic equivalent:
+//!
+//! * [`org::Org`] — an operator (tracker, cloud, ISP, publisher host) with a
+//!   *legal seat* country. Registry-style geolocation databases (MaxMind,
+//!   ip-api) tend to place infrastructure at the legal seat — exactly the
+//!   failure mode the paper quantifies (Sect. 3.4), so the seat is modelled
+//!   explicitly.
+//! * [`cloud`] — the nine public cloud providers of the paper's Sect. 5.2
+//!   with country-level PoP footprints, plus generic national colocation
+//!   datacenters so that "in all EU28 countries there is at least one
+//!   datacenter" holds, as the paper notes.
+//! * [`ip`] — IPv4/IPv6 prefix allocation with a global uniqueness
+//!   guarantee; each (org, country) pair gets its own prefixes so reverse
+//!   lookups and geolocation have realistic structure.
+//! * [`pop`] / [`server`] — points of presence and the server fleet.
+//! * [`infra::Infrastructure`] — the assembled registry with lookups by IP,
+//!   org, country.
+//! * [`latency`] — the RTT model used by the IPmap-style geolocator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cloud;
+pub mod infra;
+pub mod ip;
+pub mod latency;
+pub mod org;
+pub mod pop;
+pub mod server;
+pub mod time;
+
+pub use cloud::{CloudId, CloudProvider, CLOUDS};
+pub use infra::Infrastructure;
+pub use ip::{IpAllocator, Ipv4Prefix, Ipv6Prefix};
+pub use latency::LatencyModel;
+pub use org::{Org, OrgId, OrgKind};
+pub use pop::{Pop, PopId, PopKind};
+pub use server::{Server, ServerId, ServerRole};
+pub use time::{SimTime, TimeWindow};
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetsimError {
+    /// The IPv4 allocation space is exhausted.
+    Ipv4Exhausted,
+    /// The IPv6 allocation space is exhausted.
+    Ipv6Exhausted,
+    /// Referenced an organization id that does not exist.
+    UnknownOrg(OrgId),
+    /// Referenced a PoP id that does not exist.
+    UnknownPop(PopId),
+    /// Referenced a server id that does not exist.
+    UnknownServer(ServerId),
+}
+
+impl std::fmt::Display for NetsimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetsimError::Ipv4Exhausted => write!(f, "IPv4 allocation space exhausted"),
+            NetsimError::Ipv6Exhausted => write!(f, "IPv6 allocation space exhausted"),
+            NetsimError::UnknownOrg(id) => write!(f, "unknown org {id:?}"),
+            NetsimError::UnknownPop(id) => write!(f, "unknown pop {id:?}"),
+            NetsimError::UnknownServer(id) => write!(f, "unknown server {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetsimError {}

@@ -1,0 +1,95 @@
+//! Organizations: the legal entities operating infrastructure.
+
+use serde::{Deserialize, Serialize};
+use xborder_geo::CountryCode;
+
+/// Opaque organization identifier (index into the infrastructure registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OrgId(pub u32);
+
+/// What an organization primarily does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OrgKind {
+    /// Advertising / tracking operator (ad network, DSP, SSP, exchange,
+    /// analytics, data broker).
+    AdTech,
+    /// Content delivery or generic hosting.
+    Cdn,
+    /// Public cloud provider.
+    Cloud,
+    /// Internet service provider.
+    Isp,
+    /// Publisher / first-party site operator.
+    Publisher,
+    /// Other third-party services (chat widgets, comments, fonts, ...).
+    OtherService,
+}
+
+/// An organization with a legal seat.
+///
+/// The *legal seat* is load-bearing: commercial geolocation databases tend
+/// to geolocate infrastructure IPs to the registrant's seat instead of the
+/// server's physical location (paper Sect. 3.4: MaxMind placing Google
+/// servers in Mountain View). The registry-database simulator in
+/// `xborder-geoloc` reads this field.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Org {
+    /// Identifier within the infrastructure registry.
+    pub id: OrgId,
+    /// Display name, unique within a world.
+    pub name: String,
+    /// Primary business.
+    pub kind: OrgKind,
+    /// Country of incorporation (legal seat).
+    pub legal_seat: CountryCode,
+    /// The organization's autonomous-system number. Every org originates
+    /// its prefixes from its own AS (a simplification — real ad-tech also
+    /// rents out of cloud ASes — but enough for AS-level aggregation in
+    /// reports and WHOIS-style lookups).
+    pub asn: u32,
+}
+
+/// First ASN handed out (the private-use 32-bit range base keeps simulated
+/// ASNs visibly distinct from real ones).
+pub const ASN_BASE: u32 = 4_200_000_000;
+
+impl Org {
+    /// Creates an organization record; the ASN derives from the registry
+    /// id so address plans stay reproducible.
+    pub fn new(id: OrgId, name: impl Into<String>, kind: OrgKind, legal_seat: CountryCode) -> Self {
+        Org {
+            id,
+            name: name.into(),
+            kind,
+            legal_seat,
+            asn: ASN_BASE + id.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xborder_geo::cc;
+
+    #[test]
+    fn org_construction() {
+        let o = Org::new(OrgId(7), "gtrack", OrgKind::AdTech, cc!("US"));
+        assert_eq!(o.id, OrgId(7));
+        assert_eq!(o.name, "gtrack");
+        assert_eq!(o.legal_seat, cc!("US"));
+        assert_eq!(o.asn, ASN_BASE + 7);
+    }
+
+    #[test]
+    fn asns_are_unique_per_org() {
+        let a = Org::new(OrgId(1), "a", OrgKind::Cdn, cc!("DE"));
+        let b = Org::new(OrgId(2), "b", OrgKind::Cdn, cc!("DE"));
+        assert_ne!(a.asn, b.asn);
+    }
+
+    #[test]
+    fn org_id_is_orderable() {
+        assert!(OrgId(1) < OrgId(2));
+    }
+}

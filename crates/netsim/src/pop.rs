@@ -1,0 +1,59 @@
+//! Points of presence: places where servers can be racked.
+
+use crate::cloud::CloudId;
+use serde::{Deserialize, Serialize};
+use xborder_geo::{CountryCode, LatLon};
+
+/// Opaque PoP identifier (index into the infrastructure registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PopId(pub u32);
+
+/// Who operates the facility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PopKind {
+    /// A region/edge location of one of the nine public clouds.
+    Cloud(CloudId),
+    /// A national colocation datacenter (independent of the big clouds).
+    NationalColo,
+    /// An organization's own datacenter.
+    OwnDatacenter,
+}
+
+/// A point of presence with a physical location.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pop {
+    /// Identifier within the infrastructure registry.
+    pub id: PopId,
+    /// Facility operator.
+    pub kind: PopKind,
+    /// Country the facility is physically in. This is the geolocation
+    /// *ground truth* for every server racked here.
+    pub country: CountryCode,
+    /// Physical coordinates (sampled inside the country).
+    pub location: LatLon,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xborder_geo::cc;
+
+    #[test]
+    fn pop_kinds_compare() {
+        assert_eq!(PopKind::Cloud(CloudId::Aws), PopKind::Cloud(CloudId::Aws));
+        assert_ne!(PopKind::Cloud(CloudId::Aws), PopKind::Cloud(CloudId::Azure));
+        assert_ne!(PopKind::NationalColo, PopKind::OwnDatacenter);
+    }
+
+    #[test]
+    fn pop_is_serializable() {
+        let p = Pop {
+            id: PopId(3),
+            kind: PopKind::NationalColo,
+            country: cc!("DE"),
+            location: LatLon::new(50.1, 8.7),
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        assert!(json.contains("\"DE\""));
+    }
+}

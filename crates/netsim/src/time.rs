@@ -1,0 +1,168 @@
+//! Simulation time.
+//!
+//! The paper's extension study ran Sep 1, 2017 – mid-Jan 2018 (~4.5 months)
+//! and the ISP snapshots were four specific Wednesdays in Nov 2017 – Jun
+//! 2018. We model time as seconds since the *experiment epoch* (Sep 1,
+//! 2017 00:00 UTC) so datasets, pDNS validity windows and ISP snapshot days
+//! can be compared on one axis.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds since the experiment epoch (2017-09-01T00:00:00Z).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+/// Seconds per day.
+pub const SECS_PER_DAY: u64 = 86_400;
+
+impl SimTime {
+    /// The experiment epoch itself.
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// A time `days` whole days after the epoch.
+    pub const fn from_days(days: u32) -> SimTime {
+        SimTime(days as u64 * SECS_PER_DAY)
+    }
+
+    /// The day index this instant falls on.
+    pub const fn day(&self) -> u32 {
+        (self.0 / SECS_PER_DAY) as u32
+    }
+
+    /// Seconds into the current day.
+    pub const fn second_of_day(&self) -> u32 {
+        (self.0 % SECS_PER_DAY) as u32
+    }
+
+    /// This instant shifted forward by `secs`.
+    pub const fn plus_secs(&self, secs: u64) -> SimTime {
+        SimTime(self.0 + secs)
+    }
+
+    /// This instant shifted forward by `days`.
+    pub const fn plus_days(&self, days: u32) -> SimTime {
+        SimTime(self.0 + days as u64 * SECS_PER_DAY)
+    }
+}
+
+/// A half-open validity window `[start, end)` on the simulation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// Inclusive start.
+    pub start: SimTime,
+    /// Exclusive end.
+    pub end: SimTime,
+}
+
+impl TimeWindow {
+    /// Builds a window; panics if `end < start`.
+    pub fn new(start: SimTime, end: SimTime) -> TimeWindow {
+        assert!(end >= start, "window end before start");
+        TimeWindow { start, end }
+    }
+
+    /// True if `t` falls inside the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Expands the window minimally so it contains `t`.
+    pub fn extend_to(&mut self, t: SimTime) {
+        if t < self.start {
+            self.start = t;
+        }
+        if t >= self.end {
+            self.end = SimTime(t.0 + 1);
+        }
+    }
+
+    /// True if the two windows overlap.
+    pub fn overlaps(&self, other: &TimeWindow) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Window length in seconds.
+    pub fn len_secs(&self) -> u64 {
+        self.end.0 - self.start.0
+    }
+}
+
+/// Named calendar anchors used by the experiments (offsets from the
+/// experiment epoch, Sep 1, 2017).
+pub mod anchors {
+    use super::SimTime;
+
+    /// Start of the extension study: Sep 1, 2017.
+    pub const STUDY_START: SimTime = SimTime::from_days(0);
+    /// End of the main extension study: Jan 15, 2018 (~4.5 months).
+    pub const STUDY_END: SimTime = SimTime::from_days(136);
+    /// ISP snapshot: Wednesday Nov 8, 2017.
+    pub const ISP_SNAPSHOT_NOV8: SimTime = SimTime::from_days(68);
+    /// ISP snapshot: Wednesday Apr 4, 2018.
+    pub const ISP_SNAPSHOT_APR4: SimTime = SimTime::from_days(215);
+    /// ISP snapshot: Wednesday May 16, 2018 (pre-GDPR implementation).
+    pub const ISP_SNAPSHOT_MAY16: SimTime = SimTime::from_days(257);
+    /// GDPR implementation date: May 25, 2018.
+    pub const GDPR_IMPLEMENTATION: SimTime = SimTime::from_days(266);
+    /// ISP snapshot: Wednesday Jun 20, 2018 (post-GDPR).
+    pub const ISP_SNAPSHOT_JUN20: SimTime = SimTime::from_days(292);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_arithmetic() {
+        let t = SimTime::from_days(10).plus_secs(3600);
+        assert_eq!(t.day(), 10);
+        assert_eq!(t.second_of_day(), 3600);
+        assert_eq!(t.plus_days(2).day(), 12);
+    }
+
+    #[test]
+    fn window_contains_half_open() {
+        let w = TimeWindow::new(SimTime(100), SimTime(200));
+        assert!(w.contains(SimTime(100)));
+        assert!(w.contains(SimTime(199)));
+        assert!(!w.contains(SimTime(200)));
+        assert!(!w.contains(SimTime(99)));
+        assert_eq!(w.len_secs(), 100);
+    }
+
+    #[test]
+    fn window_extend() {
+        let mut w = TimeWindow::new(SimTime(100), SimTime(200));
+        w.extend_to(SimTime(50));
+        assert_eq!(w.start, SimTime(50));
+        w.extend_to(SimTime(300));
+        assert!(w.contains(SimTime(300)));
+        assert!(!w.contains(SimTime(301)));
+    }
+
+    #[test]
+    fn window_overlap() {
+        let a = TimeWindow::new(SimTime(0), SimTime(100));
+        let b = TimeWindow::new(SimTime(99), SimTime(150));
+        let c = TimeWindow::new(SimTime(100), SimTime(150));
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "end before start")]
+    fn window_rejects_inverted() {
+        TimeWindow::new(SimTime(10), SimTime(5));
+    }
+
+    #[test]
+    fn anchors_are_ordered() {
+        use anchors::*;
+        assert!(STUDY_START < STUDY_END);
+        assert!(ISP_SNAPSHOT_NOV8 < STUDY_END);
+        assert!(STUDY_END < ISP_SNAPSHOT_APR4);
+        assert!(ISP_SNAPSHOT_APR4 < ISP_SNAPSHOT_MAY16);
+        assert!(ISP_SNAPSHOT_MAY16 < GDPR_IMPLEMENTATION);
+        assert!(GDPR_IMPLEMENTATION < ISP_SNAPSHOT_JUN20);
+    }
+}

@@ -1,0 +1,296 @@
+//! Publisher content categories and the AdWords-style topic vocabulary.
+//!
+//! Sect. 6 of the paper identifies 12 GDPR-sensitive categories by running
+//! sites through Google AdWords topic tagging plus manual review, noting
+//! that generic taggers *mask* sensitivity (a pregnancy site is tagged
+//! "Health", a porn site "Men's Interests"). We reproduce that masking: the
+//! topic vocabulary below maps each category to generic tagger topics, and
+//! the sensitive-site detector in `xborder-core` has to see through it the
+//! same way the paper did (keyword matching + simulated examiners).
+
+use serde::{Deserialize, Serialize};
+
+/// Content category of a publisher site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SiteCategory {
+    // --- general (non-sensitive) -----------------------------------------
+    /// General and local news.
+    News,
+    /// Sports coverage and fan sites.
+    Sports,
+    /// E-commerce.
+    Shopping,
+    /// Technology and gadgets.
+    Tech,
+    /// Travel booking and guides.
+    Travel,
+    /// Recipes and restaurants.
+    Food,
+    /// Movies, TV, celebrities.
+    Entertainment,
+    /// Personal finance and investing.
+    Finance,
+    /// Schools, universities, e-learning.
+    Education,
+    /// Video and browser games.
+    Games,
+    /// Social networks and forums.
+    Social,
+    /// Cars and motoring.
+    Automotive,
+    /// Property listings.
+    RealEstate,
+    /// Music and streaming.
+    Music,
+    /// Weather forecasts.
+    Weather,
+    /// Child-directed content (cartoons, kids' games, school portals).
+    /// Not GDPR-Article-9 sensitive, but protected by COPPA — the paper's
+    /// conclusion names COPPA as the next regulation to monitor.
+    Kids,
+    // --- GDPR-sensitive (paper Fig. 9, 12 categories) ---------------------
+    /// General health conditions and advice.
+    Health,
+    /// Betting and casino sites.
+    Gambling,
+    /// LGBTQ+ community and dating.
+    SexualOrientation,
+    /// Pregnancy and fertility.
+    Pregnancy,
+    /// Political parties, campaigns, opinion.
+    Politics,
+    /// Adult content.
+    Porn,
+    /// Faith communities and scripture.
+    Religion,
+    /// Ethnic-community media.
+    Ethnicity,
+    /// Firearms retail and advocacy.
+    Guns,
+    /// Alcohol brands and reviews.
+    Alcohol,
+    /// Cancer support and oncology information.
+    Cancer,
+    /// Bereavement, funeral services.
+    Death,
+}
+
+impl SiteCategory {
+    /// All categories.
+    pub const ALL: [SiteCategory; 28] = [
+        SiteCategory::News,
+        SiteCategory::Sports,
+        SiteCategory::Shopping,
+        SiteCategory::Tech,
+        SiteCategory::Travel,
+        SiteCategory::Food,
+        SiteCategory::Entertainment,
+        SiteCategory::Finance,
+        SiteCategory::Education,
+        SiteCategory::Games,
+        SiteCategory::Social,
+        SiteCategory::Automotive,
+        SiteCategory::RealEstate,
+        SiteCategory::Music,
+        SiteCategory::Weather,
+        SiteCategory::Kids,
+        SiteCategory::Health,
+        SiteCategory::Gambling,
+        SiteCategory::SexualOrientation,
+        SiteCategory::Pregnancy,
+        SiteCategory::Politics,
+        SiteCategory::Porn,
+        SiteCategory::Religion,
+        SiteCategory::Ethnicity,
+        SiteCategory::Guns,
+        SiteCategory::Alcohol,
+        SiteCategory::Cancer,
+        SiteCategory::Death,
+    ];
+
+    /// The 12 GDPR-sensitive categories, in the paper's Fig. 9 order
+    /// (descending flow share).
+    pub const SENSITIVE: [SiteCategory; 12] = [
+        SiteCategory::Health,
+        SiteCategory::Gambling,
+        SiteCategory::SexualOrientation,
+        SiteCategory::Pregnancy,
+        SiteCategory::Politics,
+        SiteCategory::Porn,
+        SiteCategory::Religion,
+        SiteCategory::Ethnicity,
+        SiteCategory::Guns,
+        SiteCategory::Alcohol,
+        SiteCategory::Cancer,
+        SiteCategory::Death,
+    ];
+
+    /// True for GDPR-sensitive categories.
+    pub fn is_sensitive(&self) -> bool {
+        Self::SENSITIVE.contains(self)
+    }
+
+    /// Stable lowercase slug for reports.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            SiteCategory::News => "news",
+            SiteCategory::Sports => "sports",
+            SiteCategory::Shopping => "shopping",
+            SiteCategory::Tech => "tech",
+            SiteCategory::Travel => "travel",
+            SiteCategory::Food => "food",
+            SiteCategory::Entertainment => "entertainment",
+            SiteCategory::Finance => "finance",
+            SiteCategory::Education => "education",
+            SiteCategory::Games => "games",
+            SiteCategory::Social => "social",
+            SiteCategory::Automotive => "automotive",
+            SiteCategory::RealEstate => "realestate",
+            SiteCategory::Music => "music",
+            SiteCategory::Weather => "weather",
+            SiteCategory::Kids => "kids",
+            SiteCategory::Health => "health",
+            SiteCategory::Gambling => "gambling",
+            SiteCategory::SexualOrientation => "sexual orientation",
+            SiteCategory::Pregnancy => "pregnancy",
+            SiteCategory::Politics => "politics",
+            SiteCategory::Porn => "porn",
+            SiteCategory::Religion => "religion",
+            SiteCategory::Ethnicity => "ethnicity",
+            SiteCategory::Guns => "guns",
+            SiteCategory::Alcohol => "alcohol",
+            SiteCategory::Cancer => "cancer",
+            SiteCategory::Death => "death",
+        }
+    }
+
+    /// The *generic tagger* topics a site of this category gets, mirroring
+    /// how AdWords masks sensitive content behind broad labels (paper
+    /// Sect. 6.1: pregnancy → "Health", porn → "Men's Interests",
+    /// alcohol → "Food & Drinks", gambling → "Games").
+    pub fn tagger_topics(&self) -> &'static [Topic] {
+        match self {
+            SiteCategory::News => &[Topic("news"), Topic("current events"), Topic("media")],
+            SiteCategory::Sports => &[Topic("sports"), Topic("fitness"), Topic("teams")],
+            SiteCategory::Shopping => &[Topic("shopping"), Topic("retail"), Topic("deals")],
+            SiteCategory::Tech => &[Topic("computers"), Topic("electronics"), Topic("internet")],
+            SiteCategory::Travel => &[Topic("travel"), Topic("hotels"), Topic("flights")],
+            SiteCategory::Food => &[Topic("food & drinks"), Topic("recipes"), Topic("cooking")],
+            SiteCategory::Entertainment => &[Topic("entertainment"), Topic("movies"), Topic("tv")],
+            SiteCategory::Finance => &[Topic("finance"), Topic("investing"), Topic("banking")],
+            SiteCategory::Education => &[Topic("education"), Topic("reference"), Topic("jobs & education")],
+            SiteCategory::Games => &[Topic("games"), Topic("online games"), Topic("hobbies")],
+            SiteCategory::Social => &[Topic("online communities"), Topic("social networks")],
+            SiteCategory::Automotive => &[Topic("autos & vehicles"), Topic("motor sports")],
+            SiteCategory::RealEstate => &[Topic("real estate"), Topic("home & garden")],
+            SiteCategory::Music => &[Topic("music & audio"), Topic("concerts")],
+            SiteCategory::Weather => &[Topic("weather"), Topic("science")],
+            SiteCategory::Kids => &[Topic("games"), Topic("family"), Topic("education")],
+            // Sensitive categories hide behind generic labels:
+            SiteCategory::Health => &[Topic("health"), Topic("medicine"), Topic("wellness")],
+            SiteCategory::Gambling => &[Topic("games"), Topic("casino games"), Topic("lottery")],
+            SiteCategory::SexualOrientation => &[Topic("online communities"), Topic("lifestyle"), Topic("dating")],
+            SiteCategory::Pregnancy => &[Topic("health"), Topic("family"), Topic("parenting")],
+            SiteCategory::Politics => &[Topic("news"), Topic("law & government"), Topic("opinion")],
+            SiteCategory::Porn => &[Topic("men's interests"), Topic("lifestyle")],
+            SiteCategory::Religion => &[Topic("people & society"), Topic("community")],
+            SiteCategory::Ethnicity => &[Topic("people & society"), Topic("world news")],
+            SiteCategory::Guns => &[Topic("hobbies"), Topic("outdoors"), Topic("shopping")],
+            SiteCategory::Alcohol => &[Topic("food & drinks"), Topic("nightlife")],
+            SiteCategory::Cancer => &[Topic("health"), Topic("support groups")],
+            SiteCategory::Death => &[Topic("people & society"), Topic("local services")],
+        }
+    }
+
+    /// Content keywords appearing on pages of this category; the manual /
+    /// keyword stage of the sensitive-site detector looks for these.
+    pub fn content_keywords(&self) -> &'static [&'static str] {
+        match self {
+            SiteCategory::Health => &["symptom", "diagnosis", "treatment", "clinic", "therapy"],
+            SiteCategory::Gambling => &["casino", "poker", "betting", "odds", "jackpot"],
+            SiteCategory::SexualOrientation => &["lgbt", "gay", "lesbian", "queer", "pride"],
+            SiteCategory::Pregnancy => &["pregnancy", "trimester", "fertility", "ovulation", "baby"],
+            SiteCategory::Politics => &["election", "party", "parliament", "campaign", "vote"],
+            SiteCategory::Porn => &["xxx", "adult", "explicit", "nsfw"],
+            SiteCategory::Religion => &["church", "mosque", "prayer", "scripture", "faith"],
+            SiteCategory::Ethnicity => &["diaspora", "heritage", "ethnic", "immigrant"],
+            SiteCategory::Guns => &["firearm", "rifle", "ammunition", "holster"],
+            SiteCategory::Alcohol => &["whisky", "vodka", "brewery", "wine", "cocktail"],
+            SiteCategory::Cancer => &["oncology", "chemotherapy", "tumor", "remission"],
+            SiteCategory::Death => &["funeral", "obituary", "bereavement", "memorial"],
+            SiteCategory::Kids => &["cartoon", "coloring", "playground", "homework"],
+            _ => &[],
+        }
+    }
+}
+
+impl std::fmt::Display for SiteCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// An AdWords-style interest topic attached to a publisher by the generic
+/// tagger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Topic(pub &'static str);
+
+impl std::fmt::Display for Topic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_sensitive_categories() {
+        assert_eq!(SiteCategory::SENSITIVE.len(), 12);
+        for c in SiteCategory::SENSITIVE {
+            assert!(c.is_sensitive());
+        }
+        assert!(!SiteCategory::News.is_sensitive());
+    }
+
+    #[test]
+    fn all_contains_sensitive() {
+        for c in SiteCategory::SENSITIVE {
+            assert!(SiteCategory::ALL.contains(&c));
+        }
+        assert_eq!(SiteCategory::ALL.len(), 28);
+    }
+
+    #[test]
+    fn sensitive_categories_have_content_keywords() {
+        for c in SiteCategory::SENSITIVE {
+            assert!(!c.content_keywords().is_empty(), "{c} lacks keywords");
+        }
+    }
+
+    #[test]
+    fn masking_examples_from_paper() {
+        // Pregnancy masks as "health", porn as "men's interests",
+        // alcohol as "food & drinks", gambling as "games".
+        assert!(SiteCategory::Pregnancy.tagger_topics().contains(&Topic("health")));
+        assert!(SiteCategory::Porn.tagger_topics().contains(&Topic("men's interests")));
+        assert!(SiteCategory::Alcohol.tagger_topics().contains(&Topic("food & drinks")));
+        assert!(SiteCategory::Gambling.tagger_topics().contains(&Topic("games")));
+    }
+
+    #[test]
+    fn slugs_are_unique() {
+        let mut slugs: Vec<_> = SiteCategory::ALL.iter().map(|c| c.slug()).collect();
+        slugs.sort();
+        slugs.dedup();
+        assert_eq!(slugs.len(), SiteCategory::ALL.len());
+    }
+
+    #[test]
+    fn every_category_has_topics() {
+        for c in SiteCategory::ALL {
+            assert!(!c.tagger_topics().is_empty(), "{c} lacks topics");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Domain names and pay-level-domain extraction.
+//!
+//! The paper aggregates trackers at two granularities: the fully qualified
+//! domain name ("FQDN", e.g. `sync.ads.gtrack.com`) and what it calls the
+//! "TLD" — really the pay-level domain / eTLD+1 (`gtrack.com`). We keep the
+//! paper's terminology in method names ([`Domain::tld`]) while documenting
+//! the distinction.
+
+use serde::{Deserialize, Serialize};
+
+/// Public suffixes the synthetic world uses. A tiny, fixed subset of the
+/// real public-suffix list is enough because the generator only mints
+/// domains under these suffixes.
+pub const PUBLIC_SUFFIXES: &[&str] = &[
+    "co.uk", "com.br", "com.au", // two-label suffixes first (matched longest-first)
+    "com", "net", "org", "io", "de", "fr", "es", "it", "nl", "pl", "gr", "ro", "cy", "dk", "hu",
+    "se", "pt", "cz", "bg", "uk", "ie", "at", "be", "fi", "lt", "lv", "ee", "sk", "si", "hr",
+    "lu", "mt", "ru", "ch", "us", "jp", "cn", "in", "br", "tv", "info", "biz", "eu",
+];
+
+/// A lowercase domain name (FQDN without trailing dot).
+///
+/// Construction normalizes to lowercase; comparison and hashing are on the
+/// normalized form, so `Domain` can key maps directly.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Domain(String);
+
+impl Domain {
+    /// Builds a domain, normalizing case and stripping a trailing dot.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        let mut s = name.as_ref().trim().to_ascii_lowercase();
+        if s.ends_with('.') {
+            s.pop();
+        }
+        Domain(s)
+    }
+
+    /// The full name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Labels from leftmost to rightmost.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.0.split('.')
+    }
+
+    /// The pay-level domain (eTLD+1), which the paper calls the "TLD".
+    ///
+    /// `sync.ads.gtrack.com` → `gtrack.com`; `shop.example.co.uk` →
+    /// `example.co.uk`. A name that *is* a public suffix (or has no dot)
+    /// returns itself.
+    pub fn tld(&self) -> Domain {
+        let name = &self.0;
+        // Longest matching public suffix wins.
+        let mut best: Option<&str> = None;
+        for suffix in PUBLIC_SUFFIXES {
+            let matches = name == suffix
+                || (name.len() > suffix.len()
+                    && name.ends_with(suffix)
+                    && name.as_bytes()[name.len() - suffix.len() - 1] == b'.');
+            if matches && best.is_none_or(|b| suffix.len() > b.len()) {
+                best = Some(suffix);
+            }
+        }
+        let Some(suffix) = best else {
+            // Unknown suffix: fall back to the last two labels.
+            let labels: Vec<&str> = name.split('.').collect();
+            if labels.len() <= 2 {
+                return self.clone();
+            }
+            return Domain(labels[labels.len() - 2..].join("."));
+        };
+        if name == suffix {
+            return self.clone();
+        }
+        let head = &name[..name.len() - suffix.len() - 1];
+        match head.rsplit('.').next() {
+            Some(label) => Domain(format!("{label}.{suffix}")),
+            None => self.clone(),
+        }
+    }
+
+    /// True if `self` equals `other` or is a subdomain of it.
+    pub fn is_subdomain_of(&self, other: &Domain) -> bool {
+        self == other
+            || (self.0.len() > other.0.len()
+                && self.0.ends_with(other.0.as_str())
+                && self.0.as_bytes()[self.0.len() - other.0.len() - 1] == b'.')
+    }
+}
+
+impl std::fmt::Display for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::fmt::Debug for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Domain {
+    fn from(s: &str) -> Self {
+        Domain::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalizes_case_and_trailing_dot() {
+        assert_eq!(Domain::new("Ads.GTrack.COM."), Domain::new("ads.gtrack.com"));
+    }
+
+    #[test]
+    fn tld_simple() {
+        assert_eq!(Domain::new("sync.ads.gtrack.com").tld(), Domain::new("gtrack.com"));
+        assert_eq!(Domain::new("gtrack.com").tld(), Domain::new("gtrack.com"));
+    }
+
+    #[test]
+    fn tld_two_label_suffix() {
+        assert_eq!(Domain::new("shop.example.co.uk").tld(), Domain::new("example.co.uk"));
+        assert_eq!(Domain::new("example.co.uk").tld(), Domain::new("example.co.uk"));
+    }
+
+    #[test]
+    fn tld_of_bare_suffix_is_itself() {
+        assert_eq!(Domain::new("com").tld(), Domain::new("com"));
+        assert_eq!(Domain::new("co.uk").tld(), Domain::new("co.uk"));
+    }
+
+    #[test]
+    fn tld_unknown_suffix_falls_back() {
+        assert_eq!(Domain::new("a.b.example.xyz").tld(), Domain::new("example.xyz"));
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let parent = Domain::new("gtrack.com");
+        assert!(Domain::new("ads.gtrack.com").is_subdomain_of(&parent));
+        assert!(parent.is_subdomain_of(&parent));
+        assert!(!Domain::new("notgtrack.com").is_subdomain_of(&parent));
+        assert!(!Domain::new("gtrack.com.evil.net").is_subdomain_of(&parent));
+    }
+
+    proptest! {
+        #[test]
+        fn tld_is_idempotent(label_a in "[a-z]{1,8}", label_b in "[a-z]{1,8}",
+                             suffix_idx in 0usize..PUBLIC_SUFFIXES.len()) {
+            let d = Domain::new(format!("{label_a}.{label_b}.{}", PUBLIC_SUFFIXES[suffix_idx]));
+            let t = d.tld();
+            prop_assert_eq!(t.tld(), t.clone());
+            prop_assert!(d.is_subdomain_of(&t));
+        }
+
+        #[test]
+        fn tld_is_suffix(label in "[a-z]{1,10}", suffix_idx in 0usize..PUBLIC_SUFFIXES.len()) {
+            let d = Domain::new(format!("{label}.{}", PUBLIC_SUFFIXES[suffix_idx]));
+            prop_assert!(d.as_str().ends_with(d.tld().as_str().split('.').next_back().unwrap()));
+        }
+    }
+}

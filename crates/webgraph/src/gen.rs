@@ -1,0 +1,1146 @@
+//! Deterministic generation of a synthetic web graph.
+//!
+//! The generator assembles, from a single RNG, the ecosystem whose *shape*
+//! the paper measured:
+//!
+//! * a head of **major ad-tech organizations** (Google/Amazon/Facebook-like
+//!   US giants with wide anycast footprints, plus large EU players), which
+//!   receive most embed slots;
+//! * **national ad networks** per country, hosted at home, embedded mostly
+//!   by same-country national sites — these plus the majors' PoP placement
+//!   produce the national-confinement ladder of Fig. 8;
+//! * a **long tail** of small tracker orgs with mixed seats and hosting;
+//! * **clean third parties** (chat, comments, fonts, video) that the
+//!   classifier must not flag;
+//! * **RTB cascade templates** hanging off every ad network — the requests
+//!   blocklists never see (Table 2's semi-automatic gap);
+//! * **publishers** with Zipf popularity, national/global audiences, and
+//!   category-dependent tracker mixes (sensitive categories lean on
+//!   US-seated niche trackers, producing Fig. 10's leakage ordering).
+
+use crate::cascade::{CascadeStep, CascadeTemplate};
+use crate::category::SiteCategory;
+use crate::domain::Domain;
+use crate::graph::WebGraph;
+use crate::publisher::{Audience, Embed, EmbedMode, Publisher, PublisherId};
+use crate::service::{HostingPolicy, ServiceId, ServiceKind, ServiceOrg, ServiceOrgId, ThirdPartyService};
+use crate::url::UrlStyle;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use xborder_geo::{CountryCode, WORLD};
+
+/// Configuration of the web-graph generator.
+///
+/// Defaults are tuned so a full-scale run lands near the paper's Table 1 /
+/// Table 2 magnitudes; [`WebGraphConfig::small`] is a fast variant for
+/// tests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WebGraphConfig {
+    /// Number of publisher sites (paper: 5,693 first-party domains).
+    pub n_publishers: usize,
+    /// Fraction of publishers in GDPR-sensitive categories (paper: 1,067 of
+    /// 5,698 inspected).
+    pub sensitive_fraction: f64,
+    /// Zipf exponent of publisher popularity.
+    pub zipf_exponent: f64,
+    /// Long-tail ad-tech organizations (each operating 1–3 services).
+    pub n_adtech_orgs: usize,
+    /// Clean (non-tracking) third-party organizations.
+    pub n_clean_orgs: usize,
+    /// Base count of national ad orgs per EU28 country (scaled by country
+    /// population).
+    pub national_orgs_base: f64,
+    /// Share of requests expected over HTTPS (paper: 83.14 %).
+    pub https_share: f64,
+    /// Probability a national-audience publisher's ad slot goes to a
+    /// national (same-country) ad org when one exists.
+    pub home_bias: f64,
+    /// Mean number of ad-network embeds per publisher.
+    pub mean_ad_networks: f64,
+    /// Mean number of analytics embeds per publisher.
+    pub mean_analytics: f64,
+    /// Mean number of social-widget embeds per publisher.
+    pub mean_social: f64,
+    /// Mean number of clean embeds per publisher.
+    pub mean_clean: f64,
+    /// Probability that a tracking org is covered by the easylist-style
+    /// blocklist, by role: canonical (ad network / analytics / social) vs
+    /// cascade-downstream (exchange / DSP / cookie-sync).
+    pub blocklist_coverage_canonical: f64,
+    /// See [`WebGraphConfig::blocklist_coverage_canonical`].
+    pub blocklist_coverage_downstream: f64,
+}
+
+impl Default for WebGraphConfig {
+    fn default() -> Self {
+        WebGraphConfig {
+            n_publishers: 5_700,
+            sensitive_fraction: 0.187,
+            zipf_exponent: 0.85,
+            n_adtech_orgs: 1_250,
+            n_clean_orgs: 1_000,
+            national_orgs_base: 1.5,
+            https_share: 0.8314,
+            home_bias: 0.50,
+            mean_ad_networks: 6.0,
+            mean_analytics: 2.5,
+            mean_social: 1.5,
+            mean_clean: 9.0,
+            blocklist_coverage_canonical: 0.92,
+            blocklist_coverage_downstream: 0.10,
+        }
+    }
+}
+
+impl WebGraphConfig {
+    /// A small configuration for fast tests (hundreds of entities).
+    pub fn small() -> Self {
+        WebGraphConfig {
+            n_publishers: 220,
+            n_adtech_orgs: 60,
+            n_clean_orgs: 40,
+            national_orgs_base: 0.5,
+            ..Default::default()
+        }
+    }
+}
+
+/// Target flow-share of each sensitive category (paper Fig. 9, normalized).
+/// Used as multinomial weights when assigning categories to sensitive
+/// publishers.
+pub const SENSITIVE_CATEGORY_WEIGHTS: [(SiteCategory, f64); 12] = [
+    (SiteCategory::Health, 0.38),
+    (SiteCategory::Gambling, 0.22),
+    (SiteCategory::SexualOrientation, 0.105),
+    (SiteCategory::Pregnancy, 0.105),
+    (SiteCategory::Politics, 0.09),
+    (SiteCategory::Porn, 0.07),
+    (SiteCategory::Religion, 0.025),
+    (SiteCategory::Ethnicity, 0.02),
+    (SiteCategory::Guns, 0.015),
+    (SiteCategory::Alcohol, 0.015),
+    (SiteCategory::Cancer, 0.01),
+    (SiteCategory::Death, 0.005),
+];
+
+/// Extra probability that an ad slot on a sensitive site goes to a US-seated
+/// home-only niche tracker. Porn / sexual-orientation / alcohol sites lean
+/// hardest on offshore niche ad-tech, which is what makes them the leakiest
+/// categories in the paper's Fig. 10 (44 % / 36 % / 33 % out of EU28).
+pub fn us_niche_bias(cat: SiteCategory) -> f64 {
+    match cat {
+        SiteCategory::Porn => 0.55,
+        SiteCategory::SexualOrientation => 0.42,
+        SiteCategory::Alcohol => 0.38,
+        SiteCategory::Gambling => 0.18,
+        SiteCategory::Guns => 0.20,
+        c if c.is_sensitive() => 0.08,
+        _ => 0.0,
+    }
+}
+
+/// Relative strength of a country's *domestic* ad-tech market, in [0, 1].
+///
+/// Not derivable from infrastructure density alone: Poland has decent
+/// datacenters but its ad market is foreign-dominated (the paper's PL ISP
+/// terminates 0.25 % of tracking at home), while Greece's smaller market
+/// leans on local networks (6.77 % national confinement). Defaults to the
+/// IT index for countries without a specific estimate.
+pub fn local_adtech(c: &xborder_geo::Country) -> f64 {
+    match c.code.as_str() {
+        "GB" => 0.80,
+        "DE" => 0.75,
+        "FR" => 0.65,
+        "ES" => 0.55,
+        "IT" => 0.50,
+        "GR" => 0.60,
+        "RO" => 0.45,
+        "HU" => 0.50,
+        "PL" => 0.04,
+        "CY" => 0.08,
+        "DK" => 0.30,
+        "BE" => 0.25,
+        "PT" => 0.30,
+        "NL" => 0.45,
+        "RU" => 0.70,
+        "JP" => 0.70,
+        "BR" => 0.50,
+        _ => c.it_index,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Name synthesis
+// ---------------------------------------------------------------------------
+
+const AD_SYLLABLES: &[&str] = &[
+    "ad", "track", "pix", "bid", "tag", "data", "sync", "vert", "click", "zon", "nex", "lyt",
+    "metr", "aud", "targ", "reach", "spot", "yield", "mon", "serve",
+];
+
+const SITE_WORDS: &[&str] = &[
+    "daily", "net", "portal", "hub", "zone", "world", "live", "online", "info", "plus", "max",
+    "city", "local", "best", "top", "my", "the", "go", "pro", "web",
+];
+
+fn synth_name<R: Rng + ?Sized>(rng: &mut R, syllables: &[&str], used: &mut HashSet<String>) -> String {
+    loop {
+        let n = rng.gen_range(2..=3);
+        let mut s = String::new();
+        for _ in 0..n {
+            s.push_str(syllables[rng.gen_range(0..syllables.len())]);
+        }
+        if s.len() > 12 {
+            s.truncate(12);
+        }
+        if used.insert(s.clone()) {
+            return s;
+        }
+        // Collision: disambiguate with a numeric suffix.
+        for i in 2..1000u32 {
+            let cand = format!("{s}{i}");
+            if used.insert(cand.clone()) {
+                return cand;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+struct Builder<'a, R: Rng> {
+    cfg: &'a WebGraphConfig,
+    rng: &'a mut R,
+    graph: WebGraph,
+    used_names: HashSet<String>,
+    /// Orgs eligible for national embedding, per country.
+    national_orgs: std::collections::HashMap<CountryCode, Vec<ServiceOrgId>>,
+    /// US-seated home-only niche tracker orgs (sensitive-site bias pool).
+    us_niche_orgs: Vec<ServiceOrgId>,
+}
+
+impl<'a, R: Rng> Builder<'a, R> {
+    fn new(cfg: &'a WebGraphConfig, rng: &'a mut R) -> Self {
+        Builder {
+            cfg,
+            rng,
+            graph: WebGraph::default(),
+            used_names: HashSet::new(),
+            national_orgs: Default::default(),
+            us_niche_orgs: Vec::new(),
+        }
+    }
+
+    fn add_org(
+        &mut self,
+        name: String,
+        seat: CountryCode,
+        hosting: HostingPolicy,
+        weight: f64,
+    ) -> ServiceOrgId {
+        let id = ServiceOrgId(self.graph.orgs.len() as u32);
+        self.graph.orgs.push(ServiceOrg {
+            id,
+            name,
+            legal_seat: seat,
+            hosting,
+            services: Vec::new(),
+        });
+        self.graph.org_weight.push(weight);
+        id
+    }
+
+    fn add_service(
+        &mut self,
+        org: ServiceOrgId,
+        tld: Domain,
+        n_hosts: usize,
+        kind: ServiceKind,
+        url_style: UrlStyle,
+        in_blocklist: bool,
+        shared_infra: bool,
+    ) -> ServiceId {
+        let id = ServiceId(self.graph.services.len() as u32);
+        let mut hosts = Vec::with_capacity(n_hosts);
+        let host_prefixes = ["t", "p", "sync", "ads", "cdn", "px", "api", "s", "img", "collect"];
+        // The bare TLD itself is always a valid host.
+        hosts.push(tld.clone());
+        let mut chosen: Vec<&str> = host_prefixes.to_vec();
+        chosen.shuffle(self.rng);
+        for prefix in chosen.into_iter().take(n_hosts.saturating_sub(1)) {
+            hosts.push(Domain::new(format!("{prefix}.{tld}")));
+        }
+        self.graph.services.push(ThirdPartyService {
+            id,
+            org,
+            tld,
+            hosts,
+            kind,
+            url_style,
+            in_blocklist,
+            shared_infra,
+        });
+        self.graph.orgs[org.0 as usize].services.push(id);
+        id
+    }
+
+    fn fresh_tld(&mut self, suffix: &str) -> Domain {
+        let name = synth_name(self.rng, AD_SYLLABLES, &mut self.used_names);
+        Domain::new(format!("{name}.{suffix}"))
+    }
+
+    /// Hand-authored heads of the market. Weights are relative embed shares.
+    fn build_majors(&mut self) {
+        let anycast = |codes: &[&str]| {
+            HostingPolicy::Anycast(
+                codes
+                    .iter()
+                    .map(|c| CountryCode::parse(c).expect("static code"))
+                    .collect(),
+            )
+        };
+        let us = CountryCode::parse("US").unwrap();
+
+        // Google-like: ad network + syndication CDN + exchange.
+        let gtrack = self.add_org(
+            "gtrack".into(),
+            us,
+            anycast(&[
+                "US", "CA", "BR", "GB", "IE", "DE", "NL", "FR", "ES", "IT", "AT", "SE", "FI",
+                "DK", "CZ", "HU", "RO", "GR", "PT", "BE", "JP", "SG", "AU",
+            ]),
+            30.0,
+        );
+        self.add_service(gtrack, Domain::new("gtrack.com"), 6, ServiceKind::AdNetwork, UrlStyle::Args, true, false);
+        self.add_service(gtrack, Domain::new("gsyndication.com"), 4, ServiceKind::AdCdn, UrlStyle::Args, true, false);
+        self.add_service(gtrack, Domain::new("doubleklick.net"), 5, ServiceKind::AdExchange, UrlStyle::ArgsAndKeywords, true, true);
+
+        // Amazon-like: DSP + exchange on cloud infrastructure.
+        let amzads = self.add_org(
+            "amzads".into(),
+            us,
+            anycast(&["US", "IE", "DE", "GB", "JP", "SG", "AU"]),
+            12.0,
+        );
+        self.add_service(amzads, Domain::new("amzads.com"), 4, ServiceKind::Dsp, UrlStyle::Args, true, false);
+        self.add_service(amzads, Domain::new("amz-sync.net"), 3, ServiceKind::CookieSync, UrlStyle::ArgsAndKeywords, false, true);
+
+        // Facebook-like: social widgets + pixel analytics.
+        let fbook = self.add_org(
+            "fbook".into(),
+            us,
+            anycast(&["US", "IE", "SE"]),
+            14.0,
+        );
+        self.add_service(fbook, Domain::new("fbook.com"), 4, ServiceKind::SocialWidget, UrlStyle::Args, true, false);
+        self.add_service(fbook, Domain::new("fbpixel.net"), 3, ServiceKind::Analytics, UrlStyle::Args, true, false);
+
+        // Large EU players.
+        let criteor = self.add_org(
+            "criteor".into(),
+            CountryCode::parse("FR").unwrap(),
+            anycast(&["FR", "NL", "DE", "GB", "AT", "ES", "IT", "US"]),
+            6.0,
+        );
+        self.add_service(criteor, Domain::new("criteor.com"), 4, ServiceKind::Dsp, UrlStyle::ArgsAndKeywords, true, false);
+
+        // Danish-seated, but serving out of hub datacenters (the paper's
+        // Fig. 8 shows almost no tracking terminating in Denmark).
+        let adformix = self.add_org(
+            "adformix".into(),
+            CountryCode::parse("DK").unwrap(),
+            anycast(&["NL", "DE", "GB", "AT", "US"]),
+            4.0,
+        );
+        self.add_service(adformix, Domain::new("adformix.net"), 3, ServiceKind::AdExchange, UrlStyle::ArgsAndKeywords, true, true);
+
+        // Polish-seated but, like its real-world counterpart, serving out
+        // of German/Dutch datacenters — the paper finds almost no tracking
+        // terminates in Poland (Fig. 12: 0.25 % for the PL ISP).
+        let rtbhaus = self.add_org(
+            "rtbhaus".into(),
+            CountryCode::parse("PL").unwrap(),
+            anycast(&["DE", "NL", "US"]),
+            3.0,
+        );
+        self.add_service(rtbhaus, Domain::new("rtbhaus.com"), 3, ServiceKind::Dsp, UrlStyle::ArgsAndKeywords, true, false);
+
+        let yanmetrica = self.add_org(
+            "yanmetrica".into(),
+            CountryCode::parse("RU").unwrap(),
+            anycast(&["RU", "DE", "FR"]),
+            3.0,
+        );
+        self.add_service(yanmetrica, Domain::new("yanmetrica.ru"), 3, ServiceKind::Analytics, UrlStyle::Args, true, false);
+
+        // National champions in selected markets (home-only hosting).
+        for (name, seat, weight) in [
+            ("ukvertise", "GB", 6.0),
+            ("hispavert", "ES", 3.0),
+            ("italmedia", "IT", 1.5),
+            ("germanad", "DE", 5.0),
+            ("galliapub", "FR", 2.0),
+            ("helladds", "GR", 0.8),
+            ("polskiad", "PL", 0.15),
+            ("magyarhir", "HU", 1.0),
+            ("dacia-ads", "RO", 0.5),
+            ("nipponad", "JP", 1.5),
+            ("brasilpub", "BR", 1.0),
+        ] {
+            let seat = CountryCode::parse(seat).unwrap();
+            let org = self.add_org(name.into(), seat, HostingPolicy::HomeOnly, weight);
+            let suffix = seat.as_str().to_ascii_lowercase();
+            let tld = Domain::new(format!("{name}.{suffix}"));
+            self.add_service(org, tld, 3, ServiceKind::AdNetwork, UrlStyle::Args, true, false);
+            self.national_orgs.entry(seat).or_default().push(org);
+        }
+    }
+
+    /// Population-scaled national ad orgs for every country.
+    fn build_national_orgs(&mut self) {
+        let countries: Vec<_> = WORLD.countries().to_vec();
+        for c in countries {
+            let n = (self.cfg.national_orgs_base * (c.population_m / 20.0).clamp(0.05, 3.0)).round() as usize;
+            for _ in 0..n {
+                // Weight by the domestic ad market's strength, not raw
+                // infrastructure (see `local_adtech`).
+                let weight = 0.02 + self.rng.gen::<f64>() * 0.5 * local_adtech(&c);
+                let suffix = c.code.as_str().to_ascii_lowercase();
+                let tld = self.fresh_tld(&suffix);
+                let org_name = tld.as_str().split('.').next().unwrap().to_owned();
+                let org = self.add_org(org_name, c.code, HostingPolicy::HomeOnly, weight);
+                let kind = if self.rng.gen::<f64>() < 0.7 {
+                    ServiceKind::AdNetwork
+                } else {
+                    ServiceKind::Analytics
+                };
+                let in_list = self.rng.gen::<f64>() < self.cfg.blocklist_coverage_canonical * 0.8;
+                let n_hosts = self.rng.gen_range(1..=3);
+                self.add_service(org, tld, n_hosts, kind, UrlStyle::Args, in_list, false);
+                self.national_orgs.entry(c.code).or_default().push(org);
+            }
+        }
+    }
+
+    fn sample_seat(&mut self) -> CountryCode {
+        let r = self.rng.gen::<f64>();
+        if r < 0.45 {
+            return CountryCode::parse("US").unwrap();
+        }
+        if r < 0.85 {
+            // EU country weighted by hosting weight.
+            let eu: Vec<_> = WORLD.eu28().collect();
+            let total: f64 = eu.iter().map(|c| c.hosting_weight).sum();
+            let mut x = self.rng.gen::<f64>() * total;
+            for c in &eu {
+                x -= c.hosting_weight;
+                if x <= 0.0 {
+                    return c.code;
+                }
+            }
+            return eu.last().unwrap().code;
+        }
+        // Other hosting-heavy countries.
+        let others = ["CH", "RU", "JP", "SG", "CA", "CN", "IN", "AU", "HK", "KR", "IL", "BR"];
+        CountryCode::parse(others[self.rng.gen_range(0..others.len())]).unwrap()
+    }
+
+    /// Countries a commodity CDN front (Cloudflare-like) serves from.
+    /// Trackers riding such CDNs have in-country alternatives almost
+    /// everywhere — the raw material of the paper's DNS-redirection
+    /// potential (Table 5).
+    const CDN_FOOTPRINT: &'static [&'static str] = &[
+        "US", "CA", "BR", "CL", "AR", "GB", "IE", "FR", "DE", "NL", "BE", "ES", "PT", "IT",
+        "CH", "AT", "PL", "CZ", "RO", "HU", "BG", "GR", "SE", "DK", "NO", "FI", "RU", "RS",
+        "TR", "JP", "SG", "HK", "TW", "KR", "MY", "TH", "IN", "AU", "NZ", "ZA", "EG", "KE",
+    ];
+
+    fn sample_hosting(&mut self, seat: CountryCode) -> HostingPolicy {
+        let hubs_eu = ["IE", "NL", "DE", "FR", "GB", "AT"];
+        let r = self.rng.gen::<f64>();
+        if r < 0.30 {
+            HostingPolicy::HomeOnly
+        } else if r < 0.42 {
+            // CDN-fronted: the tracker's hostnames resolve to CDN edges.
+            let mut set: Vec<CountryCode> = Self::CDN_FOOTPRINT
+                .iter()
+                .map(|c| CountryCode::parse(c).expect("static code"))
+                .collect();
+            if !set.contains(&seat) {
+                set.push(seat);
+            }
+            HostingPolicy::Anycast(set)
+        } else if r < 0.68 {
+            let seat_is_eu = WORLD.country(seat).map(|c| c.eu28).unwrap_or(false);
+            let hub = if seat_is_eu || self.rng.gen::<f64>() < 0.6 {
+                // EU orgs and most US orgs hub in a European datacenter
+                // country when they want European reach.
+                CountryCode::parse(hubs_eu[self.rng.gen_range(0..hubs_eu.len())]).unwrap()
+            } else {
+                CountryCode::parse("US").unwrap()
+            };
+            if hub == seat {
+                HostingPolicy::HomeOnly
+            } else {
+                HostingPolicy::RegionalHub { home: seat, hub }
+            }
+        } else {
+            // Anycast over 3-8 hosting-heavy countries, always incl. seat.
+            let mut set = vec![seat];
+            let all = WORLD.countries();
+            let total: f64 = all.iter().map(|c| c.hosting_weight).sum();
+            let n = self.rng.gen_range(4..=10);
+            while set.len() < n {
+                let mut x = self.rng.gen::<f64>() * total;
+                for c in all {
+                    x -= c.hosting_weight;
+                    if x <= 0.0 {
+                        if !set.contains(&c.code) {
+                            set.push(c.code);
+                        }
+                        break;
+                    }
+                }
+            }
+            HostingPolicy::Anycast(set)
+        }
+    }
+
+    /// Long-tail ad-tech orgs with mixed roles.
+    fn build_adtech_tail(&mut self) {
+        for _ in 0..self.cfg.n_adtech_orgs {
+            let seat = self.sample_seat();
+            let hosting = self.sample_hosting(seat);
+            let weight = 0.004 + self.rng.gen::<f64>().powi(3) * 0.22; // heavy tail of tiny orgs
+            let suffix = pick_suffix(self.rng, seat);
+            let tld0 = self.fresh_tld(suffix);
+            let org_name = tld0.as_str().split('.').next().unwrap().to_owned();
+            let is_us_home_only =
+                seat == CountryCode::parse("US").unwrap() && hosting == HostingPolicy::HomeOnly;
+            let org = self.add_org(org_name, seat, hosting, weight);
+            if is_us_home_only {
+                self.us_niche_orgs.push(org);
+            }
+            let n_services = self.rng.gen_range(1..=3);
+            for i in 0..n_services {
+                let tld = if i == 0 {
+                    tld0.clone()
+                } else {
+                    let suffix = pick_suffix(self.rng, seat);
+                    self.fresh_tld(suffix)
+                };
+                let kind = *[
+                    ServiceKind::AdNetwork,
+                    ServiceKind::Analytics,
+                    ServiceKind::AdExchange,
+                    ServiceKind::Ssp,
+                    ServiceKind::Dsp,
+                    ServiceKind::Dsp,
+                    ServiceKind::CookieSync,
+                    ServiceKind::AdCdn,
+                ]
+                .choose(self.rng)
+                .expect("non-empty");
+                let canonical = matches!(
+                    kind,
+                    ServiceKind::AdNetwork | ServiceKind::Analytics | ServiceKind::SocialWidget
+                );
+                let coverage = if canonical {
+                    self.cfg.blocklist_coverage_canonical
+                } else {
+                    self.cfg.blocklist_coverage_downstream
+                };
+                let in_list = self.rng.gen::<f64>() < coverage;
+                let style = match kind {
+                    ServiceKind::CookieSync => UrlStyle::ArgsAndKeywords,
+                    ServiceKind::AdExchange | ServiceKind::Ssp => {
+                        if self.rng.gen::<f64>() < 0.6 {
+                            UrlStyle::ArgsAndKeywords
+                        } else {
+                            UrlStyle::Args
+                        }
+                    }
+                    _ => UrlStyle::Args,
+                };
+                let shared = matches!(kind, ServiceKind::AdExchange | ServiceKind::CookieSync)
+                    && self.rng.gen::<f64>() < 0.5;
+                let n_hosts = self.rng.gen_range(2..=6);
+                self.add_service(org, tld, n_hosts, kind, style, in_list, shared);
+            }
+        }
+    }
+
+    /// Clean (non-tracking) third parties.
+    fn build_clean_orgs(&mut self) {
+        for _ in 0..self.cfg.n_clean_orgs {
+            let seat = self.sample_seat();
+            let hosting = self.sample_hosting(seat);
+            let suffix = pick_suffix(self.rng, seat);
+            let tld0 = self.fresh_tld(suffix);
+            let org_name = tld0.as_str().split('.').next().unwrap().to_owned();
+            let org = self.add_org(org_name, seat, hosting, 0.0);
+            let n_services = self.rng.gen_range(1..=2);
+            for i in 0..n_services {
+                let tld = if i == 0 {
+                    tld0.clone()
+                } else {
+                    let suffix = pick_suffix(self.rng, seat);
+                    self.fresh_tld(suffix)
+                };
+                let kind = *[
+                    ServiceKind::ChatWidget,
+                    ServiceKind::Comments,
+                    ServiceKind::Fonts,
+                    ServiceKind::Video,
+                ]
+                .choose(self.rng)
+                .expect("non-empty");
+                // Clean services: mostly plain content URLs, some with args
+                // (session ids) but never tracking keywords.
+                let style = if self.rng.gen::<f64>() < 0.8 {
+                    UrlStyle::Plain
+                } else {
+                    UrlStyle::Args
+                };
+                let n_hosts = self.rng.gen_range(2..=8);
+                self.add_service(org, tld, n_hosts, kind, style, false, false);
+            }
+        }
+    }
+
+    /// Weighted pick of a service of a given kind group from the whole
+    /// graph; returns `None` when no service matches.
+    fn pick_service_of(&mut self, pred: impl Fn(&ThirdPartyService) -> bool) -> Option<ServiceId> {
+        let candidates: Vec<(ServiceId, f64)> = self
+            .graph
+            .services
+            .iter()
+            .filter(|s| pred(s))
+            .map(|s| (s.id, self.graph.org_weight[s.org.0 as usize].max(1e-3)))
+            .collect();
+        pick_weighted(self.rng, &candidates)
+    }
+
+    /// RTB cascade template for every ad network.
+    fn build_cascades(&mut self) {
+        let ad_networks: Vec<ServiceId> = self
+            .graph
+            .services
+            .iter()
+            .filter(|s| s.kind == ServiceKind::AdNetwork)
+            .map(|s| s.id)
+            .collect();
+        for net in ad_networks {
+            let mut template = CascadeTemplate::default();
+            let big = self.graph.org_weight[self.graph.service(net).org.0 as usize] > 1.0;
+            let n_exchanges = if big { 2 } else { 1 };
+            for _ in 0..n_exchanges {
+                let Some(exch) = self.pick_service_of(|s| s.kind == ServiceKind::AdExchange) else {
+                    continue;
+                };
+                let exch_idx = template.push(CascadeStep {
+                    service: exch,
+                    probability: 0.9,
+                    depth: 1,
+                    parent: None,
+                });
+                let n_bidders = if big {
+                    self.rng.gen_range(3..=7)
+                } else {
+                    self.rng.gen_range(2..=4)
+                };
+                for _ in 0..n_bidders {
+                    let Some(bidder) = self.pick_service_of(|s| {
+                        matches!(s.kind, ServiceKind::Dsp | ServiceKind::Ssp)
+                    }) else {
+                        continue;
+                    };
+                    let p = 0.30 + self.rng.gen::<f64>() * 0.40;
+                    let bidder_idx = template.push(CascadeStep {
+                        service: bidder,
+                        probability: p,
+                        depth: 2,
+                        parent: Some(exch_idx),
+                    });
+                    if self.rng.gen::<f64>() < 0.55 {
+                        if let Some(sync) =
+                            self.pick_service_of(|s| s.kind == ServiceKind::CookieSync)
+                        {
+                            template.push(CascadeStep {
+                                service: sync,
+                                probability: 0.35 + self.rng.gen::<f64>() * 0.3,
+                                depth: 3,
+                                parent: Some(bidder_idx),
+                            });
+                        }
+                    }
+                }
+            }
+            // Creative delivery parallel to the auction.
+            if let Some(cdn) = self.pick_service_of(|s| s.kind == ServiceKind::AdCdn) {
+                template.push(CascadeStep {
+                    service: cdn,
+                    probability: 0.8,
+                    depth: 1,
+                    parent: None,
+                });
+            }
+            if !template.steps.is_empty() {
+                self.graph.cascades.insert(net, template);
+            }
+        }
+    }
+
+    fn sample_audience_country(&mut self) -> CountryCode {
+        // Weighted by population so national sites exist everywhere but
+        // big countries dominate.
+        let all = WORLD.countries();
+        let total: f64 = all.iter().map(|c| c.population_m).sum();
+        let mut x = self.rng.gen::<f64>() * total;
+        for c in all {
+            x -= c.population_m;
+            if x <= 0.0 {
+                return c.code;
+            }
+        }
+        all.last().expect("world non-empty").code
+    }
+
+    fn pick_embed_org(
+        &mut self,
+        kind_pred: impl Fn(&ThirdPartyService) -> bool + Copy,
+        audience: Audience,
+        category: SiteCategory,
+    ) -> Option<ServiceId> {
+        // Sensitive-category bias toward US-seated niche trackers.
+        let bias = us_niche_bias(category);
+        if bias > 0.0 && self.rng.gen::<f64>() < bias && !self.us_niche_orgs.is_empty() {
+            let org = self.us_niche_orgs[self.rng.gen_range(0..self.us_niche_orgs.len())];
+            let candidates: Vec<(ServiceId, f64)> = self.graph.orgs[org.0 as usize]
+                .services
+                .iter()
+                .map(|id| (*id, 1.0))
+                .collect();
+            if let Some(s) = pick_weighted(self.rng, &candidates) {
+                return Some(s);
+            }
+        }
+        // National-audience home bias, scaled by the strength of the
+        // country's domestic ad market.
+        if let Audience::National(country) = audience {
+            let strength = WORLD.country(country).map(|c| local_adtech(c)).unwrap_or(0.3);
+            if self.rng.gen::<f64>() < self.cfg.home_bias * strength {
+                if let Some(orgs) = self.national_orgs.get(&country) {
+                    if !orgs.is_empty() {
+                        let org = orgs[self.rng.gen_range(0..orgs.len())];
+                        let candidates: Vec<(ServiceId, f64)> = self.graph.orgs[org.0 as usize]
+                            .services
+                            .iter()
+                            .filter(|id| kind_pred(self.graph.service(**id)))
+                            .map(|id| (*id, 1.0))
+                            .collect();
+                        if let Some(s) = pick_weighted(self.rng, &candidates) {
+                            return Some(s);
+                        }
+                        // National org lacks the kind: fall back to any of
+                        // its services (national trackers are embedded for
+                        // who they are, not what protocol they speak).
+                        let any: Vec<(ServiceId, f64)> = self.graph.orgs[org.0 as usize]
+                            .services
+                            .iter()
+                            .map(|id| (*id, 1.0))
+                            .collect();
+                        if let Some(s) = pick_weighted(self.rng, &any) {
+                            return Some(s);
+                        }
+                    }
+                }
+            }
+        }
+        self.pick_service_of(kind_pred)
+    }
+
+    fn build_publishers(&mut self) {
+        let n = self.cfg.n_publishers;
+        let n_sensitive = (n as f64 * self.cfg.sensitive_fraction).round() as usize;
+        let sensitive_start = n - n_sensitive; // sensitive sites live in the tail
+
+        for rank in 0..n {
+            let popularity = 1.0 / ((rank + 1) as f64).powf(self.cfg.zipf_exponent);
+            let sensitive = rank >= sensitive_start;
+            let category = if sensitive {
+                pick_weighted(
+                    self.rng,
+                    &SENSITIVE_CATEGORY_WEIGHTS
+                        .iter()
+                        .map(|(c, w)| (*c, *w))
+                        .collect::<Vec<_>>(),
+                )
+                .expect("weights non-empty")
+            } else {
+                let general: Vec<SiteCategory> = SiteCategory::ALL
+                    .iter()
+                    .copied()
+                    .filter(|c| !c.is_sensitive())
+                    .collect();
+                *general.choose(self.rng).expect("non-empty")
+            };
+            // Top of the ranking is global; the tail is mostly national.
+            let global_p = if rank < n / 10 { 0.8 } else { 0.25 };
+            let audience = if self.rng.gen::<f64>() < global_p {
+                Audience::Global
+            } else {
+                Audience::National(self.sample_audience_country())
+            };
+            let suffix = match audience {
+                Audience::Global => *["com", "net", "org", "io"].choose(self.rng).unwrap(),
+                Audience::National(c) => pick_suffix(self.rng, c),
+            };
+            let word = SITE_WORDS[self.rng.gen_range(0..SITE_WORDS.len())];
+            let name = synth_name(self.rng, AD_SYLLABLES, &mut self.used_names);
+            let domain = Domain::new(format!("{word}{name}.{suffix}"));
+
+            let mut embeds = Vec::new();
+            let n_ads = sample_count(self.rng, self.cfg.mean_ad_networks);
+            for _ in 0..n_ads {
+                if let Some(s) = self.pick_embed_org(
+                    |s| s.kind == ServiceKind::AdNetwork,
+                    audience,
+                    category,
+                ) {
+                    embeds.push(Embed {
+                        service: s,
+                        mode: embed_mode(self.rng, 0.2),
+                        probability: 0.6 + self.rng.gen::<f64>() * 0.35,
+                    });
+                }
+            }
+            let n_analytics = sample_count(self.rng, self.cfg.mean_analytics);
+            for _ in 0..n_analytics {
+                if let Some(s) = self.pick_embed_org(
+                    |s| s.kind == ServiceKind::Analytics,
+                    audience,
+                    category,
+                ) {
+                    embeds.push(Embed {
+                        service: s,
+                        mode: EmbedMode::FirstPartyContext,
+                        probability: 0.8 + self.rng.gen::<f64>() * 0.2,
+                    });
+                }
+            }
+            let n_social = sample_count(self.rng, self.cfg.mean_social);
+            for _ in 0..n_social {
+                if let Some(s) = self.pick_embed_org(
+                    |s| s.kind == ServiceKind::SocialWidget,
+                    audience,
+                    category,
+                ) {
+                    embeds.push(Embed {
+                        service: s,
+                        mode: embed_mode(self.rng, 0.3),
+                        probability: 0.5 + self.rng.gen::<f64>() * 0.4,
+                    });
+                }
+            }
+            let n_clean = sample_count(self.rng, self.cfg.mean_clean);
+            for _ in 0..n_clean {
+                if let Some(s) = self.pick_service_of(|s| !s.kind.is_tracking()) {
+                    embeds.push(Embed {
+                        service: s,
+                        mode: embed_mode(self.rng, 0.15),
+                        probability: 0.5 + self.rng.gen::<f64>() * 0.45,
+                    });
+                }
+            }
+
+            self.graph.publishers.push(Publisher {
+                id: PublisherId(rank as u32),
+                domain,
+                category,
+                audience,
+                popularity,
+                embeds,
+            });
+        }
+    }
+}
+
+fn embed_mode<R: Rng + ?Sized>(rng: &mut R, on_interaction_p: f64) -> EmbedMode {
+    let r = rng.gen::<f64>();
+    if r < on_interaction_p {
+        EmbedMode::OnInteraction
+    } else if r < on_interaction_p + 0.5 {
+        EmbedMode::FirstPartyContext
+    } else {
+        EmbedMode::ThirdPartyContext
+    }
+}
+
+/// Truncated-geometric-ish small count with the given mean.
+fn sample_count<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    // Geometric with success prob 1/(mean+1), capped at 6*mean.
+    let p = 1.0 / (mean + 1.0);
+    let cap = (mean * 6.0).ceil() as usize;
+    let mut n = 0usize;
+    while n < cap && rng.gen::<f64>() > p {
+        n += 1;
+    }
+    n
+}
+
+fn pick_weighted<R: Rng + ?Sized, T: Copy>(rng: &mut R, items: &[(T, f64)]) -> Option<T> {
+    let total: f64 = items.iter().map(|(_, w)| w).sum();
+    if items.is_empty() || total <= 0.0 {
+        return None;
+    }
+    let mut x = rng.gen::<f64>() * total;
+    for (item, w) in items {
+        x -= w;
+        if x <= 0.0 {
+            return Some(*item);
+        }
+    }
+    Some(items.last().expect("non-empty").0)
+}
+
+/// Suffix flavour for a country: its ccTLD when we model it, else .com.
+fn pick_suffix<R: Rng + ?Sized>(rng: &mut R, country: CountryCode) -> &'static str {
+    let cc = country.as_str().to_ascii_lowercase();
+    let known = crate::domain::PUBLIC_SUFFIXES.iter().find(|s| **s == cc);
+    match known {
+        Some(s) if rng.gen::<f64>() < 0.6 => s,
+        _ => {
+            if rng.gen::<f64>() < 0.7 {
+                "com"
+            } else {
+                "net"
+            }
+        }
+    }
+}
+
+/// Generates a complete web graph from the configuration.
+pub fn generate<R: Rng>(cfg: &WebGraphConfig, rng: &mut R) -> WebGraph {
+    let mut b = Builder::new(cfg, rng);
+    b.build_majors();
+    b.build_national_orgs();
+    b.build_adtech_tail();
+    b.build_clean_orgs();
+    b.build_cascades();
+    b.build_publishers();
+    let mut graph = b.graph;
+    graph.reindex();
+    debug_assert!(graph.validate().is_ok());
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn small_graph(seed: u64) -> WebGraph {
+        let cfg = WebGraphConfig::small();
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_graph(7);
+        let b = small_graph(7);
+        assert_eq!(a.publishers.len(), b.publishers.len());
+        assert_eq!(a.services.len(), b.services.len());
+        for (x, y) in a.publishers.iter().zip(&b.publishers) {
+            assert_eq!(x.domain, y.domain);
+            assert_eq!(x.embeds.len(), y.embeds.len());
+        }
+        for (x, y) in a.services.iter().zip(&b.services) {
+            assert_eq!(x.tld, y.tld);
+            assert_eq!(x.hosts, y.hosts);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_graph(1);
+        let b = small_graph(2);
+        let same = a
+            .publishers
+            .iter()
+            .zip(&b.publishers)
+            .filter(|(x, y)| x.domain == y.domain)
+            .count();
+        assert!(same < a.publishers.len() / 2);
+    }
+
+    #[test]
+    fn graph_validates() {
+        let g = small_graph(3);
+        g.validate().expect("valid graph");
+    }
+
+    #[test]
+    fn has_major_orgs_and_tail() {
+        let g = small_graph(4);
+        assert!(g.orgs.iter().any(|o| o.name == "gtrack"));
+        assert!(g.orgs.iter().any(|o| o.name == "fbook"));
+        assert!(g.orgs.len() > 100);
+    }
+
+    #[test]
+    fn sensitive_sites_live_in_popularity_tail() {
+        let g = small_graph(5);
+        let sensitive: Vec<_> = g.publishers.iter().filter(|p| p.category.is_sensitive()).collect();
+        assert!(!sensitive.is_empty());
+        let max_sensitive_pop = sensitive.iter().map(|p| p.popularity).fold(0.0, f64::max);
+        let top_pop = g.publishers[0].popularity;
+        assert!(max_sensitive_pop < top_pop / 10.0);
+    }
+
+    #[test]
+    fn tracking_and_clean_services_exist() {
+        let g = small_graph(6);
+        let tracking = g.services.iter().filter(|s| s.is_tracking()).count();
+        let clean = g.services.len() - tracking;
+        assert!(tracking > 50, "tracking {tracking}");
+        assert!(clean > 20, "clean {clean}");
+    }
+
+    #[test]
+    fn blocklist_covers_minority_of_downstream() {
+        let g = small_graph(8);
+        let (mut down_listed, mut down_total) = (0, 0);
+        for s in &g.services {
+            if s.kind.is_rtb_downstream() {
+                down_total += 1;
+                if s.in_blocklist {
+                    down_listed += 1;
+                }
+            }
+        }
+        assert!(down_total > 0);
+        let share = down_listed as f64 / down_total as f64;
+        assert!(share < 0.6, "downstream coverage {share}");
+    }
+
+    #[test]
+    fn ad_networks_have_cascades() {
+        let g = small_graph(9);
+        let nets: Vec<_> = g
+            .services
+            .iter()
+            .filter(|s| s.kind == ServiceKind::AdNetwork)
+            .collect();
+        let with_cascade = nets.iter().filter(|s| g.cascades.contains_key(&s.id)).count();
+        assert!(with_cascade * 10 >= nets.len() * 9, "{with_cascade}/{}", nets.len());
+    }
+
+    #[test]
+    fn cascade_steps_reference_rtb_services() {
+        let g = small_graph(10);
+        for t in g.cascades.values() {
+            for step in &t.steps {
+                let s = g.service(step.service);
+                assert!(
+                    s.kind.is_rtb_downstream(),
+                    "cascade step to non-RTB kind {:?}",
+                    s.kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn national_orgs_are_home_hosted() {
+        let g = small_graph(11);
+        // The hand-authored national champions keep HomeOnly hosting.
+        let uk = g.orgs.iter().find(|o| o.name == "ukvertise").unwrap();
+        assert_eq!(uk.hosting, HostingPolicy::HomeOnly);
+        assert_eq!(uk.legal_seat, CountryCode::parse("GB").unwrap());
+    }
+
+    #[test]
+    fn publishers_have_embeds() {
+        let g = small_graph(12);
+        let with_embeds = g.publishers.iter().filter(|p| !p.embeds.is_empty()).count();
+        assert!(with_embeds * 10 >= g.publishers.len() * 9);
+        let mean: f64 = g.publishers.iter().map(|p| p.embeds.len() as f64).sum::<f64>()
+            / g.publishers.len() as f64;
+        assert!(mean > 5.0, "mean embeds {mean}");
+    }
+
+    #[test]
+    fn porn_sites_lean_on_us_niche_trackers() {
+        // Statistical test over many publishers: porn sites' ad embeds hit
+        // US-seated home-only orgs more often than news sites'.
+        let mut cfg = WebGraphConfig::small();
+        cfg.n_publishers = 2000;
+        cfg.sensitive_fraction = 0.5;
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = generate(&cfg, &mut rng);
+        let us = CountryCode::parse("US").unwrap();
+        let us_home_share = |cat: SiteCategory| -> f64 {
+            let mut hits = 0usize;
+            let mut total = 0usize;
+            for p in g.publishers.iter().filter(|p| p.category == cat) {
+                for e in &p.embeds {
+                    let org = g.org_of(e.service);
+                    if !g.service(e.service).is_tracking() {
+                        continue;
+                    }
+                    total += 1;
+                    if org.legal_seat == us && org.hosting == HostingPolicy::HomeOnly {
+                        hits += 1;
+                    }
+                }
+            }
+            if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            }
+        };
+        let porn = us_home_share(SiteCategory::Porn);
+        let news = us_home_share(SiteCategory::News);
+        assert!(porn > news + 0.1, "porn {porn} vs news {news}");
+    }
+
+    #[test]
+    fn sample_count_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let n = 20_000;
+        let mean_target = 5.0;
+        let total: usize = (0..n).map(|_| sample_count(&mut rng, mean_target)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - mean_target).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn pick_weighted_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let items = [(0usize, 9.0), (1usize, 1.0)];
+        let hits = (0..10_000)
+            .filter(|_| pick_weighted(&mut rng, &items) == Some(0))
+            .count();
+        let share = hits as f64 / 10_000.0;
+        assert!((share - 0.9).abs() < 0.03, "share {share}");
+    }
+
+    #[test]
+    fn pick_weighted_empty_is_none() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let items: [(usize, f64); 0] = [];
+        assert_eq!(pick_weighted(&mut rng, &items), None);
+        let zero = [(1usize, 0.0)];
+        assert_eq!(pick_weighted(&mut rng, &zero), None);
+    }
+}

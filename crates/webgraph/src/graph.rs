@@ -1,0 +1,232 @@
+//! The assembled web graph: publishers, services, orgs, cascades.
+
+use crate::cascade::CascadeTemplate;
+use crate::domain::Domain;
+use crate::publisher::{Publisher, PublisherId};
+use crate::service::{ServiceId, ServiceOrg, ServiceOrgId, ThirdPartyService};
+use std::collections::HashMap;
+
+/// The static content of a synthetic web: everything `xborder-browser`
+/// needs to simulate sessions and everything `xborder-core` needs to build
+/// infrastructure and DNS zones.
+#[derive(Debug, Default)]
+pub struct WebGraph {
+    /// Publisher sites, indexed by [`PublisherId`].
+    pub publishers: Vec<Publisher>,
+    /// Third-party services, indexed by [`ServiceId`].
+    pub services: Vec<ThirdPartyService>,
+    /// Service organizations, indexed by [`ServiceOrgId`].
+    pub orgs: Vec<ServiceOrg>,
+    /// RTB cascade template per *ad network* service.
+    pub cascades: HashMap<ServiceId, CascadeTemplate>,
+    /// Relative market share of each org in embed selection (same index as
+    /// `orgs`); majors are head-heavy.
+    pub org_weight: Vec<f64>,
+    host_index: HashMap<Domain, ServiceId>,
+}
+
+impl WebGraph {
+    /// Looks up a publisher.
+    pub fn publisher(&self, id: PublisherId) -> &Publisher {
+        &self.publishers[id.0 as usize]
+    }
+
+    /// Looks up a service.
+    pub fn service(&self, id: ServiceId) -> &ThirdPartyService {
+        &self.services[id.0 as usize]
+    }
+
+    /// Looks up a service org.
+    pub fn org(&self, id: ServiceOrgId) -> &ServiceOrg {
+        &self.orgs[id.0 as usize]
+    }
+
+    /// The org operating a service.
+    pub fn org_of(&self, id: ServiceId) -> &ServiceOrg {
+        self.org(self.service(id).org)
+    }
+
+    /// Resolves a request host (FQDN) to the service it belongs to.
+    pub fn service_by_host(&self, host: &Domain) -> Option<ServiceId> {
+        self.host_index.get(host).copied()
+    }
+
+    /// Rebuilds the host index; called by the generator after mutation.
+    pub fn reindex(&mut self) {
+        self.host_index.clear();
+        for s in &self.services {
+            for h in &s.hosts {
+                let prev = self.host_index.insert(h.clone(), s.id);
+                assert!(prev.is_none(), "host {h} assigned to two services");
+            }
+        }
+    }
+
+    /// Total number of distinct third-party FQDNs.
+    pub fn n_third_party_fqdns(&self) -> usize {
+        self.services.iter().map(|s| s.hosts.len()).sum()
+    }
+
+    /// Number of distinct tracking pay-level domains (ground truth).
+    pub fn n_tracking_tlds(&self) -> usize {
+        self.services.iter().filter(|s| s.is_tracking()).count()
+    }
+
+    /// Number of distinct tracking FQDNs (ground truth).
+    pub fn n_tracking_fqdns(&self) -> usize {
+        self.services
+            .iter()
+            .filter(|s| s.is_tracking())
+            .map(|s| s.hosts.len())
+            .sum()
+    }
+
+    /// Structural invariants; the generator's tests run this on every
+    /// configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, p) in self.publishers.iter().enumerate() {
+            if p.id.0 as usize != i {
+                return Err(format!("publisher {i} has id {:?}", p.id));
+            }
+            for e in &p.embeds {
+                if e.service.0 as usize >= self.services.len() {
+                    return Err(format!("publisher {} embeds unknown service", p.domain));
+                }
+                if !(0.0..=1.0).contains(&e.probability) {
+                    return Err(format!("embed probability {} out of range", e.probability));
+                }
+            }
+        }
+        for (i, s) in self.services.iter().enumerate() {
+            if s.id.0 as usize != i {
+                return Err(format!("service {i} has id {:?}", s.id));
+            }
+            if s.org.0 as usize >= self.orgs.len() {
+                return Err(format!("service {} has unknown org", s.tld));
+            }
+            if s.hosts.is_empty() {
+                return Err(format!("service {} has no hosts", s.tld));
+            }
+            for h in &s.hosts {
+                if !h.is_subdomain_of(&s.tld) {
+                    return Err(format!("host {h} not under service tld {}", s.tld));
+                }
+                if self.host_index.get(h) != Some(&s.id) {
+                    return Err(format!("host {h} missing from index"));
+                }
+            }
+        }
+        for (i, o) in self.orgs.iter().enumerate() {
+            if o.id.0 as usize != i {
+                return Err(format!("org {i} has id {:?}", o.id));
+            }
+            for sid in &o.services {
+                if self.service(*sid).org != o.id {
+                    return Err(format!("org {} service backlink broken", o.name));
+                }
+            }
+        }
+        for (net, t) in &self.cascades {
+            if net.0 as usize >= self.services.len() {
+                return Err("cascade attached to unknown service".into());
+            }
+            for step in &t.steps {
+                if step.service.0 as usize >= self.services.len() {
+                    return Err("cascade step references unknown service".into());
+                }
+                if !(0.0..=1.0).contains(&step.probability) {
+                    return Err(format!("cascade probability {} out of range", step.probability));
+                }
+            }
+        }
+        if self.org_weight.len() != self.orgs.len() {
+            return Err("org_weight length mismatch".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::SiteCategory;
+    use crate::service::{HostingPolicy, ServiceKind};
+    use crate::url::UrlStyle;
+    use xborder_geo::cc;
+
+    fn tiny_graph() -> WebGraph {
+        let mut g = WebGraph::default();
+        g.orgs.push(ServiceOrg {
+            id: ServiceOrgId(0),
+            name: "t-org".into(),
+            legal_seat: cc!("US"),
+            hosting: HostingPolicy::HomeOnly,
+            services: vec![ServiceId(0)],
+        });
+        g.org_weight.push(1.0);
+        g.services.push(ThirdPartyService {
+            id: ServiceId(0),
+            org: ServiceOrgId(0),
+            tld: Domain::new("track.com"),
+            hosts: vec![Domain::new("t.track.com")],
+            kind: ServiceKind::Analytics,
+            url_style: UrlStyle::Args,
+            in_blocklist: true,
+            shared_infra: false,
+        });
+        g.publishers.push(Publisher {
+            id: PublisherId(0),
+            domain: Domain::new("news.example.com"),
+            category: SiteCategory::News,
+            audience: crate::publisher::Audience::Global,
+            popularity: 1.0,
+            embeds: vec![],
+        });
+        g.reindex();
+        g
+    }
+
+    #[test]
+    fn tiny_graph_validates() {
+        let g = tiny_graph();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.n_third_party_fqdns(), 1);
+        assert_eq!(g.n_tracking_tlds(), 1);
+    }
+
+    #[test]
+    fn host_lookup() {
+        let g = tiny_graph();
+        assert_eq!(
+            g.service_by_host(&Domain::new("t.track.com")),
+            Some(ServiceId(0))
+        );
+        assert_eq!(g.service_by_host(&Domain::new("nope.com")), None);
+    }
+
+    #[test]
+    fn validate_catches_host_outside_tld() {
+        let mut g = tiny_graph();
+        g.services[0].hosts.push(Domain::new("elsewhere.net"));
+        g.reindex();
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "two services")]
+    fn reindex_rejects_duplicate_hosts() {
+        let mut g = tiny_graph();
+        g.orgs[0].services.push(ServiceId(1));
+        g.services.push(ThirdPartyService {
+            id: ServiceId(1),
+            org: ServiceOrgId(0),
+            tld: Domain::new("track.com"),
+            hosts: vec![Domain::new("t.track.com")],
+            kind: ServiceKind::Analytics,
+            url_style: UrlStyle::Args,
+            in_blocklist: false,
+            shared_infra: false,
+        });
+        g.reindex();
+    }
+}

@@ -1,0 +1,186 @@
+//! Third-party services and the organizations operating them.
+
+use crate::domain::Domain;
+use crate::url::UrlStyle;
+use serde::{Deserialize, Serialize};
+use xborder_geo::CountryCode;
+
+/// Index of a third-party service within a [`crate::WebGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServiceId(pub u32);
+
+/// Index of a service organization within a [`crate::WebGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServiceOrgId(pub u32);
+
+/// What a third-party service does.
+///
+/// The tracking-relevant kinds mirror the RTB ecosystem diagram of the
+/// paper's Fig. 1; the non-tracking kinds are the "clean" third-party flows
+/// of Fig. 2 (live chat, comments, fonts, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceKind {
+    /// Ad network front end (initiates ad slots, e.g. syndication hosts).
+    AdNetwork,
+    /// Ad exchange running RTB auctions.
+    AdExchange,
+    /// Supply-side platform.
+    Ssp,
+    /// Demand-side platform / bidder.
+    Dsp,
+    /// Analytics / audience measurement.
+    Analytics,
+    /// Cookie-sync / identity-matching endpoint.
+    CookieSync,
+    /// Content delivery of ad creatives.
+    AdCdn,
+    /// Live-chat widget (non-tracking).
+    ChatWidget,
+    /// Commenting platform (non-tracking).
+    Comments,
+    /// Web fonts / static assets (non-tracking).
+    Fonts,
+    /// Embedded video player (non-tracking).
+    Video,
+    /// Social share buttons: tracking in practice.
+    SocialWidget,
+}
+
+impl ServiceKind {
+    /// Ground truth: does this kind of service track users?
+    ///
+    /// This is the label the classifiers in `xborder-classify` are evaluated
+    /// against; they never read it directly.
+    pub fn is_tracking(&self) -> bool {
+        !matches!(
+            self,
+            ServiceKind::ChatWidget | ServiceKind::Comments | ServiceKind::Fonts | ServiceKind::Video
+        )
+    }
+
+    /// Kinds that participate in RTB cascades downstream of an ad network.
+    pub fn is_rtb_downstream(&self) -> bool {
+        matches!(
+            self,
+            ServiceKind::AdExchange | ServiceKind::Ssp | ServiceKind::Dsp | ServiceKind::CookieSync | ServiceKind::AdCdn
+        )
+    }
+}
+
+/// Where an organization deploys its servers.
+///
+/// Expressed as country sets so `xborder-core` can materialize it onto
+/// `xborder-netsim` PoPs without a dependency cycle. The variants encode the
+/// deployment archetypes behind the paper's findings: big US ad-tech with
+/// European PoPs (high EU28 confinement under correct geolocation), US-only
+/// niche trackers (leakage), and regional/national players.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HostingPolicy {
+    /// Servers only in the org's home country.
+    HomeOnly,
+    /// Global anycast-style footprint over the given countries; DNS maps
+    /// users to the nearest one.
+    Anycast(Vec<CountryCode>),
+    /// A single hub country serving a whole region (e.g. Ireland or the
+    /// Netherlands for Europe) plus the home country.
+    RegionalHub {
+        /// Home-country deployment.
+        home: CountryCode,
+        /// The hub serving the rest of the region.
+        hub: CountryCode,
+    },
+}
+
+impl HostingPolicy {
+    /// All countries this policy puts servers in.
+    pub fn countries(&self) -> Vec<CountryCode> {
+        match self {
+            HostingPolicy::HomeOnly => Vec::new(), // resolved against org seat
+            HostingPolicy::Anycast(list) => list.clone(),
+            HostingPolicy::RegionalHub { home, hub } => vec![*home, *hub],
+        }
+    }
+}
+
+/// An organization operating one or more third-party services.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceOrg {
+    /// Identifier within the web graph.
+    pub id: ServiceOrgId,
+    /// Display name; unique within a world.
+    pub name: String,
+    /// Country of incorporation. Registry geolocation databases place this
+    /// org's servers here regardless of physical location.
+    pub legal_seat: CountryCode,
+    /// Deployment footprint.
+    pub hosting: HostingPolicy,
+    /// Services (distinct pay-level domains) this org operates.
+    pub services: Vec<ServiceId>,
+}
+
+/// A third-party service: one pay-level domain with one or more hosts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThirdPartyService {
+    /// Identifier within the web graph.
+    pub id: ServiceId,
+    /// Operating organization.
+    pub org: ServiceOrgId,
+    /// The service's pay-level domain ("TLD" in paper terms).
+    pub tld: Domain,
+    /// Concrete request hosts (FQDNs) under [`ThirdPartyService::tld`].
+    pub hosts: Vec<Domain>,
+    /// Role in the ecosystem.
+    pub kind: ServiceKind,
+    /// Shape of this service's request URLs.
+    pub url_style: UrlStyle,
+    /// Whether the easylist/easyprivacy-style blocklists have rules for this
+    /// service. Canonical trackers are listed; cascade-only domains mostly
+    /// are not — that gap is what the paper's semi-automatic pass closes.
+    pub in_blocklist: bool,
+    /// Whether this service's servers are *dedicated* (single TLD per IP) or
+    /// shared ad-exchange infrastructure serving many domains (paper
+    /// Fig. 4/5).
+    pub shared_infra: bool,
+}
+
+impl ThirdPartyService {
+    /// Ground-truth tracking label (never read by classifiers).
+    pub fn is_tracking(&self) -> bool {
+        self.kind.is_tracking()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xborder_geo::cc;
+
+    #[test]
+    fn tracking_ground_truth_by_kind() {
+        assert!(ServiceKind::AdExchange.is_tracking());
+        assert!(ServiceKind::Analytics.is_tracking());
+        assert!(ServiceKind::SocialWidget.is_tracking());
+        assert!(!ServiceKind::ChatWidget.is_tracking());
+        assert!(!ServiceKind::Fonts.is_tracking());
+    }
+
+    #[test]
+    fn rtb_downstream_kinds() {
+        assert!(ServiceKind::CookieSync.is_rtb_downstream());
+        assert!(ServiceKind::Dsp.is_rtb_downstream());
+        assert!(!ServiceKind::AdNetwork.is_rtb_downstream());
+        assert!(!ServiceKind::Comments.is_rtb_downstream());
+    }
+
+    #[test]
+    fn hosting_policy_countries() {
+        let p = HostingPolicy::RegionalHub {
+            home: cc!("US"),
+            hub: cc!("IE"),
+        };
+        assert_eq!(p.countries(), vec![cc!("US"), cc!("IE")]);
+        assert!(HostingPolicy::HomeOnly.countries().is_empty());
+        let a = HostingPolicy::Anycast(vec![cc!("US"), cc!("DE"), cc!("SG")]);
+        assert_eq!(a.countries().len(), 3);
+    }
+}

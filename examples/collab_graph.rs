@@ -1,0 +1,40 @@
+//! Beyond the endpoint: who hands my data to whom?
+//!
+//! The paper traces where tracking flows *terminate*; its stated future
+//! work is tracing the exchange *between* trackers. This example builds
+//! the inter-tracker collaboration graph from RTB referrer chains and
+//! reports where the handoffs cross borders.
+//!
+//! ```sh
+//! cargo run --release --example collab_graph
+//! ```
+
+use xborder::collab::{fmt_collab, CollabGraph};
+use xborder::pipeline::run_extension_pipeline;
+use xborder::{World, WorldConfig};
+
+fn main() {
+    let mut world = World::build(WorldConfig::small(55));
+    let out = run_extension_pipeline(&mut world);
+    let graph = CollabGraph::build(&world, &out, &out.ipmap_estimates);
+
+    println!("{}", fmt_collab(&graph));
+
+    println!("widest data spreaders (out-degree):");
+    for (org, degree) in graph.out_degrees().into_iter().take(8) {
+        println!("  {org:<16} shares data with {degree} partners");
+    }
+
+    // The regulator's angle: handoffs that punch through the EU28 border
+    // are invisible to an endpoint-only audit.
+    println!(
+        "\n{:.1}% of inter-tracker handoffs cross a country border;",
+        graph.cross_country_share() * 100.0
+    );
+    println!(
+        "{:.1}% cross the EU28 boundary mid-chain — an endpoint-only analysis\n\
+         (the paper's, and any audit that stops at the first tracker) never\n\
+         sees these transfers.",
+        graph.eu28_boundary_share() * 100.0
+    );
+}

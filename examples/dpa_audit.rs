@@ -1,0 +1,107 @@
+//! A Data-Protection-Authority audit scenario.
+//!
+//! The paper's motivation (Sect. 2.1): a national DPA can investigate a
+//! complaint in depth only when the tracking endpoint sits inside its
+//! jurisdiction. This example plays DPA for one country: it finds tracking
+//! flows on GDPR-sensitive sites whose data leaves the country — and names
+//! the operators behind them, ranked by exposure.
+//!
+//! ```sh
+//! cargo run --release --example dpa_audit -- ES
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use xborder::pipeline::run_extension_pipeline;
+use xborder::sensitive::{detect_sensitive_sites, DetectorConfig};
+use xborder::{World, WorldConfig};
+use xborder_geo::{CountryCode, WORLD};
+
+fn main() {
+    let country = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ES".to_owned());
+    let country = CountryCode::parse(&country).expect("pass an ISO alpha-2 code, e.g. ES");
+    let country_info = WORLD.country(country).expect("country in world table");
+    println!("=== DPA audit for {} ===", country_info.name);
+
+    let mut world = World::build(WorldConfig::small(7));
+    let out = run_extension_pipeline(&mut world);
+    let mut rng = StdRng::seed_from_u64(99);
+    let sites = detect_sensitive_sites(&world.graph, &DetectorConfig::default(), &mut rng);
+
+    // Walk every tracking flow of this country's users on sensitive sites
+    // and tally the operators receiving data abroad.
+    struct Exposure {
+        flows: u64,
+        abroad: u64,
+        categories: Vec<&'static str>,
+        dest_countries: Vec<String>,
+    }
+    let mut per_org: HashMap<String, Exposure> = HashMap::new();
+    for (i, r) in out.dataset.requests.iter().enumerate() {
+        if !out.classification.is_tracking(i) {
+            continue;
+        }
+        if out.dataset.user_country(r.user) != country {
+            continue;
+        }
+        let Some(category) = sites.detected.get(&r.publisher) else {
+            continue;
+        };
+        let Some(est) = out.ipmap_estimates.get(&r.ip) else {
+            continue;
+        };
+        let org_name = world
+            .graph
+            .service_by_host(&r.host)
+            .map(|sid| world.graph.org_of(sid).name.clone())
+            .unwrap_or_else(|| "unknown".to_owned());
+        let e = per_org.entry(org_name).or_insert(Exposure {
+            flows: 0,
+            abroad: 0,
+            categories: Vec::new(),
+            dest_countries: Vec::new(),
+        });
+        e.flows += 1;
+        if est.country != country {
+            e.abroad += 1;
+            let dest = WORLD.country_or_panic(est.country).name.to_owned();
+            if !e.dest_countries.contains(&dest) {
+                e.dest_countries.push(dest);
+            }
+        }
+        if !e.categories.contains(&category.slug()) {
+            e.categories.push(category.slug());
+        }
+    }
+
+    let mut rows: Vec<_> = per_org.into_iter().collect();
+    rows.sort_by(|a, b| b.1.abroad.cmp(&a.1.abroad));
+    if rows.is_empty() {
+        println!("no sensitive tracking flows observed for this country's users");
+        println!("(small worlds have few users per country — try ES, GB, DE, IT)");
+        return;
+    }
+    println!(
+        "{} operators received sensitive-category tracking data from {} users:",
+        rows.len(),
+        country_info.name
+    );
+    for (org, e) in rows.iter().take(15) {
+        println!(
+            "  {org:<16} {:>5} flows, {:>5} cross-border -> [{}]  categories: {}",
+            e.flows,
+            e.abroad,
+            e.dest_countries.join(", "),
+            e.categories.join(", ")
+        );
+    }
+    let total: u64 = rows.iter().map(|(_, e)| e.flows).sum();
+    let abroad: u64 = rows.iter().map(|(_, e)| e.abroad).sum();
+    println!(
+        "\nsummary: {abroad}/{total} sensitive tracking flows left the country ({:.1}%)",
+        abroad as f64 / total.max(1) as f64 * 100.0
+    );
+}

@@ -1,0 +1,63 @@
+//! Quickstart: build a world, run the measurement pipeline, print the
+//! paper's headline result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use xborder::confine::{region_breakdown_eu28, region_matrix};
+use xborder::pipeline::run_extension_pipeline;
+use xborder::{World, WorldConfig};
+use xborder_geo::Region;
+
+fn main() {
+    // 1. A deterministic synthetic world: publishers, trackers, servers,
+    //    DNS. Use `WorldConfig::paper_scale` for full-size runs.
+    let mut world = World::build(WorldConfig::small(42));
+    println!("built {world:?}");
+
+    // 2. Simulate the 4.5-month browser-extension study and run the whole
+    //    measurement pipeline: classification, pDNS completion,
+    //    geolocation with three providers.
+    let out = run_extension_pipeline(&mut world);
+    let stats = out.dataset.stats();
+    println!(
+        "dataset: {} users, {} visits, {} third-party requests",
+        stats.n_users, stats.n_first_party_requests, stats.n_third_party_requests
+    );
+    println!(
+        "classified tracking: {} via blocklists + {} via the semi-automatic pass",
+        out.classification.abp.n_total_requests, out.classification.semi.n_total_requests
+    );
+    println!(
+        "tracker IPs: {} observed, +{} from passive DNS (+{:.1}%)",
+        out.completion.n_observed,
+        out.completion.n_added,
+        out.completion.added_fraction() * 100.0
+    );
+
+    // 3. The headline: where do EU28 users' tracking flows terminate?
+    let ipmap = region_breakdown_eu28(&out, &out.ipmap_estimates);
+    let maxmind = region_breakdown_eu28(&out, &out.maxmind_estimates);
+    println!("\nEU28 users' tracking-flow destinations:");
+    println!(
+        "  under RIPE-IPmap-style geolocation: {:.1}% stay in EU28, {:.1}% to North America",
+        ipmap.share(Region::Eu28) * 100.0,
+        ipmap.share(Region::NorthAmerica) * 100.0
+    );
+    println!(
+        "  under MaxMind-style geolocation:    {:.1}% stay in EU28, {:.1}% to North America",
+        maxmind.share(Region::Eu28) * 100.0,
+        maxmind.share(Region::NorthAmerica) * 100.0
+    );
+    println!("  -> the geolocation method flips the conclusion (paper Fig. 7)");
+
+    // 4. Confinement by origin region (Fig. 6).
+    let m = region_matrix(&out, &out.ipmap_estimates);
+    println!("\nconfinement by origin region:");
+    for region in Region::ALL {
+        if m.outgoing(region) > 0 {
+            println!("  {:<16} {:.1}%", region.name(), m.confinement(region) * 100.0);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Shape tests: the qualitative findings of the paper must hold in the
+//! simulation — who wins, rough orderings, crossovers — independent of the
+//! seed. These encode the claims EXPERIMENTS.md tracks quantitatively.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+use xborder::confine::{country_matrix_eu28, region_breakdown_eu28};
+use xborder::ispstudy::{run_isp_study, IspStudyConfig, IspStudyResults};
+use xborder::pipeline::{run_extension_pipeline, StudyOutputs};
+use xborder::sensitive::{detect_sensitive_sites, trace_sensitive_flows, DetectorConfig};
+use xborder::{whatif, World, WorldConfig};
+use xborder_geo::{cc, Region};
+
+struct Shared {
+    world: World,
+    out: StudyOutputs,
+    isp: IspStudyResults,
+}
+
+/// One mid-sized world shared by all shape tests (bigger than `small` so
+/// per-country samples are stable, still far below paper scale).
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let mut cfg = WorldConfig::small(4242);
+        cfg.web.n_publishers = 800;
+        cfg.web.n_adtech_orgs = 220;
+        cfg.web.n_clean_orgs = 120;
+        cfg.study.population.n_users = 160;
+        cfg.study.visits_per_user_mean = 60.0;
+        let mut world = World::build(cfg);
+        let out = run_extension_pipeline(&mut world);
+        let isp = run_isp_study(
+            &mut world,
+            &out.tracker_ips,
+            &out.ipmap_estimates,
+            &IspStudyConfig::small(),
+        );
+        Shared { world, out, isp }
+    })
+}
+
+#[test]
+fn finding_1_most_eu28_flows_stay_in_eu28() {
+    // Paper: ~85 % of EU28 users' tracking flows terminate in EU28; the
+    // biggest leak is North America, around 10 %.
+    let s = shared();
+    let b = region_breakdown_eu28(&s.out, &s.out.ipmap_estimates);
+    let eu = b.share(Region::Eu28);
+    let na = b.share(Region::NorthAmerica);
+    assert!(eu > 0.70, "EU28 confinement {eu}");
+    assert!(na < 0.25, "NA leakage {na}");
+    assert!(eu > 4.0 * na, "EU {eu} should dwarf NA {na}");
+}
+
+#[test]
+fn finding_2_registry_geolocation_flips_the_conclusion() {
+    // Paper Fig. 7: MaxMind says most flows leave for North America; IPmap
+    // says they stay. The qualitative flip is the paper's core methodological
+    // point.
+    let s = shared();
+    let ipmap = region_breakdown_eu28(&s.out, &s.out.ipmap_estimates);
+    let maxmind = region_breakdown_eu28(&s.out, &s.out.maxmind_estimates);
+    assert!(ipmap.share(Region::Eu28) > 0.5, "IPmap: EU28 must dominate");
+    assert!(
+        maxmind.share(Region::NorthAmerica) > maxmind.share(Region::Eu28),
+        "MaxMind must (wrongly) put North America first"
+    );
+}
+
+#[test]
+fn finding_3_national_confinement_is_much_lower_and_tracks_it_density() {
+    let s = shared();
+    let m = country_matrix_eu28(&s.out, &s.out.ipmap_estimates);
+    let b = region_breakdown_eu28(&s.out, &s.out.ipmap_estimates);
+    // National << regional confinement.
+    assert!(m.mean_confinement() < b.share(Region::Eu28) - 0.2);
+    // Infrastructure-rich origins confine more than infrastructure-poor
+    // ones (compare pooled big-4 vs pooled small economies to dodge
+    // per-country noise).
+    let big: u64 = [cc!("GB"), cc!("DE")]
+        .iter()
+        .map(|c| (m.confinement(*c) * 1000.0) as u64)
+        .sum();
+    let small: u64 = [cc!("GR"), cc!("CY"), cc!("RO")]
+        .iter()
+        .map(|c| (m.confinement(*c) * 1000.0) as u64)
+        .sum();
+    assert!(
+        big > small,
+        "GB+DE confinement {big} must exceed GR+CY+RO {small}"
+    );
+}
+
+#[test]
+fn finding_4_semi_automatic_pass_expands_detection_substantially() {
+    // Paper Table 2: the semi-automatic pass adds ~80 % on top of the
+    // blocklists. At this test's reduced scale the long tail of unlisted
+    // cascade services is thinner (majors' listed exchanges soak up more
+    // cascade steps), so the ratio is lower than the paper-scale run's
+    // (~1.0, see EXPERIMENTS.md); the shape requirement is a clearly
+    // non-trivial expansion.
+    let s = shared();
+    let abp = s.out.classification.abp.n_total_requests as f64;
+    let semi = s.out.classification.semi.n_total_requests as f64;
+    assert!(semi / abp > 0.10, "semi adds only {:.0}%", semi / abp * 100.0);
+}
+
+#[test]
+fn finding_5_dns_redirection_improves_national_confinement_a_lot() {
+    // Paper Table 5: TLD redirection roughly doubles national confinement;
+    // PoP mirroring alone helps far less at country level.
+    let s = shared();
+    let w = whatif::run(&s.world, &s.out, &s.out.ipmap_estimates);
+    let tld_gain = w.redirect_tld.country - w.default.country;
+    let mirror_gain = w.pop_mirroring.country - w.default.country;
+    assert!(tld_gain > 0.08, "TLD gain {tld_gain}");
+    assert!(
+        tld_gain > mirror_gain,
+        "redirection ({tld_gain}) must beat mirroring ({mirror_gain}) nationally"
+    );
+    // Both seal the continent almost completely when combined.
+    assert!(w.tld_plus_mirroring.continent > 0.9);
+}
+
+#[test]
+fn finding_6_sensitive_tracking_exists_but_is_a_small_slice() {
+    // Paper: ~3 % of tracking flows touch GDPR-sensitive categories, and
+    // their confinement resembles general traffic.
+    let s = shared();
+    let mut rng = StdRng::seed_from_u64(5);
+    let sites = detect_sensitive_sites(&s.world.graph, &DetectorConfig::default(), &mut rng);
+    let stats = trace_sensitive_flows(&s.out, &s.world.graph, &sites, &s.out.ipmap_estimates);
+    let share = stats.sensitive_share();
+    assert!(share > 0.001, "sensitive share {share} ~ zero");
+    assert!(share < 0.20, "sensitive share {share} too large");
+    // Confinement of sensitive flows is in the same ballpark as general.
+    let general = region_breakdown_eu28(&s.out, &s.out.ipmap_estimates).share(Region::Eu28);
+    let sensitive = stats.eu28_dest_share();
+    assert!(
+        (general - sensitive).abs() < 0.2,
+        "general {general} vs sensitive {sensitive}"
+    );
+    // Health and gambling head the category ranking (paper: 38 % + 22 %).
+    // Per-seed popularity draws can swap the two at this scale, so assert
+    // the pair dominates rather than the exact order.
+    let health = stats.category_share(xborder_webgraph::SiteCategory::Health);
+    let gambling = stats.category_share(xborder_webgraph::SiteCategory::Gambling);
+    assert!(health + gambling > 0.35, "health+gambling only {}", health + gambling);
+    for cat in xborder_webgraph::SiteCategory::SENSITIVE {
+        assert!(
+            stats.category_share(cat) <= health.max(gambling) + 1e-9,
+            "{cat} outranks both health and gambling"
+        );
+    }
+}
+
+#[test]
+fn finding_7_isp_view_confirms_extension_view() {
+    // Paper Sect. 7: ISP-scale confinement (76–93 % EU28) brackets the
+    // extension-based estimate.
+    let s = shared();
+    let ext = region_breakdown_eu28(&s.out, &s.out.ipmap_estimates).share(Region::Eu28);
+    for isp in ["DE-Broadband", "DE-Mobile", "PL", "HU"] {
+        let cell = s.isp.cell(isp, "April 4").expect("cell exists");
+        let eu = cell.region_share(Region::Eu28);
+        assert!(
+            (ext - eu).abs() < 0.25,
+            "{isp} EU28 {eu} far from extension view {ext}"
+        );
+    }
+}
+
+#[test]
+fn finding_8_german_isps_confine_most_poland_least() {
+    // Paper Fig. 12: DE ISPs ~67–69 % national confinement, PL 0.25 %.
+    let s = shared();
+    let de = s.isp.cell("DE-Broadband", "April 4").unwrap();
+    let pl = s.isp.cell("PL", "April 4").unwrap();
+    let de_national = de.national_share(cc!("DE"));
+    let pl_national = pl.national_share(cc!("PL"));
+    assert!(de_national > 0.3, "DE national {de_national}");
+    assert!(pl_national < 0.1, "PL national {pl_national}");
+    assert!(de_national > pl_national * 3.0);
+}
+
+#[test]
+fn finding_9_confinement_stable_across_snapshot_days() {
+    // Paper: confinement "has not changed dramatically" across the GDPR
+    // implementation date.
+    let s = shared();
+    for isp in ["DE-Broadband", "DE-Mobile", "HU"] {
+        let mut shares = Vec::new();
+        for day in ["Nov 8", "April 4", "May 16", "June 20"] {
+            shares.push(s.isp.cell(isp, day).unwrap().region_share(Region::Eu28));
+        }
+        let min = shares.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = shares.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min < 0.15, "{isp} swings {min}..{max}");
+    }
+}
+
+#[test]
+fn finding_10_pdns_completion_is_a_small_addition() {
+    // Paper Sect. 3.3: +2.78 % IPs; v4 dominates.
+    let s = shared();
+    let f = s.out.completion.added_fraction();
+    assert!(f > 0.0, "completion added nothing");
+    assert!(f < 0.30, "completion added {f}");
+    assert!(s.out.completion.v4_share > 0.9);
+}
