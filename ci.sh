@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, lint-clean workspace, full test suite.
+# Offline by design — the container vendors every dependency under
+# vendor/ and must never reach for the network.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --offline --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tests =="
+cargo test -q --offline
+
+echo "ci.sh: all green"

@@ -1,0 +1,75 @@
+//! Fault-layer overhead.
+//!
+//! The fault injector sits on every request, pDNS record, probe, and
+//! geolocation lookup of the pipeline, so its cost at `FaultPlan::none()`
+//! is pure overhead over the pre-fault pipeline — these benches pin it.
+//! The aggressive arm shows what a heavily-faulted run costs end to end
+//! (retry loops, backoff accounting, degraded-path bookkeeping).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use xborder::pipeline::run_extension_pipeline_degraded;
+use xborder::{World, WorldConfig};
+use xborder_faults::{stable_hash, FaultInjector, FaultPlan};
+
+/// Small-but-not-trivial world so a full pipeline run fits a bench iter.
+fn tiny_config(seed: u64) -> WorldConfig {
+    let mut cfg = WorldConfig::small(seed);
+    cfg.web.n_publishers = 60;
+    cfg.web.n_adtech_orgs = 20;
+    cfg.web.n_clean_orgs = 10;
+    cfg.study.population.n_users = 10;
+    cfg.study.visits_per_user_mean = 6.0;
+    cfg.ipmap.total_probes = 300;
+    cfg.ipmap.probes_per_target = 12;
+    cfg.ipmap.samples_per_probe = 2;
+    cfg.ipmap.landmarks = 12;
+    cfg
+}
+
+fn bench_pipeline_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault_layer_pipeline");
+    // A fresh world per iteration keeps every run bit-comparable; the
+    // build cost is identical across arms, so the *difference* between
+    // arms is the fault layer.
+    g.bench_function("plan_none", |b| {
+        b.iter(|| {
+            let mut world = World::build(tiny_config(11));
+            run_extension_pipeline_degraded(&mut world, &FaultPlan::none())
+        })
+    });
+    g.bench_function("plan_aggressive", |b| {
+        b.iter(|| {
+            let mut world = World::build(tiny_config(11));
+            run_extension_pipeline_degraded(&mut world, &FaultPlan::aggressive(7))
+        })
+    });
+    g.finish();
+}
+
+fn bench_coin_micro(c: &mut Criterion) {
+    // Per-coin cost: the inactive injector must be near-free (a bool
+    // check), the active one a couple of integer mixes.
+    let inactive = FaultInjector::inactive();
+    let active = FaultInjector::new(FaultPlan::aggressive(3));
+    let keys: Vec<u64> = (0..1_000u64).map(|i| stable_hash(&i.to_le_bytes())).collect();
+    let mut g = c.benchmark_group("fault_layer_coins");
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.bench_function("inactive", |b| {
+        b.iter(|| {
+            keys.iter()
+                .filter(|&&k| inactive.pdns_gapped(k) || inactive.geo_missed(k))
+                .count()
+        })
+    });
+    g.bench_function("active", |b| {
+        b.iter(|| {
+            keys.iter()
+                .filter(|&&k| active.pdns_gapped(k) || active.geo_missed(k))
+                .count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline_overhead, bench_coin_micro);
+criterion_main!(benches);

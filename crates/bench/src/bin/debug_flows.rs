@@ -64,7 +64,7 @@ fn main() {
     let total: u64 = per_org.values().map(|v| v.0).sum();
     println!("{country} tracking flows: {total} (direct {direct}, cascade {cascade})");
     let mut rows: Vec<_> = per_org.into_iter().collect();
-    rows.sort_by(|a, b| b.1 .0.cmp(&a.1 .0));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1 .0));
     println!("{:<18} {:>8} {:>7} {:>9} {:>12}", "org", "flows", "share", "confined", "fqdn-alt");
     for (org, (flows, confined, alt)) in rows.iter().take(20) {
         println!(

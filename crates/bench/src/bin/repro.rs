@@ -312,7 +312,7 @@ fn main() {
                 stats.share_within(7200) * 100.0,
                 stats.mean_ttl()
             ),
-            serde_json::to_value(&stats.flows_per_ttl.iter().map(|(k, v)| (k.to_string(), *v)).collect::<HashMap<String, u64>>()).unwrap(),
+            serde_json::to_value(stats.flows_per_ttl.iter().map(|(k, v)| (k.to_string(), *v)).collect::<HashMap<String, u64>>()).unwrap(),
             &mut json,
         );
     }

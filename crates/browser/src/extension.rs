@@ -2,12 +2,13 @@
 //! produces the dataset behind the paper's Tables 1–2 and Figures 2–8.
 
 use crate::render::{RenderConfig, RenderEngine};
-use crate::request::LoggedRequest;
+use crate::request::{LoggedRequest, Referrer, RequestId};
 use crate::user::{UserId, UserPopulation, UserPopulationConfig};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use xborder_dns::DnsSim;
+use xborder_faults::{DegradationReport, FaultInjector};
 use xborder_geo::CountryCode;
 use xborder_netsim::time::{anchors, SimTime, TimeWindow};
 use xborder_webgraph::{Audience, Domain, PublisherId, WebGraph};
@@ -232,6 +233,36 @@ pub fn run_study<R: Rng>(
     dns: &mut DnsSim,
     rng: &mut R,
 ) -> ExtensionDataset {
+    let inj = FaultInjector::inactive();
+    let mut report = DegradationReport::default();
+    run_study_degraded(cfg, graph, dns, rng, &inj, &mut report)
+}
+
+/// [`run_study`] with fault injection.
+///
+/// Two fault layers apply:
+///
+/// * **In-path** (during rendering): resolver timeouts with bounded retry
+///   and sim-clock backoff — a request whose resolution fails outright
+///   never enters the log, and its cascade children fall back to the page
+///   as referrer.
+/// * **Post-hoc** (at the log layer): per-entry log loss and per-user log
+///   truncation drop entries *after* generation — the request happened
+///   (its DNS resolution fed the pDNS sensor) but never reached the
+///   collection server. Referrers pointing at dropped entries are remapped
+///   to [`Referrer::FirstParty`], mirroring what a real log-joiner sees
+///   when a parent entry is missing.
+///
+/// With an inactive injector this is exactly [`run_study`] — same RNG
+/// stream, same outputs.
+pub fn run_study_degraded<R: Rng>(
+    cfg: &StudyConfig,
+    graph: &WebGraph,
+    dns: &mut DnsSim,
+    rng: &mut R,
+    inj: &FaultInjector,
+    report: &mut DegradationReport,
+) -> ExtensionDataset {
     let users = UserPopulation::generate(&cfg.population, rng);
     let engine = RenderEngine::new(graph, cfg.render);
     let mut sampler = VisitSampler::new();
@@ -262,9 +293,17 @@ pub fn run_study<R: Rng>(
                 publisher: pid,
                 time: t,
             });
-            engine.render_visit(user, publisher, t, dns, &mut requests, rng);
+            engine.render_visit_degraded(user, publisher, t, dns, &mut requests, rng, inj, report);
         }
     }
+
+    report.requests_generated += requests.len() as u64;
+    if inj.is_active() {
+        let cutoff = truncation_cutoff(&cfg.window);
+        requests = apply_log_faults(requests, inj, report, cutoff);
+        visits.retain(|v| !(inj.log_truncated(v.user.0 as u64) && v.time.0 >= cutoff.0));
+    }
+    report.requests_delivered += requests.len() as u64;
 
     // Logs arrive at the collection server in timestamp order.
     // (Requests keep generation order because cascade referrers are
@@ -276,6 +315,54 @@ pub fn run_study<R: Rng>(
         visits,
         requests,
     }
+}
+
+/// A truncated user's log stops 3/4 of the way through the study window
+/// (upload pipeline died; everything after never reached the server).
+fn truncation_cutoff(window: &TimeWindow) -> SimTime {
+    SimTime(window.start.0 + window.len_secs() / 4 * 3)
+}
+
+/// Applies per-entry log loss and per-user truncation to a generated
+/// request log, remapping referrers so surviving entries stay consistent:
+/// a child whose parent entry was dropped refers to the first party, and
+/// surviving `Referrer::Request` indices are rewritten to the compacted
+/// positions.
+fn apply_log_faults(
+    requests: Vec<LoggedRequest>,
+    inj: &FaultInjector,
+    report: &mut DegradationReport,
+    cutoff: SimTime,
+) -> Vec<LoggedRequest> {
+    let mut keep = vec![true; requests.len()];
+    for (i, r) in requests.iter().enumerate() {
+        if inj.log_truncated(r.user.0 as u64) && r.time.0 >= cutoff.0 {
+            keep[i] = false;
+            report.requests_dropped_truncation += 1;
+        } else if inj.log_lost(i as u64) {
+            keep[i] = false;
+            report.requests_dropped_loss += 1;
+        }
+    }
+    let mut new_idx = vec![u32::MAX; requests.len()];
+    let mut kept = Vec::with_capacity(requests.len());
+    for (i, mut r) in requests.into_iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        if let Referrer::Request(RequestId(p)) = r.referrer {
+            // Referrers always point backwards, so the parent's fate and
+            // compacted index are already known.
+            r.referrer = if keep[p as usize] {
+                Referrer::Request(RequestId(new_idx[p as usize]))
+            } else {
+                Referrer::FirstParty
+            };
+        }
+        new_idx[i] = kept.len() as u32;
+        kept.push(r);
+    }
+    kept
 }
 
 #[cfg(test)]

@@ -24,7 +24,9 @@ pub mod render;
 pub mod request;
 pub mod user;
 
-pub use extension::{run_study, DatasetStats, ExtensionDataset, StudyConfig, Visit, VisitSampler};
+pub use extension::{
+    run_study, run_study_degraded, DatasetStats, ExtensionDataset, StudyConfig, Visit, VisitSampler,
+};
 pub use render::{RenderConfig, RenderEngine};
 pub use request::{LoggedRequest, Referrer, RequestId};
 pub use user::{User, UserId, UserPopulation, UserPopulationConfig};

@@ -5,6 +5,7 @@ use crate::user::User;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use xborder_dns::DnsSim;
+use xborder_faults::{DegradationReport, FaultInjector};
 use xborder_netsim::time::SimTime;
 use xborder_webgraph::{
     url, Domain, EmbedMode, Publisher, ServiceId, ServiceKind, WebGraph,
@@ -50,7 +51,8 @@ impl<'a> RenderEngine<'a> {
 
     /// Issues one request to `service` and logs it. Returns the new
     /// request's id, or `None` if DNS could not resolve the chosen host
-    /// (unwired worlds in tests).
+    /// (unwired worlds in tests, or a resolver that timed out past its
+    /// retry budget under fault injection).
     ///
     /// `style_override` lets the caller force the URL shape: the first
     /// request of an embed is the tag/script fetch (plain), follow-ups are
@@ -67,10 +69,13 @@ impl<'a> RenderEngine<'a> {
         t: SimTime,
         dns: &mut DnsSim,
         rng: &mut R,
+        inj: &FaultInjector,
+        report: &mut DegradationReport,
     ) -> Option<RequestId> {
         let svc = self.graph.service(service);
         let host: &Domain = &svc.hosts[rng.gen_range(0..svc.hosts.len())];
-        let answer = dns.resolve(host, &user.client_ctx(), t, rng).ok()?;
+        let ctx = user.try_client_ctx().ok()?;
+        let (answer, t_eff) = dns.resolve_degraded(host, &ctx, t, rng, inj, report).ok()?;
         // Stable per-(user, service) identity: the tracker's cookie id.
         let identity = (user.id.0 as u64) << 32 | service.0 as u64;
         let style = style_override.unwrap_or(svc.url_style);
@@ -78,7 +83,7 @@ impl<'a> RenderEngine<'a> {
         let id = RequestId(out.len() as u32);
         out.push(LoggedRequest {
             user: user.id,
-            time: t,
+            time: t_eff,
             first_party: publisher.domain.clone(),
             publisher: publisher.id,
             url: u.to_string().into_boxed_str(),
@@ -115,6 +120,27 @@ impl<'a> RenderEngine<'a> {
         out: &mut Vec<LoggedRequest>,
         rng: &mut R,
     ) -> usize {
+        let inj = FaultInjector::inactive();
+        let mut report = DegradationReport::default();
+        self.render_visit_degraded(user, publisher, t, dns, out, rng, &inj, &mut report)
+    }
+
+    /// [`RenderEngine::render_visit`] with fault injection: resolver
+    /// timeouts (with sim-clock backoff and bounded retry) can suppress or
+    /// delay individual requests. With an inactive injector this is
+    /// exactly the fault-free render path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn render_visit_degraded<R: Rng + ?Sized>(
+        &self,
+        user: &User,
+        publisher: &Publisher,
+        t: SimTime,
+        dns: &mut DnsSim,
+        out: &mut Vec<LoggedRequest>,
+        rng: &mut R,
+        inj: &FaultInjector,
+        report: &mut DegradationReport,
+    ) -> usize {
         let before = out.len();
         for embed in &publisher.embeds {
             // Does the embed fire on this page view?
@@ -137,6 +163,8 @@ impl<'a> RenderEngine<'a> {
                 t,
                 dns,
                 rng,
+                inj,
+                report,
             ) else {
                 continue;
             };
@@ -149,7 +177,8 @@ impl<'a> RenderEngine<'a> {
             };
             for _ in 0..self.extra_requests(rng) {
                 self.issue_request(
-                    out, user, publisher, embed.service, followup_ref, None, t, dns, rng,
+                    out, user, publisher, embed.service, followup_ref, None, t, dns, rng, inj,
+                    report,
                 );
             }
             // RTB cascade: only ad networks fan out further.
@@ -174,6 +203,7 @@ impl<'a> RenderEngine<'a> {
                         }
                         fired[i] = self.issue_request(
                             out, user, publisher, step.service, parent_req, None, t, dns, rng,
+                            inj, report,
                         );
                     }
                 }

@@ -31,7 +31,7 @@ pub enum Referrer {
 }
 
 /// One logged third-party request.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LoggedRequest {
     /// Who made it.
     pub user: UserId,

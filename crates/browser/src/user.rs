@@ -3,6 +3,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use xborder_dns::{ClientCtx, Resolver, ResolverKind};
+use xborder_faults::DegradedResult;
 use xborder_geo::{CountryCode, LatLon, WORLD};
 
 /// Index of a user within the study.
@@ -29,17 +30,25 @@ pub struct User {
 }
 
 impl User {
-    /// The DNS client context for this user.
-    pub fn client_ctx(&self) -> ClientCtx {
+    /// The DNS client context for this user, failing gracefully when the
+    /// user record carries a country missing from the world table (the
+    /// request path surfaces this as a skipped request, not a panic).
+    pub fn try_client_ctx(&self) -> DegradedResult<ClientCtx> {
         let resolver = match self.resolver_kind {
-            ResolverKind::IspLocal => Resolver::isp_local(self.country),
-            ResolverKind::PublicAnycast => Resolver::public_anycast(self.location),
+            ResolverKind::IspLocal => Resolver::try_isp_local(self.country)?,
+            ResolverKind::PublicAnycast => Resolver::try_public_anycast(self.location)?,
         };
-        ClientCtx {
+        Ok(ClientCtx {
             country: self.country,
             location: self.location,
             resolver,
-        }
+        })
+    }
+
+    /// Infallible wrapper over [`User::try_client_ctx`] for generated
+    /// populations (whose countries come from the world table).
+    pub fn client_ctx(&self) -> ClientCtx {
+        self.try_client_ctx().expect("user country in world table")
     }
 }
 
@@ -212,8 +221,10 @@ mod tests {
 
     #[test]
     fn public_dns_share_respected() {
-        let mut cfg = UserPopulationConfig::default();
-        cfg.n_users = 2_000;
+        let cfg = UserPopulationConfig {
+            n_users: 2_000,
+            ..Default::default()
+        };
         let pop = UserPopulation::generate(&cfg, &mut StdRng::seed_from_u64(3));
         let public = pop
             .users

@@ -171,7 +171,7 @@ impl CollabGraph {
             }
         }
         let mut parent: Vec<usize> = (0..names.len()).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];

@@ -25,7 +25,7 @@ mod tuple_map {
         S: Serializer,
     {
         let mut entries: Vec<(K, V)> = map.iter().map(|(k, v)| (*k, *v)).collect();
-        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.sort_by_key(|e| e.0);
         entries.serialize(ser)
     }
 
@@ -201,7 +201,6 @@ fn tracking_flows<'a>(
         .iter()
         .enumerate()
         .filter(|(i, _)| out.classification.is_tracking(*i))
-        .map(|(i, r)| (i, r))
 }
 
 /// Builds the full origin × destination region matrix over all users
@@ -212,10 +211,15 @@ pub fn region_matrix(out: &StudyOutputs, estimates: &EstimateMap) -> RegionMatri
         let Some(est) = estimates.get(&r.ip) else {
             continue;
         };
-        let from = WORLD
-            .country_or_panic(out.dataset.user_country(r.user))
-            .region();
-        m.add(from, est.region());
+        // Records carrying a country missing from the world table are
+        // skipped, not fatal — degraded inputs must not panic aggregation.
+        let Ok(from) = WORLD.country(out.dataset.user_country(r.user)) else {
+            continue;
+        };
+        let Some(to) = est.try_region() else {
+            continue;
+        };
+        m.add(from.region(), to);
     }
     m
 }
@@ -225,15 +229,20 @@ pub fn region_matrix(out: &StudyOutputs, estimates: &EstimateMap) -> RegionMatri
 pub fn region_breakdown_eu28(out: &StudyOutputs, estimates: &EstimateMap) -> DestBreakdown {
     let mut b = DestBreakdown::default();
     for (_, r) in tracking_flows(out) {
-        let user_country = WORLD.country_or_panic(out.dataset.user_country(r.user));
+        let Ok(user_country) = WORLD.country(out.dataset.user_country(r.user)) else {
+            continue;
+        };
         if !user_country.eu28 {
             continue;
         }
         let Some(est) = estimates.get(&r.ip) else {
             continue;
         };
+        let Some(to) = est.try_region() else {
+            continue;
+        };
         b.total += 1;
-        *b.counts.entry(est.region()).or_insert(0) += 1;
+        *b.counts.entry(to).or_insert(0) += 1;
     }
     b
 }
@@ -247,17 +256,22 @@ pub fn monthly_series(out: &StudyOutputs, estimates: &EstimateMap) -> Vec<(u32, 
     const SECS_PER_MONTH: u64 = 30 * 86_400;
     let mut months: HashMap<u32, DestBreakdown> = HashMap::new();
     for (_, r) in tracking_flows(out) {
-        let user_country = WORLD.country_or_panic(out.dataset.user_country(r.user));
+        let Ok(user_country) = WORLD.country(out.dataset.user_country(r.user)) else {
+            continue;
+        };
         if !user_country.eu28 {
             continue;
         }
         let Some(est) = estimates.get(&r.ip) else {
             continue;
         };
+        let Some(to) = est.try_region() else {
+            continue;
+        };
         let month = (r.time.0 / SECS_PER_MONTH) as u32;
         let b = months.entry(month).or_default();
         b.total += 1;
-        *b.counts.entry(est.region()).or_insert(0) += 1;
+        *b.counts.entry(to).or_insert(0) += 1;
     }
     let mut v: Vec<(u32, DestBreakdown)> = months.into_iter().collect();
     v.sort_by_key(|(m, _)| *m);
@@ -269,7 +283,7 @@ pub fn country_matrix_eu28(out: &StudyOutputs, estimates: &EstimateMap) -> Count
     let mut m = CountryMatrix::default();
     for (_, r) in tracking_flows(out) {
         let from = out.dataset.user_country(r.user);
-        if !WORLD.country_or_panic(from).eu28 {
+        if !WORLD.country(from).map(|c| c.eu28).unwrap_or(false) {
             continue;
         }
         let Some(est) = estimates.get(&r.ip) else {

@@ -12,6 +12,7 @@ use std::net::IpAddr;
 use xborder_browser::ExtensionDataset;
 use xborder_classify::ClassificationResult;
 use xborder_dns::PassiveDnsDb;
+use xborder_faults::{DegradationReport, FaultInjector};
 use xborder_netsim::time::TimeWindow;
 use xborder_webgraph::Domain;
 
@@ -93,10 +94,26 @@ impl TrackerIpSet {
     /// address the sensors ever saw for it and add the missing ones with
     /// their validity windows. Returns the completion summary.
     pub fn complete_with_pdns(&mut self, pdns: &PassiveDnsDb) -> CompletionStats {
+        let inj = FaultInjector::inactive();
+        let mut report = DegradationReport::default();
+        self.complete_with_pdns_degraded(pdns, &inj, &mut report)
+    }
+
+    /// [`TrackerIpSet::complete_with_pdns`] under fault injection: the
+    /// sensor network can have gaps (records invisible → fewer completed
+    /// IPs) and stale records (windows collapsed to first-seen → narrower
+    /// validity scoping downstream). Per-record accounting lands in
+    /// `report`.
+    pub fn complete_with_pdns_degraded(
+        &mut self,
+        pdns: &PassiveDnsDb,
+        inj: &FaultInjector,
+        report: &mut DegradationReport,
+    ) -> CompletionStats {
         let n_observed = self.ips.len();
         let hosts = self.tracking_hosts();
         for host in &hosts {
-            for rec in pdns.forward(host) {
+            for rec in pdns.forward_degraded(host, inj, report) {
                 match self.ips.get_mut(&rec.ip) {
                     Some(info) => {
                         // Known IP: pDNS can still widen its validity window.

@@ -12,8 +12,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::net::IpAddr;
-use xborder_browser::{run_study, ExtensionDataset};
+use xborder_browser::{run_study_degraded, ExtensionDataset};
 use xborder_classify::{classify, generate_lists, ClassificationResult, FilterList};
+use xborder_faults::{DegradationReport, FaultInjector, FaultPlan};
+use xborder_geo::Region;
 use xborder_geoloc::{GeoEstimate, Geolocator, IpMap, RegistryDb, RegistryStyle};
 
 /// Per-provider frozen estimates over the tracker IP set.
@@ -50,8 +52,26 @@ impl StudyOutputs {
 
 /// Freezes a provider's answers over an IP list into a map.
 pub fn freeze_estimates<G: Geolocator + ?Sized>(provider: &G, ips: &[IpAddr]) -> EstimateMap {
+    let inj = FaultInjector::inactive();
+    let mut report = DegradationReport::default();
+    freeze_estimates_degraded(provider, ips, &inj, &mut report)
+}
+
+/// [`freeze_estimates`] under fault injection: provider misses (and, for
+/// IPmap, probe outages and quorum abstentions) leave gaps in the map and
+/// are tallied in `report`.
+pub fn freeze_estimates_degraded<G: Geolocator + ?Sized>(
+    provider: &G,
+    ips: &[IpAddr],
+    inj: &FaultInjector,
+    report: &mut DegradationReport,
+) -> EstimateMap {
     ips.iter()
-        .filter_map(|ip| provider.locate(*ip).map(|e| (*ip, e)))
+        .filter_map(|ip| {
+            provider
+                .locate_degraded(*ip, inj, report)
+                .map(|e| (*ip, e))
+        })
         .collect()
 }
 
@@ -61,9 +81,35 @@ pub fn freeze_estimates<G: Geolocator + ?Sized>(provider: &G, ips: &[IpAddr]) ->
 /// the same `World` value continue the stream (build a fresh `World` for a
 /// bit-identical rerun).
 pub fn run_extension_pipeline(world: &mut World) -> StudyOutputs {
-    // 1. The 4.5-month study.
+    run_extension_pipeline_degraded(world, &FaultPlan::none()).0
+}
+
+/// Runs the full extension pipeline under a fault plan.
+///
+/// This is the single implementation: [`run_extension_pipeline`] is this
+/// function at [`FaultPlan::none`], which keeps every fault coin cold and
+/// the RNG streams bit-identical to the fault-free pipeline. Returns the
+/// outputs together with a [`DegradationReport`] quantifying what the
+/// faults cost: delivery coverage, DNS retry pressure, pDNS gaps, probe
+/// outages, quorum abstentions, geolocation coverage, and the headline
+/// EU28 confinement computed from whatever survived.
+pub fn run_extension_pipeline_degraded(
+    world: &mut World,
+    plan: &FaultPlan,
+) -> (StudyOutputs, DegradationReport) {
+    let inj = FaultInjector::new(plan.clone());
+    let mut report = DegradationReport::default();
+
+    // 1. The 4.5-month study (in-path resolver faults, post-hoc log faults).
     let mut rng = StdRng::seed_from_u64(world.study_rng.gen());
-    let dataset = run_study(&world.config.study, &world.graph, &mut world.dns, &mut rng);
+    let dataset = run_study_degraded(
+        &world.config.study,
+        &world.graph,
+        &mut world.dns,
+        &mut rng,
+        &inj,
+        &mut report,
+    );
 
     // 2. Classification (Table 2).
     let (easylist, easyprivacy) = generate_lists(&world.graph);
@@ -71,7 +117,7 @@ pub fn run_extension_pipeline(world: &mut World) -> StudyOutputs {
 
     // 3. Tracker IP set + pDNS completion (Sect. 3.3).
     let mut tracker_ips = TrackerIpSet::from_dataset(&dataset, &classification);
-    let completion = tracker_ips.complete_with_pdns(world.dns.pdns());
+    let completion = tracker_ips.complete_with_pdns_degraded(world.dns.pdns(), &inj, &mut report);
 
     // 4. Geolocation with all three providers (Sect. 3.4).
     let ip_list: Vec<IpAddr> = {
@@ -80,7 +126,7 @@ pub fn run_extension_pipeline(world: &mut World) -> StudyOutputs {
         v
     };
     let ipmap = IpMap::new(world.config.ipmap, &world.infra, &mut rng);
-    let ipmap_estimates = freeze_estimates(&ipmap, &ip_list);
+    let ipmap_estimates = freeze_estimates_degraded(&ipmap, &ip_list, &inj, &mut report);
     // MaxMind and ip-api share their seat-vs-truth coin (correlated errors,
     // Table 3) but perturb independently.
     let seat_seed: u64 = rng.gen();
@@ -94,10 +140,10 @@ pub fn run_extension_pipeline(world: &mut World) -> StudyOutputs {
         let mut noise = StdRng::seed_from_u64(rng.gen());
         RegistryDb::build(RegistryStyle::IpApiLike, &world.infra, &mut seat, &mut noise)
     };
-    let maxmind_estimates = freeze_estimates(&mm, &ip_list);
-    let ipapi_estimates = freeze_estimates(&ia, &ip_list);
+    let maxmind_estimates = freeze_estimates_degraded(&mm, &ip_list, &inj, &mut report);
+    let ipapi_estimates = freeze_estimates_degraded(&ia, &ip_list, &inj, &mut report);
 
-    StudyOutputs {
+    let out = StudyOutputs {
         dataset,
         classification,
         easylist,
@@ -107,7 +153,13 @@ pub fn run_extension_pipeline(world: &mut World) -> StudyOutputs {
         ipmap_estimates,
         maxmind_estimates,
         ipapi_estimates,
-    }
+    };
+
+    // Headline metric over whatever survived the faults, so drift can be
+    // compared against a fault-free run of the same seed.
+    report.eu28_confinement =
+        crate::confine::region_breakdown_eu28(&out, &out.ipmap_estimates).share(Region::Eu28);
+    (out, report)
 }
 
 #[cfg(test)]

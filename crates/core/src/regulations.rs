@@ -134,7 +134,7 @@ pub fn audit(
                 // sites are in scope regardless of estimate availability.
                 let left_eu = est.map(|e| !WORLD.country_or_panic(e.country).eu28).unwrap_or(false);
                 let sensitive = sensitive_sites.detected.contains_key(&r.publisher);
-                left_eu || (sensitive && left_eu)
+                left_eu || (sensitive && est.is_none())
             }
             // COPPA: any tracking on a child-directed site is the finding.
             Regulation::Coppa => true,

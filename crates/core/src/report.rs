@@ -381,7 +381,7 @@ pub fn fmt_table6(r: &WhatIfResults) -> String {
          country            flows   mirroring-gain   migration-gain\n",
     );
     let mut rows: Vec<_> = r.per_country.iter().collect();
-    rows.sort_by(|a, b| b.1.flows.cmp(&a.1.flows));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1.flows));
     for (c, cs) in rows {
         let name = WORLD.country_or_panic(*c).name;
         let _ = writeln!(
@@ -435,7 +435,7 @@ pub fn fmt_fig11(s: &SensitiveFlowStats) -> String {
          country            total    leaving    share\n",
     );
     let mut rows: Vec<_> = s.per_country.iter().collect();
-    rows.sort_by(|a, b| b.1 .0.cmp(&a.1 .0));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1 .0));
     for (c, (total, leaving)) in rows {
         let name = WORLD.country_or_panic(*c).name;
         let share = *leaving as f64 / (*total).max(1) as f64;

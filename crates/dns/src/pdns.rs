@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::IpAddr;
+use xborder_faults::{ip_key, stable_hash, DegradationReport, FaultInjector};
 use xborder_netsim::time::{SimTime, TimeWindow};
 use xborder_webgraph::Domain;
 
@@ -71,6 +72,39 @@ impl PassiveDnsDb {
             .get(domain)
             .map(|idxs| idxs.iter().map(|&i| &self.records[i]).collect())
             .unwrap_or_default()
+    }
+
+    /// Forward lookup under fault injection: sensor-gapped records are
+    /// invisible, stale records keep only their first-seen stamp (the
+    /// sensor stopped refreshing last-seen). Returns owned records because
+    /// stale windows are rewritten. Coins key on the (domain, ip) pair, so
+    /// repeated queries degrade identically.
+    pub fn forward_degraded(
+        &self,
+        domain: &Domain,
+        inj: &FaultInjector,
+        report: &mut DegradationReport,
+    ) -> Vec<PdnsRecord> {
+        let mut out = Vec::new();
+        for rec in self.forward(domain) {
+            report.pdns_records_seen += 1;
+            if !inj.is_active() {
+                out.push(rec.clone());
+                continue;
+            }
+            let key = stable_hash(rec.domain.as_str().as_bytes()) ^ ip_key(rec.ip);
+            if inj.pdns_gapped(key) {
+                report.pdns_records_gapped += 1;
+                continue;
+            }
+            let mut rec = rec.clone();
+            if inj.pdns_stale(key) {
+                report.pdns_records_stale += 1;
+                rec.window = TimeWindow::new(rec.window.start, SimTime(rec.window.start.0 + 1));
+            }
+            out.push(rec);
+        }
+        out
     }
 
     /// Reverse lookup: every name ever seen served from `ip`.

@@ -10,6 +10,7 @@
 //! mechanism behind Table 8's mobile > broadband confinement.
 
 use serde::{Deserialize, Serialize};
+use xborder_faults::{DegradedResult, FaultError};
 use xborder_geo::{CountryCode, LatLon, WORLD};
 
 /// Countries where the modelled public-DNS services operate egress PoPs.
@@ -41,32 +42,55 @@ pub struct Resolver {
 impl Resolver {
     /// The ISP resolver for a subscriber in `country`, placed at the
     /// country centroid (close enough for country-level mapping).
-    pub fn isp_local(country: CountryCode) -> Resolver {
-        let c = WORLD.country_or_panic(country);
-        Resolver {
+    ///
+    /// Fallible: a country missing from the world table surfaces as
+    /// [`FaultError::UnknownCountry`] instead of a panic, so a corrupted
+    /// user record degrades one client instead of the whole study.
+    pub fn try_isp_local(country: CountryCode) -> DegradedResult<Resolver> {
+        let c = WORLD
+            .country(country)
+            .map_err(|_| FaultError::UnknownCountry(country.to_string()))?;
+        Ok(Resolver {
             kind: ResolverKind::IspLocal,
             country,
             location: c.centroid(),
-        }
+        })
+    }
+
+    /// Infallible convenience wrapper over [`Resolver::try_isp_local`] for
+    /// setup code with known-good countries.
+    pub fn isp_local(country: CountryCode) -> Resolver {
+        Resolver::try_isp_local(country).expect("country in world table")
     }
 
     /// The public-DNS egress PoP a user at `user_loc` is anycast-routed to:
     /// the nearest of [`PUBLIC_DNS_POP_COUNTRIES`].
-    pub fn public_anycast(user_loc: LatLon) -> Resolver {
+    pub fn try_public_anycast(user_loc: LatLon) -> DegradedResult<Resolver> {
         let mut best: Option<(CountryCode, LatLon, f64)> = None;
         for code in PUBLIC_DNS_POP_COUNTRIES {
-            let c = WORLD.country_or_panic(CountryCode::parse(code).expect("static code"));
+            let parsed = CountryCode::parse(code)
+                .map_err(|_| FaultError::UnknownCountry((*code).to_string()))?;
+            let c = WORLD
+                .country(parsed)
+                .map_err(|_| FaultError::UnknownCountry(parsed.to_string()))?;
             let d = user_loc.distance_km(&c.centroid());
             if best.is_none_or(|(_, _, bd)| d < bd) {
                 best = Some((c.code, c.centroid(), d));
             }
         }
-        let (country, location, _) = best.expect("static PoP list non-empty");
-        Resolver {
+        let (country, location, _) = best.ok_or_else(|| {
+            FaultError::UnknownCountry("no public-DNS PoP countries".to_string())
+        })?;
+        Ok(Resolver {
             kind: ResolverKind::PublicAnycast,
             country,
             location,
-        }
+        })
+    }
+
+    /// Infallible convenience wrapper over [`Resolver::try_public_anycast`].
+    pub fn public_anycast(user_loc: LatLon) -> Resolver {
+        Resolver::try_public_anycast(user_loc).expect("static PoP list resolvable")
     }
 }
 
@@ -91,6 +115,15 @@ impl ClientCtx {
         }
     }
 
+    /// Fallible variant of [`ClientCtx::with_isp_resolver`].
+    pub fn try_with_isp_resolver(country: CountryCode, location: LatLon) -> DegradedResult<ClientCtx> {
+        Ok(ClientCtx {
+            country,
+            location,
+            resolver: Resolver::try_isp_local(country)?,
+        })
+    }
+
     /// Client using anycast public DNS.
     pub fn with_public_resolver(country: CountryCode, location: LatLon) -> ClientCtx {
         ClientCtx {
@@ -98,6 +131,18 @@ impl ClientCtx {
             location,
             resolver: Resolver::public_anycast(location),
         }
+    }
+
+    /// Fallible variant of [`ClientCtx::with_public_resolver`].
+    pub fn try_with_public_resolver(
+        country: CountryCode,
+        location: LatLon,
+    ) -> DegradedResult<ClientCtx> {
+        Ok(ClientCtx {
+            country,
+            location,
+            resolver: Resolver::try_public_anycast(location)?,
+        })
     }
 }
 

@@ -6,6 +6,7 @@ use crate::zone::{ZoneEntry, ZoneServer};
 use crate::DnsError;
 use rand::Rng;
 use std::collections::HashMap;
+use xborder_faults::{stable_hash, DegradationReport, FaultError, FaultInjector};
 use xborder_netsim::time::SimTime;
 use xborder_webgraph::Domain;
 
@@ -50,6 +51,60 @@ impl DnsSim {
             .ok_or_else(|| DnsError::EmptyZone(host.clone()))?;
         self.pdns.observe(host, answer.ip, t);
         Ok(answer)
+    }
+
+    /// Fault-aware resolution: each attempt can time out per the plan's
+    /// `resolver_timeout` rate; a timed-out attempt backs off exponentially
+    /// on the *sim clock* (base `resolver_backoff_secs`, doubling per
+    /// retry) and retries up to `resolver_max_retries` more times. Returns
+    /// the answer plus the effective resolution time (query time plus
+    /// accumulated backoff), or [`FaultError::ResolverTimeout`] once the
+    /// budget is exhausted.
+    ///
+    /// Under an inactive injector this is exactly [`DnsSim::resolve`]
+    /// (one attempt, no coins, no extra RNG draws), which is what keeps
+    /// `FaultPlan::none()` runs bit-identical.
+    pub fn resolve_degraded<R: Rng + ?Sized>(
+        &mut self,
+        host: &Domain,
+        client: &ClientCtx,
+        t: SimTime,
+        rng: &mut R,
+        inj: &FaultInjector,
+        report: &mut DegradationReport,
+    ) -> Result<(ZoneServer, SimTime), FaultError> {
+        if !inj.is_active() {
+            report.dns_attempts += 1;
+            return self
+                .resolve(host, client, t, rng)
+                .map(|a| (a, t))
+                .map_err(|e| FaultError::Dns(e.to_string()));
+        }
+        let host_key = stable_hash(host.as_str().as_bytes());
+        let max_attempts = 1 + inj.plan().resolver_max_retries;
+        let mut t_eff = t;
+        for attempt in 0..max_attempts {
+            report.dns_attempts += 1;
+            if inj.resolver_timed_out(host_key, t.0, attempt) {
+                report.dns_timeouts += 1;
+                let backoff = inj.plan().resolver_backoff_secs << attempt;
+                report.dns_backoff_secs += backoff;
+                t_eff = SimTime(t_eff.0 + backoff);
+                continue;
+            }
+            if attempt > 0 {
+                report.dns_retries += 1;
+            }
+            return self
+                .resolve(host, client, t_eff, rng)
+                .map(|a| (a, t_eff))
+                .map_err(|e| FaultError::Dns(e.to_string()));
+        }
+        report.dns_failures += 1;
+        Err(FaultError::ResolverTimeout {
+            host: host.as_str().to_string(),
+            attempts: max_attempts,
+        })
     }
 
     /// Resolution without pDNS capture (cache hits, internal queries).

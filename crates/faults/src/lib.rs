@@ -1,0 +1,576 @@
+//! Fault injection and graceful-degradation accounting for the `xborder`
+//! measurement pipeline.
+//!
+//! Real measurement campaigns degrade: extension logs get lost or cut off
+//! mid-upload, resolvers time out, passive-DNS sensors have blind spots and
+//! stale last-seen stamps, Atlas probes go dark or return inflated RTTs,
+//! and geolocation providers simply miss addresses. The paper's pipeline
+//! weathers all of this silently; this crate makes the weathering explicit
+//! so its effect on the headline numbers can be *measured*.
+//!
+//! Three pieces:
+//!
+//! * [`FaultPlan`] — a seeded, serializable description of which fault
+//!   classes fire and how often. [`FaultPlan::none`] is the identity plan:
+//!   a pipeline run under it is bit-identical to a run without any fault
+//!   machinery, because every fault coin derives from a hash of
+//!   `(plan seed, fault class, entity key)` and never touches the
+//!   simulation's RNG streams.
+//! * [`FaultInjector`] — the stateless coin-flipper the pipeline stages
+//!   consult. Probability-zero classes short-circuit before hashing.
+//! * [`DegradationReport`] — counters quantifying what was dropped,
+//!   retried, abstained or missed, with a self-consistency invariant
+//!   (`dropped + delivered == generated`) the property tests enforce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::net::IpAddr;
+
+/// A typed result for degradation-aware lookups.
+pub type DegradedResult<T> = Result<T, FaultError>;
+
+/// The error taxonomy surfaced by formerly-infallible hot paths.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultError {
+    /// A resolver query exhausted its retry budget.
+    ResolverTimeout {
+        /// The queried name.
+        host: String,
+        /// Attempts made (including the first).
+        attempts: u32,
+    },
+    /// An underlying DNS error (NXDOMAIN, empty zone) on the degraded path.
+    Dns(String),
+    /// A passive-DNS record fell into a sensor gap.
+    PdnsGap {
+        /// The affected name.
+        domain: String,
+    },
+    /// All probes assigned to a target were dark.
+    ProbeOutage {
+        /// The target address.
+        ip: IpAddr,
+    },
+    /// Too few probe votes survived to call a country.
+    QuorumNotMet {
+        /// Surviving votes.
+        votes: usize,
+        /// Plan's minimum.
+        needed: usize,
+    },
+    /// The geolocation provider has no answer for the address.
+    GeoUnavailable {
+        /// The target address.
+        ip: IpAddr,
+    },
+    /// A country code missing from the world table (graceful replacement
+    /// for `country_or_panic` on request paths).
+    UnknownCountry(String),
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::ResolverTimeout { host, attempts } => {
+                write!(f, "resolver timed out on {host} after {attempts} attempts")
+            }
+            FaultError::Dns(e) => write!(f, "dns error: {e}"),
+            FaultError::PdnsGap { domain } => write!(f, "pDNS sensor gap for {domain}"),
+            FaultError::ProbeOutage { ip } => write!(f, "all probes dark for {ip}"),
+            FaultError::QuorumNotMet { votes, needed } => {
+                write!(f, "quorum not met: {votes} votes < {needed} required")
+            }
+            FaultError::GeoUnavailable { ip } => write!(f, "no geolocation coverage for {ip}"),
+            FaultError::UnknownCountry(c) => write!(f, "unknown country {c}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A seeded, serializable description of every fault class's rate.
+///
+/// All probabilities are per-entity (per request, per attempt, per probe,
+/// per record, per address). `seed` decorrelates plans with identical
+/// rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the hash-derived fault coins.
+    pub seed: u64,
+    /// Probability an individual extension log entry is lost in upload.
+    pub log_loss: f64,
+    /// Probability a user's log is truncated (the tail of the study window
+    /// never reaches the collection server).
+    pub log_truncation: f64,
+    /// Probability one resolver attempt times out.
+    pub resolver_timeout: f64,
+    /// Retries after the first attempt before giving up.
+    pub resolver_max_retries: u32,
+    /// Base backoff after a timed-out attempt, in sim-clock seconds;
+    /// doubles per retry.
+    pub resolver_backoff_secs: u64,
+    /// Probability a pDNS record is invisible (sensor gap).
+    pub pdns_gap: f64,
+    /// Probability a pDNS record's validity window is stale (only the
+    /// first-seen stamp survives).
+    pub pdns_stale: f64,
+    /// Probability an assigned probe is dark for a target.
+    pub probe_outage: f64,
+    /// Probability a probe's RTT is inflated (congested path).
+    pub probe_flaky: f64,
+    /// Minimum surviving probe votes to call a country; below this the
+    /// estimator abstains.
+    pub min_quorum: usize,
+    /// Probability a geolocation provider misses an address entirely.
+    pub geo_miss: f64,
+}
+
+impl FaultPlan {
+    /// The identity plan: nothing fires, outputs are bit-identical to a
+    /// pipeline without fault machinery.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            log_loss: 0.0,
+            log_truncation: 0.0,
+            resolver_timeout: 0.0,
+            resolver_max_retries: 0,
+            resolver_backoff_secs: 0,
+            pdns_gap: 0.0,
+            pdns_stale: 0.0,
+            probe_outage: 0.0,
+            probe_flaky: 0.0,
+            min_quorum: 0,
+            geo_miss: 0.0,
+        }
+    }
+
+    /// The stress plan the acceptance tests run: 20 % log loss, 10 %
+    /// resolver timeouts, 30 % probe outages, plus moderate rates
+    /// everywhere else.
+    pub fn aggressive(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            log_loss: 0.20,
+            log_truncation: 0.10,
+            resolver_timeout: 0.10,
+            resolver_max_retries: 2,
+            resolver_backoff_secs: 5,
+            pdns_gap: 0.30,
+            pdns_stale: 0.20,
+            probe_outage: 0.30,
+            probe_flaky: 0.20,
+            min_quorum: 3,
+            geo_miss: 0.05,
+        }
+    }
+
+    /// A random plan with every rate drawn from a bounded range — the
+    /// property tests sweep these.
+    pub fn random(seed: u64) -> FaultPlan {
+        let mut s = seed.wrapping_add(0x6a09_e667_f3bc_c909);
+        let mut unit = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            (mix64(s) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        };
+        FaultPlan {
+            seed,
+            log_loss: unit() * 0.3,
+            log_truncation: unit() * 0.3,
+            resolver_timeout: unit() * 0.2,
+            resolver_max_retries: (unit() * 4.0) as u32,
+            resolver_backoff_secs: 1 + (unit() * 29.0) as u64,
+            pdns_gap: unit() * 0.5,
+            pdns_stale: unit() * 0.5,
+            probe_outage: unit() * 0.5,
+            probe_flaky: unit() * 0.5,
+            min_quorum: (unit() * 6.0) as usize,
+            geo_miss: unit() * 0.2,
+        }
+    }
+
+    /// True when no fault class can ever fire.
+    pub fn is_none(&self) -> bool {
+        self.log_loss == 0.0
+            && self.log_truncation == 0.0
+            && self.resolver_timeout == 0.0
+            && self.pdns_gap == 0.0
+            && self.pdns_stale == 0.0
+            && self.probe_outage == 0.0
+            && self.probe_flaky == 0.0
+            && self.min_quorum == 0
+            && self.geo_miss == 0.0
+    }
+}
+
+/// SplitMix64 finalizer: the avalanche behind every fault coin.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over bytes, for keying coins on names.
+pub fn stable_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A stable 64-bit key for an address, for keying coins on IPs.
+pub fn ip_key(ip: IpAddr) -> u64 {
+    match ip {
+        IpAddr::V4(v4) => u32::from(v4) as u64,
+        IpAddr::V6(v6) => {
+            let o = v6.octets();
+            stable_hash(&o)
+        }
+    }
+}
+
+/// Per-class salt so the same entity key draws independent coins for
+/// different fault classes.
+mod class {
+    pub const LOG_LOSS: u64 = 0x01;
+    pub const LOG_TRUNCATION: u64 = 0x02;
+    pub const RESOLVER_TIMEOUT: u64 = 0x03;
+    pub const PDNS_GAP: u64 = 0x04;
+    pub const PDNS_STALE: u64 = 0x05;
+    pub const PROBE_OUTAGE: u64 = 0x06;
+    pub const PROBE_FLAKY: u64 = 0x07;
+    pub const GEO_MISS: u64 = 0x08;
+}
+
+/// The stateless coin-flipper the pipeline stages consult.
+///
+/// Coins derive from `(plan seed, class, entity key)` hashes, so they are
+/// reproducible, order-independent, and consume no simulation RNG — the
+/// property that makes [`FaultPlan::none`] bit-identical to the fault-free
+/// pipeline.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    active: bool,
+}
+
+impl FaultInjector {
+    /// Builds an injector for a plan.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        let active = !plan.is_none();
+        FaultInjector { plan, active }
+    }
+
+    /// The identity injector (never fires).
+    pub fn inactive() -> FaultInjector {
+        FaultInjector::new(FaultPlan::none())
+    }
+
+    /// The plan this injector runs.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// False for the identity plan — degraded code paths use this to skip
+    /// whole fault blocks.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    fn coin(&self, p: f64, cls: u64, key: u64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        self.unit(cls, key) < p
+    }
+
+    /// A uniform draw in `[0, 1)` keyed on `(plan seed, class, key)`.
+    fn unit(&self, cls: u64, key: u64) -> f64 {
+        let h = mix64(
+            self.plan
+                .seed
+                .wrapping_add(cls.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                ^ mix64(key),
+        );
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Is log entry `request_idx` lost in upload?
+    pub fn log_lost(&self, request_idx: u64) -> bool {
+        self.coin(self.plan.log_loss, class::LOG_LOSS, request_idx)
+    }
+
+    /// Is `user`'s log truncated (study tail missing)?
+    pub fn log_truncated(&self, user: u64) -> bool {
+        self.coin(self.plan.log_truncation, class::LOG_TRUNCATION, user)
+    }
+
+    /// Does resolver attempt `attempt` for `(host_key, time)` time out?
+    pub fn resolver_timed_out(&self, host_key: u64, time: u64, attempt: u32) -> bool {
+        let key = mix64(host_key ^ mix64(time)).wrapping_add(attempt as u64);
+        self.coin(self.plan.resolver_timeout, class::RESOLVER_TIMEOUT, key)
+    }
+
+    /// Is the pDNS record keyed by `key` invisible to the sensors?
+    pub fn pdns_gapped(&self, key: u64) -> bool {
+        self.coin(self.plan.pdns_gap, class::PDNS_GAP, key)
+    }
+
+    /// Is the pDNS record's validity window stale?
+    pub fn pdns_stale(&self, key: u64) -> bool {
+        self.coin(self.plan.pdns_stale, class::PDNS_STALE, key)
+    }
+
+    /// Is probe `probe_idx` dark for target `target_key`?
+    pub fn probe_out(&self, target_key: u64, probe_idx: u64) -> bool {
+        self.coin(
+            self.plan.probe_outage,
+            class::PROBE_OUTAGE,
+            mix64(target_key).wrapping_add(probe_idx),
+        )
+    }
+
+    /// RTT inflation factor for probe `probe_idx` on `target_key`:
+    /// `None` when the probe is healthy, else a multiplier in `[2, 5)`.
+    pub fn probe_flaky_factor(&self, target_key: u64, probe_idx: u64) -> Option<f64> {
+        let key = mix64(target_key ^ 0x5bd1_e995).wrapping_add(probe_idx);
+        if !self.coin(self.plan.probe_flaky, class::PROBE_FLAKY, key) {
+            return None;
+        }
+        Some(2.0 + 3.0 * self.unit(class::PROBE_FLAKY ^ 0xff, key))
+    }
+
+    /// Does the provider miss `target_key` entirely?
+    pub fn geo_missed(&self, target_key: u64) -> bool {
+        self.coin(self.plan.geo_miss, class::GEO_MISS, target_key)
+    }
+}
+
+/// Counters quantifying how much the pipeline degraded under a plan.
+///
+/// Invariant (checked by [`DegradationReport::is_self_consistent`]):
+/// `requests_delivered + requests_dropped_loss + requests_dropped_truncation
+/// == requests_generated`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Requests the browser issued and resolved (entered the log pipeline).
+    pub requests_generated: u64,
+    /// Requests that reached the collection server.
+    pub requests_delivered: u64,
+    /// Requests lost to per-entry log loss.
+    pub requests_dropped_loss: u64,
+    /// Requests lost to per-user log truncation.
+    pub requests_dropped_truncation: u64,
+
+    /// Resolver attempts made (including retries).
+    pub dns_attempts: u64,
+    /// Attempts that timed out.
+    pub dns_timeouts: u64,
+    /// Retries that eventually succeeded.
+    pub dns_retries: u64,
+    /// Queries abandoned after exhausting the retry budget.
+    pub dns_failures: u64,
+    /// Total sim-clock seconds spent backing off.
+    pub dns_backoff_secs: u64,
+
+    /// pDNS records the completion step looked at.
+    pub pdns_records_seen: u64,
+    /// Records invisible due to sensor gaps.
+    pub pdns_records_gapped: u64,
+    /// Records used with a stale (start-only) validity window.
+    pub pdns_records_stale: u64,
+
+    /// Probes assigned across all geolocation targets.
+    pub probes_assigned: u64,
+    /// Assigned probes that were dark.
+    pub probes_out: u64,
+    /// Assigned probes that returned inflated RTTs.
+    pub probes_flaky: u64,
+    /// Targets where the estimator abstained for lack of quorum.
+    pub quorum_abstentions: u64,
+
+    /// Geolocation lookups attempted.
+    pub geo_lookups: u64,
+    /// Lookups the provider missed (no estimate).
+    pub geo_misses: u64,
+
+    /// EU28 confinement (share of EU28-origin tracking flows terminating
+    /// in EU28, IPmap estimates) measured on the degraded outputs — the
+    /// metric-drift headline.
+    pub eu28_confinement: f64,
+}
+
+impl DegradationReport {
+    /// The log-layer accounting invariant.
+    pub fn is_self_consistent(&self) -> bool {
+        self.requests_delivered + self.requests_dropped_loss + self.requests_dropped_truncation
+            == self.requests_generated
+            && self.dns_timeouts <= self.dns_attempts
+            && self.dns_retries + self.dns_failures <= self.dns_attempts
+            && self.pdns_records_gapped + self.pdns_records_stale <= self.pdns_records_seen
+            && self.probes_out + self.probes_flaky <= self.probes_assigned
+            && self.geo_misses <= self.geo_lookups
+    }
+
+    /// Share of generated requests that survived to delivery.
+    pub fn delivery_coverage(&self) -> f64 {
+        if self.requests_generated == 0 {
+            1.0
+        } else {
+            self.requests_delivered as f64 / self.requests_generated as f64
+        }
+    }
+
+    /// Share of geolocation lookups that produced an estimate.
+    pub fn geo_coverage(&self) -> f64 {
+        if self.geo_lookups == 0 {
+            1.0
+        } else {
+            (self.geo_lookups - self.geo_misses) as f64 / self.geo_lookups as f64
+        }
+    }
+
+    /// True when no fault counter fired (expected under [`FaultPlan::none`]).
+    pub fn is_clean(&self) -> bool {
+        self.requests_dropped_loss == 0
+            && self.requests_dropped_truncation == 0
+            && self.dns_timeouts == 0
+            && self.dns_retries == 0
+            && self.dns_failures == 0
+            && self.dns_backoff_secs == 0
+            && self.pdns_records_gapped == 0
+            && self.pdns_records_stale == 0
+            && self.probes_out == 0
+            && self.probes_flaky == 0
+            && self.quorum_abstentions == 0
+            && self.geo_misses == 0
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "delivered {}/{} requests ({:.1} % coverage), dns {} timeouts / {} failures, \
+             pdns {} gapped + {} stale of {}, probes {} out + {} flaky of {}, \
+             {} abstentions, geo {}/{} answered, eu28 confinement {:.3}",
+            self.requests_delivered,
+            self.requests_generated,
+            100.0 * self.delivery_coverage(),
+            self.dns_timeouts,
+            self.dns_failures,
+            self.pdns_records_gapped,
+            self.pdns_records_stale,
+            self.pdns_records_seen,
+            self.probes_out,
+            self.probes_flaky,
+            self.probes_assigned,
+            self.quorum_abstentions,
+            self.geo_lookups - self.geo_misses,
+            self.geo_lookups,
+            self.eu28_confinement,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_never_fires() {
+        let inj = FaultInjector::inactive();
+        assert!(!inj.is_active());
+        for k in 0..1000 {
+            assert!(!inj.log_lost(k));
+            assert!(!inj.log_truncated(k));
+            assert!(!inj.resolver_timed_out(k, k, 0));
+            assert!(!inj.pdns_gapped(k));
+            assert!(!inj.probe_out(k, k));
+            assert!(inj.probe_flaky_factor(k, k).is_none());
+            assert!(!inj.geo_missed(k));
+        }
+    }
+
+    #[test]
+    fn coins_are_deterministic_and_rate_accurate() {
+        let inj = FaultInjector::new(FaultPlan {
+            log_loss: 0.2,
+            ..FaultPlan::none()
+        });
+        assert!(inj.is_active());
+        let hits = (0..10_000u64).filter(|&k| inj.log_lost(k)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "rate {rate}");
+        // Same key, same answer.
+        for k in 0..100 {
+            assert_eq!(inj.log_lost(k), inj.log_lost(k));
+        }
+    }
+
+    #[test]
+    fn classes_are_decorrelated() {
+        let mut plan = FaultPlan::none();
+        plan.log_loss = 0.5;
+        plan.pdns_gap = 0.5;
+        let inj = FaultInjector::new(plan);
+        let both = (0..10_000u64)
+            .filter(|&k| inj.log_lost(k) && inj.pdns_gapped(k))
+            .count();
+        let rate = both as f64 / 10_000.0;
+        // Independent coins: joint rate ~0.25, not 0.5 or 0.
+        assert!((rate - 0.25).abs() < 0.03, "joint rate {rate}");
+    }
+
+    #[test]
+    fn seed_changes_coins() {
+        let ia = FaultInjector::new(FaultPlan::aggressive(1));
+        let ib = FaultInjector::new(FaultPlan::aggressive(2));
+        let diff = (0..1000u64)
+            .filter(|&k| ia.log_lost(k) != ib.log_lost(k))
+            .count();
+        assert!(diff > 100, "only {diff} coins differ across seeds");
+    }
+
+    #[test]
+    fn random_plans_are_bounded() {
+        for seed in 0..200 {
+            let p = FaultPlan::random(seed);
+            assert!((0.0..=0.3).contains(&p.log_loss));
+            assert!((0.0..=0.2).contains(&p.resolver_timeout));
+            assert!(p.resolver_max_retries <= 3);
+            assert!((1..=30).contains(&p.resolver_backoff_secs));
+            assert!(p.min_quorum <= 5);
+            assert!((0.0..=0.5).contains(&p.probe_outage));
+        }
+    }
+
+    #[test]
+    fn report_consistency() {
+        let mut r = DegradationReport::default();
+        assert!(r.is_self_consistent());
+        assert!(r.is_clean());
+        assert_eq!(r.delivery_coverage(), 1.0);
+        r.requests_generated = 100;
+        r.requests_delivered = 80;
+        r.requests_dropped_loss = 15;
+        r.requests_dropped_truncation = 5;
+        assert!(r.is_self_consistent());
+        assert!(!r.is_clean());
+        assert!((r.delivery_coverage() - 0.8).abs() < 1e-12);
+        r.requests_delivered = 81;
+        assert!(!r.is_self_consistent());
+    }
+
+    #[test]
+    fn plan_serializes_round_trip() {
+        // Round-trip through the serde value tree (serde_json sits
+        // downstream of this crate).
+        let p = FaultPlan::aggressive(42);
+        let v = serde::Serialize::to_value(&p);
+        let back: FaultPlan = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(p, back);
+    }
+}

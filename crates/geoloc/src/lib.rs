@@ -37,6 +37,7 @@ pub use truth::GroundTruth;
 
 use serde::{Deserialize, Serialize};
 use std::net::IpAddr;
+use xborder_faults::{ip_key, DegradationReport, FaultInjector};
 use xborder_geo::{Continent, CountryCode, Region, WORLD};
 
 /// A geolocation estimate for one IP.
@@ -56,6 +57,13 @@ impl GeoEstimate {
     pub fn region(&self) -> Region {
         WORLD.country_or_panic(self.country).region()
     }
+
+    /// Fallible variant of [`GeoEstimate::region`]: `None` when the
+    /// estimate's country is missing from the world table, so aggregation
+    /// can skip the record instead of panicking.
+    pub fn try_region(&self) -> Option<Region> {
+        WORLD.country(self.country).ok().map(|c| c.region())
+    }
 }
 
 /// Anything that can geolocate an IP.
@@ -66,4 +74,26 @@ pub trait Geolocator {
 
     /// Provider display name for reports.
     fn name(&self) -> &str;
+
+    /// [`Geolocator::locate`] under fault injection: the provider may
+    /// transiently miss an address (API error, rate limit, db outage).
+    /// Misses are counted in `report`; providers with richer internal
+    /// machinery (e.g. [`IpMap`]) override this to thread faults deeper.
+    fn locate_degraded(
+        &self,
+        ip: IpAddr,
+        inj: &FaultInjector,
+        report: &mut DegradationReport,
+    ) -> Option<GeoEstimate> {
+        report.geo_lookups += 1;
+        if inj.geo_missed(ip_key(ip)) {
+            report.geo_misses += 1;
+            return None;
+        }
+        let est = self.locate(ip);
+        if est.is_none() {
+            report.geo_misses += 1;
+        }
+        est
+    }
 }

@@ -147,7 +147,7 @@ impl IpAllocator {
     /// A fresh allocator starting at the bottom of the pool.
     pub fn new() -> Self {
         IpAllocator {
-            next_v4_slash24: 0x0100_00, // 1.0.0.0 >> 8
+            next_v4_slash24: 0x0001_0000, // 1.0.0.0 >> 8
             next_v6_slash48: 0,
         }
     }
@@ -156,7 +156,7 @@ impl IpAllocator {
     pub fn alloc_v4_slash24(&mut self) -> Result<Ipv4Prefix, NetsimError> {
         loop {
             let idx = self.next_v4_slash24;
-            if idx > 0x7EFF_FF {
+            if idx > 0x007E_FFFF {
                 // past 126.255.255.0
                 return Err(NetsimError::Ipv4Exhausted);
             }

@@ -254,6 +254,7 @@ impl<'a, R: Rng> Builder<'a, R> {
         id
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn add_service(
         &mut self,
         org: ServiceOrgId,
@@ -732,7 +733,7 @@ impl<'a, R: Rng> Builder<'a, R> {
         // National-audience home bias, scaled by the strength of the
         // country's domestic ad market.
         if let Audience::National(country) = audience {
-            let strength = WORLD.country(country).map(|c| local_adtech(c)).unwrap_or(0.3);
+            let strength = WORLD.country(country).map(local_adtech).unwrap_or(0.3);
             if self.rng.gen::<f64>() < self.cfg.home_bias * strength {
                 if let Some(orgs) = self.national_orgs.get(&country) {
                     if !orgs.is_empty() {

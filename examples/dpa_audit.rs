@@ -78,7 +78,7 @@ fn main() {
     }
 
     let mut rows: Vec<_> = per_org.into_iter().collect();
-    rows.sort_by(|a, b| b.1.abroad.cmp(&a.1.abroad));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1.abroad));
     if rows.is_empty() {
         println!("no sensitive tracking flows observed for this country's users");
         println!("(small worlds have few users per country — try ES, GB, DE, IT)");

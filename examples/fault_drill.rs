@@ -1,0 +1,39 @@
+//! Fault-injection drill: run the same study world under increasingly
+//! hostile fault plans and watch what degrades.
+//!
+//! ```sh
+//! cargo run --release --offline --example fault_drill -- [seed]
+//! ```
+
+use xborder::confine::region_breakdown_eu28;
+use xborder::pipeline::run_extension_pipeline_degraded;
+use xborder::{World, WorldConfig};
+use xborder_faults::FaultPlan;
+use xborder_geo::Region;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11);
+
+    for (name, plan) in [
+        ("none", FaultPlan::none()),
+        ("random", FaultPlan::random(seed)),
+        ("aggressive", FaultPlan::aggressive(seed)),
+    ] {
+        let mut world = World::build(WorldConfig::small(seed));
+        let (out, report) = run_extension_pipeline_degraded(&mut world, &plan);
+        let eu28 = region_breakdown_eu28(&out, &out.ipmap_estimates).share(Region::Eu28);
+        println!("== plan `{name}` (world seed {seed}) ==");
+        println!("   {}", report.summary());
+        println!(
+            "   trackers {} (+{} pdns), ipmap located {}/{} ips, eu28 confinement {:.4}",
+            out.tracker_ips.len(),
+            out.completion.n_added,
+            out.ipmap_estimates.len(),
+            out.tracker_ips.len(),
+            eu28,
+        );
+    }
+}

@@ -41,7 +41,7 @@ fn main() {
 
     println!("\nper-country view (who benefits from what):");
     let mut countries: Vec<_> = results.per_country.iter().collect();
-    countries.sort_by(|a, b| b.1.flows.cmp(&a.1.flows));
+    countries.sort_by_key(|c| std::cmp::Reverse(c.1.flows));
     println!(
         "  {:<16} {:>7} {:>9} {:>9} {:>11} {:>11}",
         "country", "flows", "today", "TLD", "TLD+mirror", "migration"

@@ -1,0 +1,197 @@
+//! Fault-injection acceptance tests.
+//!
+//! Three layers of guarantees:
+//!
+//! 1. **Golden bit-identity** — `FaultPlan::none()` is the seed pipeline.
+//!    The fault layer is the *single* implementation underneath
+//!    `run_extension_pipeline`, so this pins both "the refactor changed
+//!    nothing" (against a fingerprint captured before the refactor) and
+//!    "the degraded entry point at plan none changes nothing" (element-wise
+//!    against the legacy entry point).
+//! 2. **Bounded degradation** — the aggressive plan (20 % log loss, 10 %
+//!    resolver timeout, 30 % probe outage, …) completes without panicking
+//!    and moves the headline EU28 confinement by a bounded amount.
+//! 3. **Property sweep** — ~50 random plans: no panics, and every
+//!    `DegradationReport` is self-consistent (delivered + dropped equals
+//!    generated, per-stage counters within bounds).
+
+use xborder::confine::region_breakdown_eu28;
+use xborder::pipeline::{run_extension_pipeline, run_extension_pipeline_degraded, StudyOutputs};
+use xborder::{World, WorldConfig};
+use xborder_faults::FaultPlan;
+use xborder_geo::Region;
+
+/// Fingerprint of a `StudyOutputs` at `WorldConfig::small(11)`, captured
+/// from the pre-fault-layer pipeline (commit before this refactor). The
+/// hashes fold the sorted tracker-IP strings / their IPmap country strings
+/// FNV-style, so any change to the IP set, its order, or the estimates
+/// shows up.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    requests: usize,
+    visits: usize,
+    abp: u64,
+    semi: u64,
+    trackers: usize,
+    added: usize,
+    ip_hash: u64,
+    est_hash: u64,
+}
+
+const GOLDEN: Fingerprint = Fingerprint {
+    requests: 92_292,
+    visits: 1_198,
+    abp: 57_342,
+    semi: 11_079,
+    trackers: 767,
+    added: 94,
+    ip_hash: 11_090_739_218_413_785_410,
+    est_hash: 10_908_584_868_245_118_932,
+};
+const GOLDEN_EU28: f64 = 0.940236;
+
+fn fingerprint(out: &StudyOutputs) -> Fingerprint {
+    let fold = |h: u64, bytes: &str| {
+        bytes
+            .bytes()
+            .fold(h, |h, b| h.wrapping_mul(1_099_511_628_211).wrapping_add(b as u64))
+    };
+    let mut ips: Vec<_> = out.tracker_ips.ips.keys().copied().collect();
+    ips.sort();
+    let mut ip_hash = 0u64;
+    let mut est_hash = 0u64;
+    for ip in &ips {
+        ip_hash = fold(ip_hash, &ip.to_string());
+        if let Some(e) = out.ipmap_estimates.get(ip) {
+            est_hash = fold(est_hash, e.country.as_str());
+        }
+    }
+    Fingerprint {
+        requests: out.dataset.requests.len(),
+        visits: out.dataset.visits.len(),
+        abp: out.classification.abp.n_total_requests as u64,
+        semi: out.classification.semi.n_total_requests as u64,
+        trackers: out.tracker_ips.len(),
+        added: out.completion.n_added,
+        ip_hash,
+        est_hash,
+    }
+}
+
+fn eu28_share(out: &StudyOutputs) -> f64 {
+    region_breakdown_eu28(out, &out.ipmap_estimates).share(Region::Eu28)
+}
+
+#[test]
+fn plan_none_is_bit_identical_to_the_seed_pipeline() {
+    let mut w1 = World::build(WorldConfig::small(11));
+    let base = run_extension_pipeline(&mut w1);
+    assert_eq!(fingerprint(&base), GOLDEN, "legacy entry point drifted from the pre-refactor pipeline");
+    assert!(
+        (eu28_share(&base) - GOLDEN_EU28).abs() < 5e-7,
+        "eu28 {}",
+        eu28_share(&base)
+    );
+
+    let mut w2 = World::build(WorldConfig::small(11));
+    let (deg, report) = run_extension_pipeline_degraded(&mut w2, &FaultPlan::none());
+    assert_eq!(fingerprint(&deg), GOLDEN, "degraded entry point at plan none drifted");
+    assert!(
+        report.is_clean(),
+        "plan none fired a fault coin: {}",
+        report.summary()
+    );
+    assert!(report.is_self_consistent(), "{}", report.summary());
+    assert!((report.eu28_confinement - GOLDEN_EU28).abs() < 5e-7);
+
+    // Element-wise: the request logs are literally the same data.
+    assert_eq!(base.dataset.requests, deg.dataset.requests);
+    assert_eq!(base.dataset.visits, deg.dataset.visits);
+    assert_eq!(base.ipmap_estimates, deg.ipmap_estimates);
+    assert_eq!(base.maxmind_estimates, deg.maxmind_estimates);
+    assert_eq!(base.ipapi_estimates, deg.ipapi_estimates);
+}
+
+#[test]
+fn aggressive_plan_completes_with_bounded_drift() {
+    let mut world = World::build(WorldConfig::small(11));
+    let (out, report) = run_extension_pipeline_degraded(&mut world, &FaultPlan::aggressive(7));
+
+    assert!(report.is_self_consistent(), "{}", report.summary());
+    // Every fault class actually fired at these rates.
+    assert!(report.requests_dropped_loss > 0, "{}", report.summary());
+    assert!(report.requests_dropped_truncation > 0, "{}", report.summary());
+    assert!(report.dns_timeouts > 0, "{}", report.summary());
+    assert!(report.pdns_records_gapped > 0, "{}", report.summary());
+    assert!(report.pdns_records_stale > 0, "{}", report.summary());
+    assert!(report.probes_out > 0, "{}", report.summary());
+    assert!(report.probes_flaky > 0, "{}", report.summary());
+    assert!(report.geo_misses > 0, "{}", report.summary());
+    assert!(report.delivery_coverage() < 1.0);
+
+    // The study still produces a usable dataset...
+    assert!(!out.dataset.requests.is_empty());
+    assert!(!out.tracker_ips.is_empty());
+    assert!(!out.ipmap_estimates.is_empty());
+    // ...and the headline metric stays in the neighbourhood of the
+    // fault-free run on the same seed (drift bounded, per the fault-model
+    // acceptance criteria).
+    let drift = (report.eu28_confinement - GOLDEN_EU28).abs();
+    assert!(
+        drift < 0.15,
+        "eu28 drift {drift:.4} (confinement {:.4} vs fault-free {GOLDEN_EU28})",
+        report.eu28_confinement
+    );
+}
+
+/// A deliberately small world so ~50 full pipeline runs stay fast: the
+/// sweep cares about crash-freedom and accounting identities, not about
+/// paper-shaped statistics.
+fn tiny_config(seed: u64) -> WorldConfig {
+    let mut cfg = WorldConfig::small(seed);
+    cfg.web.n_publishers = 60;
+    cfg.web.n_adtech_orgs = 20;
+    cfg.web.n_clean_orgs = 10;
+    cfg.study.population.n_users = 10;
+    cfg.study.visits_per_user_mean = 6.0;
+    cfg.ipmap.total_probes = 300;
+    cfg.ipmap.probes_per_target = 12;
+    cfg.ipmap.samples_per_probe = 2;
+    cfg.ipmap.landmarks = 12;
+    cfg
+}
+
+#[test]
+fn random_plans_never_panic_and_reports_self_balance() {
+    // One world, many plans: each degraded run continues the world's study
+    // RNG stream, which is exactly what we want here — 50 *different*
+    // studies under 50 different fault plans.
+    let mut world = World::build(tiny_config(4242));
+    for seed in 0..50u64 {
+        let plan = FaultPlan::random(seed);
+        let (out, report) = run_extension_pipeline_degraded(&mut world, &plan);
+        assert!(
+            report.is_self_consistent(),
+            "plan seed {seed}: {}",
+            report.summary()
+        );
+        assert_eq!(
+            report.requests_delivered,
+            out.dataset.requests.len() as u64,
+            "plan seed {seed}: delivered count must match the dataset"
+        );
+        assert!(
+            (0.0..=1.0).contains(&report.delivery_coverage()),
+            "plan seed {seed}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&report.geo_coverage()),
+            "plan seed {seed}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&report.eu28_confinement),
+            "plan seed {seed}: eu28 {}",
+            report.eu28_confinement
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! Offline vendored stand-in for the parts of `criterion` this workspace
+//! uses. It performs real wall-clock timing with a short, fixed budget per
+//! benchmark and prints a one-line summary — enough to compare hot paths
+//! locally, without the statistics machinery of upstream criterion.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Time budget spent measuring each benchmark after one warm-up call.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Hard cap on measured iterations per benchmark.
+const MAX_ITERS: u64 = 10_000;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compatible no-op: CLI args are accepted and ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Set the nominal sample size (accepted for compatibility).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, None, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the nominal sample size (accepted for compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the nominal measurement time (accepted for compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.throughput, f);
+        self
+    }
+
+    /// Run one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Fresh setup for every routine call.
+    PerIteration,
+    /// Small batches (treated as per-iteration here).
+    SmallInput,
+    /// Large batches (treated as per-iteration here).
+    LargeInput,
+}
+
+/// Measures closures handed to it by a benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (also primes lazy statics).
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < MAX_ITERS && (iters < 1 || start.elapsed() < MEASURE_BUDGET) {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with untimed per-iteration `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        while iters < MAX_ITERS && (iters < 1 || wall.elapsed() < MEASURE_BUDGET) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = measured;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{id:<56} (no iterations recorded)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<56} {:>12}  ({} iters){rate}",
+        format_time(per_iter),
+        b.iters
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` invokes bench binaries with `--test`; `cargo bench`
+            // passes `--bench`. Run the full measurement only for `cargo bench`
+            // or a direct invocation, so test runs stay fast.
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,378 @@
+//! Offline vendored stand-in for the parts of `proptest` this workspace uses.
+//!
+//! Supports the `proptest! { #[test] fn name(x in STRATEGY, ...) { .. } }`
+//! macro form with integer/float range strategies, `any::<T>()`, and a tiny
+//! regex-string strategy subset (`"[a-z]{1,8}"`-style character classes).
+//! Cases are generated from a deterministic per-test seed; there is no
+//! shrinking — a failing case panics with the generated inputs available via
+//! the assertion message.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (only `cases` is meaningful here).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this stand-in uses a smaller budget to
+        // keep single-core CI fast while still sweeping the input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut StdRng) -> u128 {
+        let span = self.end - self.start;
+        assert!(span > 0, "cannot sample empty range");
+        self.start + rng.gen::<u128>() % span
+    }
+}
+
+impl Strategy for RangeInclusive<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut StdRng) -> u128 {
+        let (start, end) = (*self.start(), *self.end());
+        let span = end.wrapping_sub(start).wrapping_add(1);
+        if span == 0 {
+            rng.gen::<u128>()
+        } else {
+            start + rng.gen::<u128>() % span
+        }
+    }
+}
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_float_range!(f32, f64);
+
+/// Strategy for a whole type's value space (used as `any::<T>()`).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a canonical whole-space strategy.
+pub trait Arbitrary: Sized {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<f32>()
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Whole-space strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+// --- Regex-subset string strategy ------------------------------------------
+
+enum PatternAtom {
+    /// One of these chars, repeated between `min` and `max` times.
+    Class { chars: Vec<char>, min: usize, max: usize },
+    /// A literal char.
+    Literal(char),
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern {pattern:?}"));
+                let mut class = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        for c in lo..=hi {
+                            class.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        class.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                let (min, max) = if i < chars.len() && chars[i] == '{' {
+                    let close_brace = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pattern:?}"));
+                    let body: String = chars[i + 1..close_brace].iter().collect();
+                    i = close_brace + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad repetition lower bound"),
+                            hi.trim().parse().expect("bad repetition upper bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad repetition count");
+                            (n, n)
+                        }
+                    }
+                } else if i < chars.len() && chars[i] == '+' {
+                    i += 1;
+                    (1, 8)
+                } else if i < chars.len() && chars[i] == '*' {
+                    i += 1;
+                    (0, 8)
+                } else {
+                    (1, 1)
+                };
+                assert!(!class.is_empty(), "empty character class in {pattern:?}");
+                atoms.push(PatternAtom::Class { chars: class, min, max });
+            }
+            '\\' => {
+                i += 1;
+                atoms.push(PatternAtom::Literal(chars[i]));
+                i += 1;
+            }
+            c => {
+                atoms.push(PatternAtom::Literal(c));
+                i += 1;
+            }
+        }
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            match atom {
+                PatternAtom::Literal(c) => out.push(c),
+                PatternAtom::Class { chars, min, max } => {
+                    let n = rng.gen_range(min..=max);
+                    for _ in 0..n {
+                        out.push(chars[rng.gen_range(0..chars.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Internal runner used by the `proptest!` macro expansion.
+pub fn run_cases(test_name: &str, cfg: &ProptestConfig, mut case: impl FnMut(&mut StdRng)) {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    test_name.hash(&mut hasher);
+    let mut rng = StdRng::seed_from_u64(0x9e3779b9 ^ hasher.finish());
+    for _ in 0..cfg.cases {
+        case(&mut rng);
+    }
+}
+
+/// Property-test macro. Each declared function becomes a `#[test]` running
+/// `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(concat!(module_path!(), "::", stringify!($name)), &__cfg, |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    $body
+                });
+            }
+        )+
+    };
+}
+
+/// Assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The imports every proptest user pulls in.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+    pub use rand::Rng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in -4i64..=4, f in 0.5..1.5f64) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_override_applies(x in 0u8..=255) {
+            let _ = x;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn regex_subset_shapes(s in "[a-z]{1,8}", t in "[a-c]{2,2}") {
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert_eq!(t.len(), 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let mut first = Vec::new();
+        run_cases("det", &ProptestConfig::with_cases(10), |rng| {
+            first.push((0u64..100).generate(rng));
+        });
+        let mut second = Vec::new();
+        run_cases("det", &ProptestConfig::with_cases(10), |rng| {
+            second.push((0u64..100).generate(rng));
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,746 @@
+//! Offline vendored stand-in for the parts of `serde` this workspace uses.
+//!
+//! Real `serde` is a zero-cost visitor framework. This stand-in is a small
+//! *value-based* facade: every `Serialize` type lowers itself to a [`Value`]
+//! tree, and every `Deserialize` type rebuilds itself from one. The public
+//! trait surface (`Serialize`/`Serializer`, `Deserialize`/`Deserializer`,
+//! `ser::Error`/`de::Error`, derive macros, `#[serde(...)]` attributes used in
+//! this workspace) is kept source-compatible so crate code does not change.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree: the interchange format of this facade.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value does not fit `i64`’s positives).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered key/value pairs (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as an object body, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array body, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64` (integers widen losslessly enough for tests).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(i) => Some(*i as f64),
+            Value::U64(u) => Some(*u as f64),
+            Value::F64(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::I64(i) if *i >= 0 => Some(*i as u64),
+            Value::U64(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Error type used by value conversions (and by the bundled JSON codec).
+#[derive(Debug, Clone)]
+pub struct ValueError(String);
+
+impl ValueError {
+    /// Build an error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        ValueError(m.into())
+    }
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+/// Serialization half of the facade.
+pub mod ser {
+    /// Trait for serializer error types.
+    pub trait Error: Sized + std::fmt::Display {
+        /// Build an error from a display-able message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+    pub use crate::{Serialize, Serializer};
+}
+
+/// Deserialization half of the facade.
+pub mod de {
+    /// Trait for deserializer error types.
+    pub trait Error: Sized + std::fmt::Display {
+        /// Build an error from a display-able message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+    pub use crate::{Deserialize, DeserializeOwned, Deserializer};
+}
+
+impl ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// A data format that can accept one [`Value`].
+pub trait Serializer: Sized {
+    /// Success type.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+    /// Consume the serializer with a fully-built value tree.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can produce one [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+    /// Consume the deserializer, yielding its value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types that can lower themselves to a [`Value`].
+pub trait Serialize {
+    /// Lower to a value tree.
+    fn to_value(&self) -> Value;
+
+    /// Serde-compatible entry point.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize<'de>: Sized {
+    /// Rebuild from a value tree.
+    fn from_value(v: &Value) -> Result<Self, ValueError>;
+
+    /// Serde-compatible entry point.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.take_value()?;
+        Self::from_value(&v).map_err(<D::Error as de::Error>::custom)
+    }
+}
+
+/// Marker for types deserializable from any lifetime (owned data only here).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// In-memory [`Serializer`] that just hands back the value tree.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+    fn serialize_value(self, v: Value) -> Result<Value, ValueError> {
+        Ok(v)
+    }
+}
+
+/// In-memory [`Deserializer`] over a borrowed value tree.
+pub struct ValueDeserializer<'a> {
+    /// The tree to deserialize from.
+    pub value: &'a Value,
+}
+
+impl<'de, 'a> Deserializer<'de> for ValueDeserializer<'a> {
+    type Error = ValueError;
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self.value.clone())
+    }
+}
+
+/// Bridge for `#[serde(with = "module")]` on the serialize side: run the
+/// module's `serialize` against the in-memory serializer.
+pub fn ser_with<F>(f: F) -> Value
+where
+    F: FnOnce(ValueSerializer) -> Result<Value, ValueError>,
+{
+    match f(ValueSerializer) {
+        Ok(v) => v,
+        Err(e) => Value::Str(format!("!serialize-error: {e}")),
+    }
+}
+
+/// Bridge for `#[serde(with = "module")]` on the deserialize side.
+pub fn de_with<'a, T, F>(v: &'a Value, f: F) -> Result<T, ValueError>
+where
+    F: FnOnce(ValueDeserializer<'a>) -> Result<T, ValueError>,
+{
+    f(ValueDeserializer { value: v })
+}
+
+/// Fetch a named field out of an object body (derive-internal helper).
+pub fn obj_get<'a>(
+    obj: &'a [(String, Value)],
+    key: &str,
+) -> Result<&'a Value, ValueError> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| ValueError::msg(format!("missing field `{key}`")))
+}
+
+/// Deserialize a named field of an object body (derive-internal helper).
+/// A missing field deserializes as `Null`, which lets `Option` default to
+/// `None` like upstream serde's `default` behavior for options.
+pub fn from_field<'a, T: Deserialize<'a>>(
+    obj: &[(String, Value)],
+    key: &str,
+) -> Result<T, ValueError> {
+    match obj.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| ValueError::msg(format!("field `{key}`: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| ValueError::msg(format!("missing field `{key}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Impls for std types.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<'de> Deserialize<'de> for Box<str> {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        String::from_value(v).map(String::into_boxed_str)
+    }
+}
+
+macro_rules! impl_ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, ValueError> {
+                match v {
+                    Value::I64(i) => Ok(*i as $t),
+                    Value::U64(u) => Ok(*u as $t),
+                    Value::F64(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    _ => Err(ValueError::msg(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, ValueError> {
+                match v {
+                    Value::U64(u) => Ok(*u as $t),
+                    Value::I64(i) if *i >= 0 => Ok(*i as $t),
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => Ok(*f as $t),
+                    _ => Err(ValueError::msg(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        if let Ok(u) = u64::try_from(*self) {
+            Value::U64(u)
+        } else {
+            Value::Str(self.to_string())
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for u128 {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        match v {
+            Value::U64(u) => Ok(*u as u128),
+            Value::I64(i) if *i >= 0 => Ok(*i as u128),
+            Value::Str(s) => s.parse().map_err(|_| ValueError::msg("bad u128")),
+            _ => Err(ValueError::msg("expected u128")),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        if let Ok(i) = i64::try_from(*self) {
+            Value::I64(i)
+        } else {
+            Value::Str(self.to_string())
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for i128 {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        match v {
+            Value::I64(i) => Ok(*i as i128),
+            Value::U64(u) => Ok(*u as i128),
+            Value::Str(s) => s.parse().map_err(|_| ValueError::msg("bad i128")),
+            _ => Err(ValueError::msg("expected i128")),
+        }
+    }
+}
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::F64(*self as f64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, ValueError> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| ValueError::msg(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(ValueError::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| ValueError::msg("expected string"))
+    }
+}
+
+impl<'de> Deserialize<'de> for &'static str {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        // Static string tables (e.g. country names) re-hydrate by leaking;
+        // acceptable for the rare deserialize-a-static-table case.
+        v.as_str()
+            .map(|s| &*Box::leak(s.to_owned().into_boxed_str()))
+            .ok_or_else(|| ValueError::msg("expected string"))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        v.as_str()
+            .and_then(|s| {
+                let mut it = s.chars();
+                match (it.next(), it.next()) {
+                    (Some(c), None) => Some(c),
+                    _ => None,
+                }
+            })
+            .ok_or_else(|| ValueError::msg("expected single-char string"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        v.as_array()
+            .ok_or_else(|| ValueError::msg("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        let a = v.as_array().ok_or_else(|| ValueError::msg("expected pair"))?;
+        if a.len() != 2 {
+            return Err(ValueError::msg("expected 2-element array"));
+        }
+        Ok((A::from_value(&a[0])?, B::from_value(&a[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        let a = v
+            .as_array()
+            .ok_or_else(|| ValueError::msg("expected triple"))?;
+        if a.len() != 3 {
+            return Err(ValueError::msg("expected 3-element array"));
+        }
+        Ok((
+            A::from_value(&a[0])?,
+            B::from_value(&a[1])?,
+            C::from_value(&a[2])?,
+        ))
+    }
+}
+
+/// Render a map key as a JSON object key string.
+fn key_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::Bool(b) => b.to_string(),
+        Value::I64(i) => i.to_string(),
+        Value::U64(u) => u.to_string(),
+        Value::F64(f) => f.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Parse a JSON object key string back into a key type.
+fn key_from_string<'de, K: Deserialize<'de>>(s: &str) -> Result<K, ValueError> {
+    if let Ok(k) = K::from_value(&Value::Str(s.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(u) = s.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::U64(u)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::I64(i)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(b) = s.parse::<bool>() {
+        if let Ok(k) = K::from_value(&Value::Bool(b)) {
+            return Ok(k);
+        }
+    }
+    Err(ValueError::msg(format!("cannot parse map key {s:?}")))
+}
+
+fn map_to_value<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+    sort: bool,
+) -> Value {
+    let mut body: Vec<(String, Value)> = entries
+        .map(|(k, v)| (key_string(&k.to_value()), v.to_value()))
+        .collect();
+    if sort {
+        body.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    Value::Object(body)
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sorted for deterministic output regardless of hasher state.
+        map_to_value(self.iter(), true)
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        let obj = v.as_object().ok_or_else(|| ValueError::msg("expected map"))?;
+        obj.iter()
+            .map(|(k, val)| Ok((key_from_string::<K>(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter(), false)
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        let obj = v.as_object().ok_or_else(|| ValueError::msg("expected map"))?;
+        obj.iter()
+            .map(|(k, val)| Ok((key_from_string::<K>(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        // Sorted by rendered key for deterministic output.
+        items.sort_by_key(key_string);
+        Value::Array(items)
+    }
+}
+
+impl<'de, T, S> Deserialize<'de> for HashSet<T, S>
+where
+    T: Deserialize<'de> + Eq + Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        v.as_array()
+            .ok_or_else(|| ValueError::msg("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        v.as_array()
+            .ok_or_else(|| ValueError::msg("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl Serialize for std::net::IpAddr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for std::net::IpAddr {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        v.as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ValueError::msg("expected IP address string"))
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for std::net::Ipv4Addr {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        v.as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ValueError::msg("expected IPv4 address string"))
+    }
+}
+
+impl Serialize for std::net::Ipv6Addr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for std::net::Ipv6Addr {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        v.as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ValueError::msg("expected IPv6 address string"))
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".into(), Value::U64(self.as_secs())),
+            ("nanos".into(), Value::U64(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        let secs = v
+            .get("secs")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ValueError::msg("expected duration"))?;
+        let nanos = v.get("nanos").and_then(Value::as_u64).unwrap_or(0);
+        Ok(std::time::Duration::new(secs, nanos as u32))
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_value(_: &Value) -> Result<Self, ValueError> {
+        Ok(())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,607 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! value-based serde facade.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`,
+//! which are unavailable offline). The derive only needs item/field/variant
+//! *names* and the `#[serde(...)]` attributes this workspace uses
+//! (`transparent`, `try_from`/`into`, `with`); field types are never parsed —
+//! generated code leans on type inference through the facade traits.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+/// One parsed `#[serde(...)]` directive: `name` or `name = "value"`.
+#[derive(Debug, Clone)]
+struct SerdeAttr {
+    name: String,
+    value: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+#[derive(Debug)]
+enum ItemBody {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: Vec<SerdeAttr>,
+    body: ItemBody,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item, Mode::Ser).parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item, Mode::De).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let attrs = parse_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde derive does not support generic types (on `{name}`)");
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemBody::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemBody::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemBody::UnitStruct,
+            other => panic!("unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemBody::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for `{other} {name}`"),
+    };
+
+    Item { name, attrs, body }
+}
+
+/// Parse any `#[...]` attributes at `tokens[*i]`, returning only serde ones.
+fn parse_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<SerdeAttr> {
+    let mut out = Vec::new();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        let group = match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("expected attribute body, found {other:?}"),
+        };
+        *i += 1;
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let args = match inner.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            other => panic!("expected #[serde(...)], found {other:?}"),
+        };
+        out.extend(parse_serde_args(args));
+    }
+    out
+}
+
+/// Parse the comma-separated `name` / `name = "value"` list inside `serde(...)`.
+fn parse_serde_args(stream: TokenStream) -> Vec<SerdeAttr> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            other => panic!("unexpected token in #[serde(...)]: {other}"),
+        };
+        i += 1;
+        let mut value = None;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            match tokens.get(i) {
+                Some(TokenTree::Literal(lit)) => {
+                    value = Some(strip_quotes(&lit.to_string()));
+                    i += 1;
+                }
+                other => panic!("expected string literal after `{name} =`, found {other:?}"),
+            }
+        }
+        out.push(SerdeAttr { name, value });
+    }
+    out
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or(lit)
+        .to_owned()
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Skip a type expression: consume tokens until a comma at angle-bracket
+/// depth zero (groups are atomic token-trees, so only `<`/`>` need counting).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other}"),
+        }
+        skip_type(&tokens, &mut i);
+        // Skip the separating comma, if present.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        let with = attrs
+            .iter()
+            .find(|a| a.name == "with")
+            .and_then(|a| a.value.clone());
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        let with = attrs
+            .iter()
+            .find(|a| a.name == "with")
+            .and_then(|a| a.value.clone());
+        fields.push(Field {
+            name: (fields.len()).to_string(),
+            with,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _attrs = parse_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantBody::Tuple(parse_tuple_fields(g.stream()).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantBody::Struct(
+                    parse_named_fields(g.stream())
+                        .into_iter()
+                        .map(|f| f.name)
+                        .collect(),
+                )
+            }
+            _ => VariantBody::Unit,
+        };
+        // Skip optional `= discriminant` and the trailing comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            while i < tokens.len() {
+                if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generate(item: &Item, mode: Mode) -> String {
+    let transparent = item.attrs.iter().any(|a| a.name == "transparent");
+    let try_from = item
+        .attrs
+        .iter()
+        .find(|a| a.name == "try_from")
+        .and_then(|a| a.value.clone());
+    let into = item
+        .attrs
+        .iter()
+        .find(|a| a.name == "into")
+        .and_then(|a| a.value.clone());
+
+    match mode {
+        Mode::Ser => gen_serialize(item, transparent, into.as_deref()),
+        Mode::De => gen_deserialize(item, transparent, try_from.as_deref()),
+    }
+}
+
+fn ser_field_expr(access: &str, with: Option<&str>) -> String {
+    match with {
+        Some(path) => format!(
+            "::serde::ser_with(|__s| {path}::serialize(&{access}, __s))"
+        ),
+        None => format!("::serde::Serialize::to_value(&{access})"),
+    }
+}
+
+fn gen_serialize(item: &Item, transparent: bool, into: Option<&str>) -> String {
+    let name = &item.name;
+    let body = if let Some(ty) = into {
+        format!(
+            "let __conv: {ty} = <{ty} as ::std::convert::From<Self>>::from(\
+             ::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__conv)"
+        )
+    } else {
+        match &item.body {
+            ItemBody::NamedStruct(fields) if transparent && fields.len() == 1 => {
+                ser_field_expr(&format!("self.{}", fields[0].name), fields[0].with.as_deref())
+            }
+            ItemBody::NamedStruct(fields) => {
+                let mut s = String::from(
+                    "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                     = ::std::vec::Vec::new();\n",
+                );
+                for f in fields {
+                    s.push_str(&format!(
+                        "__fields.push((::std::string::String::from(\"{n}\"), {expr}));\n",
+                        n = f.name,
+                        expr = ser_field_expr(&format!("self.{}", f.name), f.with.as_deref()),
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__fields)");
+                s
+            }
+            ItemBody::TupleStruct(fields) if fields.len() == 1 => {
+                ser_field_expr("self.0", fields[0].with.as_deref())
+            }
+            ItemBody::TupleStruct(fields) => {
+                let items: Vec<String> = fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| ser_field_expr(&format!("self.{i}"), f.with.as_deref()))
+                    .collect();
+                format!(
+                    "::serde::Value::Array(::std::vec![{}])",
+                    items.join(", ")
+                )
+            }
+            ItemBody::UnitStruct => "::serde::Value::Null".to_owned(),
+            ItemBody::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vn}\")),\n"
+                        )),
+                        VariantBody::Tuple(1) => arms.push_str(&format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(__f0))]),\n"
+                        )),
+                        VariantBody::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Array(::std::vec![{vals}]))]),\n",
+                                binds = binds.join(", "),
+                                vals = vals.join(", "),
+                            ));
+                        }
+                        VariantBody::Struct(field_names) => {
+                            let binds = field_names.join(", ");
+                            let mut inner = String::from(
+                                "let mut __vf: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::Value)> = ::std::vec::Vec::new();\n",
+                            );
+                            for fnm in field_names {
+                                inner.push_str(&format!(
+                                    "__vf.push((::std::string::String::from(\"{fnm}\"), \
+                                     ::serde::Serialize::to_value({fnm})));\n"
+                                ));
+                            }
+                            arms.push_str(&format!(
+                                "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                                 ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(__vf))])\n}},\n"
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn de_field_expr(obj: &str, field: &str, with: Option<&str>) -> String {
+    match with {
+        Some(path) => format!(
+            "::serde::de_with(::serde::obj_get({obj}, \"{field}\")?, \
+             |__d| {path}::deserialize(__d))?"
+        ),
+        None => format!("::serde::from_field({obj}, \"{field}\")?"),
+    }
+}
+
+fn gen_deserialize(item: &Item, transparent: bool, try_from: Option<&str>) -> String {
+    let name = &item.name;
+    let body = if let Some(ty) = try_from {
+        format!(
+            "let __raw: {ty} = ::serde::Deserialize::from_value(__v)?;\n\
+             <Self as ::std::convert::TryFrom<{ty}>>::try_from(__raw)\
+             .map_err(|__e| ::serde::ValueError::msg(::std::format!(\"{{__e}}\")))"
+        )
+    } else {
+        match &item.body {
+            ItemBody::NamedStruct(fields) if transparent && fields.len() == 1 => {
+                let f = &fields[0];
+                let expr = match f.with.as_deref() {
+                    Some(path) => format!(
+                        "::serde::de_with(__v, |__d| {path}::deserialize(__d))?"
+                    ),
+                    None => "::serde::Deserialize::from_value(__v)?".to_owned(),
+                };
+                format!(
+                    "::std::result::Result::Ok({name} {{ {fname}: {expr} }})",
+                    fname = f.name
+                )
+            }
+            ItemBody::NamedStruct(fields) => {
+                let mut s = format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::ValueError::msg(\"expected object for {name}\"))?;\n"
+                );
+                s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+                for f in fields {
+                    s.push_str(&format!(
+                        "{fname}: {expr},\n",
+                        fname = f.name,
+                        expr = de_field_expr("__obj", &f.name, f.with.as_deref()),
+                    ));
+                }
+                s.push_str("})");
+                s
+            }
+            ItemBody::TupleStruct(fields) if fields.len() == 1 => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            ),
+            ItemBody::TupleStruct(fields) => {
+                let n = fields.len();
+                let mut s = format!(
+                    "let __arr = __v.as_array().ok_or_else(|| \
+                     ::serde::ValueError::msg(\"expected array for {name}\"))?;\n\
+                     if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::ValueError::msg(\"wrong tuple arity for {name}\")); }}\n"
+                );
+                let items: Vec<String> = (0..n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                    .collect();
+                s.push_str(&format!(
+                    "::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                ));
+                s
+            }
+            ItemBody::UnitStruct => format!("::std::result::Result::Ok({name})"),
+            ItemBody::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut data_arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        )),
+                        VariantBody::Tuple(1) => data_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),\n"
+                        )),
+                        VariantBody::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__arr[{i}])?")
+                                })
+                                .collect();
+                            data_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let __arr = __inner.as_array().ok_or_else(|| \
+                                 ::serde::ValueError::msg(\"expected array\"))?;\n\
+                                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::ValueError::msg(\"wrong variant arity\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({items}))\n}},\n",
+                                items = items.join(", "),
+                            ));
+                        }
+                        VariantBody::Struct(field_names) => {
+                            let mut inner = String::from(
+                                "let __obj = __inner.as_object().ok_or_else(|| \
+                                 ::serde::ValueError::msg(\"expected object\"))?;\n",
+                            );
+                            inner.push_str(&format!(
+                                "::std::result::Result::Ok({name}::{vn} {{\n"
+                            ));
+                            for fnm in field_names {
+                                inner.push_str(&format!(
+                                    "{fnm}: ::serde::from_field(__obj, \"{fnm}\")?,\n"
+                                ));
+                            }
+                            inner.push_str("})");
+                            data_arms.push_str(&format!("\"{vn}\" => {{\n{inner}\n}},\n"));
+                        }
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::ValueError::msg(\
+                     ::std::format!(\"unknown variant {{__other:?}} for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                     let (__tag, __inner) = &__o[0];\n\
+                     match __tag.as_str() {{\n\
+                     {data_arms}\
+                     __other => ::std::result::Result::Err(::serde::ValueError::msg(\
+                     ::std::format!(\"unknown variant {{__other:?}} for {name}\"))),\n\
+                     }}\n\
+                     }},\n\
+                     _ => ::std::result::Result::Err(::serde::ValueError::msg(\
+                     \"expected enum representation for {name}\")),\n\
+                     }}"
+                )
+            }
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::ValueError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
