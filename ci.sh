@@ -14,4 +14,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== tests =="
 cargo test -q --offline
 
+echo "== bench smoke (writes BENCH_pipeline.json) =="
+./target/release/bench_pipeline
+
 echo "ci.sh: all green"

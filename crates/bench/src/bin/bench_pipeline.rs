@@ -1,0 +1,69 @@
+//! Pipeline bench smoke: end-to-end and per-stage wall-clock at 1 and N
+//! threads, written to `BENCH_pipeline.json` (run from the repo root; see
+//! ci.sh). The per-stage numbers come from the pipeline's own
+//! `DegradationReport::timings`, so the bench measures exactly what
+//! production runs record.
+
+use std::time::Instant;
+use xborder::pipeline::run_extension_pipeline_degraded;
+use xborder::{Parallelism, World, WorldConfig};
+use xborder_faults::FaultPlan;
+
+fn main() {
+    let seed = 11u64;
+    let n_threads = Parallelism::from_env().threads;
+    let budgets: Vec<usize> = if n_threads > 1 { vec![1, n_threads] } else { vec![1] };
+
+    let mut measured: Vec<(usize, f64, xborder_faults::StageTimings)> = Vec::new();
+    for &threads in &budgets {
+        // Best of five: the first run warms the page cache and allocator,
+        // and the minimum filters scheduler noise on a shared box.
+        let mut best: Option<(f64, xborder_faults::StageTimings)> = None;
+        for _ in 0..5 {
+            let mut world = World::build(WorldConfig::small(seed).with_threads(threads));
+            let t = Instant::now();
+            let (_, report) = run_extension_pipeline_degraded(&mut world, &FaultPlan::none());
+            let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+            if best.as_ref().is_none_or(|(b, _)| wall_ms < *b) {
+                best = Some((wall_ms, report.timings));
+            }
+        }
+        let (wall_ms, timings) = best.expect("at least one run");
+        println!(
+            "threads {threads}: pipeline {wall_ms:.1} ms (study {:.1}, classify {:.1}, \
+             completion {:.1}, geolocate {:.1})",
+            timings.study_ms, timings.classify_ms, timings.completion_ms, timings.geolocate_ms
+        );
+        measured.push((threads, wall_ms, timings));
+    }
+
+    let speedup = match measured.as_slice() {
+        [(_, seq_ms, _), (_, par_ms, _)] if *par_ms > 0.0 => seq_ms / par_ms,
+        _ => 1.0,
+    };
+    let runs: Vec<serde_json::Value> = measured
+        .iter()
+        .map(|(threads, wall_ms, t)| {
+            serde_json::json!({
+                "threads": threads,
+                "pipeline_ms": wall_ms,
+                "study_ms": t.study_ms,
+                "classify_ms": t.classify_ms,
+                "completion_ms": t.completion_ms,
+                "geolocate_ms": t.geolocate_ms,
+                "total_ms": t.total_ms,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "bench": "pipeline",
+        "config": format!("WorldConfig::small({seed})"),
+        "threads_available": n_threads,
+        "runs": runs,
+        "e2e_speedup_vs_sequential": speedup,
+    });
+    let out = "BENCH_pipeline.json";
+    std::fs::write(out, serde_json::to_string_pretty(&doc).expect("bench doc serializes"))
+        .expect("write BENCH_pipeline.json");
+    println!("wrote {out} (e2e speedup vs sequential: {speedup:.2}x at {n_threads} threads)");
+}

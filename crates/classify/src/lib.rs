@@ -27,7 +27,10 @@ pub mod eval;
 pub mod listgen;
 pub mod rules;
 
-pub use classifier::{classify, Classification, ClassificationResult, MethodCounts};
+pub use classifier::{
+    classify, classify_with_stages, classify_with_stages_threads, Classification,
+    ClassificationResult, ClassifierStages, MethodCounts,
+};
 pub use eval::{evaluate, Evaluation};
 pub use listgen::generate_lists;
-pub use rules::{FilterList, FilterRule};
+pub use rules::{FilterList, FilterRule, HostGate};

@@ -50,6 +50,7 @@ pub mod confine;
 pub mod dedicated;
 pub mod ips;
 pub mod ispstudy;
+pub mod par;
 pub mod pipeline;
 pub mod regulations;
 pub mod related;
@@ -58,5 +59,6 @@ pub mod sensitive;
 pub mod whatif;
 pub mod worldgen;
 
+pub use par::Parallelism;
 pub use pipeline::StudyOutputs;
 pub use worldgen::{World, WorldConfig};

@@ -12,8 +12,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::net::IpAddr;
+use std::time::Instant;
 use xborder_browser::{run_study_degraded, ExtensionDataset};
-use xborder_classify::{classify, generate_lists, ClassificationResult, FilterList};
+use xborder_classify::{
+    classify_with_stages_threads, generate_lists, ClassificationResult, ClassifierStages,
+    FilterList,
+};
 use xborder_faults::{DegradationReport, FaultInjector, FaultPlan};
 use xborder_geo::Region;
 use xborder_geoloc::{GeoEstimate, Geolocator, IpMap, RegistryDb, RegistryStyle};
@@ -75,6 +79,51 @@ pub fn freeze_estimates_degraded<G: Geolocator + ?Sized>(
         .collect()
 }
 
+/// [`freeze_estimates_degraded`] sharded over contiguous chunks of the IP
+/// list with `std::thread::scope`.
+///
+/// Bit-identical to the sequential freeze for any `threads`: each lookup
+/// depends only on `(provider, ip, inj)` — fault coins are hash-derived
+/// per entity, per-IP measurement RNG is seeded from the address — and the
+/// per-shard reports are merged by original chunk order (counter addition
+/// commutes, see [`DegradationReport::absorb_counters`]). Returns the map
+/// plus the merged counters for the caller to absorb into its report.
+pub fn freeze_estimates_degraded_sharded<G: Geolocator + Sync + ?Sized>(
+    provider: &G,
+    ips: &[IpAddr],
+    inj: &FaultInjector,
+    threads: usize,
+) -> (EstimateMap, DegradationReport) {
+    let mut merged = DegradationReport::default();
+    if threads <= 1 || ips.len() < 2 * threads {
+        let map = freeze_estimates_degraded(provider, ips, inj, &mut merged);
+        return (map, merged);
+    }
+    let chunk = ips.len().div_ceil(threads);
+    let shards: Vec<(EstimateMap, DegradationReport)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ips
+            .chunks(chunk)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut r = DegradationReport::default();
+                    let m = freeze_estimates_degraded(provider, c, inj, &mut r);
+                    (m, r)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("freeze shard panicked"))
+            .collect()
+    });
+    let mut map = EstimateMap::with_capacity(ips.len());
+    for (m, r) in shards {
+        map.extend(m);
+        merged.absorb_counters(&r);
+    }
+    (map, merged)
+}
+
 /// Runs the full extension pipeline against a built world.
 ///
 /// Consumes the world's dedicated study RNG stream, so repeated calls on
@@ -99,8 +148,12 @@ pub fn run_extension_pipeline_degraded(
 ) -> (StudyOutputs, DegradationReport) {
     let inj = FaultInjector::new(plan.clone());
     let mut report = DegradationReport::default();
+    let threads = world.config.parallelism.threads.max(1);
+    let t_total = Instant::now();
 
     // 1. The 4.5-month study (in-path resolver faults, post-hoc log faults).
+    // Inherently sequential: visits advance the study RNG stream in order.
+    let t_stage = Instant::now();
     let mut rng = StdRng::seed_from_u64(world.study_rng.gen());
     let dataset = run_study_degraded(
         &world.config.study,
@@ -110,38 +163,88 @@ pub fn run_extension_pipeline_degraded(
         &inj,
         &mut report,
     );
+    report.timings.study_ms = t_stage.elapsed().as_secs_f64() * 1e3;
 
-    // 2. Classification (Table 2).
+    // 2. Classification (Table 2). Stage-1 blocklist matching shards over
+    // the request log; labels never depend on the split.
+    let t_stage = Instant::now();
     let (easylist, easyprivacy) = generate_lists(&world.graph);
-    let classification = classify(&dataset.requests, &easylist, &easyprivacy);
+    let classification = classify_with_stages_threads(
+        &dataset.requests,
+        &easylist,
+        &easyprivacy,
+        ClassifierStages::default(),
+        threads,
+    );
+    report.timings.classify_ms = t_stage.elapsed().as_secs_f64() * 1e3;
 
     // 3. Tracker IP set + pDNS completion (Sect. 3.3).
+    let t_stage = Instant::now();
     let mut tracker_ips = TrackerIpSet::from_dataset(&dataset, &classification);
     let completion = tracker_ips.complete_with_pdns_degraded(world.dns.pdns(), &inj, &mut report);
+    report.timings.completion_ms = t_stage.elapsed().as_secs_f64() * 1e3;
 
     // 4. Geolocation with all three providers (Sect. 3.4).
+    let t_stage = Instant::now();
     let ip_list: Vec<IpAddr> = {
         let mut v: Vec<IpAddr> = tracker_ips.ips.keys().copied().collect();
         v.sort();
         v
     };
+    // All world-RNG draws stay on this thread, in the legacy order: the
+    // IPmap build consumes `rng`, then the registry seeds are drawn. The
+    // freezes below never touch `rng` (per-IP measurement RNG is seeded
+    // from the address), which is what frees them to run concurrently.
     let ipmap = IpMap::new(world.config.ipmap, &world.infra, &mut rng);
-    let ipmap_estimates = freeze_estimates_degraded(&ipmap, &ip_list, &inj, &mut report);
     // MaxMind and ip-api share their seat-vs-truth coin (correlated errors,
     // Table 3) but perturb independently.
     let seat_seed: u64 = rng.gen();
-    let mm = {
+    let mm_noise_seed: u64 = rng.gen();
+    let ia_noise_seed: u64 = rng.gen();
+    let build_mm = || {
         let mut seat = StdRng::seed_from_u64(seat_seed);
-        let mut noise = StdRng::seed_from_u64(rng.gen());
+        let mut noise = StdRng::seed_from_u64(mm_noise_seed);
         RegistryDb::build(RegistryStyle::MaxMindLike, &world.infra, &mut seat, &mut noise)
     };
-    let ia = {
+    let build_ia = || {
         let mut seat = StdRng::seed_from_u64(seat_seed);
-        let mut noise = StdRng::seed_from_u64(rng.gen());
+        let mut noise = StdRng::seed_from_u64(ia_noise_seed);
         RegistryDb::build(RegistryStyle::IpApiLike, &world.infra, &mut seat, &mut noise)
     };
-    let maxmind_estimates = freeze_estimates_degraded(&mm, &ip_list, &inj, &mut report);
-    let ipapi_estimates = freeze_estimates_degraded(&ia, &ip_list, &inj, &mut report);
+    let (ipmap_estimates, maxmind_estimates, ipapi_estimates) = if threads <= 1 {
+        // Exact legacy sequential path.
+        let a = freeze_estimates_degraded(&ipmap, &ip_list, &inj, &mut report);
+        let b = freeze_estimates_degraded(&build_mm(), &ip_list, &inj, &mut report);
+        let c = freeze_estimates_degraded(&build_ia(), &ip_list, &inj, &mut report);
+        (a, b, c)
+    } else {
+        // The three provider freezes run concurrently, each sharded over
+        // the IP list; per-provider reports merge in the fixed sequential
+        // order (ipmap → mm → ia), which equals the legacy totals because
+        // counter addition commutes.
+        let per_provider = threads.div_ceil(3).max(1);
+        let ((a, ra), (b, rb), (c, rc)) = std::thread::scope(|scope| {
+            let ha = scope.spawn(|| {
+                freeze_estimates_degraded_sharded(&ipmap, &ip_list, &inj, per_provider)
+            });
+            let hb = scope.spawn(|| {
+                freeze_estimates_degraded_sharded(&build_mm(), &ip_list, &inj, per_provider)
+            });
+            let hc = scope.spawn(|| {
+                freeze_estimates_degraded_sharded(&build_ia(), &ip_list, &inj, per_provider)
+            });
+            (
+                ha.join().expect("ipmap freeze panicked"),
+                hb.join().expect("maxmind freeze panicked"),
+                hc.join().expect("ipapi freeze panicked"),
+            )
+        });
+        report.absorb_counters(&ra);
+        report.absorb_counters(&rb);
+        report.absorb_counters(&rc);
+        (a, b, c)
+    };
+    report.timings.geolocate_ms = t_stage.elapsed().as_secs_f64() * 1e3;
 
     let out = StudyOutputs {
         dataset,
@@ -159,6 +262,7 @@ pub fn run_extension_pipeline_degraded(
     // compared against a fault-free run of the same seed.
     report.eu28_confinement =
         crate::confine::region_breakdown_eu28(&out, &out.ipmap_estimates).share(Region::Eu28);
+    report.timings.total_ms = t_total.elapsed().as_secs_f64() * 1e3;
     (out, report)
 }
 

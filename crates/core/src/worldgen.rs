@@ -58,6 +58,11 @@ pub struct WorldConfig {
     /// the pDNS validity windows of Sect. 3.3 exist to handle exactly this
     /// churn (it's also why the NetFlow matcher scopes IPs in time).
     pub churn_rate: f64,
+    /// Thread budget for the shardable pipeline stages (never affects
+    /// outputs — see the determinism contract in DESIGN.md). Defaults to
+    /// `XBORDER_THREADS` / available cores; not part of the world's seed.
+    #[serde(default)]
+    pub parallelism: crate::par::Parallelism,
 }
 
 impl WorldConfig {
@@ -74,6 +79,7 @@ impl WorldConfig {
             dns_epsilon: 0.08,
             fqdn_footprint_keep: 0.90,
             churn_rate: 0.10,
+            parallelism: crate::par::Parallelism::from_env(),
         }
     }
 
@@ -90,7 +96,14 @@ impl WorldConfig {
             dns_epsilon: 0.08,
             fqdn_footprint_keep: 0.90,
             churn_rate: 0.10,
+            parallelism: crate::par::Parallelism::from_env(),
         }
+    }
+
+    /// The same configuration with an explicit thread budget.
+    pub fn with_threads(mut self, threads: usize) -> WorldConfig {
+        self.parallelism = crate::par::Parallelism::with_threads(threads);
+        self
     }
 }
 

@@ -402,9 +402,59 @@ pub struct DegradationReport {
     /// in EU28, IPmap estimates) measured on the degraded outputs — the
     /// metric-drift headline.
     pub eu28_confinement: f64,
+
+    /// Per-stage wall-clock of the producing pipeline run. Timings are
+    /// observational, never part of the determinism contract: zero them
+    /// (`timings = StageTimings::default()`) before comparing reports.
+    #[serde(default)]
+    pub timings: StageTimings,
+}
+
+/// Wall-clock milliseconds per pipeline stage, recorded alongside the
+/// degradation counters so speedups are observable in the same artifact.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Browser-study simulation (visit sampling + request logging).
+    pub study_ms: f64,
+    /// List generation + three-stage classification.
+    pub classify_ms: f64,
+    /// Tracker-IP completion via passive DNS.
+    pub completion_ms: f64,
+    /// IPmap build + all three provider freezes.
+    pub geolocate_ms: f64,
+    /// Whole pipeline, entry to exit (≥ the sum of the stages).
+    pub total_ms: f64,
 }
 
 impl DegradationReport {
+    /// Adds `other`'s counters into `self`.
+    ///
+    /// Counter addition is commutative, so per-shard reports merged in any
+    /// fixed order equal the sequential run's totals — this is what lets
+    /// the pipeline shard degraded stages without perturbing the report.
+    /// `eu28_confinement` and `timings` are *not* counters and are left
+    /// untouched (the pipeline sets them once, at the end).
+    pub fn absorb_counters(&mut self, other: &DegradationReport) {
+        self.requests_generated += other.requests_generated;
+        self.requests_delivered += other.requests_delivered;
+        self.requests_dropped_loss += other.requests_dropped_loss;
+        self.requests_dropped_truncation += other.requests_dropped_truncation;
+        self.dns_attempts += other.dns_attempts;
+        self.dns_timeouts += other.dns_timeouts;
+        self.dns_retries += other.dns_retries;
+        self.dns_failures += other.dns_failures;
+        self.dns_backoff_secs += other.dns_backoff_secs;
+        self.pdns_records_seen += other.pdns_records_seen;
+        self.pdns_records_gapped += other.pdns_records_gapped;
+        self.pdns_records_stale += other.pdns_records_stale;
+        self.probes_assigned += other.probes_assigned;
+        self.probes_out += other.probes_out;
+        self.probes_flaky += other.probes_flaky;
+        self.quorum_abstentions += other.quorum_abstentions;
+        self.geo_lookups += other.geo_lookups;
+        self.geo_misses += other.geo_misses;
+    }
+
     /// The log-layer accounting invariant.
     pub fn is_self_consistent(&self) -> bool {
         self.requests_delivered + self.requests_dropped_loss + self.requests_dropped_truncation

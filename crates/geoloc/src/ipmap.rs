@@ -34,6 +34,12 @@ use xborder_faults::{ip_key, DegradationReport, DegradedResult, FaultError, Faul
 use xborder_geo::{CountryCode, LatLon, WORLD};
 use xborder_netsim::LatencyModel;
 
+/// Floor (km) for the vote-weight denominator: the maximum weight any
+/// single probe can carry is `MIN_VOTE_BOUND_KM⁻²`. Below this scale the
+/// RTT bound is dominated by last-mile latency and jitter, not geography,
+/// so a tighter bound is precision the measurement doesn't actually have.
+pub const MIN_VOTE_BOUND_KM: f64 = 25.0;
+
 /// One measurement probe.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Probe {
@@ -77,6 +83,11 @@ impl ProbeMesh {
                 });
             }
         }
+        ProbeMesh { probes }
+    }
+
+    /// Builds a mesh from an explicit probe set (tests, replayed meshes).
+    pub fn from_probes(probes: Vec<Probe>) -> ProbeMesh {
         ProbeMesh { probes }
     }
 
@@ -165,6 +176,18 @@ impl<'w, G: GroundTruth + ?Sized> IpMap<'w, G> {
             latency: LatencyModel::default(),
             truth,
             seed: rng.gen(),
+        }
+    }
+
+    /// Builds the geolocator around an explicit mesh (tests that need
+    /// probes at exact positions, e.g. co-located with a target).
+    pub fn with_mesh(cfg: IpMapConfig, mesh: ProbeMesh, truth: &'w G, seed: u64) -> Self {
+        IpMap {
+            mesh,
+            cfg,
+            latency: LatencyModel::default(),
+            truth,
+            seed,
         }
     }
 
@@ -303,7 +326,13 @@ impl<'w, G: GroundTruth + ?Sized> IpMap<'w, G> {
         // Stage 3: only probes whose RTT-derived distance bound is within
         // 1.5x of the tightest bound carry location information; farther
         // probes only confirm the continent. Each surviving probe votes its
-        // own country, weighted by bound^-2.
+        // own country, weighted by bound^-2. The weight denominator is
+        // floored at MIN_VOTE_BOUND_KM: an RTT-derived bound near zero
+        // (probe co-located with the target) would otherwise give that one
+        // probe a weight thousands of times any other's, letting a single
+        // mislocated probe decide the majority on its own. The *filter*
+        // above still uses the raw bound — a tight bound should keep its
+        // probe in the electorate, it just must not own the election.
         let min_bound = measured
             .iter()
             .map(|(_, rtt)| self.latency.rtt_to_max_distance_km(*rtt).max(1.0))
@@ -315,7 +344,8 @@ impl<'w, G: GroundTruth + ?Sized> IpMap<'w, G> {
                 continue;
             }
             let p = &self.mesh.probes[*idx];
-            votes.push((p.country, 1.0 / (bound_km * bound_km)));
+            let w_bound = bound_km.max(MIN_VOTE_BOUND_KM);
+            votes.push((p.country, 1.0 / (w_bound * w_bound)));
         }
 
         // Quorum rule: abstain rather than answer from too few voters.
@@ -525,6 +555,78 @@ mod tests {
         // qualitatively at this scale.
         assert!(acc.country >= 0.7, "country accuracy {}", acc.country);
         assert!(acc.continent >= 0.97, "continent accuracy {}", acc.continent);
+    }
+
+    /// A single-target world with a fixed location, for mesh-controlled tests.
+    struct FixedTarget {
+        ip: IpAddr,
+        country: CountryCode,
+        location: LatLon,
+    }
+
+    impl GroundTruth for FixedTarget {
+        fn true_country(&self, ip: IpAddr) -> Option<CountryCode> {
+            (ip == self.ip).then_some(self.country)
+        }
+        fn true_location(&self, ip: IpAddr) -> Option<LatLon> {
+            (ip == self.ip).then_some(self.location)
+        }
+        fn operator_seat(&self, ip: IpAddr) -> Option<CountryCode> {
+            (ip == self.ip).then_some(self.country)
+        }
+        fn all_server_ips(&self) -> Vec<IpAddr> {
+            vec![self.ip]
+        }
+    }
+
+    #[test]
+    fn colocated_probe_cannot_outvote_the_neighborhood() {
+        // Regression: vote weight is 1/bound², and a probe co-located with
+        // the target gets an RTT-derived bound near zero — before the
+        // MIN_VOTE_BOUND_KM floor, its single vote outweighed any number of
+        // probes a few tens of km away. One mislocated (FR-labeled) probe
+        // sitting on a Frankfurt server must not beat ten DE probes 40 km
+        // out.
+        let target = LatLon::new(50.1, 8.7); // Frankfurt
+        let truth = FixedTarget {
+            ip: "192.0.2.1".parse().unwrap(),
+            country: cc!("DE"),
+            location: target,
+        };
+        let mut probes = vec![Probe {
+            country: cc!("FR"),
+            location: target, // co-located, wrong label
+        }];
+        for i in 0..10 {
+            probes.push(Probe {
+                country: cc!("DE"),
+                // ~40 km ring around the target.
+                location: LatLon::new(
+                    target.lat + 0.36 * ((i as f64) * 0.7).cos(),
+                    target.lon + 0.55 * ((i as f64) * 0.7).sin(),
+                ),
+            });
+        }
+        let cfg = IpMapConfig {
+            total_probes: probes.len(),
+            probes_per_target: probes.len(),
+            // Many samples: min-of-n converges to the baseline RTT, so the
+            // 40 km bounds stay well inside the electorate filter.
+            samples_per_probe: 64,
+            landmarks: 4,
+        };
+        let ipmap = IpMap::with_mesh(cfg, ProbeMesh::from_probes(probes), &truth, 9);
+
+        let (est, votes) = ipmap.locate_with_votes(truth.ip).unwrap();
+        assert_eq!(est.country, cc!("DE"), "co-located probe decided the vote");
+        // The floor caps every individual weight at MIN_VOTE_BOUND_KM⁻².
+        let cap = 1.0 / (MIN_VOTE_BOUND_KM * MIN_VOTE_BOUND_KM);
+        for (c, w) in &votes {
+            assert!(*w <= cap + 1e-12, "{c} vote weight {w} above cap {cap}");
+        }
+        // The co-located probe still votes (the electorate filter is
+        // untouched) — it just can't own the election.
+        assert!(votes.iter().any(|(c, _)| *c == cc!("FR")));
     }
 
     #[test]

@@ -185,6 +185,17 @@ const SITE_WORDS: &[&str] = &[
     "city", "local", "best", "top", "my", "the", "go", "pro", "web",
 ];
 
+/// First dot-separated label of a domain — the org-name stem.
+/// `split('.')` yields at least one item for any string, so this never
+/// panics; the `expect` documents that invariant.
+fn first_label(d: &Domain) -> String {
+    d.as_str()
+        .split('.')
+        .next()
+        .expect("split('.') always yields a first segment")
+        .to_owned()
+}
+
 fn synth_name<R: Rng + ?Sized>(rng: &mut R, syllables: &[&str], used: &mut HashSet<String>) -> String {
     loop {
         let n = rng.gen_range(2..=3);
@@ -412,7 +423,7 @@ impl<'a, R: Rng> Builder<'a, R> {
                 let weight = 0.02 + self.rng.gen::<f64>() * 0.5 * local_adtech(&c);
                 let suffix = c.code.as_str().to_ascii_lowercase();
                 let tld = self.fresh_tld(&suffix);
-                let org_name = tld.as_str().split('.').next().unwrap().to_owned();
+                let org_name = first_label(&tld);
                 let org = self.add_org(org_name, c.code, HostingPolicy::HomeOnly, weight);
                 let kind = if self.rng.gen::<f64>() < 0.7 {
                     ServiceKind::AdNetwork
@@ -443,7 +454,7 @@ impl<'a, R: Rng> Builder<'a, R> {
                     return c.code;
                 }
             }
-            return eu.last().unwrap().code;
+            return eu.last().expect("WORLD contains EU28 hosting countries").code;
         }
         // Other hosting-heavy countries.
         let others = ["CH", "RU", "JP", "SG", "CA", "CN", "IN", "AU", "HK", "KR", "IL", "BR"];
@@ -519,7 +530,7 @@ impl<'a, R: Rng> Builder<'a, R> {
             let weight = 0.004 + self.rng.gen::<f64>().powi(3) * 0.22; // heavy tail of tiny orgs
             let suffix = pick_suffix(self.rng, seat);
             let tld0 = self.fresh_tld(suffix);
-            let org_name = tld0.as_str().split('.').next().unwrap().to_owned();
+            let org_name = first_label(&tld0);
             let is_us_home_only =
                 seat == CountryCode::parse("US").unwrap() && hosting == HostingPolicy::HomeOnly;
             let org = self.add_org(org_name, seat, hosting, weight);
@@ -582,7 +593,7 @@ impl<'a, R: Rng> Builder<'a, R> {
             let hosting = self.sample_hosting(seat);
             let suffix = pick_suffix(self.rng, seat);
             let tld0 = self.fresh_tld(suffix);
-            let org_name = tld0.as_str().split('.').next().unwrap().to_owned();
+            let org_name = first_label(&tld0);
             let org = self.add_org(org_name, seat, hosting, 0.0);
             let n_services = self.rng.gen_range(1..=2);
             for i in 0..n_services {
@@ -798,7 +809,9 @@ impl<'a, R: Rng> Builder<'a, R> {
                 Audience::National(self.sample_audience_country())
             };
             let suffix = match audience {
-                Audience::Global => *["com", "net", "org", "io"].choose(self.rng).unwrap(),
+                Audience::Global => *["com", "net", "org", "io"]
+                    .choose(self.rng)
+                    .expect("literal suffix set is non-empty"),
                 Audience::National(c) => pick_suffix(self.rng, c),
             };
             let word = SITE_WORDS[self.rng.gen_range(0..SITE_WORDS.len())];
