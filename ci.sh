@@ -15,6 +15,38 @@ echo "== tests =="
 cargo test -q --offline
 
 echo "== bench smoke (writes BENCH_pipeline.json) =="
+# Stash the committed baseline before the bench overwrites it, so the
+# fresh numbers can be compared against what the repo last recorded.
+baseline=""
+if [ -f BENCH_pipeline.json ]; then
+    baseline="$(mktemp)"
+    cp BENCH_pipeline.json "$baseline"
+fi
 ./target/release/bench_pipeline
+
+if [ -n "$baseline" ]; then
+    echo "== bench regression check (study stage vs committed baseline) =="
+    python3 - "$baseline" BENCH_pipeline.json <<'EOF' || true
+import json, sys
+
+def seq_study_ms(path):
+    doc = json.load(open(path))
+    for run in doc.get("runs", []):
+        if run.get("threads") == 1:
+            return run.get("study_ms")
+    return None
+
+old, new = seq_study_ms(sys.argv[1]), seq_study_ms(sys.argv[2])
+if old is None or new is None or old <= 0:
+    print("bench check: no comparable threads=1 study_ms in baseline; skipping")
+elif new > old * 1.20:
+    print(f"WARNING: study stage regressed >20%: {old:.1f} ms -> {new:.1f} ms "
+          f"({new / old - 1:+.0%})")
+else:
+    print(f"bench check: study stage {old:.1f} ms -> {new:.1f} ms "
+          f"({new / old - 1:+.0%}), within the 20% budget")
+EOF
+    rm -f "$baseline"
+fi
 
 echo "ci.sh: all green"

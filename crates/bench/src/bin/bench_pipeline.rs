@@ -1,8 +1,14 @@
-//! Pipeline bench smoke: end-to-end and per-stage wall-clock at 1 and N
-//! threads, written to `BENCH_pipeline.json` (run from the repo root; see
-//! ci.sh). The per-stage numbers come from the pipeline's own
-//! `DegradationReport::timings`, so the bench measures exactly what
+//! Pipeline bench smoke: end-to-end and per-stage wall-clock across a
+//! sweep of thread budgets, written to `BENCH_pipeline.json` (run from the
+//! repo root; see ci.sh). The per-stage numbers come from the pipeline's
+//! own `DegradationReport::timings`, so the bench measures exactly what
 //! production runs record.
+//!
+//! The sweep always includes {1, 2, 4} plus the machine's available budget
+//! (deduplicated): oversubscribed budgets on a small box still exercise
+//! the sharded code paths, and the recorded curve is the honest one for
+//! the hardware the bench ran on — `threads_available` says how many cores
+//! actually backed it.
 
 use std::time::Instant;
 use xborder::pipeline::run_extension_pipeline_degraded;
@@ -12,7 +18,9 @@ use xborder_faults::FaultPlan;
 fn main() {
     let seed = 11u64;
     let n_threads = Parallelism::from_env().threads;
-    let budgets: Vec<usize> = if n_threads > 1 { vec![1, n_threads] } else { vec![1] };
+    let mut budgets: Vec<usize> = vec![1, 2, 4, n_threads];
+    budgets.sort_unstable();
+    budgets.dedup();
 
     let mut measured: Vec<(usize, f64, xborder_faults::StageTimings)> = Vec::new();
     for &threads in &budgets {
@@ -37,10 +45,8 @@ fn main() {
         measured.push((threads, wall_ms, timings));
     }
 
-    let speedup = match measured.as_slice() {
-        [(_, seq_ms, _), (_, par_ms, _)] if *par_ms > 0.0 => seq_ms / par_ms,
-        _ => 1.0,
-    };
+    let seq = &measured[0];
+    assert_eq!(seq.0, 1, "sweep starts at the sequential budget");
     let runs: Vec<serde_json::Value> = measured
         .iter()
         .map(|(threads, wall_ms, t)| {
@@ -52,18 +58,24 @@ fn main() {
                 "completion_ms": t.completion_ms,
                 "geolocate_ms": t.geolocate_ms,
                 "total_ms": t.total_ms,
+                "study_speedup_vs_sequential": if t.study_ms > 0.0 { seq.2.study_ms / t.study_ms } else { 1.0 },
+                "e2e_speedup_vs_sequential": if *wall_ms > 0.0 { seq.1 / wall_ms } else { 1.0 },
             })
         })
         .collect();
+    let best_e2e = measured
+        .iter()
+        .map(|(_, wall_ms, _)| seq.1 / wall_ms.max(f64::MIN_POSITIVE))
+        .fold(1.0f64, f64::max);
     let doc = serde_json::json!({
         "bench": "pipeline",
         "config": format!("WorldConfig::small({seed})"),
         "threads_available": n_threads,
         "runs": runs,
-        "e2e_speedup_vs_sequential": speedup,
+        "e2e_speedup_vs_sequential": best_e2e,
     });
     let out = "BENCH_pipeline.json";
     std::fs::write(out, serde_json::to_string_pretty(&doc).expect("bench doc serializes"))
         .expect("write BENCH_pipeline.json");
-    println!("wrote {out} (e2e speedup vs sequential: {speedup:.2}x at {n_threads} threads)");
+    println!("wrote {out} (best e2e speedup vs sequential: {best_e2e:.2}x; {n_threads} threads available)");
 }

@@ -3,12 +3,13 @@
 
 use crate::render::{RenderConfig, RenderEngine};
 use crate::request::{LoggedRequest, Referrer, RequestId};
-use crate::user::{UserId, UserPopulation, UserPopulationConfig};
-use rand::Rng;
+use crate::user::{User, UserId, UserPopulation, UserPopulationConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
-use xborder_dns::DnsSim;
-use xborder_faults::{DegradationReport, FaultInjector};
+use xborder_dns::{DnsCache, DnsSim, PdnsObservation, ZoneView};
+use xborder_faults::{derive_stream_seed, DegradationReport, FaultInjector};
 use xborder_geo::CountryCode;
 use xborder_netsim::time::{anchors, SimTime, TimeWindow};
 use xborder_webgraph::{Audience, Domain, PublisherId, WebGraph};
@@ -112,9 +113,27 @@ impl ExtensionDataset {
         m
     }
 
+    /// The country of a user, or `None` for an id outside the population.
+    pub fn try_user_country(&self, id: UserId) -> Option<CountryCode> {
+        self.users.users.get(id.0 as usize).map(|u| u.country)
+    }
+
     /// The country of a user.
+    ///
+    /// Invariant: `UserId`s in a dataset's `visits`/`requests` are dense
+    /// indices into `users.users` (the population generator assigns
+    /// `id == position`), so lookups with ids taken from this dataset
+    /// cannot miss. Panics (with a debug assertion first) on foreign ids —
+    /// use [`ExtensionDataset::try_user_country`] for those.
     pub fn user_country(&self, id: UserId) -> CountryCode {
-        self.users.users[id.0 as usize].country
+        debug_assert!(
+            (id.0 as usize) < self.users.users.len(),
+            "UserId {} outside population of {}",
+            id.0,
+            self.users.users.len()
+        );
+        self.try_user_country(id)
+            .expect("UserId must index the dataset's own population")
     }
 }
 
@@ -238,7 +257,8 @@ pub fn run_study<R: Rng>(
     run_study_degraded(cfg, graph, dns, rng, &inj, &mut report)
 }
 
-/// [`run_study`] with fault injection.
+/// [`run_study`] with fault injection — the sequential entry point:
+/// exactly [`run_study_sharded`] with a thread budget of 1.
 ///
 /// Two fault layers apply:
 ///
@@ -254,7 +274,7 @@ pub fn run_study<R: Rng>(
 ///   when a parent entry is missing.
 ///
 /// With an inactive injector this is exactly [`run_study`] — same RNG
-/// stream, same outputs.
+/// streams, same outputs.
 pub fn run_study_degraded<R: Rng>(
     cfg: &StudyConfig,
     graph: &WebGraph,
@@ -263,38 +283,182 @@ pub fn run_study_degraded<R: Rng>(
     inj: &FaultInjector,
     report: &mut DegradationReport,
 ) -> ExtensionDataset {
-    let users = UserPopulation::generate(&cfg.population, rng);
+    run_study_sharded(cfg, graph, dns, rng, inj, report, 1)
+}
+
+/// What one shard of contiguous users produces. Everything here is local
+/// to the shard: request indices (and the cascade referrers into them)
+/// start at 0, counters count only the shard's own events, and pDNS
+/// observations are buffered instead of applied.
+struct ShardOutput {
+    visits: Vec<Visit>,
+    requests: Vec<LoggedRequest>,
+    observations: Vec<PdnsObservation>,
+    report: DegradationReport,
+}
+
+/// Simulates one contiguous run of users. Each user gets an independent
+/// hash-derived RNG stream (`derive_stream_seed(study_seed, user_id)`) and
+/// their own stub-resolver cache, so this function's output depends only
+/// on `(study_seed, the users given)` — never on which shard, thread, or
+/// order it runs in.
+#[allow(clippy::too_many_arguments)]
+fn simulate_shard(
+    shard: &[User],
+    cfg: &StudyConfig,
+    graph: &WebGraph,
+    view: ZoneView<'_>,
+    inj: &FaultInjector,
+    study_seed: u64,
+    mean_activity: f64,
+    window_len: u64,
+) -> ShardOutput {
     let engine = RenderEngine::new(graph, cfg.render);
+    // Sampler tables are deterministic functions of the graph (no RNG), so
+    // a per-shard instance reproduces the shared sequential tables.
     let mut sampler = VisitSampler::new();
-
-    let mut visits = Vec::new();
-    let mut requests = Vec::new();
-
-    let mean_activity: f64 =
-        users.users.iter().map(|u| u.activity).sum::<f64>() / users.users.len().max(1) as f64;
-    let window_len = cfg.window.len_secs().max(1);
-
-    for user in &users.users {
+    let mut out = ShardOutput {
+        visits: Vec::new(),
+        requests: Vec::new(),
+        observations: Vec::new(),
+        report: DegradationReport::default(),
+    };
+    for user in shard {
+        let mut urng = StdRng::seed_from_u64(derive_stream_seed(study_seed, user.id.0 as u64));
+        let mut cache = DnsCache::for_user(study_seed, user.id.0 as u64);
         let n_visits = ((cfg.visits_per_user_mean * user.activity / mean_activity).round()
             as usize)
             .max(1);
         for _ in 0..n_visits {
-            let t = SimTime(cfg.window.start.0 + rng.gen_range(0..window_len));
+            let t = SimTime(cfg.window.start.0 + urng.gen_range(0..window_len));
             let pid = sampler.sample(
                 user.country,
                 graph,
                 cfg.home_visit_share,
                 cfg.foreign_site_damping,
-                rng,
+                &mut urng,
             );
             let publisher = graph.publisher(pid);
-            visits.push(Visit {
+            out.visits.push(Visit {
                 user: user.id,
                 publisher: pid,
                 time: t,
             });
-            engine.render_visit_degraded(user, publisher, t, dns, &mut requests, rng, inj, report);
+            engine.render_visit_cached(
+                user,
+                publisher,
+                t,
+                view,
+                &mut cache,
+                &mut out.requests,
+                &mut urng,
+                inj,
+                &mut out.report,
+            );
         }
+        // Per-user caches die with the user; their would-have-been sensor
+        // observations replay centrally afterwards, in user order.
+        out.observations.extend(cache.take_observations());
+    }
+    out
+}
+
+/// [`run_study_degraded`] with an explicit thread budget — the parallel
+/// study driver (DESIGN.md §5d).
+///
+/// The thread budget is a pure performance knob: every budget produces
+/// bit-identical datasets, reports and pDNS state. That invariance rests
+/// on three mechanisms:
+///
+/// 1. **Per-user RNG streams.** The caller's `rng` is consumed exactly
+///    twice (population generation, then one `study_seed` draw); each
+///    user's visits then draw from a private stream seeded by
+///    `derive_stream_seed(study_seed, user_id)` — the same hash-derived
+///    construction `xborder-faults` uses for fault coins.
+/// 2. **A shardable DNS layer.** Shards resolve against a shared
+///    read-only [`ZoneView`] through per-user [`DnsCache`]s (the paper's
+///    per-client caching, Sect. 5.1); cache-miss lookups use RNG derived
+///    from `(user stream, host, time)`, and pDNS observations are
+///    buffered and replayed into `dns` in user order after the join.
+/// 3. **Order-restoring merges.** Shards cover contiguous user ranges;
+///    their local vectors concatenate in user order with cascade referrer
+///    indices rebased by the shard's request offset (referrers never
+///    cross users, so rebasing is a pure shift). Report counters are
+///    commutative sums. Post-hoc log faults key on global request index
+///    and run after the merge, so they see identical state at any budget.
+#[allow(clippy::too_many_arguments)]
+pub fn run_study_sharded<R: Rng>(
+    cfg: &StudyConfig,
+    graph: &WebGraph,
+    dns: &mut DnsSim,
+    rng: &mut R,
+    inj: &FaultInjector,
+    report: &mut DegradationReport,
+    threads: usize,
+) -> ExtensionDataset {
+    let users = UserPopulation::generate(&cfg.population, rng);
+    let study_seed: u64 = rng.gen();
+
+    let mean_activity: f64 =
+        users.users.iter().map(|u| u.activity).sum::<f64>() / users.users.len().max(1) as f64;
+    let window_len = cfg.window.len_secs().max(1);
+
+    let view = dns.view();
+    let threads = threads.clamp(1, users.users.len().max(1));
+    let shards: Vec<ShardOutput> = if threads <= 1 {
+        vec![simulate_shard(
+            &users.users,
+            cfg,
+            graph,
+            view,
+            inj,
+            study_seed,
+            mean_activity,
+            window_len,
+        )]
+    } else {
+        let chunk = users.users.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = users
+                .users
+                .chunks(chunk)
+                .map(|shard| {
+                    s.spawn(move || {
+                        simulate_shard(
+                            shard,
+                            cfg,
+                            graph,
+                            view,
+                            inj,
+                            study_seed,
+                            mean_activity,
+                            window_len,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("study shard panicked"))
+                .collect()
+        })
+    };
+
+    // Merge in user order: concatenation + referrer rebasing reproduces
+    // the single-shard vectors exactly.
+    let mut visits = Vec::with_capacity(shards.iter().map(|o| o.visits.len()).sum());
+    let mut requests = Vec::with_capacity(shards.iter().map(|o| o.requests.len()).sum());
+    for shard in shards {
+        let offset = requests.len() as u32;
+        visits.extend(shard.visits);
+        requests.extend(shard.requests.into_iter().map(|mut r| {
+            if let Referrer::Request(RequestId(p)) = r.referrer {
+                r.referrer = Referrer::Request(RequestId(p + offset));
+            }
+            r
+        }));
+        dns.absorb_observations(&shard.observations);
+        report.absorb_counters(&shard.report);
     }
 
     report.requests_generated += requests.len() as u64;
@@ -305,7 +469,9 @@ pub fn run_study_degraded<R: Rng>(
     }
     report.requests_delivered += requests.len() as u64;
 
-    // Logs arrive at the collection server in timestamp order.
+    // Logs arrive at the collection server in timestamp order. The
+    // pre-sort order (user-major, generation order within a user) is the
+    // same at every thread budget, so this stable sort is too.
     // (Requests keep generation order because cascade referrers are
     // positional; visits can be sorted freely.)
     visits.sort_by_key(|v| v.time);
@@ -485,5 +651,83 @@ mod tests {
         let (_, ds) = run_small(6);
         let total: usize = ds.requests_per_publisher().values().sum();
         assert_eq!(total, ds.requests.len());
+    }
+
+    #[test]
+    fn user_country_lookup_is_fallible_out_of_range() {
+        let (_, ds) = run_small(7);
+        let n = ds.users.users.len();
+        assert!(ds.try_user_country(UserId(0)).is_some());
+        assert!(ds.try_user_country(UserId(n as u32)).is_none());
+    }
+
+    /// One call of the sharded driver at a given budget, plus its report.
+    fn run_sharded(seed: u64, threads: usize) -> (ExtensionDataset, DegradationReport, DnsSim) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = generate(&WebGraphConfig::small(), &mut rng);
+        let mut dns = DnsSim::new();
+        wire_all(&graph, &mut dns);
+        let inj = FaultInjector::inactive();
+        let mut report = DegradationReport::default();
+        let ds = run_study_sharded(
+            &StudyConfig::small(),
+            &graph,
+            &mut dns,
+            &mut rng,
+            &inj,
+            &mut report,
+            threads,
+        );
+        (ds, report, dns)
+    }
+
+    #[test]
+    fn thread_budget_is_invisible_in_output() {
+        let (a, ra, dns_a) = run_sharded(11, 1);
+        for threads in [2, 3, 8, 64] {
+            let (b, rb, dns_b) = run_sharded(11, threads);
+            assert_eq!(a.visits, b.visits, "visits differ at {threads} threads");
+            assert_eq!(
+                a.requests.len(),
+                b.requests.len(),
+                "request count differs at {threads} threads"
+            );
+            for (x, y) in a.requests.iter().zip(&b.requests) {
+                assert_eq!(x.url, y.url);
+                assert_eq!(x.ip, y.ip);
+                assert_eq!(x.referrer, y.referrer);
+                assert_eq!(x.time, y.time);
+            }
+            // Per-shard caches merge hit/miss counters to sequential totals.
+            assert_eq!(ra.dns_cache_hits, rb.dns_cache_hits);
+            assert_eq!(ra.dns_cache_misses, rb.dns_cache_misses);
+            assert_eq!(ra.dns_attempts, rb.dns_attempts);
+            // The replayed pDNS state matches too.
+            assert_eq!(dns_a.pdns().len(), dns_b.pdns().len());
+        }
+        assert!(ra.dns_cache_hits > 0, "cache never hit in a whole study");
+        assert!(ra.dns_cache_misses > 0);
+    }
+
+    #[test]
+    fn sequential_entry_point_equals_sharded_at_one() {
+        let mut rng_a = StdRng::seed_from_u64(13);
+        let graph_a = generate(&WebGraphConfig::small(), &mut rng_a);
+        let mut dns_a = DnsSim::new();
+        wire_all(&graph_a, &mut dns_a);
+        let inj = FaultInjector::inactive();
+        let mut report_a = DegradationReport::default();
+        let a = run_study_degraded(
+            &StudyConfig::small(),
+            &graph_a,
+            &mut dns_a,
+            &mut rng_a,
+            &inj,
+            &mut report_a,
+        );
+        let (b, report_b, _) = run_sharded(13, 1);
+        assert_eq!(a.visits, b.visits);
+        assert_eq!(a.requests.len(), b.requests.len());
+        assert_eq!(report_a.dns_cache_misses, report_b.dns_cache_misses);
     }
 }

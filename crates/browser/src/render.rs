@@ -4,12 +4,45 @@ use crate::request::{LoggedRequest, Referrer, RequestId};
 use crate::user::User;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use xborder_dns::DnsSim;
+use xborder_dns::{DnsCache, DnsSim, ZoneView};
 use xborder_faults::{DegradationReport, FaultInjector};
 use xborder_netsim::time::SimTime;
 use xborder_webgraph::{
     url, Domain, EmbedMode, Publisher, ServiceId, ServiceKind, WebGraph,
 };
+
+/// How a render resolves hosts: either directly against the mutable
+/// authoritative simulator (legacy path: resolution draws from the visit
+/// RNG and captures pDNS immediately), or through a per-user stub cache
+/// over a shared read-only [`ZoneView`] (study path: resolution draws
+/// from a hash-derived per-lookup stream and buffers observations, so
+/// user shards can render concurrently).
+enum HostResolver<'d, 'c> {
+    Direct(&'d mut DnsSim),
+    Cached {
+        view: ZoneView<'d>,
+        cache: &'c mut DnsCache,
+    },
+}
+
+impl HostResolver<'_, '_> {
+    fn resolve<R: Rng + ?Sized>(
+        &mut self,
+        host: &Domain,
+        ctx: &xborder_dns::ClientCtx,
+        t: SimTime,
+        rng: &mut R,
+        inj: &FaultInjector,
+        report: &mut DegradationReport,
+    ) -> Option<(xborder_dns::ZoneServer, SimTime)> {
+        match self {
+            HostResolver::Direct(dns) => dns.resolve_degraded(host, ctx, t, rng, inj, report).ok(),
+            HostResolver::Cached { view, cache } => {
+                cache.resolve_shared(view, host, ctx, t, inj, report).ok()
+            }
+        }
+    }
+}
 
 /// Tunables of the render model.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -67,7 +100,7 @@ impl<'a> RenderEngine<'a> {
         referrer: Referrer,
         style_override: Option<xborder_webgraph::url::UrlStyle>,
         t: SimTime,
-        dns: &mut DnsSim,
+        dns: &mut HostResolver<'_, '_>,
         rng: &mut R,
         inj: &FaultInjector,
         report: &mut DegradationReport,
@@ -75,7 +108,7 @@ impl<'a> RenderEngine<'a> {
         let svc = self.graph.service(service);
         let host: &Domain = &svc.hosts[rng.gen_range(0..svc.hosts.len())];
         let ctx = user.try_client_ctx().ok()?;
-        let (answer, t_eff) = dns.resolve_degraded(host, &ctx, t, rng, inj, report).ok()?;
+        let (answer, t_eff) = dns.resolve(host, &ctx, t, rng, inj, report)?;
         // Stable per-(user, service) identity: the tracker's cookie id.
         let identity = (user.id.0 as u64) << 32 | service.0 as u64;
         let style = style_override.unwrap_or(svc.url_style);
@@ -136,6 +169,44 @@ impl<'a> RenderEngine<'a> {
         publisher: &Publisher,
         t: SimTime,
         dns: &mut DnsSim,
+        out: &mut Vec<LoggedRequest>,
+        rng: &mut R,
+        inj: &FaultInjector,
+        report: &mut DegradationReport,
+    ) -> usize {
+        let mut resolver = HostResolver::Direct(dns);
+        self.render_visit_with(user, publisher, t, &mut resolver, out, rng, inj, report)
+    }
+
+    /// The study's render path: resolves through the user's own stub
+    /// cache against a shared read-only zone view. DNS never draws from
+    /// the visit RNG here (cache misses use hash-derived per-lookup
+    /// streams), which is what makes per-user renders independent and
+    /// the study shardable (DESIGN.md §5d).
+    #[allow(clippy::too_many_arguments)]
+    pub fn render_visit_cached<R: Rng + ?Sized>(
+        &self,
+        user: &User,
+        publisher: &Publisher,
+        t: SimTime,
+        view: ZoneView<'_>,
+        cache: &mut DnsCache,
+        out: &mut Vec<LoggedRequest>,
+        rng: &mut R,
+        inj: &FaultInjector,
+        report: &mut DegradationReport,
+    ) -> usize {
+        let mut resolver = HostResolver::Cached { view, cache };
+        self.render_visit_with(user, publisher, t, &mut resolver, out, rng, inj, report)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn render_visit_with<R: Rng + ?Sized>(
+        &self,
+        user: &User,
+        publisher: &Publisher,
+        t: SimTime,
+        dns: &mut HostResolver<'_, '_>,
         out: &mut Vec<LoggedRequest>,
         rng: &mut R,
         inj: &FaultInjector,

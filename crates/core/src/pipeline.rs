@@ -13,7 +13,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::net::IpAddr;
 use std::time::Instant;
-use xborder_browser::{run_study_degraded, ExtensionDataset};
+use xborder_browser::{run_study_sharded, ExtensionDataset};
 use xborder_classify::{
     classify_with_stages_threads, generate_lists, ClassificationResult, ClassifierStages,
     FilterList,
@@ -152,16 +152,19 @@ pub fn run_extension_pipeline_degraded(
     let t_total = Instant::now();
 
     // 1. The 4.5-month study (in-path resolver faults, post-hoc log faults).
-    // Inherently sequential: visits advance the study RNG stream in order.
+    // Users shard across threads: each has a private hash-derived RNG
+    // stream and stub-resolver cache, so the budget never shows in the
+    // output (DESIGN.md §5d).
     let t_stage = Instant::now();
     let mut rng = StdRng::seed_from_u64(world.study_rng.gen());
-    let dataset = run_study_degraded(
+    let dataset = run_study_sharded(
         &world.config.study,
         &world.graph,
         &mut world.dns,
         &mut rng,
         &inj,
         &mut report,
+        threads,
     );
     report.timings.study_ms = t_stage.elapsed().as_secs_f64() * 1e3;
 

@@ -6,13 +6,27 @@
 //! redirection rolls out "from seconds to a few hours". This cache makes
 //! that dynamic measurable: resolve through it, flip the zone, and watch
 //! the old answer linger for exactly one TTL.
+//!
+//! Since the parallel-study refactor (DESIGN.md §5d) this is also the
+//! *per-user* resolver state of the extension study, mirroring the paper's
+//! per-client caching (Sect. 5.1): each simulated user owns one
+//! `DnsCache`, resolves against a shared read-only [`ZoneView`], and
+//! buffers the [`PdnsObservation`]s its cache misses would have produced
+//! at a production resolver. Lookup RNG is hash-derived from
+//! `(user stream, host, time)`, so a lookup's answer never depends on how
+//! many lookups ran before it — the property that lets user shards run
+//! concurrently and still merge bit-identically.
 
 use crate::resolver::ClientCtx;
-use crate::sim::DnsSim;
+use crate::sim::{DnsSim, PdnsObservation, ZoneView};
 use crate::zone::ZoneServer;
 use crate::DnsError;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use xborder_faults::{
+    derive_stream_seed, stable_hash, DegradationReport, FaultError, FaultInjector,
+};
 use xborder_netsim::time::SimTime;
 use xborder_webgraph::Domain;
 
@@ -29,6 +43,11 @@ pub struct DnsCache {
     entries: HashMap<Domain, CacheEntry>,
     hits: u64,
     misses: u64,
+    /// Seed of this client's lookup-RNG stream (see [`DnsCache::for_user`]).
+    lookup_seed: u64,
+    /// Observations buffered on cache misses, for deterministic replay
+    /// into the central pDNS database.
+    observations: Vec<PdnsObservation>,
 }
 
 impl DnsCache {
@@ -37,9 +56,19 @@ impl DnsCache {
         Self::default()
     }
 
+    /// The stub-resolver state of one study user: lookup RNG derives from
+    /// `(study_seed, user)`, so two users' DNS answers are independent and
+    /// a user's answers are independent of every other user's progress.
+    pub fn for_user(study_seed: u64, user: u64) -> Self {
+        DnsCache {
+            lookup_seed: derive_stream_seed(study_seed, user),
+            ..Self::default()
+        }
+    }
+
     /// Resolves through the cache: returns the cached answer while its TTL
     /// lasts, otherwise asks the authoritative simulator and caches the
-    /// fresh answer.
+    /// fresh answer (one lookup: the answer carries its zone's TTL).
     pub fn resolve<R: Rng + ?Sized>(
         &mut self,
         dns: &mut DnsSim,
@@ -55,8 +84,7 @@ impl DnsCache {
             }
         }
         self.misses += 1;
-        let answer = dns.resolve(host, client, now, rng)?;
-        let ttl = dns.zone(host).map(|z| z.ttl_secs).unwrap_or(300);
+        let (answer, ttl) = dns.resolve_with_ttl(host, client, now, rng)?;
         self.entries.insert(
             host.clone(),
             CacheEntry {
@@ -65,6 +93,57 @@ impl DnsCache {
             },
         );
         Ok(answer)
+    }
+
+    /// Resolves through the cache against a shared read-only zone view —
+    /// the study's per-user path. A hit answers from the cache (no
+    /// authoritative query, no pDNS observation, no RNG); a miss resolves
+    /// with a lookup RNG derived from `(user stream, host, time)`, buffers
+    /// the observation a sensor would have recorded, and caches the answer
+    /// until its TTL runs out (TTL measured from the *effective* resolve
+    /// time, after any fault backoff).
+    pub fn resolve_shared(
+        &mut self,
+        view: &ZoneView<'_>,
+        host: &Domain,
+        client: &ClientCtx,
+        now: SimTime,
+        inj: &FaultInjector,
+        report: &mut DegradationReport,
+    ) -> Result<(ZoneServer, SimTime), FaultError> {
+        if let Some(entry) = self.entries.get(host) {
+            if now < entry.expires {
+                self.hits += 1;
+                report.dns_cache_hits += 1;
+                return Ok((entry.answer, now));
+            }
+        }
+        self.misses += 1;
+        report.dns_cache_misses += 1;
+        let mut rng = StdRng::seed_from_u64(derive_stream_seed(
+            self.lookup_seed,
+            stable_hash(host.as_str().as_bytes()) ^ now.0.rotate_left(32),
+        ));
+        let (answer, t_eff, ttl) = view.resolve_degraded(host, client, now, &mut rng, inj, report)?;
+        self.observations.push(PdnsObservation {
+            host: host.clone(),
+            ip: answer.ip,
+            time: t_eff,
+        });
+        self.entries.insert(
+            host.clone(),
+            CacheEntry {
+                answer,
+                expires: t_eff.plus_secs(ttl as u64),
+            },
+        );
+        Ok((answer, t_eff))
+    }
+
+    /// Drains the buffered pDNS observations (in lookup order) for replay
+    /// into [`DnsSim::absorb_observations`].
+    pub fn take_observations(&mut self) -> Vec<PdnsObservation> {
+        std::mem::take(&mut self.observations)
     }
 
     /// Cache hits so far.
@@ -105,7 +184,7 @@ mod tests {
                 ip: ip.parse().unwrap(),
                 country: c.code,
                 location: c.centroid(),
-                        valid: None,
+                valid: None,
             }],
             policy: MappingPolicy::Pinned,
             ttl_secs: ttl,
@@ -146,6 +225,64 @@ mod tests {
         cache.resolve(&mut dns, &host, &client(), SimTime(300), &mut rng).unwrap();
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn ttl_boundary_is_half_open() {
+        // An answer cached at t with TTL d serves [t, t+d) — the instant
+        // `now == expires` is already a miss, on both resolve paths.
+        let mut dns = DnsSim::new();
+        dns.add_zone(zone("t.x.com", "1.0.0.1", "DE", 100)).unwrap();
+        let host = Domain::new("t.x.com");
+
+        let mut cache = DnsCache::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        cache.resolve(&mut dns, &host, &client(), SimTime(0), &mut rng).unwrap();
+        cache.resolve(&mut dns, &host, &client(), SimTime(99), &mut rng).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        cache.resolve(&mut dns, &host, &client(), SimTime(100), &mut rng).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert_eq!(cache.live_entries(SimTime(199)), 1);
+        assert_eq!(cache.live_entries(SimTime(200)), 0);
+
+        let mut shared = DnsCache::for_user(42, 7);
+        let inj = FaultInjector::inactive();
+        let mut report = DegradationReport::default();
+        let view = dns.view();
+        shared.resolve_shared(&view, &host, &client(), SimTime(0), &inj, &mut report).unwrap();
+        shared.resolve_shared(&view, &host, &client(), SimTime(99), &inj, &mut report).unwrap();
+        shared.resolve_shared(&view, &host, &client(), SimTime(100), &inj, &mut report).unwrap();
+        assert_eq!((shared.hits(), shared.misses()), (1, 2));
+        assert_eq!(report.dns_cache_hits, 1);
+        assert_eq!(report.dns_cache_misses, 2);
+        assert_eq!(shared.take_observations().len(), 2);
+    }
+
+    #[test]
+    fn shared_path_buffers_observations_instead_of_capturing() {
+        let mut dns = DnsSim::new();
+        dns.add_zone(zone("t.x.com", "1.0.0.1", "DE", 300)).unwrap();
+        let host = Domain::new("t.x.com");
+        let inj = FaultInjector::inactive();
+        let mut report = DegradationReport::default();
+
+        let mut cache = DnsCache::for_user(1, 2);
+        let view = dns.view();
+        let (ans, t_eff) = cache
+            .resolve_shared(&view, &host, &client(), SimTime(50), &inj, &mut report)
+            .unwrap();
+        assert_eq!(t_eff, SimTime(50));
+        // Hit within TTL: no new observation.
+        cache.resolve_shared(&view, &host, &client(), SimTime(60), &inj, &mut report).unwrap();
+        assert!(dns.pdns().is_empty(), "view resolution must not capture");
+
+        let obs = cache.take_observations();
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].ip, ans.ip);
+        dns.absorb_observations(&obs);
+        assert_eq!(dns.pdns().forward(&host).len(), 1);
+        assert_eq!(dns.pdns().forward(&host)[0].count, 1);
+        assert!(cache.take_observations().is_empty(), "drain is one-shot");
     }
 
     #[test]
@@ -197,5 +334,16 @@ mod tests {
             assert!(cache.resolve(&mut dns, &host, &client(), SimTime(0), &mut rng).is_err());
         }
         assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn lookup_streams_differ_per_user_and_are_reproducible() {
+        // Two users' lookup seeds are decorrelated; the same user's seed is
+        // stable — the per-user determinism the parallel study rests on.
+        let a = DnsCache::for_user(9, 0);
+        let b = DnsCache::for_user(9, 1);
+        let a2 = DnsCache::for_user(9, 0);
+        assert_ne!(a.lookup_seed, b.lookup_seed);
+        assert_eq!(a.lookup_seed, a2.lookup_seed);
     }
 }

@@ -1,4 +1,14 @@
 //! The assembled DNS simulator: zones + resolution + pDNS capture.
+//!
+//! Two faces, split for the parallel study (DESIGN.md §5d):
+//!
+//! * [`DnsSim`] — the owning simulator: mutable zone registry plus the
+//!   passive-DNS sensor. Resolution through it captures into pDNS inline.
+//! * [`ZoneView`] — a shared, read-only view over the zone table that many
+//!   study shards can resolve against concurrently. It never touches the
+//!   sensor; callers collect [`PdnsObservation`]s and replay them into the
+//!   simulator in a deterministic order afterwards
+//!   ([`DnsSim::absorb_observations`]).
 
 use crate::pdns::PassiveDnsDb;
 use crate::resolver::ClientCtx;
@@ -6,9 +16,22 @@ use crate::zone::{ZoneEntry, ZoneServer};
 use crate::DnsError;
 use rand::Rng;
 use std::collections::HashMap;
+use std::net::IpAddr;
 use xborder_faults::{stable_hash, DegradationReport, FaultError, FaultInjector};
 use xborder_netsim::time::SimTime;
 use xborder_webgraph::Domain;
+
+/// One resolution a sensor would have seen, buffered by a study shard and
+/// replayed into the central [`PassiveDnsDb`] after the shards join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PdnsObservation {
+    /// The resolved name.
+    pub host: Domain,
+    /// The answer address.
+    pub ip: IpAddr,
+    /// Effective resolution time (query time plus any fault backoff).
+    pub time: SimTime,
+}
 
 /// Authoritative DNS for a whole synthetic world, with a passive-DNS sensor
 /// recording every resolution.
@@ -16,6 +39,93 @@ use xborder_webgraph::Domain;
 pub struct DnsSim {
     zones: HashMap<Domain, ZoneEntry>,
     pdns: PassiveDnsDb,
+}
+
+/// A read-only snapshot of the zone table, safe to share across study
+/// shards (`Copy`, `Sync`). Resolution through it is *uncaptured*: the
+/// caller is responsible for recording [`PdnsObservation`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct ZoneView<'a> {
+    zones: &'a HashMap<Domain, ZoneEntry>,
+}
+
+impl<'a> ZoneView<'a> {
+    /// The zone registered for `host`, if any.
+    pub fn zone(&self, host: &Domain) -> Option<&'a ZoneEntry> {
+        self.zones.get(host)
+    }
+
+    /// Resolves `host` at time `t`, returning the answer together with the
+    /// zone's TTL (so stub resolvers never need a second zone lookup).
+    pub fn resolve<R: Rng + ?Sized>(
+        &self,
+        host: &Domain,
+        client: &ClientCtx,
+        t: SimTime,
+        rng: &mut R,
+    ) -> Result<(ZoneServer, u32), DnsError> {
+        let zone = self
+            .zones
+            .get(host)
+            .ok_or_else(|| DnsError::NxDomain(host.clone()))?;
+        let answer = zone
+            .select(client.resolver.location, t, rng)
+            .ok_or_else(|| DnsError::EmptyZone(host.clone()))?;
+        Ok((answer, zone.ttl_secs))
+    }
+
+    /// Fault-aware resolution: each attempt can time out per the plan's
+    /// `resolver_timeout` rate; a timed-out attempt backs off exponentially
+    /// on the *sim clock* (base `resolver_backoff_secs`, doubling per
+    /// retry) and retries up to `resolver_max_retries` more times. Returns
+    /// the answer, the effective resolution time (query time plus
+    /// accumulated backoff) and the zone TTL, or
+    /// [`FaultError::ResolverTimeout`] once the budget is exhausted.
+    ///
+    /// Under an inactive injector this is exactly [`ZoneView::resolve`]
+    /// (one attempt, no coins, no extra RNG draws).
+    pub fn resolve_degraded<R: Rng + ?Sized>(
+        &self,
+        host: &Domain,
+        client: &ClientCtx,
+        t: SimTime,
+        rng: &mut R,
+        inj: &FaultInjector,
+        report: &mut DegradationReport,
+    ) -> Result<(ZoneServer, SimTime, u32), FaultError> {
+        if !inj.is_active() {
+            report.dns_attempts += 1;
+            return self
+                .resolve(host, client, t, rng)
+                .map(|(a, ttl)| (a, t, ttl))
+                .map_err(|e| FaultError::Dns(e.to_string()));
+        }
+        let host_key = stable_hash(host.as_str().as_bytes());
+        let max_attempts = 1 + inj.plan().resolver_max_retries;
+        let mut t_eff = t;
+        for attempt in 0..max_attempts {
+            report.dns_attempts += 1;
+            if inj.resolver_timed_out(host_key, t.0, attempt) {
+                report.dns_timeouts += 1;
+                let backoff = inj.plan().resolver_backoff_secs << attempt;
+                report.dns_backoff_secs += backoff;
+                t_eff = SimTime(t_eff.0 + backoff);
+                continue;
+            }
+            if attempt > 0 {
+                report.dns_retries += 1;
+            }
+            return self
+                .resolve(host, client, t_eff, rng)
+                .map(|(a, ttl)| (a, t_eff, ttl))
+                .map_err(|e| FaultError::Dns(e.to_string()));
+        }
+        report.dns_failures += 1;
+        Err(FaultError::ResolverTimeout {
+            host: host.as_str().to_string(),
+            attempts: max_attempts,
+        })
+    }
 }
 
 impl DnsSim {
@@ -33,6 +143,20 @@ impl DnsSim {
         Ok(())
     }
 
+    /// A read-only view over the zone table, shareable across threads.
+    pub fn view(&self) -> ZoneView<'_> {
+        ZoneView { zones: &self.zones }
+    }
+
+    /// Replays shard-buffered observations into the passive-DNS sensor.
+    /// Callers replay buffers in a fixed order (user order in the study) so
+    /// the database is identical for any shard layout.
+    pub fn absorb_observations(&mut self, obs: &[PdnsObservation]) {
+        for o in obs {
+            self.pdns.observe(&o.host, o.ip, o.time);
+        }
+    }
+
     /// Resolves `host` for a client at time `t`, recording the answer into
     /// the passive-DNS database (sensors sit at production resolvers).
     pub fn resolve<R: Rng + ?Sized>(
@@ -42,15 +166,21 @@ impl DnsSim {
         t: SimTime,
         rng: &mut R,
     ) -> Result<ZoneServer, DnsError> {
-        let zone = self
-            .zones
-            .get(host)
-            .ok_or_else(|| DnsError::NxDomain(host.clone()))?;
-        let answer = zone
-            .select(client.resolver.location, t, rng)
-            .ok_or_else(|| DnsError::EmptyZone(host.clone()))?;
+        self.resolve_with_ttl(host, client, t, rng).map(|(a, _)| a)
+    }
+
+    /// [`DnsSim::resolve`] returning the zone TTL alongside the answer, so
+    /// caching stub resolvers never need a second zone lookup.
+    pub fn resolve_with_ttl<R: Rng + ?Sized>(
+        &mut self,
+        host: &Domain,
+        client: &ClientCtx,
+        t: SimTime,
+        rng: &mut R,
+    ) -> Result<(ZoneServer, u32), DnsError> {
+        let (answer, ttl) = self.view().resolve(host, client, t, rng)?;
         self.pdns.observe(host, answer.ip, t);
-        Ok(answer)
+        Ok((answer, ttl))
     }
 
     /// Fault-aware resolution: each attempt can time out per the plan's
@@ -73,38 +203,11 @@ impl DnsSim {
         inj: &FaultInjector,
         report: &mut DegradationReport,
     ) -> Result<(ZoneServer, SimTime), FaultError> {
-        if !inj.is_active() {
-            report.dns_attempts += 1;
-            return self
-                .resolve(host, client, t, rng)
-                .map(|a| (a, t))
-                .map_err(|e| FaultError::Dns(e.to_string()));
-        }
-        let host_key = stable_hash(host.as_str().as_bytes());
-        let max_attempts = 1 + inj.plan().resolver_max_retries;
-        let mut t_eff = t;
-        for attempt in 0..max_attempts {
-            report.dns_attempts += 1;
-            if inj.resolver_timed_out(host_key, t.0, attempt) {
-                report.dns_timeouts += 1;
-                let backoff = inj.plan().resolver_backoff_secs << attempt;
-                report.dns_backoff_secs += backoff;
-                t_eff = SimTime(t_eff.0 + backoff);
-                continue;
-            }
-            if attempt > 0 {
-                report.dns_retries += 1;
-            }
-            return self
-                .resolve(host, client, t_eff, rng)
-                .map(|a| (a, t_eff))
-                .map_err(|e| FaultError::Dns(e.to_string()));
-        }
-        report.dns_failures += 1;
-        Err(FaultError::ResolverTimeout {
-            host: host.as_str().to_string(),
-            attempts: max_attempts,
-        })
+        let (answer, t_eff, _) = self
+            .view()
+            .resolve_degraded(host, client, t, rng, inj, report)?;
+        self.pdns.observe(host, answer.ip, t_eff);
+        Ok((answer, t_eff))
     }
 
     /// Resolution without pDNS capture (cache hits, internal queries).
@@ -115,12 +218,7 @@ impl DnsSim {
         t: SimTime,
         rng: &mut R,
     ) -> Result<ZoneServer, DnsError> {
-        let zone = self
-            .zones
-            .get(host)
-            .ok_or_else(|| DnsError::NxDomain(host.clone()))?;
-        zone.select(client.resolver.location, t, rng)
-            .ok_or_else(|| DnsError::EmptyZone(host.clone()))
+        self.view().resolve(host, client, t, rng).map(|(a, _)| a)
     }
 
     /// The zone registered for `host`, if any.

@@ -205,11 +205,23 @@ impl FaultPlan {
     }
 }
 
-/// SplitMix64 finalizer: the avalanche behind every fault coin.
-fn mix64(mut x: u64) -> u64 {
+/// SplitMix64 finalizer: the avalanche behind every fault coin — and, via
+/// [`derive_stream_seed`], behind every hash-derived RNG stream in the
+/// simulator (per-user study streams, per-lookup DNS streams).
+pub fn mix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
+}
+
+/// Derives an independent RNG seed from a parent seed and an entity key —
+/// the same construction the fault coins use, reused wherever the
+/// simulator needs *many* decorrelated streams that must not depend on
+/// processing order (one per study user, one per DNS lookup). Each part is
+/// avalanched before combining so structured keys (small integers,
+/// sequential ids) still land far apart.
+pub fn derive_stream_seed(parent: u64, key: u64) -> u64 {
+    mix64(mix64(parent ^ 0x9E37_79B9_7F4A_7C15) ^ mix64(key.wrapping_add(0x6a09_e667_f3bc_c909)))
 }
 
 /// FNV-1a over bytes, for keying coins on names.
@@ -366,6 +378,11 @@ pub struct DegradationReport {
     /// Requests lost to per-user log truncation.
     pub requests_dropped_truncation: u64,
 
+    /// Stub-resolver cache hits (answered without an authoritative query).
+    pub dns_cache_hits: u64,
+    /// Stub-resolver cache misses (each one became ≥ 1 authoritative
+    /// attempt below).
+    pub dns_cache_misses: u64,
     /// Resolver attempts made (including retries).
     pub dns_attempts: u64,
     /// Attempts that timed out.
@@ -439,6 +456,8 @@ impl DegradationReport {
         self.requests_delivered += other.requests_delivered;
         self.requests_dropped_loss += other.requests_dropped_loss;
         self.requests_dropped_truncation += other.requests_dropped_truncation;
+        self.dns_cache_hits += other.dns_cache_hits;
+        self.dns_cache_misses += other.dns_cache_misses;
         self.dns_attempts += other.dns_attempts;
         self.dns_timeouts += other.dns_timeouts;
         self.dns_retries += other.dns_retries;
@@ -459,6 +478,7 @@ impl DegradationReport {
     pub fn is_self_consistent(&self) -> bool {
         self.requests_delivered + self.requests_dropped_loss + self.requests_dropped_truncation
             == self.requests_generated
+            && self.dns_cache_misses <= self.dns_attempts
             && self.dns_timeouts <= self.dns_attempts
             && self.dns_retries + self.dns_failures <= self.dns_attempts
             && self.pdns_records_gapped + self.pdns_records_stale <= self.pdns_records_seen

@@ -1,9 +1,10 @@
 //! The determinism contract: the thread budget is a pure performance knob.
 //!
-//! `XBORDER_THREADS` (i.e. `WorldConfig::parallelism`) may shard stage-1
-//! blocklist matching and the three provider freezes, but it must never
-//! change a single output bit — not a label, not an estimate, not a
-//! degradation counter. These tests pin that contract:
+//! `XBORDER_THREADS` (i.e. `WorldConfig::parallelism`) may shard the
+//! extension study itself, stage-1 blocklist matching and the three
+//! provider freezes, but it must never change a single output bit — not a
+//! label, not an estimate, not a degradation counter. These tests pin that
+//! contract:
 //!
 //! 1. Across ≥5 world seeds, under both `FaultPlan::none()` and an
 //!    aggressive plan, thread budgets {1, 2, 8} produce bit-identical
@@ -13,11 +14,14 @@
 //!    reproduces the pre-PR sequential pipeline's fingerprint exactly.
 //!
 //! Why this holds: every sharded unit of work depends only on its own
-//! entity — fault coins are hash-derived from `(plan seed, class, entity
-//! key)`, per-IP measurement RNG is seeded from the address, and stage-1
-//! verdicts are per-request — while all world-RNG draws stay sequential on
-//! the orchestrating thread. Merges use original-index order, and report
-//! counters commute under addition.
+//! entity — study users draw from hash-derived `(study_seed, user_id)`
+//! streams and resolve through private DNS caches, fault coins are
+//! hash-derived from `(plan seed, class, entity key)`, per-IP measurement
+//! RNG is seeded from the address, and stage-1 verdicts are per-request —
+//! while all world-RNG draws stay sequential on the orchestrating thread.
+//! Merges use original-index order (user-order concatenation with referrer
+//! rebasing, pDNS replay in user order), and report counters commute under
+//! addition.
 
 use std::net::IpAddr;
 use xborder::pipeline::{run_extension_pipeline_degraded, StudyOutputs};
@@ -125,13 +129,14 @@ fn thread_budget_never_changes_outputs() {
 }
 
 /// Golden constants mirrored from tests/fault_injection.rs — the
-/// fingerprint of `WorldConfig::small(11)` captured from the pre-PR
-/// sequential pipeline. Every thread budget must reproduce them.
-const GOLDEN_REQUESTS: usize = 92_292;
-const GOLDEN_ABP: u64 = 57_342;
-const GOLDEN_SEMI: u64 = 11_079;
-const GOLDEN_TRACKERS: usize = 767;
-const GOLDEN_IP_HASH: u64 = 11_090_739_218_413_785_410;
+/// fingerprint of `WorldConfig::small(11)` captured from the sequential
+/// run of the per-user-stream study driver (DESIGN.md §5d). Every thread
+/// budget must reproduce them.
+const GOLDEN_REQUESTS: usize = 92_125;
+const GOLDEN_ABP: u64 = 57_405;
+const GOLDEN_SEMI: u64 = 11_310;
+const GOLDEN_TRACKERS: usize = 660;
+const GOLDEN_IP_HASH: u64 = 9_725_130_701_688_395_146;
 
 #[test]
 fn every_thread_budget_matches_the_sequential_golden() {
