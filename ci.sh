@@ -25,26 +25,28 @@ fi
 ./target/release/bench_pipeline
 
 if [ -n "$baseline" ]; then
-    echo "== bench regression check (study stage vs committed baseline) =="
+    echo "== bench regression check (study/geolocate/total vs committed baseline) =="
     python3 - "$baseline" BENCH_pipeline.json <<'EOF' || true
 import json, sys
 
-def seq_study_ms(path):
+def seq_run(path):
     doc = json.load(open(path))
     for run in doc.get("runs", []):
         if run.get("threads") == 1:
-            return run.get("study_ms")
-    return None
+            return run
+    return {}
 
-old, new = seq_study_ms(sys.argv[1]), seq_study_ms(sys.argv[2])
-if old is None or new is None or old <= 0:
-    print("bench check: no comparable threads=1 study_ms in baseline; skipping")
-elif new > old * 1.20:
-    print(f"WARNING: study stage regressed >20%: {old:.1f} ms -> {new:.1f} ms "
-          f"({new / old - 1:+.0%})")
-else:
-    print(f"bench check: study stage {old:.1f} ms -> {new:.1f} ms "
-          f"({new / old - 1:+.0%}), within the 20% budget")
+old, new = seq_run(sys.argv[1]), seq_run(sys.argv[2])
+for stage in ("study_ms", "geolocate_ms", "total_ms"):
+    o, n = old.get(stage), new.get(stage)
+    if o is None or n is None or o <= 0:
+        print(f"bench check: no comparable threads=1 {stage} in baseline; skipping")
+    elif n > o * 1.20:
+        print(f"WARNING: {stage} regressed >20%: {o:.1f} ms -> {n:.1f} ms "
+              f"({n / o - 1:+.0%})")
+    else:
+        print(f"bench check: {stage} {o:.1f} ms -> {n:.1f} ms "
+              f"({n / o - 1:+.0%}), within the 20% budget")
 EOF
     rm -f "$baseline"
 fi

@@ -73,6 +73,7 @@ fn bench_ablation_probe_count(c: &mut Criterion) {
             probes_per_target: probes,
             samples_per_probe: 3,
             landmarks: 32,
+            disable_assign_cache: false,
         };
         let mut rng = StdRng::seed_from_u64(23);
         let ipmap = IpMap::new(cfg, &world.infra, &mut rng);

@@ -24,19 +24,22 @@ fn main() {
 
     let mut measured: Vec<(usize, f64, xborder_faults::StageTimings)> = Vec::new();
     for &threads in &budgets {
-        // Best of five: the first run warms the page cache and allocator,
-        // and the minimum filters scheduler noise on a shared box.
-        let mut best: Option<(f64, xborder_faults::StageTimings)> = None;
-        for _ in 0..5 {
+        // One discarded warmup (page cache, allocator, frequency ramp),
+        // then median-of-3 by wall-clock. The median is robust against the
+        // one-sided scheduler spikes that made a shared-workload budget
+        // report an impossible <1x speedup on the 1-core CI box, without
+        // the minimum's bias toward lucky runs.
+        let run_once = || {
             let mut world = World::build(WorldConfig::small(seed).with_threads(threads));
             let t = Instant::now();
             let (_, report) = run_extension_pipeline_degraded(&mut world, &FaultPlan::none());
-            let wall_ms = t.elapsed().as_secs_f64() * 1e3;
-            if best.as_ref().is_none_or(|(b, _)| wall_ms < *b) {
-                best = Some((wall_ms, report.timings));
-            }
-        }
-        let (wall_ms, timings) = best.expect("at least one run");
+            (t.elapsed().as_secs_f64() * 1e3, report.timings)
+        };
+        let _warmup = run_once();
+        let mut runs: Vec<(f64, xborder_faults::StageTimings)> =
+            (0..3).map(|_| run_once()).collect();
+        runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let (wall_ms, timings) = runs.swap_remove(1);
         println!(
             "threads {threads}: pipeline {wall_ms:.1} ms (study {:.1}, classify {:.1}, \
              completion {:.1}, geolocate {:.1})",

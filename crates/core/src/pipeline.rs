@@ -247,6 +247,13 @@ pub fn run_extension_pipeline_degraded(
         report.absorb_counters(&rc);
         (a, b, c)
     };
+    // Assignment-cache counters accumulate inside the IpMap (shared
+    // read-only across the shard threads); snapshot them into the report
+    // after the freeze. Budget-invariant by construction (DESIGN.md §5e).
+    let cache_stats = ipmap.assign_cache_stats();
+    report.geoloc_assign_cache_hits = cache_stats.hits;
+    report.geoloc_assign_cache_misses = cache_stats.misses;
+    report.geoloc_index_probe_visits = cache_stats.index_probe_visits;
     report.timings.geolocate_ms = t_stage.elapsed().as_secs_f64() * 1e3;
 
     let out = StudyOutputs {

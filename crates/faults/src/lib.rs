@@ -415,6 +415,20 @@ pub struct DegradationReport {
     /// Lookups the provider missed (no estimate).
     pub geo_misses: u64,
 
+    /// Geolocation assignment-cache lookups answered from memoized
+    /// per-location state (landmark baselines / nearest-`k` assignments).
+    /// Like `dns_cache_*`, a performance counter, not a fault counter:
+    /// excluded from [`DegradationReport::is_clean`]. Thread-budget
+    /// invariant by construction (fills counted only by insert-race
+    /// winners), so it participates in full-report equality checks.
+    pub geoloc_assign_cache_hits: u64,
+    /// Assignment-cache lookups that had to compute (distinct locations).
+    pub geoloc_assign_cache_misses: u64,
+    /// Probes whose distance the spatial grid index evaluated across all
+    /// nearest-`k` computations — the index's work metric (the brute-force
+    /// scan this replaced would count every probe for every computation).
+    pub geoloc_index_probe_visits: u64,
+
     /// EU28 confinement (share of EU28-origin tracking flows terminating
     /// in EU28, IPmap estimates) measured on the degraded outputs — the
     /// metric-drift headline.
@@ -472,6 +486,9 @@ impl DegradationReport {
         self.quorum_abstentions += other.quorum_abstentions;
         self.geo_lookups += other.geo_lookups;
         self.geo_misses += other.geo_misses;
+        self.geoloc_assign_cache_hits += other.geoloc_assign_cache_hits;
+        self.geoloc_assign_cache_misses += other.geoloc_assign_cache_misses;
+        self.geoloc_index_probe_visits += other.geoloc_index_probe_visits;
     }
 
     /// The log-layer accounting invariant.
@@ -525,7 +542,8 @@ impl DegradationReport {
         format!(
             "delivered {}/{} requests ({:.1} % coverage), dns {} timeouts / {} failures, \
              pdns {} gapped + {} stale of {}, probes {} out + {} flaky of {}, \
-             {} abstentions, geo {}/{} answered, eu28 confinement {:.3}",
+             {} abstentions, geo {}/{} answered, assign cache {} hits / {} \
+             misses ({} probe visits), eu28 confinement {:.3}",
             self.requests_delivered,
             self.requests_generated,
             100.0 * self.delivery_coverage(),
@@ -540,6 +558,9 @@ impl DegradationReport {
             self.quorum_abstentions,
             self.geo_lookups - self.geo_misses,
             self.geo_lookups,
+            self.geoloc_assign_cache_hits,
+            self.geoloc_assign_cache_misses,
+            self.geoloc_index_probe_visits,
             self.eu28_confinement,
         )
     }

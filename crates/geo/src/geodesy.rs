@@ -57,6 +57,77 @@ pub fn haversine_km(a: LatLon, b: LatLon) -> f64 {
     2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
 }
 
+/// A coordinate with its per-point trigonometry precomputed: radians,
+/// cos(lat), and the unit vector on the sphere.
+///
+/// Spatial indexes evaluate many distances against the same fixed point
+/// set; precomputing the point-local terms once removes two `to_radians`
+/// multiplications and two `cos` calls from every pair evaluated with
+/// [`haversine_km_pre`], and the unit vector enables the chord-space
+/// comparisons ([`chord_sq`]) indexes use for *ranking only* (chord order
+/// is great-circle order, but chord values are never observable outputs).
+#[derive(Debug, Clone, Copy)]
+pub struct GeoPoint {
+    /// Latitude in radians.
+    pub lat_rad: f64,
+    /// Longitude in radians.
+    pub lon_rad: f64,
+    /// `cos(lat_rad)`, the term haversine needs from each endpoint.
+    pub cos_lat: f64,
+    /// Unit vector `(x, y, z)` of the point on the unit sphere.
+    pub unit: [f64; 3],
+}
+
+impl GeoPoint {
+    /// Precomputes the trigonometry for `p`.
+    pub fn new(p: LatLon) -> GeoPoint {
+        let lat_rad = p.lat.to_radians();
+        let lon_rad = p.lon.to_radians();
+        let cos_lat = lat_rad.cos();
+        let unit = [
+            cos_lat * lon_rad.cos(),
+            cos_lat * lon_rad.sin(),
+            lat_rad.sin(),
+        ];
+        GeoPoint {
+            lat_rad,
+            lon_rad,
+            cos_lat,
+            unit,
+        }
+    }
+}
+
+/// [`haversine_km`] over precomputed points — **bit-identical** to the
+/// [`LatLon`] form (same operations in the same order; the precomputed
+/// `lat_rad`/`cos_lat` are the exact values the scalar path recomputes),
+/// pinned by a property test below. Use this wherever the *value* is
+/// observable but one endpoint repeats across many evaluations.
+pub fn haversine_km_pre(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    let dlat = b.lat_rad - a.lat_rad;
+    let dlon = b.lon_rad - a.lon_rad;
+    let h = (dlat / 2.0).sin().powi(2) + a.cos_lat * b.cos_lat * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// Squared chord length between two points' unit vectors (range `[0, 4]`).
+///
+/// Monotone in great-circle distance, so it orders candidates without any
+/// trigonometry — but the mapping to km differs from haversine in the last
+/// float bits, so it must only ever be used for ranking and pruning, never
+/// where the distance value itself is observable.
+pub fn chord_sq(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    let dx = a.unit[0] - b.unit[0];
+    let dy = a.unit[1] - b.unit[1];
+    let dz = a.unit[2] - b.unit[2];
+    dx * dx + dy * dy + dz * dz
+}
+
+/// Central angle (radians) corresponding to a squared chord length.
+pub fn chord_sq_to_angle_rad(chord_sq: f64) -> f64 {
+    2.0 * (chord_sq.max(0.0).sqrt() / 2.0).min(1.0).asin()
+}
+
 /// Converts a great-circle distance to a one-way propagation delay in
 /// milliseconds.
 ///
@@ -162,6 +233,53 @@ mod tests {
             let p = LatLon::new(lat, lon);
             prop_assert!((-90.0..=90.0).contains(&p.lat));
             prop_assert!((-180.0..180.0).contains(&p.lon));
+        }
+
+        #[test]
+        fn precomputed_haversine_is_bit_identical(lat1 in -90.0..90.0f64, lon1 in -180.0..180.0f64,
+                                                  lat2 in -90.0..90.0f64, lon2 in -180.0..180.0f64) {
+            let a = ll(lat1, lon1);
+            let b = ll(lat2, lon2);
+            let scalar = haversine_km(a, b);
+            let pre = haversine_km_pre(&GeoPoint::new(a), &GeoPoint::new(b));
+            // Bitwise, not approximate: the precomputed kernel is allowed
+            // on observable-value paths only because it IS the same number.
+            prop_assert_eq!(scalar.to_bits(), pre.to_bits());
+        }
+
+        #[test]
+        fn chord_orders_like_haversine(lat1 in -89.0..89.0f64, lon1 in -179.0..179.0f64,
+                                       lat2 in -89.0..89.0f64, lon2 in -179.0..179.0f64,
+                                       lat3 in -89.0..89.0f64, lon3 in -179.0..179.0f64) {
+            let t = GeoPoint::new(ll(lat1, lon1));
+            let b = GeoPoint::new(ll(lat2, lon2));
+            let c = GeoPoint::new(ll(lat3, lon3));
+            let (db, dc) = (haversine_km_pre(&t, &b), haversine_km_pre(&t, &c));
+            // Strict order in km implies the same order in chord space
+            // (up to float noise at near-ties, which indexes must treat as
+            // ties to prune conservatively).
+            if (db - dc).abs() > 1e-3 {
+                prop_assert_eq!(db < dc, chord_sq(&t, &b) < chord_sq(&t, &c));
+            }
+        }
+
+        #[test]
+        fn chord_angle_recovers_central_angle(lat1 in -90.0..90.0f64, lon1 in -180.0..180.0f64,
+                                              lat2 in -90.0..90.0f64, lon2 in -180.0..180.0f64) {
+            let a = ll(lat1, lon1);
+            let b = ll(lat2, lon2);
+            let angle = chord_sq_to_angle_rad(chord_sq(&GeoPoint::new(a), &GeoPoint::new(b)));
+            let km = haversine_km(a, b);
+            prop_assert!((angle * EARTH_RADIUS_KM - km).abs() < 1e-6 * (1.0 + km));
+        }
+    }
+
+    #[test]
+    fn geopoint_unit_vector_is_unit_length() {
+        for (lat, lon) in [(0.0, 0.0), (90.0, 0.0), (-90.0, 13.0), (45.0, -180.0), (-33.3, 151.2)] {
+            let p = GeoPoint::new(ll(lat, lon));
+            let norm2: f64 = p.unit.iter().map(|c| c * c).sum();
+            assert!((norm2 - 1.0).abs() < 1e-12, "({lat},{lon}) norm² {norm2}");
         }
     }
 }

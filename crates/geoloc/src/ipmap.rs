@@ -24,12 +24,16 @@
 //! observation that country-level disagreement clusters "around the borders
 //! of neighboring countries".
 
+use crate::grid::GridIndex;
 use crate::truth::GroundTruth;
 use crate::{GeoEstimate, Geolocator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value, ValueError};
+use std::collections::HashMap;
 use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use xborder_faults::{ip_key, DegradationReport, DegradedResult, FaultError, FaultInjector};
 use xborder_geo::{CountryCode, LatLon, WORLD};
 use xborder_netsim::LatencyModel;
@@ -49,10 +53,34 @@ pub struct Probe {
     pub location: LatLon,
 }
 
-/// The Atlas-like probe mesh.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// The Atlas-like probe mesh, with a spatial grid index over the probe
+/// locations built once at construction (DESIGN.md §5e).
+#[derive(Debug, Clone)]
 pub struct ProbeMesh {
     probes: Vec<Probe>,
+    index: GridIndex,
+}
+
+// Manual serde impls: only `probes` is data — the index is derived state,
+// rebuilt on deserialize. The value tree matches what the derive would
+// have produced for the pre-index struct, so serialized meshes are
+// format-compatible across the change.
+impl Serialize for ProbeMesh {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![("probes".to_owned(), self.probes.to_value())])
+    }
+}
+
+impl<'de> Deserialize<'de> for ProbeMesh {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        match v {
+            Value::Object(fields) => {
+                let probes: Vec<Probe> = serde::from_field(fields, "probes")?;
+                Ok(ProbeMesh::from_probes(probes))
+            }
+            _ => Err(ValueError::msg("expected ProbeMesh object")),
+        }
+    }
 }
 
 impl ProbeMesh {
@@ -83,12 +111,17 @@ impl ProbeMesh {
                 });
             }
         }
-        ProbeMesh { probes }
+        ProbeMesh::from_probes(probes)
     }
 
-    /// Builds a mesh from an explicit probe set (tests, replayed meshes).
+    /// Builds a mesh from an explicit probe set (tests, replayed meshes)
+    /// and indexes it.
     pub fn from_probes(probes: Vec<Probe>) -> ProbeMesh {
-        ProbeMesh { probes }
+        let locations: Vec<LatLon> = probes.iter().map(|p| p.location).collect();
+        ProbeMesh {
+            probes,
+            index: GridIndex::build(&locations),
+        }
     }
 
     /// All probes.
@@ -101,8 +134,18 @@ impl ProbeMesh {
         self.probes.iter().filter(|p| p.country == country).count()
     }
 
-    /// Indices of the `k` probes nearest to `loc`.
-    fn nearest_k(&self, loc: LatLon, k: usize) -> Vec<usize> {
+    /// Indices of the `k` probes nearest to `loc`, plus the number of
+    /// probes whose distance the index actually evaluated. Identical
+    /// output to the brute-force stable sort this replaced — equal
+    /// distances still resolve by ascending probe index.
+    fn nearest_k_counted(&self, loc: LatLon, k: usize) -> (Vec<usize>, u64) {
+        self.index.nearest_k(loc, k)
+    }
+
+    /// The pre-index implementation, kept as the reference the grid index
+    /// is property-tested against.
+    #[cfg(test)]
+    fn nearest_k_brute(&self, loc: LatLon, k: usize) -> Vec<usize> {
         let mut order: Vec<(usize, f64)> = self
             .probes
             .iter()
@@ -126,6 +169,11 @@ pub struct IpMapConfig {
     pub samples_per_probe: usize,
     /// Landmark probes used for the coarse pre-localization.
     pub landmarks: usize,
+    /// Disables the per-location assignment/landmark-baseline memoization
+    /// (every lookup recomputes from the index). The cache is semantically
+    /// transparent — this knob exists so tests can pin that outputs are
+    /// bit-identical either way.
+    pub disable_assign_cache: bool,
 }
 
 impl Default for IpMapConfig {
@@ -135,6 +183,7 @@ impl Default for IpMapConfig {
             probes_per_target: 100,
             samples_per_probe: 5,
             landmarks: 64,
+            disable_assign_cache: false,
         }
     }
 }
@@ -147,8 +196,50 @@ impl IpMapConfig {
             probes_per_target: 40,
             samples_per_probe: 3,
             landmarks: 32,
+            disable_assign_cache: false,
         }
     }
+}
+
+/// Counters from the per-location assignment cache (DESIGN.md §5e).
+///
+/// All three are **thread-budget invariant** by construction: lookups are
+/// counted per geolocation call (same call set at every budget), fills and
+/// index probe visits only by the thread that wins the insert race for a
+/// key — so fills = distinct keys and visits = Σ per-key visit cost, no
+/// matter how the calls interleave. `hits = lookups − fills`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssignCacheStats {
+    /// Cache lookups answered from a previously computed entry.
+    pub hits: u64,
+    /// Cache lookups that had to compute (== distinct cache keys).
+    pub misses: u64,
+    /// Probes whose distance the grid index evaluated across all
+    /// `nearest_k` computations (cached or not).
+    pub index_probe_visits: u64,
+}
+
+/// A location-bits-keyed memo table shared across shard threads.
+type LocMemo<T> = RwLock<HashMap<(u64, u64), Arc<T>>>;
+
+/// Freeze-wide memoization shared read-only across shard threads: tracker
+/// IPs cluster in a few PoP locations, so the (location-keyed) landmark
+/// baselines and nearest-`k` assignments repeat heavily.
+#[derive(Debug, Default)]
+struct AssignCache {
+    /// anchor location bits → assigned probe indices.
+    assignments: LocMemo<Vec<usize>>,
+    /// target location bits → per-landmark baseline RTTs (stride order).
+    landmark_baselines: LocMemo<Vec<f64>>,
+    lookups: AtomicU64,
+    fills: AtomicU64,
+    probe_visits: AtomicU64,
+}
+
+/// Cache key for a coordinate: exact bit pattern, because only bit-equal
+/// locations are guaranteed to produce bit-equal results.
+fn loc_key(loc: LatLon) -> (u64, u64) {
+    (loc.lat.to_bits(), loc.lon.to_bits())
 }
 
 /// The IPmap-style geolocator bound to a ground-truth world.
@@ -164,19 +255,16 @@ pub struct IpMap<'w, G: GroundTruth + ?Sized> {
     truth: &'w G,
     /// Deterministic per-target measurement noise: seeds derive from the IP.
     seed: u64,
+    /// Assignment memoization, shared read-only across shard threads.
+    cache: AssignCache,
 }
 
 impl<'w, G: GroundTruth + ?Sized> IpMap<'w, G> {
     /// Builds the geolocator with a generated mesh.
     pub fn new<R: Rng + ?Sized>(cfg: IpMapConfig, truth: &'w G, rng: &mut R) -> Self {
         let mesh = ProbeMesh::generate(cfg.total_probes, rng);
-        IpMap {
-            mesh,
-            cfg,
-            latency: LatencyModel::default(),
-            truth,
-            seed: rng.gen(),
-        }
+        let seed = rng.gen();
+        IpMap::with_mesh(cfg, mesh, truth, seed)
     }
 
     /// Builds the geolocator around an explicit mesh (tests that need
@@ -188,12 +276,107 @@ impl<'w, G: GroundTruth + ?Sized> IpMap<'w, G> {
             latency: LatencyModel::default(),
             truth,
             seed,
+            cache: AssignCache::default(),
         }
     }
 
     /// Access to the probe mesh.
     pub fn mesh(&self) -> &ProbeMesh {
         &self.mesh
+    }
+
+    /// Snapshot of the assignment-cache counters (see
+    /// [`AssignCacheStats`] for the budget-invariance argument).
+    pub fn assign_cache_stats(&self) -> AssignCacheStats {
+        let lookups = self.cache.lookups.load(Ordering::Relaxed);
+        let fills = self.cache.fills.load(Ordering::Relaxed);
+        AssignCacheStats {
+            hits: lookups - fills,
+            misses: fills,
+            index_probe_visits: self.cache.probe_visits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Probe indices assigned to a target anchored at `anchor`, memoized
+    /// per anchor location. The double-checked pattern computes outside
+    /// the write lock; on an insert race only the winner's fill and probe
+    /// visits are counted, which keeps the counters identical at every
+    /// thread budget.
+    fn assigned_probes(&self, anchor: LatLon) -> Arc<Vec<usize>> {
+        if self.cfg.disable_assign_cache {
+            let (idxs, visits) = self.mesh.nearest_k_counted(anchor, self.cfg.probes_per_target);
+            self.cache.probe_visits.fetch_add(visits, Ordering::Relaxed);
+            return Arc::new(idxs);
+        }
+        self.cache.lookups.fetch_add(1, Ordering::Relaxed);
+        let key = loc_key(anchor);
+        if let Some(hit) = self.cache.assignments.read().expect("cache lock").get(&key) {
+            return Arc::clone(hit);
+        }
+        let (idxs, visits) = self.mesh.nearest_k_counted(anchor, self.cfg.probes_per_target);
+        let computed = Arc::new(idxs);
+        match self
+            .cache
+            .assignments
+            .write()
+            .expect("cache lock")
+            .entry(key)
+        {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.cache.fills.fetch_add(1, Ordering::Relaxed);
+                self.cache.probe_visits.fetch_add(visits, Ordering::Relaxed);
+                e.insert(Arc::clone(&computed));
+                computed
+            }
+        }
+    }
+
+    /// Baseline RTTs from each landmark probe (stride order) to `target`,
+    /// memoized per target location. Only the deterministic *baselines*
+    /// are cached — per-IP jitter draws still come from the caller's RNG
+    /// in the original stream order, so repeat targets at the same
+    /// location keep independent measurement noise.
+    fn landmark_baselines(&self, target: LatLon) -> Arc<Vec<f64>> {
+        let compute = || {
+            let stride = (self.mesh.probes.len() / self.cfg.landmarks).max(1);
+            (0..self.mesh.probes.len())
+                .step_by(stride)
+                .map(|i| {
+                    self.latency
+                        .baseline_rtt_ms(self.mesh.probes[i].location, target)
+                })
+                .collect::<Vec<f64>>()
+        };
+        if self.cfg.disable_assign_cache {
+            return Arc::new(compute());
+        }
+        self.cache.lookups.fetch_add(1, Ordering::Relaxed);
+        let key = loc_key(target);
+        if let Some(hit) = self
+            .cache
+            .landmark_baselines
+            .read()
+            .expect("cache lock")
+            .get(&key)
+        {
+            return Arc::clone(hit);
+        }
+        let computed = Arc::new(compute());
+        match self
+            .cache
+            .landmark_baselines
+            .write()
+            .expect("cache lock")
+            .entry(key)
+        {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.cache.fills.fetch_add(1, Ordering::Relaxed);
+                e.insert(Arc::clone(&computed));
+                computed
+            }
+        }
     }
 
     fn rng_for(&self, ip: IpAddr) -> StdRng {
@@ -231,20 +414,30 @@ impl<'w, G: GroundTruth + ?Sized> IpMap<'w, G> {
         let tkey = ip_key(ip);
         let mut rng = self.rng_for(ip);
 
+        // Per-(probe, target) baseline memo for this call: the baseline is
+        // a pure function of the two endpoints, so reusing the value is
+        // bitwise-neutral and saves the haversine when round 1 re-measures
+        // a probe round 0 (or a landmark) already priced.
+        let mut base_memo: HashMap<usize, f64> = HashMap::new();
+
         // Stage 1: coarse pre-localization from landmark RTTs. Real IPmap
         // narrows the probe assignment with prior knowledge; we use the
-        // lowest-RTT landmark as the assignment anchor.
+        // lowest-RTT landmark as the assignment anchor. Baselines come from
+        // the freeze-wide cache; jitter stays on this IP's RNG stream, in
+        // the same draw order as the unmemoized loop.
         let stride = (self.mesh.probes.len() / self.cfg.landmarks).max(1);
+        let baselines = self.landmark_baselines(target);
         let mut anchor = target; // fallback
         let mut best_rtt = f64::INFINITY;
-        for i in (0..self.mesh.probes.len()).step_by(stride) {
-            let p = &self.mesh.probes[i];
+        for (j, i) in (0..self.mesh.probes.len()).step_by(stride).enumerate() {
+            let base = baselines[j];
+            base_memo.insert(i, base);
             let rtt = self
                 .latency
-                .min_rtt_ms(p.location, target, self.cfg.samples_per_probe, &mut rng);
+                .min_rtt_over_baseline_ms(base, self.cfg.samples_per_probe, &mut rng);
             if rtt < best_rtt {
                 best_rtt = rtt;
-                anchor = p.location;
+                anchor = self.mesh.probes[i].location;
             }
         }
 
@@ -254,16 +447,26 @@ impl<'w, G: GroundTruth + ?Sized> IpMap<'w, G> {
         let mut measured: Vec<(usize, f64)> = Vec::new();
         for round in 0..2 {
             measured.clear();
-            for idx in self.mesh.nearest_k(anchor, self.cfg.probes_per_target) {
+            let assigned = self.assigned_probes(anchor);
+            for &idx in assigned.iter() {
                 report.probes_assigned += 1;
                 if inj.probe_out(tkey, idx as u64) {
                     report.probes_out += 1;
                     continue;
                 }
-                let p = &self.mesh.probes[idx];
+                let base = match base_memo.get(&idx) {
+                    Some(b) => *b,
+                    None => {
+                        let b = self
+                            .latency
+                            .baseline_rtt_ms(self.mesh.probes[idx].location, target);
+                        base_memo.insert(idx, b);
+                        b
+                    }
+                };
                 let mut rtt = self
                     .latency
-                    .min_rtt_ms(p.location, target, self.cfg.samples_per_probe, &mut rng);
+                    .min_rtt_over_baseline_ms(base, self.cfg.samples_per_probe, &mut rng);
                 if let Some(factor) = inj.probe_flaky_factor(tkey, idx as u64) {
                     report.probes_flaky += 1;
                     rtt *= factor;
@@ -614,6 +817,7 @@ mod tests {
             // 40 km bounds stay well inside the electorate filter.
             samples_per_probe: 64,
             landmarks: 4,
+            disable_assign_cache: false,
         };
         let ipmap = IpMap::with_mesh(cfg, ProbeMesh::from_probes(probes), &truth, 9);
 
@@ -627,6 +831,117 @@ mod tests {
         // The co-located probe still votes (the electorate filter is
         // untouched) — it just can't own the election.
         assert!(votes.iter().any(|(c, _)| *c == cc!("FR")));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(48))]
+        /// Satellite: random meshes × random targets (exact-distance ties,
+        /// poles, antimeridian) — the grid index must return exactly the
+        /// brute-force `(distance, index)`-ordered result.
+        #[test]
+        fn grid_nearest_k_matches_brute_force_on_random_meshes(seed in 0u64..10_000) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let n = rng.gen_range(1usize..180);
+                let mut probes: Vec<Probe> = Vec::with_capacity(n);
+                while probes.len() < n {
+                    // Mix of general positions, pole/antimeridian extremes,
+                    // and exact duplicates (bit-equal distance ties).
+                    let loc = match rng.gen_range(0u8..8) {
+                        0 => LatLon::new(rng.gen_range(-90.0..=90.0), 180.0),
+                        1 => LatLon::new(rng.gen_range(-90.0..=90.0), -180.0),
+                        2 => LatLon::new(90.0, rng.gen_range(-180.0..=180.0)),
+                        3 => LatLon::new(-90.0, rng.gen_range(-180.0..=180.0)),
+                        4 if !probes.is_empty() => {
+                            let j = rng.gen_range(0..probes.len());
+                            probes[j].location
+                        }
+                        _ => LatLon::new(
+                            rng.gen_range(-90.0..=90.0),
+                            rng.gen_range(-180.0..=180.0),
+                        ),
+                    };
+                    probes.push(Probe { country: cc!("DE"), location: loc });
+                }
+                let mesh = ProbeMesh::from_probes(probes);
+                for _ in 0..6 {
+                    let target = match rng.gen_range(0u8..4) {
+                        0 => LatLon::new(rng.gen_range(-90.0..=90.0), rng.gen_range(179.9..=180.0)),
+                        1 => LatLon::new(rng.gen_range(89.0..=90.0), rng.gen_range(-180.0..=180.0)),
+                        2 => {
+                            // Exactly on a probe: every tie class exercised.
+                            let j = rng.gen_range(0..mesh.probes().len());
+                            mesh.probes()[j].location
+                        }
+                        _ => LatLon::new(
+                            rng.gen_range(-90.0..=90.0),
+                            rng.gen_range(-180.0..=180.0),
+                        ),
+                    };
+                    for k in [0usize, 1, 5, n / 2, n, n + 7] {
+                        let (got, _) = mesh.nearest_k_counted(target, k);
+                        let want = mesh.nearest_k_brute(target, k);
+                        assert_eq!(got, want, "seed {seed} n {n} k {k} target {target:?}");
+                    }
+                }
+        }
+    }
+
+    #[test]
+    fn assign_cache_is_transparent_and_counts() {
+        let (infra, ips) = world_with_servers(&["DE", "FR", "GR"], 4);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mesh = ProbeMesh::generate(IpMapConfig::small().total_probes, &mut rng);
+        let seed: u64 = rng.gen();
+
+        let cached = IpMap::with_mesh(IpMapConfig::small(), mesh.clone(), &infra, seed);
+        let uncached_cfg = IpMapConfig {
+            disable_assign_cache: true,
+            ..IpMapConfig::small()
+        };
+        let uncached = IpMap::with_mesh(uncached_cfg, mesh, &infra, seed);
+
+        for ip in &ips {
+            // Twice per IP: repeat lookups must hit and stay bit-stable.
+            for _ in 0..2 {
+                let a = cached.measure(*ip).expect("measurement");
+                let b = uncached.measure(*ip).expect("measurement");
+                assert_eq!(a.len(), b.len());
+                for ((ia, ra), (ib, rb)) in a.iter().zip(&b) {
+                    assert_eq!(ia, ib);
+                    assert_eq!(ra.to_bits(), rb.to_bits(), "ip {ip}");
+                }
+            }
+        }
+
+        let with_cache = cached.assign_cache_stats();
+        let without = uncached.assign_cache_stats();
+        // Servers share PoP locations, and every IP was measured twice:
+        // the cache must both fill and hit.
+        assert!(with_cache.misses > 0, "{with_cache:?}");
+        assert!(with_cache.hits > 0, "{with_cache:?}");
+        assert!(with_cache.index_probe_visits > 0, "{with_cache:?}");
+        // Disabled: no cache traffic, but the index still reports visits —
+        // strictly more of them, since nothing is memoized.
+        assert_eq!(without.hits, 0, "{without:?}");
+        assert_eq!(without.misses, 0, "{without:?}");
+        assert!(
+            without.index_probe_visits > with_cache.index_probe_visits,
+            "{without:?} vs {with_cache:?}"
+        );
+    }
+
+    #[test]
+    fn mesh_serde_roundtrip_rebuilds_the_index() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mesh = ProbeMesh::generate(400, &mut rng);
+        let value = serde::Serialize::to_value(&mesh);
+        let back: ProbeMesh = serde::Deserialize::from_value(&value).expect("roundtrip");
+        assert_eq!(mesh.probes().len(), back.probes().len());
+        let target = LatLon::new(48.2, 16.4);
+        assert_eq!(
+            mesh.nearest_k_counted(target, 25).0,
+            back.nearest_k_counted(target, 25).0,
+        );
     }
 
     #[test]

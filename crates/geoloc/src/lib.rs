@@ -24,13 +24,14 @@
 #![warn(missing_docs)]
 
 pub mod cbg;
+mod grid;
 pub mod ipmap;
 pub mod metrics;
 pub mod registry;
 pub mod truth;
 
 pub use cbg::Cbg;
-pub use ipmap::{IpMap, IpMapConfig, ProbeMesh};
+pub use ipmap::{AssignCacheStats, IpMap, IpMapConfig, ProbeMesh};
 pub use metrics::{accuracy, agreement, wrong_location_stats, Accuracy, Agreement, WrongLocationStats};
 pub use registry::{RegistryDb, RegistryStyle};
 pub use truth::GroundTruth;

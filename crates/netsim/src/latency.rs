@@ -36,28 +36,51 @@ impl LatencyModel {
         2.0 * geodesy::propagation_delay_ms(d) + self.last_mile_ms
     }
 
+    /// One sampled queueing-jitter term, ms. Always draws exactly two
+    /// values from `rng` (the mixture coin, then the magnitude), so the
+    /// stream position never depends on which branch fired.
+    pub fn sample_jitter_ms<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Mixture: mostly small jitter, occasionally a queueing spike.
+        if rng.gen::<f64>() < 0.9 {
+            rng.gen::<f64>() * self.jitter_ms
+        } else {
+            self.jitter_ms + rng.gen::<f64>() * 4.0 * self.jitter_ms
+        }
+    }
+
     /// One measured RTT sample with queueing jitter, ms.
     ///
     /// Jitter is strictly additive: queues only ever slow a packet down, so
     /// the minimum of many samples converges to the baseline — the property
     /// delay-based geolocation relies on.
     pub fn sample_rtt_ms<R: Rng + ?Sized>(&self, a: LatLon, b: LatLon, rng: &mut R) -> f64 {
-        let base = self.baseline_rtt_ms(a, b);
-        // Mixture: mostly small jitter, occasionally a queueing spike.
-        let jitter = if rng.gen::<f64>() < 0.9 {
-            rng.gen::<f64>() * self.jitter_ms
-        } else {
-            self.jitter_ms + rng.gen::<f64>() * 4.0 * self.jitter_ms
-        };
-        base + jitter
+        self.baseline_rtt_ms(a, b) + self.sample_jitter_ms(rng)
+    }
+
+    /// Minimum of `n` RTT samples over a *precomputed* baseline — the hot
+    /// path when one endpoint repeats (a geolocation target measured by
+    /// many probes pays the haversine once instead of once per sample).
+    ///
+    /// **Bit-identical** to [`LatencyModel::min_rtt_ms`] on the same RNG
+    /// stream: jitter is additive and `x ↦ fl(base + x)` is weakly
+    /// monotone in IEEE-754, so `min_i fl(base + jᵢ) == fl(base + min_i jᵢ)`
+    /// exactly — pinned by a test below.
+    pub fn min_rtt_over_baseline_ms<R: Rng + ?Sized>(
+        &self,
+        baseline_ms: f64,
+        n: usize,
+        rng: &mut R,
+    ) -> f64 {
+        assert!(n > 0, "need at least one sample");
+        let min_jitter = (0..n)
+            .map(|_| self.sample_jitter_ms(rng))
+            .fold(f64::INFINITY, f64::min);
+        baseline_ms + min_jitter
     }
 
     /// Minimum of `n` RTT samples — what an active geolocator actually uses.
     pub fn min_rtt_ms<R: Rng + ?Sized>(&self, a: LatLon, b: LatLon, n: usize, rng: &mut R) -> f64 {
-        assert!(n > 0, "need at least one sample");
-        (0..n)
-            .map(|_| self.sample_rtt_ms(a, b, rng))
-            .fold(f64::INFINITY, f64::min)
+        self.min_rtt_over_baseline_ms(self.baseline_rtt_ms(a, b), n, rng)
     }
 
     /// Converts a measured RTT back to an upper bound on distance, km.
@@ -137,5 +160,33 @@ mod tests {
     fn zero_rtt_maps_to_zero_distance() {
         let m = LatencyModel::default();
         assert_eq!(m.rtt_to_max_distance_km(0.0), 0.0);
+    }
+
+    #[test]
+    fn min_over_baseline_is_bit_identical_to_min_of_sums() {
+        // The refactor pulls the constant baseline out of the per-sample
+        // fold. Pin bitwise equality against the pre-refactor formulation
+        // (min over per-sample sums) on identical RNG streams.
+        let m = LatencyModel::default();
+        for seed in 0..50u64 {
+            let a = ll(-80.0 + (seed as f64) * 3.1, -170.0 + (seed as f64) * 6.7);
+            let b = ll(70.0 - (seed as f64) * 2.3, 160.0 - (seed as f64) * 5.9);
+            let n = 1 + (seed as usize % 7);
+            let base = m.baseline_rtt_ms(a, b);
+
+            let mut rng_old = StdRng::seed_from_u64(seed);
+            let old = (0..n)
+                .map(|_| base + m.sample_jitter_ms(&mut rng_old))
+                .fold(f64::INFINITY, f64::min);
+
+            let mut rng_new = StdRng::seed_from_u64(seed);
+            let new = m.min_rtt_over_baseline_ms(base, n, &mut rng_new);
+            assert_eq!(old.to_bits(), new.to_bits(), "seed {seed} n {n}");
+
+            // And the convenience wrapper consumes the same stream.
+            let mut rng_wrap = StdRng::seed_from_u64(seed);
+            let wrapped = m.min_rtt_ms(a, b, n, &mut rng_wrap);
+            assert_eq!(wrapped.to_bits(), new.to_bits(), "seed {seed} n {n}");
+        }
     }
 }
