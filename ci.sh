@@ -25,7 +25,7 @@ fi
 ./target/release/bench_pipeline
 
 if [ -n "$baseline" ]; then
-    echo "== bench regression check (study/geolocate/total vs committed baseline) =="
+    echo "== bench regression check (study/geolocate/total/allocs vs committed baseline) =="
     python3 - "$baseline" BENCH_pipeline.json <<'EOF' || true
 import json, sys
 
@@ -37,15 +37,17 @@ def seq_run(path):
     return {}
 
 old, new = seq_run(sys.argv[1]), seq_run(sys.argv[2])
-for stage in ("study_ms", "geolocate_ms", "total_ms"):
+# study_allocs is deterministic (counting allocator over a fixed workload),
+# so a >20% jump there means an allocation crept back into the hot path.
+for stage in ("study_ms", "geolocate_ms", "total_ms", "study_allocs"):
     o, n = old.get(stage), new.get(stage)
     if o is None or n is None or o <= 0:
         print(f"bench check: no comparable threads=1 {stage} in baseline; skipping")
     elif n > o * 1.20:
-        print(f"WARNING: {stage} regressed >20%: {o:.1f} ms -> {n:.1f} ms "
+        print(f"WARNING: {stage} regressed >20%: {o:,.1f} -> {n:,.1f} "
               f"({n / o - 1:+.0%})")
     else:
-        print(f"bench check: {stage} {o:.1f} ms -> {n:.1f} ms "
+        print(f"bench check: {stage} {o:,.1f} -> {n:,.1f} "
               f"({n / o - 1:+.0%}), within the 20% budget")
 EOF
     rm -f "$baseline"

@@ -22,7 +22,7 @@ fn bench_table2_classify(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2");
     g.throughput(Throughput::Elements(ds.requests.len() as u64));
     g.bench_function("classify_full", |b| {
-        b.iter(|| classify(&ds.requests, &el, &ep))
+        b.iter(|| classify(&ds.requests, &ds.domains, &el, &ep))
     });
     g.finish();
 }
@@ -41,7 +41,7 @@ fn bench_ablation_stages(c: &mut Criterion) {
     ];
     for (name, stages) in configs {
         g.bench_function(name, |b| {
-            b.iter(|| classify_with_stages(&ds.requests, &el, &ep, stages))
+            b.iter(|| classify_with_stages(&ds.requests, &ds.domains, &el, &ep, stages))
         });
     }
     g.finish();
@@ -49,7 +49,7 @@ fn bench_ablation_stages(c: &mut Criterion) {
 
 fn bench_fig3_top_tlds(c: &mut Criterion) {
     let (_world, ds, el, ep) = dataset();
-    let res = classify(&ds.requests, &el, &ep);
+    let res = classify(&ds.requests, &ds.domains, &el, &ep);
     let out = xborder::pipeline::StudyOutputs {
         dataset: ds,
         classification: res,
@@ -76,8 +76,9 @@ fn bench_filter_list_matching(c: &mut Criterion) {
     let mut g = c.benchmark_group("filterlist");
     g.throughput(Throughput::Elements(1));
     let r = &ds.requests[ds.requests.len() / 2];
+    let host = ds.domains.domain(r.host);
     g.bench_function("match_one_request", |b| {
-        b.iter(|| el.matches(&r.host, &r.url))
+        b.iter(|| el.matches(host, &r.url))
     });
     g.finish();
 }

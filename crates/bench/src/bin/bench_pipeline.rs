@@ -10,19 +10,62 @@
 //! the hardware the bench ran on — `threads_available` says how many cores
 //! actually backed it.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use xborder::pipeline::run_extension_pipeline_degraded;
 use xborder::{Parallelism, World, WorldConfig};
 use xborder_faults::FaultPlan;
 
+/// Allocation calls and requested bytes since process start. The library
+/// crates are `forbid(unsafe_code)`, so the counting allocator lives here
+/// in the bench binary and feeds the pipeline's report through the safe
+/// `xborder_faults::install_alloc_probe` hook.
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System-allocator wrapper that counts every allocation and reallocation.
+struct CountingAlloc;
+
+// SAFETY: delegates every operation unchanged to `System`; the counters are
+// relaxed atomics with no effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_probe() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
 fn main() {
     let seed = 11u64;
+    xborder_faults::install_alloc_probe(alloc_probe);
     let n_threads = Parallelism::from_env().threads;
     let mut budgets: Vec<usize> = vec![1, 2, 4, n_threads];
     budgets.sort_unstable();
     budgets.dedup();
 
-    let mut measured: Vec<(usize, f64, xborder_faults::StageTimings)> = Vec::new();
+    let mut measured: Vec<(usize, f64, xborder_faults::StageTimings, usize)> = Vec::new();
     for &threads in &budgets {
         // One discarded warmup (page cache, allocator, frequency ramp),
         // then median-of-3 by wall-clock. The median is robust against the
@@ -32,27 +75,36 @@ fn main() {
         let run_once = || {
             let mut world = World::build(WorldConfig::small(seed).with_threads(threads));
             let t = Instant::now();
-            let (_, report) = run_extension_pipeline_degraded(&mut world, &FaultPlan::none());
-            (t.elapsed().as_secs_f64() * 1e3, report.timings)
+            let (out, report) = run_extension_pipeline_degraded(&mut world, &FaultPlan::none());
+            (
+                t.elapsed().as_secs_f64() * 1e3,
+                report.timings,
+                out.dataset.visits.len(),
+            )
         };
         let _warmup = run_once();
-        let mut runs: Vec<(f64, xborder_faults::StageTimings)> =
+        let mut runs: Vec<(f64, xborder_faults::StageTimings, usize)> =
             (0..3).map(|_| run_once()).collect();
         runs.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let (wall_ms, timings) = runs.swap_remove(1);
+        let (wall_ms, timings, n_visits) = runs.swap_remove(1);
         println!(
             "threads {threads}: pipeline {wall_ms:.1} ms (study {:.1}, classify {:.1}, \
-             completion {:.1}, geolocate {:.1})",
-            timings.study_ms, timings.classify_ms, timings.completion_ms, timings.geolocate_ms
+             completion {:.1}, geolocate {:.1}; study allocs {} / {} visits)",
+            timings.study_ms,
+            timings.classify_ms,
+            timings.completion_ms,
+            timings.geolocate_ms,
+            timings.study_allocs,
+            n_visits
         );
-        measured.push((threads, wall_ms, timings));
+        measured.push((threads, wall_ms, timings, n_visits));
     }
 
     let seq = &measured[0];
     assert_eq!(seq.0, 1, "sweep starts at the sequential budget");
     let runs: Vec<serde_json::Value> = measured
         .iter()
-        .map(|(threads, wall_ms, t)| {
+        .map(|(threads, wall_ms, t, n_visits)| {
             serde_json::json!({
                 "threads": threads,
                 "pipeline_ms": wall_ms,
@@ -61,6 +113,9 @@ fn main() {
                 "completion_ms": t.completion_ms,
                 "geolocate_ms": t.geolocate_ms,
                 "total_ms": t.total_ms,
+                "study_allocs": t.study_allocs,
+                "study_alloc_bytes": t.study_alloc_bytes,
+                "study_allocs_per_visit": t.study_allocs as f64 / (*n_visits).max(1) as f64,
                 "study_speedup_vs_sequential": if t.study_ms > 0.0 { seq.2.study_ms / t.study_ms } else { 1.0 },
                 "e2e_speedup_vs_sequential": if *wall_ms > 0.0 { seq.1 / wall_ms } else { 1.0 },
             })
@@ -68,7 +123,7 @@ fn main() {
         .collect();
     let best_e2e = measured
         .iter()
-        .map(|(_, wall_ms, _)| seq.1 / wall_ms.max(f64::MIN_POSITIVE))
+        .map(|(_, wall_ms, _, _)| seq.1 / wall_ms.max(f64::MIN_POSITIVE))
         .fold(1.0f64, f64::max);
     let doc = serde_json::json!({
         "bench": "pipeline",

@@ -20,14 +20,14 @@ fn main() {
     let mut direct = 0u64;
     let mut cascade = 0u64;
     // Precompute per-host observed destination countries.
-    let mut host_countries: HashMap<&xborder_webgraph::Domain, std::collections::HashSet<CountryCode>> =
+    let mut host_countries: HashMap<xborder_webgraph::DomainId, std::collections::HashSet<CountryCode>> =
         HashMap::new();
     for (i, r) in out.dataset.requests.iter().enumerate() {
         if !out.classification.is_tracking(i) {
             continue;
         }
         if let Some(est) = out.ipmap_estimates.get(&r.ip) {
-            host_countries.entry(&r.host).or_default().insert(est.country);
+            host_countries.entry(r.host).or_default().insert(est.country);
         }
     }
     for (i, r) in out.dataset.requests.iter().enumerate() {
@@ -46,7 +46,7 @@ fn main() {
         }
         let org = world
             .graph
-            .service_by_host(&r.host)
+            .service_by_host_id(r.host)
             .map(|s| world.graph.service(s).tld.as_str().to_owned())
             .unwrap_or_default();
         let e = per_org.entry(org).or_default();

@@ -8,11 +8,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
-use xborder_dns::{DnsCache, DnsSim, PdnsObservation, ZoneView};
+use xborder_dns::{DnsCache, DnsSim, IndexedZoneView, PdnsIdObservation};
 use xborder_faults::{derive_stream_seed, DegradationReport, FaultInjector};
 use xborder_geo::CountryCode;
 use xborder_netsim::time::{anchors, SimTime, TimeWindow};
-use xborder_webgraph::{Audience, Domain, PublisherId, WebGraph};
+use xborder_webgraph::{Audience, DomainId, DomainTable, PublisherId, WebGraph};
 
 /// Configuration of the whole extension study.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -80,6 +80,11 @@ pub struct ExtensionDataset {
     /// Every logged third-party request, in generation order (cascade
     /// referrers index into this vector).
     pub requests: Vec<LoggedRequest>,
+    /// The world's domain interner (DESIGN.md §5f): resolves the
+    /// `DomainId`s stored in [`LoggedRequest`] back to strings. A clone of
+    /// [`WebGraph::domains`], carried here so the dataset stays
+    /// self-contained for downstream analyses.
+    pub domains: DomainTable,
 }
 
 impl ExtensionDataset {
@@ -89,7 +94,7 @@ impl ExtensionDataset {
         for v in &self.visits {
             visited_publishers.insert(v.publisher);
         }
-        let third_party_domains: HashSet<&Domain> = self.requests.iter().map(|r| &r.host).collect();
+        let third_party_domains: HashSet<DomainId> = self.requests.iter().map(|r| r.host).collect();
         DatasetStats {
             n_users: self.users.users.len(),
             n_first_party_domains: visited_publishers.len(),
@@ -293,7 +298,7 @@ pub fn run_study_degraded<R: Rng>(
 struct ShardOutput {
     visits: Vec<Visit>,
     requests: Vec<LoggedRequest>,
-    observations: Vec<PdnsObservation>,
+    observations: Vec<PdnsIdObservation>,
     report: DegradationReport,
 }
 
@@ -307,7 +312,7 @@ fn simulate_shard(
     shard: &[User],
     cfg: &StudyConfig,
     graph: &WebGraph,
-    view: ZoneView<'_>,
+    view: &IndexedZoneView<'_>,
     inj: &FaultInjector,
     study_seed: u64,
     mean_activity: f64,
@@ -358,7 +363,7 @@ fn simulate_shard(
         }
         // Per-user caches die with the user; their would-have-been sensor
         // observations replay centrally afterwards, in user order.
-        out.observations.extend(cache.take_observations());
+        out.observations.extend(cache.take_id_observations());
     }
     out
 }
@@ -376,7 +381,7 @@ fn simulate_shard(
 ///    `derive_stream_seed(study_seed, user_id)` — the same hash-derived
 ///    construction `xborder-faults` uses for fault coins.
 /// 2. **A shardable DNS layer.** Shards resolve against a shared
-///    read-only [`ZoneView`] through per-user [`DnsCache`]s (the paper's
+///    read-only [`IndexedZoneView`] through per-user [`DnsCache`]s (the paper's
 ///    per-client caching, Sect. 5.1); cache-miss lookups use RNG derived
 ///    from `(user stream, host, time)`, and pDNS observations are
 ///    buffered and replayed into `dns` in user order after the join.
@@ -403,45 +408,50 @@ pub fn run_study_sharded<R: Rng>(
         users.users.iter().map(|u| u.activity).sum::<f64>() / users.users.len().max(1) as f64;
     let window_len = cfg.window.len_secs().max(1);
 
-    let view = dns.view();
     let threads = threads.clamp(1, users.users.len().max(1));
-    let shards: Vec<ShardOutput> = if threads <= 1 {
-        vec![simulate_shard(
-            &users.users,
-            cfg,
-            graph,
-            view,
-            inj,
-            study_seed,
-            mean_activity,
-            window_len,
-        )]
-    } else {
-        let chunk = users.users.len().div_ceil(threads);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = users
-                .users
-                .chunks(chunk)
-                .map(|shard| {
-                    s.spawn(move || {
-                        simulate_shard(
-                            shard,
-                            cfg,
-                            graph,
-                            view,
-                            inj,
-                            study_seed,
-                            mean_activity,
-                            window_len,
-                        )
+    // The indexed view borrows `dns` and the graph's interner; it lives in
+    // this block so the borrow ends before observations are absorbed back.
+    let shards: Vec<ShardOutput> = {
+        let view = dns.indexed_view(graph.domains());
+        if threads <= 1 {
+            vec![simulate_shard(
+                &users.users,
+                cfg,
+                graph,
+                &view,
+                inj,
+                study_seed,
+                mean_activity,
+                window_len,
+            )]
+        } else {
+            let chunk = users.users.len().div_ceil(threads);
+            let view = &view;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = users
+                    .users
+                    .chunks(chunk)
+                    .map(|shard| {
+                        s.spawn(move || {
+                            simulate_shard(
+                                shard,
+                                cfg,
+                                graph,
+                                view,
+                                inj,
+                                study_seed,
+                                mean_activity,
+                                window_len,
+                            )
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("study shard panicked"))
-                .collect()
-        })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("study shard panicked"))
+                    .collect()
+            })
+        }
     };
 
     // Merge in user order: concatenation + referrer rebasing reproduces
@@ -457,7 +467,7 @@ pub fn run_study_sharded<R: Rng>(
             }
             r
         }));
-        dns.absorb_observations(&shard.observations);
+        dns.absorb_id_observations(&shard.observations, graph.domains());
         report.absorb_counters(&shard.report);
     }
 
@@ -480,6 +490,7 @@ pub fn run_study_sharded<R: Rng>(
         users,
         visits,
         requests,
+        domains: graph.domains().clone(),
     }
 }
 

@@ -1,33 +1,37 @@
 //! The page-render model: embeds fire, cascades run, requests get logged.
 
 use crate::request::{LoggedRequest, Referrer, RequestId};
-use crate::user::User;
+use crate::user::{User, UserId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use xborder_dns::{DnsCache, DnsSim, ZoneView};
+use std::cell::RefCell;
+use xborder_dns::{DnsCache, DnsSim, IndexedZoneView};
 use xborder_faults::{DegradationReport, FaultInjector};
 use xborder_netsim::time::SimTime;
 use xborder_webgraph::{
-    url, Domain, EmbedMode, Publisher, ServiceId, ServiceKind, WebGraph,
+    url, Domain, DomainId, EmbedMode, Publisher, ServiceId, ServiceKind, WebGraph,
 };
 
 /// How a render resolves hosts: either directly against the mutable
 /// authoritative simulator (legacy path: resolution draws from the visit
 /// RNG and captures pDNS immediately), or through a per-user stub cache
-/// over a shared read-only [`ZoneView`] (study path: resolution draws
+/// over a shared dense [`IndexedZoneView`] (study path: resolution draws
 /// from a hash-derived per-lookup stream and buffers observations, so
-/// user shards can render concurrently).
+/// user shards can render concurrently — with zero per-request clones,
+/// DESIGN.md §5f).
 enum HostResolver<'d, 'c> {
     Direct(&'d mut DnsSim),
     Cached {
-        view: ZoneView<'d>,
+        view: &'d IndexedZoneView<'d>,
         cache: &'c mut DnsCache,
     },
 }
 
 impl HostResolver<'_, '_> {
+    #[allow(clippy::too_many_arguments)]
     fn resolve<R: Rng + ?Sized>(
         &mut self,
+        host_id: DomainId,
         host: &Domain,
         ctx: &xborder_dns::ClientCtx,
         t: SimTime,
@@ -38,7 +42,7 @@ impl HostResolver<'_, '_> {
         match self {
             HostResolver::Direct(dns) => dns.resolve_degraded(host, ctx, t, rng, inj, report).ok(),
             HostResolver::Cached { view, cache } => {
-                cache.resolve_shared(view, host, ctx, t, inj, report).ok()
+                cache.resolve_shared_id(view, host_id, ctx, t, inj, report).ok()
             }
         }
     }
@@ -69,12 +73,50 @@ impl Default for RenderConfig {
 pub struct RenderEngine<'a> {
     graph: &'a WebGraph,
     cfg: RenderConfig,
+    /// Reused URL scratch buffer: the hot path renders each URL here and
+    /// pays exactly one allocation per logged request (the `Box<str>`).
+    /// `RefCell` keeps `issue_request` callable through `&self`; engines
+    /// are per-shard (never shared across threads), so the non-`Sync`
+    /// cell is fine.
+    scratch: RefCell<String>,
+    /// One-slot memo of the current user's [`ClientCtx`]: resolving the
+    /// public-anycast egress PoP is a 14-country haversine scan, and the
+    /// context is a pure function of the user — computing it per request
+    /// dominated the study hot path. `None` in the slot records a failed
+    /// lookup (corrupted user record), matching the per-request error
+    /// behavior of `try_client_ctx` (the request is suppressed; RNG draws
+    /// before the DNS stage still happen, so streams are unchanged).
+    ctx_memo: RefCell<Option<(UserId, Option<xborder_dns::ClientCtx>)>>,
+    /// Reused RTB-cascade scratch (`fired` step table), cleared per
+    /// cascade instead of allocated per ad-network embed.
+    cascade_scratch: RefCell<Vec<Option<RequestId>>>,
 }
 
 impl<'a> RenderEngine<'a> {
     /// Creates an engine over a web graph.
     pub fn new(graph: &'a WebGraph, cfg: RenderConfig) -> Self {
-        RenderEngine { graph, cfg }
+        RenderEngine {
+            graph,
+            cfg,
+            scratch: RefCell::new(String::with_capacity(128)),
+            ctx_memo: RefCell::new(None),
+            cascade_scratch: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The memoized client context for `user` (see `ctx_memo`). Shards
+    /// walk users sequentially, so one slot keyed by [`UserId`] already
+    /// hits on every request after a user's first.
+    fn client_ctx_memo(&self, user: &User) -> Option<xborder_dns::ClientCtx> {
+        let mut memo = self.ctx_memo.borrow_mut();
+        match *memo {
+            Some((id, ctx)) if id == user.id => ctx,
+            _ => {
+                let ctx = user.try_client_ctx().ok();
+                *memo = Some((user.id, ctx));
+                ctx
+            }
+        }
     }
 
     /// The underlying web graph.
@@ -106,21 +148,34 @@ impl<'a> RenderEngine<'a> {
         report: &mut DegradationReport,
     ) -> Option<RequestId> {
         let svc = self.graph.service(service);
-        let host: &Domain = &svc.hosts[rng.gen_range(0..svc.hosts.len())];
-        let ctx = user.try_client_ctx().ok()?;
-        let (answer, t_eff) = dns.resolve(host, &ctx, t, rng, inj, report)?;
+        // Same RNG draw as the pre-interning host pick over `svc.hosts`;
+        // the id table is parallel to it (validated by the graph).
+        let host_idx = rng.gen_range(0..svc.hosts.len());
+        let host_id = self.graph.service_host_id(service, host_idx);
+        let host = self.graph.domains().domain(host_id);
+        let ctx = self.client_ctx_memo(user)?;
+        let (answer, t_eff) = dns.resolve(host_id, host, &ctx, t, rng, inj, report)?;
         // Stable per-(user, service) identity: the tracker's cookie id.
         let identity = (user.id.0 as u64) << 32 | service.0 as u64;
         let style = style_override.unwrap_or(svc.url_style);
-        let u = url::synth_url(rng, host, style, self.cfg.https_share, identity);
+        let enc = url::EncodedUrl::synth(rng, style, self.cfg.https_share, identity);
+        // Deferred materialization: render into the reused scratch buffer
+        // (byte-identical to the eager `Url` Display) and pay a single
+        // allocation for the log's own `Box<str>`.
+        let url = {
+            let mut buf = self.scratch.borrow_mut();
+            buf.clear();
+            enc.write_into(host.as_str(), &mut buf);
+            Box::<str>::from(buf.as_str())
+        };
         let id = RequestId(out.len() as u32);
         out.push(LoggedRequest {
             user: user.id,
             time: t_eff,
-            first_party: publisher.domain.clone(),
+            first_party: self.graph.publisher_domain_id(publisher.id),
             publisher: publisher.id,
-            url: u.to_string().into_boxed_str(),
-            host: host.clone(),
+            url,
+            host: host_id,
             referrer,
             ip: answer.ip,
         });
@@ -179,17 +234,19 @@ impl<'a> RenderEngine<'a> {
     }
 
     /// The study's render path: resolves through the user's own stub
-    /// cache against a shared read-only zone view. DNS never draws from
-    /// the visit RNG here (cache misses use hash-derived per-lookup
+    /// cache against a shared dense id-indexed zone view. DNS never draws
+    /// from the visit RNG here (cache misses use hash-derived per-lookup
     /// streams), which is what makes per-user renders independent and
-    /// the study shardable (DESIGN.md §5d).
+    /// the study shardable (DESIGN.md §5d); host lookups and cache slots
+    /// are all `DomainId`-indexed, so no strings are hashed or cloned
+    /// (DESIGN.md §5f).
     #[allow(clippy::too_many_arguments)]
     pub fn render_visit_cached<R: Rng + ?Sized>(
         &self,
         user: &User,
         publisher: &Publisher,
         t: SimTime,
-        view: ZoneView<'_>,
+        view: &IndexedZoneView<'_>,
         cache: &mut DnsCache,
         out: &mut Vec<LoggedRequest>,
         rng: &mut R,
@@ -257,8 +314,11 @@ impl<'a> RenderEngine<'a> {
             if svc.kind == ServiceKind::AdNetwork {
                 if let Some(template) = self.graph.cascades.get(&embed.service) {
                     // Track which steps fired and the request id of each, so
-                    // children can refer to their parent's URL.
-                    let mut fired: Vec<Option<RequestId>> = vec![None; template.steps.len()];
+                    // children can refer to their parent's URL (reused
+                    // scratch — cascades never nest).
+                    let mut fired = self.cascade_scratch.borrow_mut();
+                    fired.clear();
+                    fired.resize(template.steps.len(), None);
                     for (i, step) in template.steps.iter().enumerate() {
                         let parent_req = match step.parent {
                             Some(p) => {
@@ -404,7 +464,11 @@ mod tests {
         for r in &out {
             assert!(xborder_netsim::ip::is_simulator_address(r.ip));
             // Host must belong to a known service.
-            assert!(graph.service_by_host(&r.host).is_some(), "orphan host {}", r.host);
+            assert!(
+                graph.service_by_host_id(r.host).is_some(),
+                "orphan host {}",
+                graph.domains().domain(r.host)
+            );
         }
     }
 

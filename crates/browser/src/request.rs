@@ -9,7 +9,7 @@ use crate::user::UserId;
 use serde::{Deserialize, Serialize};
 use std::net::IpAddr;
 use xborder_netsim::time::SimTime;
-use xborder_webgraph::{Domain, PublisherId, Url};
+use xborder_webgraph::{DomainId, PublisherId, Url};
 
 /// Index of a request within an [`crate::ExtensionDataset`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -37,15 +37,18 @@ pub struct LoggedRequest {
     pub user: UserId,
     /// When.
     pub time: SimTime,
-    /// The site being visited (first party).
-    pub first_party: Domain,
+    /// The site being visited (first party), interned in the world's
+    /// `DomainTable` (DESIGN.md §5f) — resolve through
+    /// `ExtensionDataset::domains` / `WebGraph::domains` for the string.
+    pub first_party: DomainId,
     /// Generator-internal publisher id (stable join key for analyses; the
     /// real extension only had the domain, which maps 1:1 to this).
     pub publisher: PublisherId,
     /// The requested third-party URL, as a string (what the log stores).
     pub url: Box<str>,
-    /// The request host, pre-extracted for cheap grouping.
-    pub host: Domain,
+    /// The request host, pre-extracted and interned for cheap grouping
+    /// (4-byte `Copy` id instead of a cloned string per request).
+    pub host: DomainId,
     /// Referrer relation.
     pub referrer: Referrer,
     /// Final server IP observed in the response.
@@ -73,10 +76,10 @@ mod tests {
         LoggedRequest {
             user: UserId(3),
             time: SimTime(1000),
-            first_party: Domain::new("news.example.com"),
+            first_party: DomainId(0),
             publisher: PublisherId(9),
             url: "https://sync.t.com/usermatch?rtb_id=abc".into(),
-            host: Domain::new("sync.t.com"),
+            host: DomainId(1),
             referrer: Referrer::FirstParty,
             ip: "1.2.3.4".parse().unwrap(),
         }
@@ -86,7 +89,7 @@ mod tests {
     fn url_roundtrip() {
         let r = sample();
         let url = r.parse_url().unwrap();
-        assert_eq!(url.host, r.host);
+        assert_eq!(url.host, xborder_webgraph::Domain::new("sync.t.com"));
         assert!(url.has_args());
         assert!(url.has_tracking_keyword());
         assert!(r.has_args());

@@ -2,11 +2,14 @@
 //!
 //! # Algorithm
 //!
-//! A prelude pass interns the log's hosts and URLs into dense ids (the log
-//! repeats a few hundred hosts and a few tens of thousands of URLs across
-//! ~100k requests), so every stage below is an array pass and all
-//! per-string work — `tld()`, gate resolution, keyword scanning — runs
-//! once per *unique* value.
+//! A prelude pass interns the log's URLs into dense ids (the log repeats a
+//! few tens of thousands of URLs across ~100k requests) and remaps the
+//! world-level `DomainId`s on each request (DESIGN.md §5f) to log-local
+//! dense host ids — an array lookup, since hosts arrive pre-interned from
+//! the study. Every stage below is then an array pass and all per-string
+//! work — `tld()`, gate resolution, keyword scanning — runs once per
+//! *unique* value, with host strings resolved through the caller's
+//! [`DomainTable`] only at those once-per-unique sites.
 //!
 //! Stage 1 matches the blocklists. Because filter rules factor into a
 //! host-level gate plus URL-dependent leftovers ([`FilterList::host_gate`]),
@@ -30,10 +33,10 @@
 
 use crate::rules::{FilterList, HostGate};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use xborder_browser::{LoggedRequest, Referrer};
 use xborder_webgraph::url::TRACKING_KEYWORDS;
-use xborder_webgraph::Domain;
+use xborder_webgraph::{fx_hash, Domain, DomainTable, FxMap};
 
 /// Per-request classification outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -153,22 +156,33 @@ impl Default for ClassifierStages {
 }
 
 /// Runs the full classifier over a request log, single-threaded.
+///
+/// `domains` is the world interner the log's `DomainId`s index into
+/// (`ExtensionDataset::domains` / `WebGraph::domains`).
 pub fn classify(
     requests: &[LoggedRequest],
+    domains: &DomainTable,
     easylist: &FilterList,
     easyprivacy: &FilterList,
 ) -> ClassificationResult {
-    classify_with_stages(requests, easylist, easyprivacy, ClassifierStages::default())
+    classify_with_stages(
+        requests,
+        domains,
+        easylist,
+        easyprivacy,
+        ClassifierStages::default(),
+    )
 }
 
 /// Runs the classifier with configurable stages (ablation entry point).
 pub fn classify_with_stages(
     requests: &[LoggedRequest],
+    domains: &DomainTable,
     easylist: &FilterList,
     easyprivacy: &FilterList,
     stages: ClassifierStages,
 ) -> ClassificationResult {
-    classify_with_stages_threads(requests, easylist, easyprivacy, stages, 1)
+    classify_with_stages_threads(requests, domains, easylist, easyprivacy, stages, 1)
 }
 
 /// [`classify_with_stages`] with a thread budget for stage 1.
@@ -179,15 +193,16 @@ pub fn classify_with_stages(
 /// splits.
 pub fn classify_with_stages_threads(
     requests: &[LoggedRequest],
+    domains: &DomainTable,
     easylist: &FilterList,
     easyprivacy: &FilterList,
     stages: ClassifierStages,
     threads: usize,
 ) -> ClassificationResult {
-    // Intern the log's heavily-repeated strings (hosts, URLs) into dense
-    // ids once; every stage after this is an array pass instead of
-    // repeated string hashing.
-    let interned = Interned::build(requests);
+    // Intern the log's heavily-repeated URLs into dense ids once and remap
+    // the pre-interned host ids to log-local ones; every stage after this
+    // is an array pass instead of repeated string hashing.
+    let interned = Interned::build(requests, domains);
     // Per-unique-URL predicate memos, filled on demand. Stage 2 only ever
     // asks about requests whose parent is tracking, and stage 3 only about
     // requests still clean afterwards — in a tracker-heavy log that is a
@@ -200,7 +215,14 @@ pub fn classify_with_stages_threads(
     let scanner = KeywordScanner::new();
 
     // Stage 1: blocklists, matched passively against every request.
-    let mut labels = stage1_blocklists(requests, &interned, easylist, easyprivacy, threads.max(1));
+    let mut labels = stage1_blocklists(
+        requests,
+        &interned,
+        domains,
+        easylist,
+        easyprivacy,
+        threads.max(1),
+    );
 
     // Referrer edges are positional; children of dropped parents were
     // remapped to `Referrer::FirstParty` by the log compaction, so every
@@ -287,43 +309,6 @@ pub fn classify_with_stages_threads(
         stage2_rounds,
         stage3_rounds,
     }
-}
-
-/// Cheap multiplicative string hasher (FxHash-style) for the interner.
-/// The log's hosts and URLs are short ASCII strings; the default SipHash's
-/// per-call overhead dominates the classifier's runtime at this scale.
-#[derive(Default)]
-struct FxHasher {
-    hash: u64,
-}
-
-impl std::hash::Hasher for FxHasher {
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        const SEED: u64 = 0x517c_c1b7_2722_0a95;
-        let mut chunks = bytes.chunks_exact(8);
-        for c in &mut chunks {
-            let w = u64::from_le_bytes(c.try_into().expect("exact 8-byte chunk"));
-            self.hash = (self.hash.rotate_left(5) ^ w).wrapping_mul(SEED);
-        }
-        let mut tail = 0u64;
-        for &b in chunks.remainder() {
-            tail = (tail << 8) | b as u64;
-        }
-        self.hash = (self.hash.rotate_left(5) ^ tail).wrapping_mul(SEED);
-    }
-}
-
-type FxMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FxHasher>>;
-
-/// FxHash of a byte string, usable without the `Hasher` plumbing.
-fn fx_hash(bytes: &[u8]) -> u64 {
-    let mut h = FxHasher::default();
-    std::hash::Hasher::write(&mut h, bytes);
-    h.hash
 }
 
 /// Open-addressing URL interner specialized for one pass over a request log.
@@ -486,10 +471,13 @@ impl UrlMemo {
 }
 
 impl Interned {
-    fn build(requests: &[LoggedRequest]) -> Interned {
+    fn build(requests: &[LoggedRequest], domains: &DomainTable) -> Interned {
         let n = requests.len();
-        let mut host_ids: FxMap<&Domain, u32> =
-            FxMap::with_capacity_and_hasher(1024, Default::default());
+        // World `DomainId` -> log-local dense host id (`u32::MAX` =
+        // unseen), lazily grown. Hosts arrive pre-interned from the study,
+        // so the former per-request host-string hashing collapses to an
+        // array lookup.
+        let mut host_remap: Vec<u32> = Vec::new();
         let mut url_ids = UrlTable::with_capacity(n);
         let mut host_of = Vec::with_capacity(n);
         let mut url_of = Vec::with_capacity(n);
@@ -537,11 +525,18 @@ impl Interned {
             let u = match url_ids.intern(hash, &r.url, i as u32, requests) {
                 UrlSlot::New(u) => {
                     url_rep.push(i as u32);
-                    let next_h = host_ids.len() as u32;
-                    let h = *host_ids.entry(&r.host).or_insert_with(|| {
+                    let hid = r.host.0 as usize;
+                    if hid >= host_remap.len() {
+                        host_remap.resize(hid + 1, u32::MAX);
+                    }
+                    let h = if host_remap[hid] == u32::MAX {
+                        let next_h = host_rep.len() as u32;
+                        host_remap[hid] = next_h;
                         host_rep.push(i as u32);
                         next_h
-                    });
+                    } else {
+                        host_remap[hid]
+                    };
                     host_of_url.push(h);
                     u
                 }
@@ -562,7 +557,7 @@ impl Interned {
         let mut tld_ids: FxMap<Domain, u32> = FxMap::default();
         let mut tld_of_host = Vec::with_capacity(host_rep.len());
         for &rep in &host_rep {
-            let tld = requests[rep as usize].host.tld();
+            let tld = domains.domain(requests[rep as usize].host).tld();
             let next = tld_ids.len() as u32;
             tld_of_host.push(*tld_ids.entry(tld).or_insert(next));
         }
@@ -599,6 +594,7 @@ type Gate<'a> = Option<Vec<&'a crate::rules::FilterRule>>;
 fn stage1_blocklists(
     requests: &[LoggedRequest],
     interned: &Interned,
+    domains: &DomainTable,
     easylist: &FilterList,
     easyprivacy: &FilterList,
     threads: usize,
@@ -607,7 +603,7 @@ fn stage1_blocklists(
         .host_rep
         .iter()
         .map(|&rep| {
-            let host = &requests[rep as usize].host;
+            let host = domains.domain(requests[rep as usize].host);
             match (easylist.host_gate(host), easyprivacy.host_gate(host)) {
                 (HostGate::Always, _) | (_, HostGate::Always) => None,
                 (HostGate::UrlDependent(mut a), HostGate::UrlDependent(b)) => {
@@ -623,6 +619,7 @@ fn stage1_blocklists(
     if threads <= 1 || requests.len() < 2 * threads {
         stage1_shard(
             requests,
+            domains,
             n_urls,
             &interned.host_of,
             &interned.url_of,
@@ -640,7 +637,7 @@ fn stage1_blocklists(
             .zip(interned.host_of.chunks(chunk).zip(interned.url_of.chunks(chunk)))
         {
             scope.spawn(move || {
-                stage1_shard(req_chunk, n_urls, host_ids, url_ids, gates, label_chunk)
+                stage1_shard(req_chunk, domains, n_urls, host_ids, url_ids, gates, label_chunk)
             });
         }
     });
@@ -650,8 +647,10 @@ fn stage1_blocklists(
 /// One stage-1 shard. A request's verdict depends only on its own host and
 /// URL, so shards are independent; the unique-URL memo is shard-local (two
 /// shards re-deriving the same URL's verdict produce the same bit).
+#[allow(clippy::too_many_arguments)]
 fn stage1_shard(
     requests: &[LoggedRequest],
+    domains: &DomainTable,
     n_urls: usize,
     host_of: &[u32],
     url_of: &[u32],
@@ -674,7 +673,8 @@ fn stage1_shard(
                 match url_memo[u] {
                     0 => {
                         let r = &requests[i];
-                        let hit = rules.iter().any(|rule| rule.matches(&r.host, &r.url));
+                        let host = domains.domain(r.host);
+                        let hit = rules.iter().any(|rule| rule.matches(host, &r.url));
                         url_memo[u] = 1 + hit as u8;
                         hit
                     }
@@ -886,7 +886,7 @@ mod tests {
     fn semi_pass_finds_more_than_lists_alone() {
         let (graph, requests) = dataset(1);
         let (el, ep) = generate_lists(&graph);
-        let res = classify(&requests, &el, &ep);
+        let res = classify(&requests, graph.domains(), &el, &ep);
         assert!(res.abp.n_total_requests > 0);
         assert!(res.semi.n_total_requests > 0, "semi pass found nothing");
         // The headline mechanism: the semi pass adds a substantial fraction
@@ -904,11 +904,11 @@ mod tests {
         // a tiny, realistic noise floor rather than a defect.
         let (graph, requests) = dataset(2);
         let (el, ep) = generate_lists(&graph);
-        let res = classify(&requests, &el, &ep);
+        let res = classify(&requests, graph.domains(), &el, &ep);
         let mut clean_total = 0usize;
         let mut clean_flagged = 0usize;
         for (i, r) in requests.iter().enumerate() {
-            let svc = graph.service_by_host(&r.host).expect("known host");
+            let svc = graph.service_by_host_id(r.host).expect("known host");
             if !graph.service(svc).is_tracking() {
                 clean_total += 1;
                 if res.is_tracking(i) {
@@ -925,9 +925,10 @@ mod tests {
     fn recall_improves_with_semi_stage() {
         let (graph, requests) = dataset(3);
         let (el, ep) = generate_lists(&graph);
-        let full = classify(&requests, &el, &ep);
+        let full = classify(&requests, graph.domains(), &el, &ep);
         let lists_only = classify_with_stages(
             &requests,
+            graph.domains(),
             &el,
             &ep,
             ClassifierStages {
@@ -940,7 +941,7 @@ mod tests {
             .iter()
             .filter(|r| {
                 graph
-                    .service_by_host(&r.host)
+                    .service_by_host_id(r.host)
                     .map(|s| graph.service(s).is_tracking())
                     .unwrap_or(false)
             })
@@ -955,7 +956,7 @@ mod tests {
     fn counts_are_consistent() {
         let (graph, requests) = dataset(4);
         let (el, ep) = generate_lists(&graph);
-        let res = classify(&requests, &el, &ep);
+        let res = classify(&requests, graph.domains(), &el, &ep);
         let tracked = res.labels.iter().filter(|l| l.is_tracking()).count();
         assert_eq!(res.total_tracking_requests(), tracked);
         assert!(res.abp.n_unique_urls <= res.abp.n_total_requests);
@@ -967,7 +968,7 @@ mod tests {
     fn labels_parallel_to_input() {
         let (graph, requests) = dataset(5);
         let (el, ep) = generate_lists(&graph);
-        let res = classify(&requests, &el, &ep);
+        let res = classify(&requests, graph.domains(), &el, &ep);
         assert_eq!(res.labels.len(), requests.len());
     }
 
@@ -975,14 +976,19 @@ mod tests {
     fn empty_input() {
         let (graph, _) = dataset(6);
         let (el, ep) = generate_lists(&graph);
-        let res = classify(&[], &el, &ep);
+        let res = classify(&[], graph.domains(), &el, &ep);
         assert!(res.labels.is_empty());
         assert_eq!(res.abp.n_total_requests, 0);
         assert_eq!(res.semi.n_total_requests, 0);
     }
 
-    /// Hand-built request with a clean (keyword-free) URL carrying args.
-    fn chain_request(i: usize, referrer: Referrer) -> xborder_browser::LoggedRequest {
+    /// Hand-built request with a clean (keyword-free) URL carrying args,
+    /// interning its hosts into the test's own `DomainTable`.
+    fn chain_request(
+        i: usize,
+        referrer: Referrer,
+        domains: &mut DomainTable,
+    ) -> xborder_browser::LoggedRequest {
         use xborder_browser::UserId;
         use xborder_netsim::time::SimTime;
         use xborder_webgraph::PublisherId;
@@ -990,10 +996,10 @@ mod tests {
         xborder_browser::LoggedRequest {
             user: UserId(0),
             time: SimTime(i as u64),
-            first_party: Domain::new("pub.example.org"),
+            first_party: domains.intern(&Domain::new("pub.example.org")),
             publisher: PublisherId(0),
             url: format!("https://{host}/p?x={i}").into_boxed_str(),
-            host,
+            host: domains.intern(&host),
             referrer,
             ip: "10.0.0.1".parse().unwrap(),
         }
@@ -1007,10 +1013,17 @@ mod tests {
     #[test]
     fn deep_reversed_chain_fully_labeled() {
         const LEN: usize = 40;
+        let mut domains = DomainTable::new();
         let mut requests: Vec<xborder_browser::LoggedRequest> = (0..LEN - 1)
-            .map(|i| chain_request(i, Referrer::Request(xborder_browser::RequestId(i as u32 + 1))))
+            .map(|i| {
+                chain_request(
+                    i,
+                    Referrer::Request(xborder_browser::RequestId(i as u32 + 1)),
+                    &mut domains,
+                )
+            })
             .collect();
-        requests.push(chain_request(LEN - 1, Referrer::FirstParty)); // root
+        requests.push(chain_request(LEN - 1, Referrer::FirstParty, &mut domains)); // root
         let mut el = crate::rules::FilterList::new("easylist");
         el.push(crate::rules::FilterRule::DomainAnchor(Domain::new(format!(
             "h{}.example.com",
@@ -1018,7 +1031,7 @@ mod tests {
         ))));
         let ep = crate::rules::FilterList::new("easyprivacy");
 
-        let res = classify(&requests, &el, &ep);
+        let res = classify(&requests, &domains, &el, &ep);
         let labeled = res.labels.iter().filter(|l| l.is_tracking()).count();
         assert_eq!(labeled, LEN, "whole chain must be labeled, got {labeled}/{LEN}");
         assert_eq!(res.labels[LEN - 1], Classification::AbpTracking);
@@ -1038,16 +1051,20 @@ mod tests {
     #[test]
     fn backward_chain_converges_in_one_sweep() {
         const LEN: usize = 40;
-        let mut requests = vec![chain_request(0, Referrer::FirstParty)];
-        requests.extend(
-            (1..LEN)
-                .map(|i| chain_request(i, Referrer::Request(xborder_browser::RequestId(i as u32 - 1)))),
-        );
+        let mut domains = DomainTable::new();
+        let mut requests = vec![chain_request(0, Referrer::FirstParty, &mut domains)];
+        requests.extend((1..LEN).map(|i| {
+            chain_request(
+                i,
+                Referrer::Request(xborder_browser::RequestId(i as u32 - 1)),
+                &mut domains,
+            )
+        }));
         let mut el = crate::rules::FilterList::new("easylist");
         el.push(crate::rules::FilterRule::DomainAnchor(Domain::new("h0.example.com")));
         let ep = crate::rules::FilterList::new("easyprivacy");
 
-        let res = classify(&requests, &el, &ep);
+        let res = classify(&requests, &domains, &el, &ep);
         assert!(res.labels.iter().all(|l| l.is_tracking()));
         assert_eq!(res.stage2_rounds, 1, "backward chain must converge in one sweep");
     }
@@ -1057,10 +1074,11 @@ mod tests {
     fn stage1_sharding_is_deterministic() {
         let (graph, requests) = dataset(7);
         let (el, ep) = generate_lists(&graph);
-        let base = classify(&requests, &el, &ep);
+        let base = classify(&requests, graph.domains(), &el, &ep);
         for threads in [2, 3, 8] {
             let par = classify_with_stages_threads(
                 &requests,
+                graph.domains(),
                 &el,
                 &ep,
                 ClassifierStages::default(),

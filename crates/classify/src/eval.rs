@@ -66,7 +66,7 @@ pub fn evaluate(
     let mut e = Evaluation::default();
     for (i, r) in requests.iter().enumerate() {
         let truth = graph
-            .service_by_host(&r.host)
+            .service_by_host_id(r.host)
             .map(|s| graph.service(s).is_tracking())
             .unwrap_or(false);
         let flagged = result.is_tracking(i);

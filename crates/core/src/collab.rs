@@ -66,8 +66,8 @@ impl CollabGraph {
                 continue;
             }
             let (Some(child_svc), Some(parent_svc)) = (
-                world.graph.service_by_host(&r.host),
-                world.graph.service_by_host(&parent.host),
+                world.graph.service_by_host_id(r.host),
+                world.graph.service_by_host_id(parent.host),
             ) else {
                 continue;
             };

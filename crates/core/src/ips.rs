@@ -76,7 +76,14 @@ impl TrackerIpSet {
                 from_pdns_only: false,
             });
             info.requests += 1;
-            info.hosts.insert(r.host.clone());
+            // Hosts are interned ids on the request; resolve through the
+            // dataset's table and clone the string only on first sight of
+            // a (ip, host) pair — repeat requests (the common case) stay
+            // allocation-free.
+            let host = dataset.domains.domain(r.host);
+            if !info.hosts.contains(host) {
+                info.hosts.insert(host.clone());
+            }
             info.window.extend_to(r.time);
         }
         set

@@ -156,6 +156,10 @@ pub fn run_extension_pipeline_degraded(
     // stream and stub-resolver cache, so the budget never shows in the
     // output (DESIGN.md §5d).
     let t_stage = Instant::now();
+    // With a counting-allocator probe installed (bench builds), the study
+    // stage's allocation traffic lands in the report next to its wall
+    // clock. No probe → zeros.
+    let alloc_before = xborder_faults::alloc_snapshot();
     let mut rng = StdRng::seed_from_u64(world.study_rng.gen());
     let dataset = run_study_sharded(
         &world.config.study,
@@ -167,6 +171,10 @@ pub fn run_extension_pipeline_degraded(
         threads,
     );
     report.timings.study_ms = t_stage.elapsed().as_secs_f64() * 1e3;
+    if let (Some((a0, b0)), Some((a1, b1))) = (alloc_before, xborder_faults::alloc_snapshot()) {
+        report.timings.study_allocs = a1.saturating_sub(a0);
+        report.timings.study_alloc_bytes = b1.saturating_sub(b0);
+    }
 
     // 2. Classification (Table 2). Stage-1 blocklist matching shards over
     // the request log; labels never depend on the split.
@@ -174,6 +182,7 @@ pub fn run_extension_pipeline_degraded(
     let (easylist, easyprivacy) = generate_lists(&world.graph);
     let classification = classify_with_stages_threads(
         &dataset.requests,
+        &dataset.domains,
         &easylist,
         &easyprivacy,
         ClassifierStages::default(),

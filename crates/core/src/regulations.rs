@@ -147,7 +147,7 @@ pub fn audit(
 
         let operator = world
             .graph
-            .service_by_host(&r.host)
+            .service_by_host_id(r.host)
             .map(|sid| world.graph.org_of(sid).name.clone())
             .unwrap_or_else(|| "unknown".to_owned());
         let finding = report.per_operator.entry(operator).or_default();

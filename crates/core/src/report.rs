@@ -153,10 +153,15 @@ impl Fig3Data {
     /// Computes the top-`n` tracking TLDs.
     pub fn compute(out: &StudyOutputs, n: usize) -> Fig3Data {
         let mut per_tld: HashMap<Domain, (u64, u64)> = HashMap::new();
+        let domains = &out.dataset.domains;
         for (i, r) in out.dataset.requests.iter().enumerate() {
             match out.classification.label(i) {
-                Classification::AbpTracking => per_tld.entry(r.host.tld()).or_default().0 += 1,
-                Classification::SemiTracking => per_tld.entry(r.host.tld()).or_default().1 += 1,
+                Classification::AbpTracking => {
+                    per_tld.entry(domains.domain(r.host).tld()).or_default().0 += 1
+                }
+                Classification::SemiTracking => {
+                    per_tld.entry(domains.domain(r.host).tld()).or_default().1 += 1
+                }
                 Classification::Clean => {}
             }
         }

@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use xborder_geo::{Continent, CountryCode, WORLD};
 use xborder_netsim::CLOUDS;
-use xborder_webgraph::Domain;
+use xborder_webgraph::{Domain, DomainId};
 
 /// One scenario's confinement percentages (a row of Table 5).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -90,15 +90,19 @@ pub fn run(world: &World, out: &StudyOutputs, estimates: &EstimateMap) -> WhatIf
     // --- Candidate-set preparation -------------------------------------
     // Destinations observed in the dataset per FQDN and per TLD, using the
     // same estimates that place the default destinations.
-    let mut fqdn_alts: HashMap<&Domain, HashSet<CountryCode>> = HashMap::new();
+    let domains = &out.dataset.domains;
+    let mut fqdn_alts: HashMap<DomainId, HashSet<CountryCode>> = HashMap::new();
     let mut tld_alts: HashMap<Domain, HashSet<CountryCode>> = HashMap::new();
     for (i, r) in out.dataset.requests.iter().enumerate() {
         if !out.classification.is_tracking(i) {
             continue;
         }
         if let Some(est) = estimates.get(&r.ip) {
-            fqdn_alts.entry(&r.host).or_default().insert(est.country);
-            tld_alts.entry(r.host.tld()).or_default().insert(est.country);
+            fqdn_alts.entry(r.host).or_default().insert(est.country);
+            tld_alts
+                .entry(domains.domain(r.host).tld())
+                .or_default()
+                .insert(est.country);
         }
     }
     // Cloud PoP countries per *service* (mirroring can only use the
@@ -150,10 +154,12 @@ pub fn run(world: &World, out: &StudyOutputs, estimates: &EstimateMap) -> WhatIf
         // current destination.
         let empty: HashSet<CountryCode> = HashSet::new();
         let fqdn_set = fqdn_alts.get(&r.host).unwrap_or(&empty);
-        let tld_set = tld_alts.get(&r.host.tld()).unwrap_or(&empty);
+        let tld_set = tld_alts
+            .get(&domains.domain(r.host).tld())
+            .unwrap_or(&empty);
         let mirror_set = world
             .graph
-            .service_by_host(&r.host)
+            .service_by_host_id(r.host)
             .and_then(|sid| service_cloud_countries.get(&sid.0).cloned())
             .unwrap_or_default();
 
@@ -265,7 +271,7 @@ pub fn redirection_rollout(world: &World, out: &StudyOutputs) -> RolloutStats {
         if !out.classification.is_tracking(i) {
             continue;
         }
-        let Some(zone) = world.dns.zone(&r.host) else {
+        let Some(zone) = world.dns.zone(out.dataset.domains.domain(r.host)) else {
             continue;
         };
         *stats.flows_per_ttl.entry(zone.ttl_secs).or_insert(0) += 1;

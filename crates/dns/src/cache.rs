@@ -18,7 +18,7 @@
 //! concurrently and still merge bit-identically.
 
 use crate::resolver::ClientCtx;
-use crate::sim::{DnsSim, PdnsObservation, ZoneView};
+use crate::sim::{DnsSim, IndexedZoneView, PdnsIdObservation, PdnsObservation, ZoneView};
 use crate::zone::ZoneServer;
 use crate::DnsError;
 use rand::rngs::StdRng;
@@ -28,7 +28,7 @@ use xborder_faults::{
     derive_stream_seed, stable_hash, DegradationReport, FaultError, FaultInjector,
 };
 use xborder_netsim::time::SimTime;
-use xborder_webgraph::Domain;
+use xborder_webgraph::{Domain, DomainId};
 
 /// One cached answer.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +41,9 @@ struct CacheEntry {
 #[derive(Debug, Default)]
 pub struct DnsCache {
     entries: HashMap<Domain, CacheEntry>,
+    /// Dense id-indexed entries for the allocation-free study path
+    /// (DESIGN.md §5f); grown lazily to the highest id touched.
+    by_id: Vec<Option<CacheEntry>>,
     hits: u64,
     misses: u64,
     /// Seed of this client's lookup-RNG stream (see [`DnsCache::for_user`]).
@@ -48,6 +51,8 @@ pub struct DnsCache {
     /// Observations buffered on cache misses, for deterministic replay
     /// into the central pDNS database.
     observations: Vec<PdnsObservation>,
+    /// Id-form observations buffered by [`DnsCache::resolve_shared_id`].
+    id_observations: Vec<PdnsIdObservation>,
 }
 
 impl DnsCache {
@@ -85,13 +90,18 @@ impl DnsCache {
         }
         self.misses += 1;
         let (answer, ttl) = dns.resolve_with_ttl(host, client, now, rng)?;
-        self.entries.insert(
-            host.clone(),
-            CacheEntry {
-                answer,
-                expires: now.plus_secs(ttl as u64),
-            },
-        );
+        let fresh = CacheEntry {
+            answer,
+            expires: now.plus_secs(ttl as u64),
+        };
+        // Refresh in place when the host already has a (stale) slot; clone
+        // the key only on a first-ever miss.
+        match self.entries.get_mut(host) {
+            Some(e) => *e = fresh,
+            None => {
+                self.entries.insert(host.clone(), fresh);
+            }
+        }
         Ok(answer)
     }
 
@@ -130,13 +140,66 @@ impl DnsCache {
             ip: answer.ip,
             time: t_eff,
         });
-        self.entries.insert(
-            host.clone(),
-            CacheEntry {
-                answer,
-                expires: t_eff.plus_secs(ttl as u64),
-            },
-        );
+        let fresh = CacheEntry {
+            answer,
+            expires: t_eff.plus_secs(ttl as u64),
+        };
+        // One clone per steady-state miss (the observation above): expired
+        // entries refresh in place, so the key is cloned again only on a
+        // host's first-ever miss. The id path below clones nothing at all.
+        match self.entries.get_mut(host) {
+            Some(e) => *e = fresh,
+            None => {
+                self.entries.insert(host.clone(), fresh);
+            }
+        }
+        Ok((answer, t_eff))
+    }
+
+    /// The allocation-free study path (DESIGN.md §5f): semantics of
+    /// [`DnsCache::resolve_shared`] over interned host ids. The miss-RNG
+    /// seed derives from the view's precomputed `stable_hash` of the host
+    /// bytes — the same value the string path hashes per miss — so answers,
+    /// effective times, and fault coins are bit-identical. No `Domain` is
+    /// cloned anywhere: cache slots are a dense `Vec` indexed by id and
+    /// observations buffer the id.
+    pub fn resolve_shared_id(
+        &mut self,
+        view: &IndexedZoneView<'_>,
+        host_id: DomainId,
+        client: &ClientCtx,
+        now: SimTime,
+        inj: &FaultInjector,
+        report: &mut DegradationReport,
+    ) -> Result<(ZoneServer, SimTime), FaultError> {
+        let idx = host_id.0 as usize;
+        if self.by_id.len() <= idx {
+            self.by_id.resize(idx + 1, None);
+        }
+        if let Some(entry) = self.by_id[idx] {
+            if now < entry.expires {
+                self.hits += 1;
+                report.dns_cache_hits += 1;
+                return Ok((entry.answer, now));
+            }
+        }
+        self.misses += 1;
+        report.dns_cache_misses += 1;
+        let mut rng = StdRng::seed_from_u64(derive_stream_seed(
+            self.lookup_seed,
+            view.host_hash(host_id) ^ now.0.rotate_left(32),
+        ));
+        let (answer, t_eff, ttl) =
+            view.resolve_degraded_id(host_id, client, now, &mut rng, inj, report)?;
+        self.id_observations.push(PdnsIdObservation {
+            host: host_id,
+            ip: answer.ip,
+            time: t_eff,
+        });
+        self.by_id[idx] = Some(CacheEntry {
+            answer,
+            expires: t_eff.plus_secs(ttl as u64),
+        });
         Ok((answer, t_eff))
     }
 
@@ -144,6 +207,12 @@ impl DnsCache {
     /// into [`DnsSim::absorb_observations`].
     pub fn take_observations(&mut self) -> Vec<PdnsObservation> {
         std::mem::take(&mut self.observations)
+    }
+
+    /// Drains the buffered id observations (in lookup order) for replay
+    /// into [`DnsSim::absorb_id_observations`].
+    pub fn take_id_observations(&mut self) -> Vec<PdnsIdObservation> {
+        std::mem::take(&mut self.id_observations)
     }
 
     /// Cache hits so far.
@@ -334,6 +403,53 @@ mod tests {
             assert!(cache.resolve(&mut dns, &host, &client(), SimTime(0), &mut rng).is_err());
         }
         assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn id_path_matches_string_path_bit_for_bit() {
+        use xborder_webgraph::DomainTable;
+        // Same lookup stream, same hosts, same times: the dense id path
+        // must produce identical answers, effective times, counters, and
+        // (after id→domain replay) identical pDNS content.
+        let mut dns = DnsSim::new();
+        dns.add_zone(zone("a.x.com", "1.0.0.1", "DE", 100)).unwrap();
+        dns.add_zone(zone("b.x.com", "1.0.0.2", "US", 300)).unwrap();
+        let mut domains = DomainTable::new();
+        let hosts = [Domain::new("a.x.com"), Domain::new("b.x.com")];
+        let ids = [domains.intern(&hosts[0]), domains.intern(&hosts[1])];
+        let view = dns.view();
+        let iview = dns.indexed_view(&domains);
+        let inj = FaultInjector::inactive();
+
+        let mut string_cache = DnsCache::for_user(99, 3);
+        let mut id_cache = DnsCache::for_user(99, 3);
+        let mut rep_s = DegradationReport::default();
+        let mut rep_i = DegradationReport::default();
+        for step in 0..40u64 {
+            let h = (step % 2) as usize;
+            let t = SimTime(step * 37);
+            let a = string_cache
+                .resolve_shared(&view, &hosts[h], &client(), t, &inj, &mut rep_s)
+                .unwrap();
+            let b = id_cache
+                .resolve_shared_id(&iview, ids[h], &client(), t, &inj, &mut rep_i)
+                .unwrap();
+            assert_eq!(a, b, "answers diverged at step {step}");
+        }
+        assert_eq!((string_cache.hits(), string_cache.misses()), (id_cache.hits(), id_cache.misses()));
+        assert_eq!(rep_s.dns_cache_hits, rep_i.dns_cache_hits);
+        assert_eq!(rep_s.dns_cache_misses, rep_i.dns_cache_misses);
+
+        let obs_s = string_cache.take_observations();
+        let obs_i = id_cache.take_id_observations();
+        assert_eq!(obs_s.len(), obs_i.len());
+        let mut replay_s = DnsSim::new();
+        let mut replay_i = DnsSim::new();
+        replay_s.absorb_observations(&obs_s);
+        replay_i.absorb_id_observations(&obs_i, &domains);
+        for h in &hosts {
+            assert_eq!(replay_s.pdns().forward(h), replay_i.pdns().forward(h));
+        }
     }
 
     #[test]

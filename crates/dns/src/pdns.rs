@@ -32,7 +32,6 @@ pub struct PdnsRecord {
 #[derive(Debug, Default)]
 pub struct PassiveDnsDb {
     records: Vec<PdnsRecord>,
-    by_pair: HashMap<(Domain, IpAddr), usize>,
     forward: HashMap<Domain, Vec<usize>>,
     reverse: HashMap<IpAddr, Vec<usize>>,
 }
@@ -43,10 +42,23 @@ impl PassiveDnsDb {
         Self::default()
     }
 
+    /// The record index of a (domain, ip) pair: one hash of the *borrowed*
+    /// domain plus a scan of its record list. An FQDN maps to a handful of
+    /// addresses, so the scan is shorter than hashing an owned
+    /// `(Domain, IpAddr)` key would be — and needs no per-call clone,
+    /// which used to dominate observation replay (DESIGN.md §5f).
+    fn index_of(&self, domain: &Domain, ip: IpAddr) -> Option<usize> {
+        self.forward
+            .get(domain)?
+            .iter()
+            .copied()
+            .find(|&i| self.records[i].ip == ip)
+    }
+
     /// Records one observation of `domain` resolving to `ip` at time `t`.
     pub fn observe(&mut self, domain: &Domain, ip: IpAddr, t: SimTime) {
-        match self.by_pair.get(&(domain.clone(), ip)) {
-            Some(&idx) => {
+        match self.index_of(domain, ip) {
+            Some(idx) => {
                 let rec = &mut self.records[idx];
                 rec.window.extend_to(t);
                 rec.count += 1;
@@ -59,7 +71,6 @@ impl PassiveDnsDb {
                     window: TimeWindow::new(t, SimTime(t.0 + 1)),
                     count: 1,
                 });
-                self.by_pair.insert((domain.clone(), ip), idx);
                 self.forward.entry(domain.clone()).or_default().push(idx);
                 self.reverse.entry(ip).or_default().push(idx);
             }
@@ -138,9 +149,7 @@ impl PassiveDnsDb {
 
     /// The validity window of a specific (domain, ip) pair, if recorded.
     pub fn window_of(&self, domain: &Domain, ip: IpAddr) -> Option<TimeWindow> {
-        self.by_pair
-            .get(&(domain.clone(), ip))
-            .map(|&i| self.records[i].window)
+        self.index_of(domain, ip).map(|i| self.records[i].window)
     }
 
     /// Total number of distinct (domain, ip) pairs.

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::net::IpAddr;
 use xborder_faults::{stable_hash, DegradationReport, FaultError, FaultInjector};
 use xborder_netsim::time::SimTime;
-use xborder_webgraph::Domain;
+use xborder_webgraph::{Domain, DomainId, DomainTable};
 
 /// One resolution a sensor would have seen, buffered by a study shard and
 /// replayed into the central [`PassiveDnsDb`] after the shards join.
@@ -27,6 +27,20 @@ use xborder_webgraph::Domain;
 pub struct PdnsObservation {
     /// The resolved name.
     pub host: Domain,
+    /// The answer address.
+    pub ip: IpAddr,
+    /// Effective resolution time (query time plus any fault backoff).
+    pub time: SimTime,
+}
+
+/// A [`PdnsObservation`] with the host as an interned [`DomainId`]
+/// (DESIGN.md §5f). The study hot path buffers these — 16 bytes smaller
+/// and clone-free — and [`DnsSim::absorb_id_observations`] resolves ids
+/// back to domains at replay time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PdnsIdObservation {
+    /// The resolved name, interned in the world's [`DomainTable`].
+    pub host: DomainId,
     /// The answer address.
     pub ip: IpAddr,
     /// Effective resolution time (query time plus any fault backoff).
@@ -128,6 +142,105 @@ impl<'a> ZoneView<'a> {
     }
 }
 
+/// A dense, id-indexed snapshot of the zone table (DESIGN.md §5f), built
+/// once per study by [`DnsSim::indexed_view`] and shared read-only across
+/// shards. Zone lookup is a `Vec` index instead of a string hash, and the
+/// per-host `stable_hash` the fault coins and miss-RNG seeds key on is
+/// precomputed — so the id path draws *exactly* the same coins and seeds
+/// as the string path without hashing a host per miss.
+#[derive(Debug, Clone)]
+pub struct IndexedZoneView<'a> {
+    /// `DomainId → zone` (`None` for domains without a zone, e.g.
+    /// publisher domains or unwired hosts).
+    by_id: Vec<Option<&'a ZoneEntry>>,
+    /// `DomainId → stable_hash(host bytes)`, precomputed.
+    host_hash: Vec<u64>,
+    domains: &'a DomainTable,
+}
+
+impl<'a> IndexedZoneView<'a> {
+    /// The zone registered for the interned host, if any.
+    pub fn zone_by_id(&self, id: DomainId) -> Option<&'a ZoneEntry> {
+        self.by_id.get(id.0 as usize).copied().flatten()
+    }
+
+    /// `stable_hash` of the host's bytes — identical to
+    /// `stable_hash(host.as_str().as_bytes())`, precomputed at view build.
+    pub fn host_hash(&self, id: DomainId) -> u64 {
+        self.host_hash[id.0 as usize]
+    }
+
+    /// The interner this view was built against.
+    pub fn domains(&self) -> &'a DomainTable {
+        self.domains
+    }
+
+    /// Dense-path equivalent of [`ZoneView::resolve`]: same answers, same
+    /// RNG draws, no string hashing.
+    pub fn resolve_id<R: Rng + ?Sized>(
+        &self,
+        host_id: DomainId,
+        client: &ClientCtx,
+        t: SimTime,
+        rng: &mut R,
+    ) -> Result<(ZoneServer, u32), DnsError> {
+        let zone = self
+            .zone_by_id(host_id)
+            .ok_or_else(|| DnsError::NxDomain(self.domains.domain(host_id).clone()))?;
+        let answer = zone
+            .select(client.resolver.location, t, rng)
+            .ok_or_else(|| DnsError::EmptyZone(self.domains.domain(host_id).clone()))?;
+        Ok((answer, zone.ttl_secs))
+    }
+
+    /// Dense-path equivalent of [`ZoneView::resolve_degraded`]: the fault
+    /// coins key on the precomputed [`IndexedZoneView::host_hash`], which
+    /// equals the string path's `stable_hash(host bytes)` — bit-identical
+    /// retry/backoff behaviour with zero per-call hashing.
+    pub fn resolve_degraded_id<R: Rng + ?Sized>(
+        &self,
+        host_id: DomainId,
+        client: &ClientCtx,
+        t: SimTime,
+        rng: &mut R,
+        inj: &FaultInjector,
+        report: &mut DegradationReport,
+    ) -> Result<(ZoneServer, SimTime, u32), FaultError> {
+        if !inj.is_active() {
+            report.dns_attempts += 1;
+            return self
+                .resolve_id(host_id, client, t, rng)
+                .map(|(a, ttl)| (a, t, ttl))
+                .map_err(|e| FaultError::Dns(e.to_string()));
+        }
+        let host_key = self.host_hash(host_id);
+        let max_attempts = 1 + inj.plan().resolver_max_retries;
+        let mut t_eff = t;
+        for attempt in 0..max_attempts {
+            report.dns_attempts += 1;
+            if inj.resolver_timed_out(host_key, t.0, attempt) {
+                report.dns_timeouts += 1;
+                let backoff = inj.plan().resolver_backoff_secs << attempt;
+                report.dns_backoff_secs += backoff;
+                t_eff = SimTime(t_eff.0 + backoff);
+                continue;
+            }
+            if attempt > 0 {
+                report.dns_retries += 1;
+            }
+            return self
+                .resolve_id(host_id, client, t_eff, rng)
+                .map(|(a, ttl)| (a, t_eff, ttl))
+                .map_err(|e| FaultError::Dns(e.to_string()));
+        }
+        report.dns_failures += 1;
+        Err(FaultError::ResolverTimeout {
+            host: self.domains.domain(host_id).as_str().to_string(),
+            attempts: max_attempts,
+        })
+    }
+}
+
 impl DnsSim {
     /// An empty simulator.
     pub fn new() -> Self {
@@ -148,12 +261,34 @@ impl DnsSim {
         ZoneView { zones: &self.zones }
     }
 
+    /// Builds the dense id-indexed view for a study (DESIGN.md §5f): one
+    /// string lookup plus one `stable_hash` per interned domain *here*,
+    /// zero on the hot path afterwards.
+    pub fn indexed_view<'a>(&'a self, domains: &'a DomainTable) -> IndexedZoneView<'a> {
+        let mut by_id = vec![None; domains.len()];
+        let mut host_hash = vec![0u64; domains.len()];
+        for (id, d) in domains.iter() {
+            by_id[id.0 as usize] = self.zones.get(d);
+            host_hash[id.0 as usize] = stable_hash(d.as_str().as_bytes());
+        }
+        IndexedZoneView { by_id, host_hash, domains }
+    }
+
     /// Replays shard-buffered observations into the passive-DNS sensor.
     /// Callers replay buffers in a fixed order (user order in the study) so
     /// the database is identical for any shard layout.
     pub fn absorb_observations(&mut self, obs: &[PdnsObservation]) {
         for o in obs {
             self.pdns.observe(&o.host, o.ip, o.time);
+        }
+    }
+
+    /// Replays shard-buffered id observations, resolving each interned
+    /// host back to its domain through `domains`. Same replay-order
+    /// contract as [`DnsSim::absorb_observations`].
+    pub fn absorb_id_observations(&mut self, obs: &[PdnsIdObservation], domains: &DomainTable) {
+        for o in obs {
+            self.pdns.observe(domains.domain(o.host), o.ip, o.time);
         }
     }
 
@@ -389,6 +524,71 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         dns.seed_global_pdns(SimTime(0), SimTime(1000), 0.0, &mut rng);
         assert!(dns.pdns().is_empty());
+    }
+
+    #[test]
+    fn indexed_view_matches_string_view_bit_for_bit() {
+        use xborder_faults::{FaultInjector, FaultPlan};
+        let mut dns = DnsSim::new();
+        dns.add_zone(zone("t.x.com", &[(0, "1.0.0.1", "DE"), (1, "1.0.1.1", "US")]))
+            .unwrap();
+        let mut domains = DomainTable::new();
+        // Intern an unwired domain first so the wired host's id is offset.
+        let unwired = domains.intern(&Domain::new("nozone.example.com"));
+        let host = Domain::new("t.x.com");
+        let host_id = domains.intern(&host);
+        let view = dns.view();
+        let iview = dns.indexed_view(&domains);
+        assert_eq!(
+            iview.host_hash(host_id),
+            stable_hash(host.as_str().as_bytes()),
+            "precomputed hash must equal the string path's"
+        );
+        assert!(iview.zone_by_id(unwired).is_none());
+        // Plain resolution: identical answers and RNG consumption.
+        let client = de_client();
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = r1.clone();
+        for i in 0..50u64 {
+            let a = view.resolve(&host, &client, SimTime(i), &mut r1).unwrap();
+            let b = iview.resolve_id(host_id, &client, SimTime(i), &mut r2).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+        // Degraded resolution under an active plan: same coins (keyed on
+        // the precomputed hash), same timings, same counters.
+        let inj = FaultInjector::new(FaultPlan::aggressive(3));
+        let mut rep_a = DegradationReport::default();
+        let mut rep_b = DegradationReport::default();
+        let mut r1 = StdRng::seed_from_u64(11);
+        let mut r2 = r1.clone();
+        for i in 0..200u64 {
+            let a = view.resolve_degraded(&host, &client, SimTime(i * 31), &mut r1, &inj, &mut rep_a);
+            let b = iview.resolve_degraded_id(host_id, &client, SimTime(i * 31), &mut r2, &inj, &mut rep_b);
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y),
+                (Err(x), Err(y)) => assert_eq!(x.to_string(), y.to_string()),
+                (x, y) => panic!("paths diverged at {i}: {x:?} vs {y:?}"),
+            }
+        }
+        assert_eq!(rep_a.dns_attempts, rep_b.dns_attempts);
+        assert_eq!(rep_a.dns_timeouts, rep_b.dns_timeouts);
+        assert_eq!(rep_a.dns_backoff_secs, rep_b.dns_backoff_secs);
+        assert_eq!(rep_a.dns_failures, rep_b.dns_failures);
+    }
+
+    #[test]
+    fn id_observations_replay_like_string_observations() {
+        let mut domains = DomainTable::new();
+        let host = Domain::new("t.x.com");
+        let id = domains.intern(&host);
+        let mut via_string = DnsSim::new();
+        let mut via_id = DnsSim::new();
+        let obs_s = vec![PdnsObservation { host: host.clone(), ip: "1.0.0.1".parse().unwrap(), time: SimTime(5) }];
+        let obs_i = vec![PdnsIdObservation { host: id, ip: "1.0.0.1".parse().unwrap(), time: SimTime(5) }];
+        via_string.absorb_observations(&obs_s);
+        via_id.absorb_id_observations(&obs_i, &domains);
+        assert_eq!(via_string.pdns().forward(&host), via_id.pdns().forward(&host));
     }
 
     #[test]

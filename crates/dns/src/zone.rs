@@ -67,11 +67,103 @@ pub struct ZoneEntry {
     pub ttl_secs: u32,
 }
 
+/// Capacity acceptance probability of a PoP in `country`. Quadratic:
+/// mapping efficiency falls off steeply below the hubs. Reverse-engineered
+/// from the paper's Table 6 (TLD-redirection potential vs default
+/// confinement per country: DE ~86 % efficient, GB ~71 %, ES ~38 %).
+fn p_accept(country: CountryCode) -> f64 {
+    let it = xborder_geo::WORLD
+        .country(country)
+        .map(|c| c.it_index)
+        .unwrap_or(0.5);
+    0.08 + 0.85 * it * it
+}
+
 impl ZoneEntry {
+    /// Stack capacity of the allocation-free [`ZoneEntry::select`] path:
+    /// comfortably above any PoP count the world generators emit (the
+    /// largest small-world zone carries ~92 servers). Bigger zones take a
+    /// (heap-allocating) fallback with identical draws.
+    const STACK_POPS: usize = 128;
+
     /// Picks an answer per policy. `resolver_loc` is where the query came
     /// from (the resolver, not the end user — geo-DNS cannot see past it);
     /// `t` scopes the candidate set to servers valid at query time.
+    ///
+    /// This sits on the study's DNS-miss hot path (DESIGN.md §5f), so the
+    /// common case is allocation-free: candidate indices and distances
+    /// live in stack arrays, and the distance-ordered capacity walk is a
+    /// selection scan whose tie-breaking (first candidate wins on equal
+    /// distance) matches the stable sort of the large-zone fallback.
     pub fn select<R: rand::Rng + ?Sized>(
+        &self,
+        resolver_loc: LatLon,
+        t: SimTime,
+        rng: &mut R,
+    ) -> Option<ZoneServer> {
+        if self.servers.len() > Self::STACK_POPS {
+            return self.select_large(resolver_loc, t, rng);
+        }
+        let mut cand = [0u32; Self::STACK_POPS];
+        let mut n = 0usize;
+        for (i, s) in self.servers.iter().enumerate() {
+            if s.is_valid_at(t) {
+                cand[n] = i as u32;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        match self.policy {
+            MappingPolicy::Pinned => Some(self.servers[cand[0] as usize]),
+            MappingPolicy::RoundRobin => {
+                Some(self.servers[cand[rng.gen_range(0..n)] as usize])
+            }
+            MappingPolicy::NearestToResolver { epsilon } => {
+                if n == 1 {
+                    return Some(self.servers[cand[0] as usize]);
+                }
+                if rng.gen::<f64>() < epsilon {
+                    // Load-balanced / stale answer: any PoP.
+                    return Some(self.servers[cand[rng.gen_range(0..n)] as usize]);
+                }
+                // Capacity-aware nearest mapping: walk PoPs by distance and
+                // accept each with a probability tied to its country's
+                // IT-infrastructure density. Small-country PoPs overflow to
+                // the next site (typically a hub) — which is exactly the
+                // correlation between datacenter density and national
+                // confinement the paper reports (Sect. 5).
+                let mut dist = [0.0f64; Self::STACK_POPS];
+                for (k, d) in dist.iter_mut().enumerate().take(n) {
+                    *d = resolver_loc.distance_km(&self.servers[cand[k] as usize].location);
+                }
+                let mut taken = [false; Self::STACK_POPS];
+                let mut nearest = 0usize;
+                for round in 0..n {
+                    let mut best = usize::MAX;
+                    for k in 0..n {
+                        if !taken[k] && (best == usize::MAX || dist[k] < dist[best]) {
+                            best = k;
+                        }
+                    }
+                    taken[best] = true;
+                    if round == 0 {
+                        nearest = best;
+                    }
+                    let s = &self.servers[cand[best] as usize];
+                    if rng.gen::<f64>() < p_accept(s.country) {
+                        return Some(*s);
+                    }
+                }
+                Some(self.servers[cand[nearest] as usize])
+            }
+        }
+    }
+
+    /// Heap fallback of [`ZoneEntry::select`] for zones with more servers
+    /// than the stack path holds. Same candidate order, same RNG draws.
+    fn select_large<R: rand::Rng + ?Sized>(
         &self,
         resolver_loc: LatLon,
         t: SimTime,
@@ -92,15 +184,8 @@ impl ZoneEntry {
                     return Some(*candidates[0]);
                 }
                 if rng.gen::<f64>() < epsilon {
-                    // Load-balanced / stale answer: any PoP.
                     return Some(*candidates[rng.gen_range(0..candidates.len())]);
                 }
-                // Capacity-aware nearest mapping: walk PoPs by distance and
-                // accept each with a probability tied to its country's
-                // IT-infrastructure density. Small-country PoPs overflow to
-                // the next site (typically a hub) — which is exactly the
-                // correlation between datacenter density and national
-                // confinement the paper reports (Sect. 5).
                 let mut order: Vec<(usize, f64)> = candidates
                     .iter()
                     .enumerate()
@@ -108,16 +193,7 @@ impl ZoneEntry {
                     .collect();
                 order.sort_by(|a, b| a.1.total_cmp(&b.1));
                 for (i, _) in &order {
-                    let it = xborder_geo::WORLD
-                        .country(candidates[*i].country)
-                        .map(|c| c.it_index)
-                        .unwrap_or(0.5);
-                    // Quadratic: mapping efficiency falls off steeply below
-                    // the hubs. Reverse-engineered from the paper's Table 6
-                    // (TLD-redirection potential vs default confinement per
-                    // country: DE ~86 % efficient, GB ~71 %, ES ~38 %).
-                    let p_accept = 0.08 + 0.85 * it * it;
-                    if rng.gen::<f64>() < p_accept {
+                    if rng.gen::<f64>() < p_accept(candidates[*i].country) {
                         return Some(*candidates[*i]);
                     }
                 }

@@ -455,6 +455,37 @@ pub struct StageTimings {
     pub geolocate_ms: f64,
     /// Whole pipeline, entry to exit (≥ the sum of the stages).
     pub total_ms: f64,
+    /// Heap allocations during the study stage, when an allocation probe
+    /// is installed ([`install_alloc_probe`]); 0 otherwise. Like the
+    /// wall-clock fields, observational only — zero `timings` before
+    /// comparing reports.
+    #[serde(default)]
+    pub study_allocs: u64,
+    /// Bytes requested by those allocations (same caveats).
+    #[serde(default)]
+    pub study_alloc_bytes: u64,
+}
+
+/// Cumulative allocation counters read from an installed probe:
+/// `(allocation count, bytes requested)` since process start.
+pub type AllocSnapshot = (u64, u64);
+
+/// The process-wide allocation probe, if one was installed.
+static ALLOC_PROBE: std::sync::OnceLock<fn() -> AllocSnapshot> = std::sync::OnceLock::new();
+
+/// Installs a process-wide allocation probe (typically backed by a counting
+/// `#[global_allocator]` in a bench binary). First installation wins;
+/// returns `false` if a probe was already installed. Library code stays
+/// `forbid(unsafe_code)`-clean: only the reporting plumbing lives here, the
+/// counting allocator itself belongs to the binary that owns `main`.
+pub fn install_alloc_probe(probe: fn() -> AllocSnapshot) -> bool {
+    ALLOC_PROBE.set(probe).is_ok()
+}
+
+/// Reads the installed allocation probe, or `None` when no probe exists
+/// (the common case outside bench builds — callers record zeros).
+pub fn alloc_snapshot() -> Option<AllocSnapshot> {
+    ALLOC_PROBE.get().map(|p| p())
 }
 
 impl DegradationReport {

@@ -2,6 +2,7 @@
 
 use crate::cascade::CascadeTemplate;
 use crate::domain::Domain;
+use crate::intern::{DomainId, DomainTable};
 use crate::publisher::{Publisher, PublisherId};
 use crate::service::{ServiceId, ServiceOrg, ServiceOrgId, ThirdPartyService};
 use std::collections::HashMap;
@@ -22,7 +23,16 @@ pub struct WebGraph {
     /// Relative market share of each org in embed selection (same index as
     /// `orgs`); majors are head-heavy.
     pub org_weight: Vec<f64>,
-    host_index: HashMap<Domain, ServiceId>,
+    // Derived state rebuilt by `reindex()`. The interner assigns ids in a
+    // deterministic order (publisher domains by publisher id, then service
+    // hosts by service id), so `DomainId`s are a pure function of the world.
+    domains: DomainTable,
+    /// `DomainId → ServiceId` (dense; `None` for publisher-only domains).
+    host_service: Vec<Option<ServiceId>>,
+    /// `PublisherId → DomainId` of the publisher's own domain.
+    publisher_domain_ids: Vec<DomainId>,
+    /// `ServiceId → DomainId`s of its hosts, parallel to `service.hosts`.
+    service_host_ids: Vec<Vec<DomainId>>,
 }
 
 impl WebGraph {
@@ -48,18 +58,62 @@ impl WebGraph {
 
     /// Resolves a request host (FQDN) to the service it belongs to.
     pub fn service_by_host(&self, host: &Domain) -> Option<ServiceId> {
-        self.host_index.get(host).copied()
+        self.domains.get(host).and_then(|id| self.service_by_host_id(id))
     }
 
-    /// Rebuilds the host index; called by the generator after mutation.
+    /// Resolves an interned host id to the service it belongs to. Ids not
+    /// in the table (or publisher-only domains) resolve to `None`.
+    pub fn service_by_host_id(&self, id: DomainId) -> Option<ServiceId> {
+        self.host_service.get(id.0 as usize).copied().flatten()
+    }
+
+    /// The worldgen-time domain interner (DESIGN.md §5f). Read-only after
+    /// [`reindex`](WebGraph::reindex); ids are stable per world.
+    pub fn domains(&self) -> &DomainTable {
+        &self.domains
+    }
+
+    /// Interned id of a publisher's own domain.
+    pub fn publisher_domain_id(&self, id: PublisherId) -> DomainId {
+        self.publisher_domain_ids[id.0 as usize]
+    }
+
+    /// Interned id of host `idx` of `service` (parallel to
+    /// `service.hosts[idx]`).
+    pub fn service_host_id(&self, service: ServiceId, idx: usize) -> DomainId {
+        self.service_host_ids[service.0 as usize][idx]
+    }
+
+    /// Rebuilds the domain interner and host index; called by the
+    /// generator after mutation. Intern order is deterministic: publisher
+    /// domains in publisher-id order, then service hosts in service-id
+    /// order — so `DomainId`s depend only on the world content.
     pub fn reindex(&mut self) {
-        self.host_index.clear();
-        for s in &self.services {
-            for h in &s.hosts {
-                let prev = self.host_index.insert(h.clone(), s.id);
-                assert!(prev.is_none(), "host {h} assigned to two services");
-            }
+        let mut domains = DomainTable::new();
+        let mut publisher_domain_ids = Vec::with_capacity(self.publishers.len());
+        for p in &self.publishers {
+            publisher_domain_ids.push(domains.intern(&p.domain));
         }
+        let mut host_service: Vec<Option<ServiceId>> = vec![None; domains.len()];
+        let mut service_host_ids = Vec::with_capacity(self.services.len());
+        for s in &self.services {
+            let mut ids = Vec::with_capacity(s.hosts.len());
+            for h in &s.hosts {
+                let id = domains.intern(h);
+                if host_service.len() < domains.len() {
+                    host_service.resize(domains.len(), None);
+                }
+                let slot = &mut host_service[id.0 as usize];
+                assert!(slot.is_none(), "host {h} assigned to two services");
+                *slot = Some(s.id);
+                ids.push(id);
+            }
+            service_host_ids.push(ids);
+        }
+        self.domains = domains;
+        self.publisher_domain_ids = publisher_domain_ids;
+        self.host_service = host_service;
+        self.service_host_ids = service_host_ids;
     }
 
     /// Total number of distinct third-party FQDNs.
@@ -111,7 +165,7 @@ impl WebGraph {
                 if !h.is_subdomain_of(&s.tld) {
                     return Err(format!("host {h} not under service tld {}", s.tld));
                 }
-                if self.host_index.get(h) != Some(&s.id) {
+                if self.service_by_host(h) != Some(s.id) {
                     return Err(format!("host {h} missing from index"));
                 }
             }
@@ -141,6 +195,27 @@ impl WebGraph {
         }
         if self.org_weight.len() != self.orgs.len() {
             return Err("org_weight length mismatch".into());
+        }
+        if self.publisher_domain_ids.len() != self.publishers.len() {
+            return Err("publisher domain-id table length mismatch".into());
+        }
+        if self.service_host_ids.len() != self.services.len() {
+            return Err("service host-id table length mismatch".into());
+        }
+        for (p, &id) in self.publishers.iter().zip(&self.publisher_domain_ids) {
+            if self.domains.domain(id) != &p.domain {
+                return Err(format!("publisher {} interned under wrong id", p.domain));
+            }
+        }
+        for (s, ids) in self.services.iter().zip(&self.service_host_ids) {
+            if ids.len() != s.hosts.len() {
+                return Err(format!("service {} host-id list out of sync", s.tld));
+            }
+            for (h, &id) in s.hosts.iter().zip(ids) {
+                if self.domains.domain(id) != h {
+                    return Err(format!("host {h} interned under wrong id"));
+                }
+            }
         }
         Ok(())
     }
@@ -202,6 +277,19 @@ mod tests {
             Some(ServiceId(0))
         );
         assert_eq!(g.service_by_host(&Domain::new("nope.com")), None);
+    }
+
+    #[test]
+    fn interned_ids_agree_with_string_lookups() {
+        let g = tiny_graph();
+        // Publisher domains intern first, service hosts after.
+        let pub_id = g.publisher_domain_id(PublisherId(0));
+        assert_eq!(g.domains().domain(pub_id).as_str(), "news.example.com");
+        let host_id = g.service_host_id(ServiceId(0), 0);
+        assert_eq!(g.domains().domain(host_id).as_str(), "t.track.com");
+        assert_eq!(g.service_by_host_id(host_id), Some(ServiceId(0)));
+        assert_eq!(g.service_by_host_id(pub_id), None, "publisher domain is not a service host");
+        assert_eq!(g.domains().get(&Domain::new("t.track.com")), Some(host_id));
     }
 
     #[test]

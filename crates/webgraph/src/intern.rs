@@ -1,0 +1,252 @@
+//! Domain interning (DESIGN.md §5f).
+//!
+//! All hosts that can appear in a request log are known when the world is
+//! generated: publisher domains and third-party service hosts are minted by
+//! worldgen, and nothing else ever resolves. That closed world makes a
+//! read-only interner possible — [`WebGraph::reindex`](crate::WebGraph)
+//! builds a [`DomainTable`] mapping `Domain ↔ DomainId(u32)` once, and the
+//! study hot path then moves 4-byte `Copy` ids instead of cloning
+//! heap-allocated `Domain(String)`s per request.
+//!
+//! The module also hosts the shared FxHash-style hasher the classifier
+//! introduced in PR 2 (moved here so every crate uses one implementation).
+//! Hash values are an *internal lookup detail only*: they must never feed
+//! an RNG stream or decide an output ordering. Every surviving map keyed by
+//! this hasher documents at its use site why iteration order (the only
+//! hash-dependent observable) cannot reach an output.
+
+use crate::domain::Domain;
+use serde::{Deserialize, Serialize, Value, ValueError};
+use std::collections::HashMap;
+use std::hash::Hasher;
+
+/// Cheap multiplicative string hasher (FxHash-style). The workload's hosts
+/// and URLs are short ASCII strings; the default SipHash's per-call
+/// overhead dominates lookup cost at this scale. Not DoS-resistant — use
+/// only on synthetic, non-adversarial keys, and never let the hash value
+/// leak into an RNG stream or an output ordering.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        const SEED: u64 = 0x517c_c1b7_2722_0a95;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let w = u64::from_le_bytes(c.try_into().expect("exact 8-byte chunk"));
+            self.hash = (self.hash.rotate_left(5) ^ w).wrapping_mul(SEED);
+        }
+        let mut tail = 0u64;
+        for &b in chunks.remainder() {
+            tail = (tail << 8) | b as u64;
+        }
+        self.hash = (self.hash.rotate_left(5) ^ tail).wrapping_mul(SEED);
+    }
+}
+
+/// A `HashMap` using [`FxHasher`]. Iteration order depends on hash values —
+/// callers must not let that order reach any output (see module docs).
+pub type FxMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FxHasher>>;
+
+/// FxHash of a byte string, usable without the `Hasher` plumbing.
+pub fn fx_hash(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.hash
+}
+
+/// Dense id of an interned [`Domain`] in a [`DomainTable`].
+///
+/// Ids are assigned in interning order, so for a table built by
+/// [`WebGraph::reindex`](crate::WebGraph) they are a deterministic function
+/// of the world alone — stable across runs, thread budgets, and serde
+/// roundtrips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DomainId(pub u32);
+
+/// Interner mapping `Domain ↔ DomainId`.
+///
+/// Built once at worldgen time and treated as read-only on the study hot
+/// path. The reverse index is an [`FxMap`], but it is lookup-only: ids come
+/// from the deterministic interning sequence, never from hash or iteration
+/// order, so the hasher cannot influence any output.
+#[derive(Debug, Clone, Default)]
+pub struct DomainTable {
+    domains: Vec<Domain>,
+    index: FxMap<Domain, u32>,
+}
+
+impl DomainTable {
+    /// Creates an empty table.
+    pub fn new() -> DomainTable {
+        DomainTable::default()
+    }
+
+    /// Interns `domain`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, domain: &Domain) -> DomainId {
+        if let Some(&id) = self.index.get(domain) {
+            return DomainId(id);
+        }
+        let id = u32::try_from(self.domains.len()).expect("more than u32::MAX domains");
+        self.domains.push(domain.clone());
+        self.index.insert(domain.clone(), id);
+        DomainId(id)
+    }
+
+    /// Looks up an already-interned domain.
+    pub fn get(&self, domain: &Domain) -> Option<DomainId> {
+        self.index.get(domain).map(|&id| DomainId(id))
+    }
+
+    /// The domain behind `id`. Panics on an id from another table.
+    pub fn domain(&self, id: DomainId) -> &Domain {
+        &self.domains[id.0 as usize]
+    }
+
+    /// Number of interned domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Iterates `(id, domain)` pairs in id order (deterministic — backed by
+    /// the intern-order `Vec`, not the hash index).
+    pub fn iter(&self) -> impl Iterator<Item = (DomainId, &Domain)> {
+        self.domains
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DomainId(i as u32), d))
+    }
+}
+
+// Manual serde impls: only the intern-order `Vec` is data — the hash index
+// is derived state, rebuilt on deserialize. Ids are positions in that Vec,
+// so they survive the roundtrip bit-identically.
+impl Serialize for DomainTable {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![("domains".to_owned(), self.domains.to_value())])
+    }
+}
+
+impl<'de> Deserialize<'de> for DomainTable {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        match v {
+            Value::Object(fields) => {
+                let domains: Vec<Domain> = serde::from_field(fields, "domains")?;
+                let mut table = DomainTable::default();
+                for d in &domains {
+                    table.intern(d);
+                }
+                Ok(table)
+            }
+            _ => Err(ValueError::msg("expected DomainTable object")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(hosts: &[&str]) -> DomainTable {
+        let mut t = DomainTable::new();
+        for h in hosts {
+            t.intern(&Domain::new(h));
+        }
+        t
+    }
+
+    #[test]
+    fn intern_is_idempotent_and_ids_are_dense() {
+        let mut t = table(&["a.com", "b.org", "c.net"]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.intern(&Domain::new("b.org")), DomainId(1));
+        assert_eq!(t.len(), 3, "re-interning must not mint a new id");
+        assert_eq!(t.get(&Domain::new("c.net")), Some(DomainId(2)));
+        assert_eq!(t.domain(DomainId(0)).as_str(), "a.com");
+    }
+
+    #[test]
+    fn ids_are_stable_across_serde_roundtrip() {
+        let t = table(&["pub.example.org", "t.gtrack.com", "cdn.assets.net"]);
+        let v = serde::Serialize::to_value(&t);
+        let back: DomainTable = serde::Deserialize::from_value(&v).expect("roundtrip");
+        assert_eq!(back.len(), t.len());
+        for (id, d) in t.iter() {
+            assert_eq!(back.get(d), Some(id), "id of {d} drifted across serde");
+            assert_eq!(back.domain(id), d);
+        }
+    }
+
+    #[test]
+    fn unknown_host_falls_back_to_lookup_miss() {
+        // Fault plans can mint hosts that were never part of the worldgen
+        // set; lookups must miss cleanly (callers then take the slow
+        // string path) rather than panic or alias an existing id.
+        let t = table(&["known.example.com"]);
+        assert_eq!(t.get(&Domain::new("minted.by-faults.example")), None);
+        assert_eq!(t.get(&Domain::new("known.example.com")), Some(DomainId(0)));
+    }
+
+    #[test]
+    fn intern_order_matches_first_occurrence_dedup() {
+        // Same contract as the classifier's PR 2 intern pass: the n-th
+        // distinct domain (in presentation order) gets id n.
+        let stream = ["x.com", "y.com", "x.com", "z.com", "y.com", "x.com"];
+        let mut t = DomainTable::new();
+        let ids: Vec<DomainId> = stream.iter().map(|h| t.intern(&Domain::new(h))).collect();
+        assert_eq!(
+            ids,
+            [0, 1, 0, 2, 1, 0].map(DomainId).to_vec(),
+            "ids must follow first-occurrence order"
+        );
+        // And mirror a by-hand first-occurrence dedup of the same stream.
+        let mut seen: Vec<&str> = Vec::new();
+        for h in stream {
+            if !seen.contains(&h) {
+                seen.push(h);
+            }
+        }
+        for (i, h) in seen.iter().enumerate() {
+            assert_eq!(t.get(&Domain::new(h)), Some(DomainId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn iter_is_in_id_order() {
+        let t = table(&["a.com", "b.org"]);
+        let got: Vec<(u32, String)> =
+            t.iter().map(|(id, d)| (id.0, d.as_str().to_owned())).collect();
+        assert_eq!(got, vec![(0, "a.com".to_owned()), (1, "b.org".to_owned())]);
+    }
+
+    #[test]
+    fn fx_hash_matches_hasher_plumbing() {
+        use std::hash::BuildHasher;
+        let build = std::hash::BuildHasherDefault::<FxHasher>::default();
+        for s in ["", "a", "collect", "t.gtrack.com", "a-longer-string-over-8-bytes"] {
+            let mut h = build.build_hasher();
+            // `str::hash` writes a length prefix too, so hash the Domain's
+            // raw bytes the way `fx_hash` consumers do.
+            h.write(s.as_bytes());
+            assert_eq!(h.finish(), fx_hash(s.as_bytes()));
+        }
+        // Sanity: FxMap actually distinguishes keys.
+        let mut m: FxMap<String, u32> = FxMap::default();
+        m.insert("a".to_owned(), 1);
+        m.insert("b".to_owned(), 2);
+        assert_eq!(m.get("a"), Some(&1));
+        assert_eq!(m.get("b"), Some(&2));
+    }
+}

@@ -20,6 +20,9 @@
 //!   (query arguments, cookie-sync keywords).
 //! * [`gen`] — the deterministic generator assembling a [`WebGraph`] from a
 //!   [`gen::WebGraphConfig`].
+//! * [`intern`] — the worldgen-time domain interner ([`DomainId`] /
+//!   [`DomainTable`]) the study hot path moves ids through instead of
+//!   cloning strings (DESIGN.md §5f).
 //!
 //! Dynamic behaviour (who visits what, which coins get flipped) lives in
 //! `xborder-browser`; this crate is the schema and the world content.
@@ -32,6 +35,7 @@ pub mod category;
 pub mod domain;
 pub mod gen;
 pub mod graph;
+pub mod intern;
 pub mod publisher;
 pub mod service;
 pub mod url;
@@ -41,6 +45,7 @@ pub use category::{SiteCategory, Topic};
 pub use domain::Domain;
 pub use gen::{generate, WebGraphConfig};
 pub use graph::WebGraph;
+pub use intern::{fx_hash, DomainId, DomainTable, FxHasher, FxMap};
 pub use publisher::{Audience, Embed, EmbedMode, Publisher, PublisherId};
 pub use service::{HostingPolicy, ServiceId, ServiceKind, ServiceOrg, ServiceOrgId, ThirdPartyService};
 pub use url::Url;

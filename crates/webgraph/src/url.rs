@@ -162,34 +162,58 @@ pub enum UrlStyle {
     ArgsAndKeywords,
 }
 
+/// Token alphabet shared by [`token`] and [`identity_token`].
+const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+
 /// Deterministic ID-ish token from an RNG, used as argument values.
 pub fn token<R: Rng + ?Sized>(rng: &mut R, len: usize) -> String {
-    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
     (0..len)
         .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
         .collect()
 }
 
+/// Eight token bytes from an RNG — the cache-buster payload, drawn with
+/// exactly the same RNG consumption as `token(rng, 8)` but without
+/// allocating.
+fn token_bytes<R: Rng + ?Sized>(rng: &mut R) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    for b in &mut out {
+        *b = ALPHABET[rng.gen_range(0..ALPHABET.len())];
+    }
+    out
+}
+
 /// Renders a 64-bit identity as a stable token (the per-user cookie id a
 /// tracker would echo in its URLs).
 pub fn identity_token(identity: u64) -> String {
-    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    let mut s = String::with_capacity(13);
+    write_identity_token(identity, &mut s);
+    s
+}
+
+/// Appends [`identity_token`]'s 13 characters to `buf` without allocating
+/// a fresh `String`.
+fn write_identity_token(identity: u64, buf: &mut String) {
     // Splitmix-style scramble so adjacent identities produce unrelated
     // tokens (and identity 0 still yields a non-trivial one).
     let mut x = identity
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(0x85EB_CA6B);
     x ^= x >> 31;
-    let mut s = String::with_capacity(13);
     for _ in 0..13 {
-        s.push(ALPHABET[(x % 36) as usize] as char);
+        buf.push(ALPHABET[(x % 36) as usize] as char);
         x /= 36;
     }
-    s
 }
 
 /// Event names trackers tag beacons with.
 const EVENTS: &[&str] = &["view", "click", "load", "imp", "scroll"];
+
+/// Content paths used by [`UrlStyle::Plain`] URLs.
+const PLAIN_PATHS: &[&str] = &["/js/widget.js", "/static/embed.css", "/img/logo.png", "/v2/chat.js"];
+
+/// Beacon paths used by [`UrlStyle::Args`] URLs.
+const ARG_PATHS: &[&str] = &["/collect", "/event", "/t", "/imp", "/log"];
 
 /// Synthesizes a request URL for a host in the given style.
 ///
@@ -205,42 +229,145 @@ pub fn synth_url<R: Rng + ?Sized>(
     https_share: f64,
     identity: u64,
 ) -> Url {
-    let scheme = if rng.gen::<f64>() < https_share {
-        Scheme::Https
-    } else {
-        Scheme::Http
-    };
-    match style {
-        UrlStyle::Plain => {
-            let paths = ["/js/widget.js", "/static/embed.css", "/img/logo.png", "/v2/chat.js"];
-            Url::new(scheme, host.clone(), paths[rng.gen_range(0..paths.len())])
-        }
-        UrlStyle::Args => {
-            let paths = ["/collect", "/event", "/t", "/imp", "/log"];
-            let mut url = Url::new(scheme, host.clone(), paths[rng.gen_range(0..paths.len())])
-                .with_arg("uid", identity_token(identity))
-                .with_arg("ev", EVENTS[rng.gen_range(0..EVENTS.len())]);
-            if rng.gen::<f64>() < 0.3 {
-                url = url.with_arg("cb", token(rng, 8));
+    EncodedUrl::synth(rng, style, https_share, identity).to_url(host)
+}
+
+/// A synthesized URL in compact, allocation-free form (DESIGN.md §5f).
+///
+/// The study hot path renders requests as `EncodedUrl`s and materializes
+/// the string only at the log-emission boundary (into a reused scratch
+/// buffer). [`EncodedUrl::synth`] consumes the RNG in *exactly* the same
+/// order as the eager [`synth_url`] ever did — the eager path now
+/// delegates here, so the two cannot drift — and
+/// [`EncodedUrl::write_into`] emits bytes identical to
+/// `Url::to_string()` of [`EncodedUrl::to_url`] (property-pinned below).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodedUrl {
+    /// Scheme picked by the https-share coin.
+    pub scheme: Scheme,
+    /// Style the URL was synthesized in (decides the template).
+    pub style: UrlStyle,
+    /// Index into the style's path table ([`UrlStyle::Plain`] /
+    /// [`UrlStyle::Args`]) or into [`TRACKING_KEYWORDS`]
+    /// ([`UrlStyle::ArgsAndKeywords`]).
+    pub path_idx: u8,
+    /// Index into the event-name table ([`UrlStyle::Args`] only).
+    pub event_idx: u8,
+    /// The stable per-(user, service) identity echoed in argument tokens.
+    pub identity: u64,
+    /// Cache-buster token bytes, present on ~30 % of argument-style URLs.
+    pub cb: Option<[u8; 8]>,
+}
+
+impl EncodedUrl {
+    /// Synthesizes the compact form. RNG draw order is the contract: https
+    /// coin, then per-style path/keyword pick, then (Args) event pick,
+    /// then cache-buster coin and, on a hit, eight token draws.
+    pub fn synth<R: Rng + ?Sized>(
+        rng: &mut R,
+        style: UrlStyle,
+        https_share: f64,
+        identity: u64,
+    ) -> EncodedUrl {
+        let scheme = if rng.gen::<f64>() < https_share {
+            Scheme::Https
+        } else {
+            Scheme::Http
+        };
+        let mut enc = EncodedUrl {
+            scheme,
+            style,
+            path_idx: 0,
+            event_idx: 0,
+            identity,
+            cb: None,
+        };
+        match style {
+            UrlStyle::Plain => {
+                enc.path_idx = rng.gen_range(0..PLAIN_PATHS.len()) as u8;
             }
-            url
-        }
-        UrlStyle::ArgsAndKeywords => {
-            let kw = TRACKING_KEYWORDS[rng.gen_range(0..TRACKING_KEYWORDS.len())];
-            let mut url = Url::new(scheme, host.clone(), format!("/{kw}"))
-                .with_arg("partner", identity_token(identity.rotate_left(17)))
-                .with_arg("rtb_id", identity_token(identity));
-            if rng.gen::<f64>() < 0.3 {
-                url = url.with_arg("cb", token(rng, 8));
+            UrlStyle::Args => {
+                enc.path_idx = rng.gen_range(0..ARG_PATHS.len()) as u8;
+                enc.event_idx = rng.gen_range(0..EVENTS.len()) as u8;
+                if rng.gen::<f64>() < 0.3 {
+                    enc.cb = Some(token_bytes(rng));
+                }
             }
-            url
+            UrlStyle::ArgsAndKeywords => {
+                enc.path_idx = rng.gen_range(0..TRACKING_KEYWORDS.len()) as u8;
+                if rng.gen::<f64>() < 0.3 {
+                    enc.cb = Some(token_bytes(rng));
+                }
+            }
         }
+        enc
+    }
+
+    /// Appends the URL string for `host` to `buf` — byte-identical to
+    /// `self.to_url(host).to_string()` without any intermediate
+    /// allocation.
+    pub fn write_into(&self, host: &str, buf: &mut String) {
+        buf.push_str(self.scheme.as_str());
+        buf.push_str("://");
+        buf.push_str(host);
+        match self.style {
+            UrlStyle::Plain => {
+                buf.push_str(PLAIN_PATHS[self.path_idx as usize]);
+            }
+            UrlStyle::Args => {
+                buf.push_str(ARG_PATHS[self.path_idx as usize]);
+                buf.push_str("?uid=");
+                write_identity_token(self.identity, buf);
+                buf.push_str("&ev=");
+                buf.push_str(EVENTS[self.event_idx as usize]);
+            }
+            UrlStyle::ArgsAndKeywords => {
+                buf.push('/');
+                buf.push_str(TRACKING_KEYWORDS[self.path_idx as usize]);
+                buf.push_str("?partner=");
+                write_identity_token(self.identity.rotate_left(17), buf);
+                buf.push_str("&rtb_id=");
+                write_identity_token(self.identity, buf);
+            }
+        }
+        if let Some(cb) = self.cb {
+            buf.push_str("&cb=");
+            for b in cb {
+                buf.push(b as char);
+            }
+        }
+    }
+
+    /// Materializes the structured [`Url`] (the eager path).
+    pub fn to_url(&self, host: &Domain) -> Url {
+        let mut url = match self.style {
+            UrlStyle::Plain => {
+                Url::new(self.scheme, host.clone(), PLAIN_PATHS[self.path_idx as usize])
+            }
+            UrlStyle::Args => {
+                Url::new(self.scheme, host.clone(), ARG_PATHS[self.path_idx as usize])
+                    .with_arg("uid", identity_token(self.identity))
+                    .with_arg("ev", EVENTS[self.event_idx as usize])
+            }
+            UrlStyle::ArgsAndKeywords => {
+                let kw = TRACKING_KEYWORDS[self.path_idx as usize];
+                Url::new(self.scheme, host.clone(), format!("/{kw}"))
+                    .with_arg("partner", identity_token(self.identity.rotate_left(17)))
+                    .with_arg("rtb_id", identity_token(self.identity))
+            }
+        };
+        if let Some(cb) = self.cb {
+            let cb = std::str::from_utf8(&cb).expect("token bytes are ASCII").to_owned();
+            url = url.with_arg("cb", cb);
+        }
+        url
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::{rngs::StdRng, SeedableRng};
 
     #[test]
@@ -338,5 +465,100 @@ mod tests {
         let u = Url::parse("https://x.com/p?flag&k=v").unwrap();
         assert_eq!(u.query.len(), 2);
         assert_eq!(u.query[0], ("flag".to_owned(), String::new()));
+    }
+
+    #[test]
+    fn deferred_materialization_is_byte_identical_to_eager() {
+        // The study hot path renders EncodedUrl + write_into; the eager
+        // path materializes a Url and Displays it. Replay the same RNG
+        // stream through both and require byte equality plus identical RNG
+        // consumption.
+        let host = Domain::new("sync.gtrack.com");
+        let styles = [UrlStyle::Plain, UrlStyle::Args, UrlStyle::ArgsAndKeywords];
+        let mut buf = String::new();
+        for seed in 0..50u64 {
+            for style in styles {
+                for identity in [0u64, 42, u64::MAX, seed.wrapping_mul(0x9E3779B97F4A7C15)] {
+                    let mut eager_rng = StdRng::seed_from_u64(seed);
+                    let mut deferred_rng = eager_rng.clone();
+                    let eager = synth_url(&mut eager_rng, &host, style, 0.83, identity);
+                    let enc = EncodedUrl::synth(&mut deferred_rng, style, 0.83, identity);
+                    buf.clear();
+                    enc.write_into(host.as_str(), &mut buf);
+                    assert_eq!(buf, eager.to_string(), "seed {seed} style {style:?}");
+                    assert_eq!(enc.to_url(&host), eager);
+                    // Same number of draws: the next value must agree.
+                    assert_eq!(
+                        eager_rng.gen::<u64>(),
+                        deferred_rng.gen::<u64>(),
+                        "RNG consumption diverged at seed {seed} style {style:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        // Satellite: parse ∘ to_string is the identity on simulator-shaped
+        // URLs — multi-arg query ordering, empty values, and the empty
+        // path all survive the roundtrip.
+        #[test]
+        fn display_parse_roundtrip_holds(
+            https in any::<bool>(),
+            label in "[a-z][a-z0-9-]{0,12}",
+            tld in "[a-z]{2,6}",
+            path in "[a-z0-9._/-]{0,20}",
+            n_args in 0usize..5,
+            arg_seed in any::<u64>(),
+        ) {
+            let scheme = if https { Scheme::Https } else { Scheme::Http };
+            let mut u = Url::new(scheme, Domain::new(format!("{label}.{tld}")), path);
+            let mut arng = StdRng::seed_from_u64(arg_seed);
+            for i in 0..n_args {
+                let key = format!("k{i}{}", token(&mut arng, 3));
+                // Cover empty values and multi-char values alike.
+                let len = arng.gen_range(0..6);
+                u = u.with_arg(key, token(&mut arng, len));
+            }
+            let s = u.to_string();
+            let back = Url::parse(&s).expect("simulator URLs must parse");
+            prop_assert_eq!(&back, &u, "roundtrip of {}", s);
+            // And printing again is a fixed point.
+            prop_assert_eq!(back.to_string(), s);
+        }
+
+        // Satellite: the deferred writer agrees with the eager Display for
+        // every reachable EncodedUrl, not just RNG-synthesized ones.
+        #[test]
+        fn write_into_matches_display_for_all_encodings(
+            https in any::<bool>(),
+            style_idx in 0usize..3,
+            path_idx in 0u8..4,
+            event_idx in 0u8..5,
+            identity in any::<u64>(),
+            has_cb in any::<bool>(),
+            cb_seed in any::<u64>(),
+        ) {
+            let style = [UrlStyle::Plain, UrlStyle::Args, UrlStyle::ArgsAndKeywords][style_idx];
+            // Plain URLs never carry a cache buster.
+            let cb = if has_cb && style != UrlStyle::Plain {
+                let mut rng = StdRng::seed_from_u64(cb_seed);
+                Some(super::token_bytes(&mut rng))
+            } else {
+                None
+            };
+            let enc = EncodedUrl {
+                scheme: if https { Scheme::Https } else { Scheme::Http },
+                style,
+                path_idx,
+                event_idx,
+                identity,
+                cb,
+            };
+            let host = Domain::new("t.example.com");
+            let mut buf = String::new();
+            enc.write_into(host.as_str(), &mut buf);
+            prop_assert_eq!(buf, enc.to_url(&host).to_string());
+        }
     }
 }

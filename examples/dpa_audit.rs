@@ -55,7 +55,7 @@ fn main() {
         };
         let org_name = world
             .graph
-            .service_by_host(&r.host)
+            .service_by_host_id(r.host)
             .map(|sid| world.graph.org_of(sid).name.clone())
             .unwrap_or_else(|| "unknown".to_owned());
         let e = per_org.entry(org_name).or_insert(Exposure {

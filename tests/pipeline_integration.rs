@@ -42,10 +42,15 @@ fn every_tracking_request_resolves_to_known_infrastructure() {
         if server.role == xborder_netsim::ServerRole::AdExchange {
             continue;
         }
-        let svc = s.world.graph.service_by_host(&r.host).expect("known host");
+        let svc = s.world.graph.service_by_host_id(r.host).expect("known host");
         let graph_org = &s.world.graph.org_of(svc).name;
         let infra_org = &s.world.infra.org(server.org).unwrap().name;
-        assert_eq!(graph_org, infra_org, "host {} served by wrong org", r.host);
+        assert_eq!(
+            graph_org,
+            infra_org,
+            "host {} served by wrong org",
+            s.out.dataset.domains.domain(r.host)
+        );
     }
 }
 
