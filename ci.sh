@@ -24,25 +24,58 @@ if [ -f BENCH_pipeline.json ]; then
 fi
 ./target/release/bench_pipeline
 
+echo "== bench output sanity (BENCH_pipeline.json must exist and parse) =="
+python3 - BENCH_pipeline.json <<'EOF'
+import json, sys
+try:
+    doc = json.load(open(sys.argv[1]))
+except (OSError, ValueError) as e:
+    print(f"FATAL: BENCH_pipeline.json missing or unparseable: {e}")
+    sys.exit(1)
+if not any(r.get("threads") == 1 for r in doc.get("runs", [])):
+    print("FATAL: BENCH_pipeline.json has no threads=1 run")
+    sys.exit(1)
+if "streaming_ckpt_ms" not in doc.get("streaming", {}):
+    print("FATAL: BENCH_pipeline.json has no streaming-mode row")
+    sys.exit(1)
+print("bench output sanity: ok")
+EOF
+
 if [ -n "$baseline" ]; then
-    echo "== bench regression check (study/geolocate/total/allocs vs committed baseline) =="
-    python3 - "$baseline" BENCH_pipeline.json <<'EOF' || true
+    echo "== bench regression check (study/geolocate/total/allocs/streaming vs committed baseline) =="
+    # An unparseable baseline or fresh bench doc fails the gate; a >20%
+    # wall-clock regression warns (CI boxes are noisy), a >20% allocation
+    # jump is deterministic and still warns loudly for triage.
+    python3 - "$baseline" BENCH_pipeline.json <<'EOF'
 import json, sys
 
-def seq_run(path):
-    doc = json.load(open(path))
+def load(path):
+    try:
+        return json.load(open(path))
+    except (OSError, ValueError) as e:
+        print(f"FATAL: {path} missing or unparseable: {e}")
+        sys.exit(1)
+
+def seq_run(doc):
     for run in doc.get("runs", []):
         if run.get("threads") == 1:
             return run
     return {}
 
-old, new = seq_run(sys.argv[1]), seq_run(sys.argv[2])
+old_doc, new_doc = load(sys.argv[1]), load(sys.argv[2])
+old, new = seq_run(old_doc), seq_run(new_doc)
 # study_allocs is deterministic (counting allocator over a fixed workload),
 # so a >20% jump there means an allocation crept back into the hot path.
-for stage in ("study_ms", "geolocate_ms", "total_ms", "study_allocs"):
-    o, n = old.get(stage), new.get(stage)
+pairs = [(stage, old.get(stage), new.get(stage))
+         for stage in ("study_ms", "geolocate_ms", "total_ms", "study_allocs")]
+# The streaming row rides the same gate: both the chunked driver itself
+# and the checkpointed variant must stay within the budget.
+old_s, new_s = old_doc.get("streaming", {}), new_doc.get("streaming", {})
+pairs += [(f"streaming.{key}", old_s.get(key), new_s.get(key))
+          for key in ("streaming_ms", "streaming_ckpt_ms")]
+for stage, o, n in pairs:
     if o is None or n is None or o <= 0:
-        print(f"bench check: no comparable threads=1 {stage} in baseline; skipping")
+        print(f"bench check: no comparable {stage} in baseline; skipping")
     elif n > o * 1.20:
         print(f"WARNING: {stage} regressed >20%: {o:,.1f} -> {n:,.1f} "
               f"({n / o - 1:+.0%})")
@@ -52,5 +85,8 @@ for stage in ("study_ms", "geolocate_ms", "total_ms", "study_allocs"):
 EOF
     rm -f "$baseline"
 fi
+
+echo "== resume smoke (kill at chunk 2 mid-write, resume, fingerprint vs batch) =="
+./target/release/resume_smoke
 
 echo "ci.sh: all green"

@@ -13,9 +13,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
-use xborder::pipeline::run_extension_pipeline_degraded;
+use xborder::pipeline::{run_extension_pipeline_degraded, StudyOutputs};
+use xborder::stream::{run_extension_pipeline_streaming, StreamConfig};
 use xborder::{Parallelism, World, WorldConfig};
-use xborder_faults::FaultPlan;
+use xborder_faults::{FaultPlan, KillSwitch};
 
 /// Allocation calls and requested bytes since process start. The library
 /// crates are `forbid(unsafe_code)`, so the counting allocator lives here
@@ -102,6 +103,63 @@ fn main() {
 
     let seq = &measured[0];
     assert_eq!(seq.0, 1, "sweep starts at the sequential budget");
+
+    // --- Streaming mode: chunked ingestion at threads=1, with and without
+    // durable checkpoints, against the batch sequential baseline. The
+    // summary equality assert keeps the bench honest: a streaming path
+    // that drifted from batch would report a meaningless overhead number.
+    let summary = |out: &StudyOutputs| {
+        (
+            out.dataset.requests.len(),
+            out.dataset.visits.len(),
+            out.classification.abp.n_total_requests,
+            out.tracker_ips.len(),
+        )
+    };
+    let chunk_users = 5usize;
+    let mut world = World::build(WorldConfig::small(seed).with_threads(1));
+    let (batch_out, _) = run_extension_pipeline_degraded(&mut world, &FaultPlan::none());
+    let batch_summary = summary(&batch_out);
+    drop(batch_out);
+
+    let run_streaming = |stream_cfg: &StreamConfig| {
+        if let Some(dir) = &stream_cfg.checkpoint_dir {
+            // Every timed run starts cold: no chunks to replay.
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        let mut world = World::build(WorldConfig::small(seed).with_threads(1));
+        let t = Instant::now();
+        let (out, _report) =
+            run_extension_pipeline_streaming(&mut world, &FaultPlan::none(), stream_cfg, &KillSwitch::none())
+                .expect("un-killed streaming bench run succeeds");
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            summary(&out),
+            batch_summary,
+            "streaming bench output drifted from batch"
+        );
+        (wall_ms, out.dataset.visits.len())
+    };
+    let median_of_3 = |stream_cfg: &StreamConfig| {
+        let _warmup = run_streaming(stream_cfg);
+        let mut runs: Vec<(f64, usize)> = (0..3).map(|_| run_streaming(stream_cfg)).collect();
+        runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        runs[1]
+    };
+    let in_memory = StreamConfig::in_memory(chunk_users);
+    let (streaming_ms, n_visits) = median_of_3(&in_memory);
+    let ckpt_dir = std::env::temp_dir().join(format!("xborder-bench-ckpt-{}", std::process::id()));
+    let durable = StreamConfig::durable(chunk_users, &ckpt_dir);
+    let (streaming_ckpt_ms, _) = median_of_3(&durable);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let visits_per_sec = n_visits as f64 / (streaming_ckpt_ms / 1e3).max(f64::MIN_POSITIVE);
+    let checkpoint_overhead_pct = (streaming_ckpt_ms / streaming_ms.max(f64::MIN_POSITIVE) - 1.0) * 100.0;
+    let overhead_vs_batch_pct = (streaming_ms / seq.1.max(f64::MIN_POSITIVE) - 1.0) * 100.0;
+    println!(
+        "streaming (chunk {chunk_users} users, threads 1): {streaming_ms:.1} ms in-memory, \
+         {streaming_ckpt_ms:.1} ms checkpointed ({checkpoint_overhead_pct:+.1}% checkpoint cost, \
+         {overhead_vs_batch_pct:+.1}% vs batch, {visits_per_sec:.0} visits/s durable)"
+    );
     let runs: Vec<serde_json::Value> = measured
         .iter()
         .map(|(threads, wall_ms, t, n_visits)| {
@@ -125,15 +183,34 @@ fn main() {
         .iter()
         .map(|(_, wall_ms, _, _)| seq.1 / wall_ms.max(f64::MIN_POSITIVE))
         .fold(1.0f64, f64::max);
+    let streaming_doc = serde_json::json!({
+        "chunk_users": chunk_users,
+        "threads": 1,
+        "streaming_ms": streaming_ms,
+        "streaming_ckpt_ms": streaming_ckpt_ms,
+        "visits_per_sec": visits_per_sec,
+        "checkpoint_overhead_pct": checkpoint_overhead_pct,
+        "overhead_vs_batch_pct": overhead_vs_batch_pct,
+    });
     let doc = serde_json::json!({
         "bench": "pipeline",
         "config": format!("WorldConfig::small({seed})"),
         "threads_available": n_threads,
         "runs": runs,
         "e2e_speedup_vs_sequential": best_e2e,
+        "streaming": streaming_doc,
     });
     let out = "BENCH_pipeline.json";
-    std::fs::write(out, serde_json::to_string_pretty(&doc).expect("bench doc serializes"))
-        .expect("write BENCH_pipeline.json");
+    let doc = match serde_json::to_string_pretty(&doc) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("bench_pipeline: FAIL — bench doc does not serialize: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(out, doc) {
+        eprintln!("bench_pipeline: FAIL — cannot write {out}: {e}");
+        std::process::exit(1);
+    }
     println!("wrote {out} (best e2e speedup vs sequential: {best_e2e:.2}x; {n_threads} threads available)");
 }

@@ -1,0 +1,102 @@
+//! CI resume smoke (ci.sh): crash the streaming pipeline *mid-write* of
+//! chunk 2's blob — leaving a torn tmp file on disk — then resume on the
+//! same checkpoint directory and require bit-identical outputs against the
+//! uninterrupted batch pipeline. Exits nonzero on any drift, so a broken
+//! recovery path fails the gate rather than warning.
+
+use std::net::IpAddr;
+use std::process::ExitCode;
+use xborder::pipeline::{run_extension_pipeline_degraded, StudyOutputs};
+use xborder::stream::{run_extension_pipeline_streaming, StreamConfig, StreamError};
+use xborder::{World, WorldConfig};
+use xborder_faults::{FaultPlan, KillSwitch};
+
+/// Compact FNV fold over every output surface (mirrors the integration
+/// tests' fingerprint): request-log shape, Table-2 counts, the sorted
+/// tracker-IP set and all three provider estimate maps.
+fn fingerprint(out: &StudyOutputs) -> (usize, usize, u64, u64, usize, usize, u64) {
+    let fold = |h: u64, s: &str| {
+        s.bytes()
+            .fold(h, |h, b| h.wrapping_mul(1_099_511_628_211).wrapping_add(b as u64))
+    };
+    let mut ips: Vec<IpAddr> = out.tracker_ips.ips.keys().copied().collect();
+    ips.sort();
+    let mut h = 0u64;
+    for ip in &ips {
+        h = fold(h, &ip.to_string());
+        for map in [
+            &out.ipmap_estimates,
+            &out.maxmind_estimates,
+            &out.ipapi_estimates,
+        ] {
+            h = match map.get(ip) {
+                Some(e) => fold(h, e.country.as_str()),
+                None => fold(h, "-"),
+            };
+        }
+    }
+    (
+        out.dataset.requests.len(),
+        out.dataset.visits.len(),
+        out.classification.abp.n_total_requests as u64,
+        out.classification.semi.n_total_requests as u64,
+        out.tracker_ips.len(),
+        out.completion.n_added,
+        h,
+    )
+}
+
+fn main() -> ExitCode {
+    let seed = 11u64;
+    let plan = FaultPlan::aggressive(seed);
+    let cfg = || WorldConfig::small(seed).with_threads(2);
+    let dir = std::env::temp_dir().join(format!("xborder-resume-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let stream = StreamConfig::durable(5, &dir);
+
+    let mut world = World::build(cfg());
+    let (batch_out, _) = run_extension_pipeline_degraded(&mut world, &plan);
+    let want = fingerprint(&batch_out);
+
+    // Crash while chunk 2's blob is half-written: chunks 0 and 1 are
+    // durable, chunk 2 exists only as a torn tmp file.
+    let kill = KillSwitch::at_label("chunk-2:blob:mid");
+    let mut world = World::build(cfg());
+    match run_extension_pipeline_streaming(&mut world, &plan, &stream, &kill) {
+        Err(StreamError::Killed { site, label }) => {
+            println!("resume_smoke: killed at site {site} ({label})");
+        }
+        Err(e) => {
+            eprintln!("resume_smoke: FAIL — expected a kill at chunk-2:blob:mid, got error: {e}");
+            return ExitCode::FAILURE;
+        }
+        Ok(_) => {
+            eprintln!("resume_smoke: FAIL — run completed without firing the kill point");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut world = World::build(cfg());
+    let got = match run_extension_pipeline_streaming(&mut world, &plan, &stream, &KillSwitch::none())
+    {
+        Ok((out, _report)) => fingerprint(&out),
+        Err(e) => {
+            eprintln!("resume_smoke: FAIL — resume after kill failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if got != want {
+        eprintln!("resume_smoke: FAIL — resumed outputs drifted from batch:");
+        eprintln!("  batch:   {want:?}");
+        eprintln!("  resumed: {got:?}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "resume_smoke: OK — kill at chunk 2 + resume is bit-identical to batch \
+         ({} requests, {} trackers)",
+        want.0, want.4
+    );
+    ExitCode::SUCCESS
+}

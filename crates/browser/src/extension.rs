@@ -368,6 +368,180 @@ fn simulate_shard(
     out
 }
 
+/// What one append-only chunk of the study produces — the unit of work the
+/// streaming ingestion path checkpoints after.
+///
+/// Everything is local to the chunk: request indices (and cascade
+/// referrers into them) start at 0 and are already post-fault compacted,
+/// counters count only the chunk's own events, and pDNS observations are
+/// buffered for ordered replay at finalization. Appending chunks in user
+/// order — rebasing referrers by the running request count — reproduces
+/// the batch log byte for byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyChunk {
+    /// First-party page views, in generation (user-major) order.
+    pub visits: Vec<Visit>,
+    /// Logged requests, faults applied, referrers chunk-local.
+    pub requests: Vec<LoggedRequest>,
+    /// Buffered pDNS sensor observations, in user order.
+    pub observations: Vec<PdnsIdObservation>,
+    /// Counter deltas (including `requests_generated`/`_delivered`) for
+    /// exactly this chunk; absorb into the run's report.
+    pub report: DegradationReport,
+}
+
+/// The session-long state the per-chunk study simulation shares: the
+/// generated population, the drawn `study_seed`, the population-wide mean
+/// activity, and the read-only indexed DNS view.
+///
+/// Built once per run (batch or streaming); [`StudyStream::simulate_chunk`]
+/// then simulates any contiguous user range independently. Chunking is a
+/// pure availability knob for the same reason the thread budget is a pure
+/// performance knob (DESIGN.md §5d): each user draws from a private
+/// hash-derived RNG stream and resolves through a private cache, so a
+/// user's output never depends on which chunk — or how large a chunk —
+/// simulated them.
+pub struct StudyStream<'a> {
+    cfg: &'a StudyConfig,
+    graph: &'a WebGraph,
+    view: IndexedZoneView<'a>,
+    users: UserPopulation,
+    study_seed: u64,
+    mean_activity: f64,
+    window_len: u64,
+}
+
+impl<'a> StudyStream<'a> {
+    /// Prepares a chunked study over an already-generated population.
+    ///
+    /// `study_seed` must be the draw that followed population generation
+    /// on the caller's world RNG (see [`run_study_sharded`]); `dns` is
+    /// borrowed read-only for the stream's lifetime — observations are
+    /// buffered per chunk and absorbed by the caller afterwards.
+    pub fn new(
+        cfg: &'a StudyConfig,
+        graph: &'a WebGraph,
+        dns: &'a DnsSim,
+        users: UserPopulation,
+        study_seed: u64,
+    ) -> StudyStream<'a> {
+        // Mean activity normalizes per-user visit counts and is a
+        // population-wide statistic: it must be computed over *all* users,
+        // never per chunk, or chunking would change visit counts.
+        let mean_activity: f64 =
+            users.users.iter().map(|u| u.activity).sum::<f64>() / users.users.len().max(1) as f64;
+        let window_len = cfg.window.len_secs().max(1);
+        StudyStream {
+            cfg,
+            graph,
+            view: dns.indexed_view(graph.domains()),
+            users,
+            study_seed,
+            mean_activity,
+            window_len,
+        }
+    }
+
+    /// Number of users in the population (the stream's total extent).
+    pub fn n_users(&self) -> usize {
+        self.users.users.len()
+    }
+
+    /// The recruited population.
+    pub fn users(&self) -> &UserPopulation {
+        &self.users
+    }
+
+    /// Simulates users `user_range` as one append-only chunk.
+    ///
+    /// `pre_fault_offset` is the total number of requests *generated*
+    /// (pre-fault) by all earlier chunks: post-hoc log-loss coins key on
+    /// the global pre-fault request index, so the chunk must know where in
+    /// the global sequence its requests fall. Referrers in the returned
+    /// chunk are chunk-local (they never cross users, hence never chunks).
+    pub fn simulate_chunk(
+        &self,
+        user_range: std::ops::Range<usize>,
+        inj: &FaultInjector,
+        threads: usize,
+        pre_fault_offset: u64,
+    ) -> StudyChunk {
+        let chunk_users = &self.users.users[user_range];
+        let threads = threads.clamp(1, chunk_users.len().max(1));
+        let shards: Vec<ShardOutput> = if threads <= 1 {
+            vec![self.simulate(chunk_users, inj)]
+        } else {
+            let per = chunk_users.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = chunk_users
+                    .chunks(per)
+                    .map(|shard| s.spawn(move || self.simulate(shard, inj)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("study shard panicked"))
+                    .collect()
+            })
+        };
+
+        // Merge in user order: concatenation + referrer rebasing
+        // reproduces the single-shard vectors exactly.
+        let mut out = StudyChunk {
+            visits: Vec::with_capacity(shards.iter().map(|o| o.visits.len()).sum()),
+            requests: Vec::with_capacity(shards.iter().map(|o| o.requests.len()).sum()),
+            observations: Vec::new(),
+            report: DegradationReport::default(),
+        };
+        for shard in shards {
+            let offset = out.requests.len() as u32;
+            out.visits.extend(shard.visits);
+            out.requests.extend(shard.requests.into_iter().map(|mut r| {
+                if let Referrer::Request(RequestId(p)) = r.referrer {
+                    r.referrer = Referrer::Request(RequestId(p + offset));
+                }
+                r
+            }));
+            out.observations.extend(shard.observations);
+            out.report.absorb_counters(&shard.report);
+        }
+
+        out.report.requests_generated += out.requests.len() as u64;
+        if inj.is_active() {
+            let cutoff = truncation_cutoff(&self.cfg.window);
+            out.requests = apply_log_faults(
+                out.requests,
+                inj,
+                &mut out.report,
+                cutoff,
+                pre_fault_offset,
+            );
+            out.visits
+                .retain(|v| !(inj.log_truncated(v.user.0 as u64) && v.time.0 >= cutoff.0));
+        }
+        out.report.requests_delivered += out.requests.len() as u64;
+        out
+    }
+
+    fn simulate(&self, shard: &[User], inj: &FaultInjector) -> ShardOutput {
+        simulate_shard(
+            shard,
+            self.cfg,
+            self.graph,
+            &self.view,
+            inj,
+            self.study_seed,
+            self.mean_activity,
+            self.window_len,
+        )
+    }
+
+    /// Consumes the stream, releasing the DNS borrow and yielding the
+    /// population for the final dataset.
+    pub fn into_users(self) -> UserPopulation {
+        self.users
+    }
+}
+
 /// [`run_study_degraded`] with an explicit thread budget — the parallel
 /// study driver (DESIGN.md §5d).
 ///
@@ -391,7 +565,13 @@ fn simulate_shard(
 ///    cross users, so rebasing is a pure shift). Report counters are
 ///    commutative sums. Post-hoc log faults key on global request index
 ///    and run after the merge, so they see identical state at any budget.
-#[allow(clippy::too_many_arguments)]
+///
+/// Structurally this is the streaming ingestion path run as one
+/// whole-population chunk: [`StudyStream::simulate_chunk`] over
+/// `0..n_users` at offset 0, followed by the same finalization
+/// (observation replay, counter absorption, timestamp sort). The
+/// checkpointed path in `xborder`'s `stream` module cuts the same
+/// machinery into many chunks; both produce bit-identical datasets.
 pub fn run_study_sharded<R: Rng>(
     cfg: &StudyConfig,
     graph: &WebGraph,
@@ -404,92 +584,29 @@ pub fn run_study_sharded<R: Rng>(
     let users = UserPopulation::generate(&cfg.population, rng);
     let study_seed: u64 = rng.gen();
 
-    let mean_activity: f64 =
-        users.users.iter().map(|u| u.activity).sum::<f64>() / users.users.len().max(1) as f64;
-    let window_len = cfg.window.len_secs().max(1);
-
-    let threads = threads.clamp(1, users.users.len().max(1));
-    // The indexed view borrows `dns` and the graph's interner; it lives in
-    // this block so the borrow ends before observations are absorbed back.
-    let shards: Vec<ShardOutput> = {
-        let view = dns.indexed_view(graph.domains());
-        if threads <= 1 {
-            vec![simulate_shard(
-                &users.users,
-                cfg,
-                graph,
-                &view,
-                inj,
-                study_seed,
-                mean_activity,
-                window_len,
-            )]
-        } else {
-            let chunk = users.users.len().div_ceil(threads);
-            let view = &view;
-            std::thread::scope(|s| {
-                let handles: Vec<_> = users
-                    .users
-                    .chunks(chunk)
-                    .map(|shard| {
-                        s.spawn(move || {
-                            simulate_shard(
-                                shard,
-                                cfg,
-                                graph,
-                                view,
-                                inj,
-                                study_seed,
-                                mean_activity,
-                                window_len,
-                            )
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("study shard panicked"))
-                    .collect()
-            })
-        }
+    // The stream's indexed view borrows `dns` and the graph's interner; it
+    // lives in this block so the borrow ends before observations are
+    // absorbed back.
+    let (chunk, users) = {
+        let stream = StudyStream::new(cfg, graph, dns, users, study_seed);
+        let chunk = stream.simulate_chunk(0..stream.n_users(), inj, threads, 0);
+        (chunk, stream.into_users())
     };
-
-    // Merge in user order: concatenation + referrer rebasing reproduces
-    // the single-shard vectors exactly.
-    let mut visits = Vec::with_capacity(shards.iter().map(|o| o.visits.len()).sum());
-    let mut requests = Vec::with_capacity(shards.iter().map(|o| o.requests.len()).sum());
-    for shard in shards {
-        let offset = requests.len() as u32;
-        visits.extend(shard.visits);
-        requests.extend(shard.requests.into_iter().map(|mut r| {
-            if let Referrer::Request(RequestId(p)) = r.referrer {
-                r.referrer = Referrer::Request(RequestId(p + offset));
-            }
-            r
-        }));
-        dns.absorb_id_observations(&shard.observations, graph.domains());
-        report.absorb_counters(&shard.report);
-    }
-
-    report.requests_generated += requests.len() as u64;
-    if inj.is_active() {
-        let cutoff = truncation_cutoff(&cfg.window);
-        requests = apply_log_faults(requests, inj, report, cutoff);
-        visits.retain(|v| !(inj.log_truncated(v.user.0 as u64) && v.time.0 >= cutoff.0));
-    }
-    report.requests_delivered += requests.len() as u64;
+    dns.absorb_id_observations(&chunk.observations, graph.domains());
+    report.absorb_counters(&chunk.report);
 
     // Logs arrive at the collection server in timestamp order. The
     // pre-sort order (user-major, generation order within a user) is the
     // same at every thread budget, so this stable sort is too.
     // (Requests keep generation order because cascade referrers are
     // positional; visits can be sorted freely.)
+    let mut visits = chunk.visits;
     visits.sort_by_key(|v| v.time);
 
     ExtensionDataset {
         users,
         visits,
-        requests,
+        requests: chunk.requests,
         domains: graph.domains().clone(),
     }
 }
@@ -505,18 +622,24 @@ fn truncation_cutoff(window: &TimeWindow) -> SimTime {
 /// a child whose parent entry was dropped refers to the first party, and
 /// surviving `Referrer::Request` indices are rewritten to the compacted
 /// positions.
+///
+/// `offset` is the chunk's position in the global pre-fault request
+/// sequence: loss coins key on `offset + local index`, so chunk-local
+/// application is exact — the same requests drop whether faults run once
+/// over the whole log (batch, offset 0) or chunk by chunk (streaming).
 fn apply_log_faults(
     requests: Vec<LoggedRequest>,
     inj: &FaultInjector,
     report: &mut DegradationReport,
     cutoff: SimTime,
+    offset: u64,
 ) -> Vec<LoggedRequest> {
     let mut keep = vec![true; requests.len()];
     for (i, r) in requests.iter().enumerate() {
         if inj.log_truncated(r.user.0 as u64) && r.time.0 >= cutoff.0 {
             keep[i] = false;
             report.requests_dropped_truncation += 1;
-        } else if inj.log_lost(i as u64) {
+        } else if inj.log_lost(offset + i as u64) {
             keep[i] = false;
             report.requests_dropped_loss += 1;
         }

@@ -25,8 +25,8 @@ pub mod request;
 pub mod user;
 
 pub use extension::{
-    run_study, run_study_degraded, run_study_sharded, DatasetStats, ExtensionDataset, StudyConfig,
-    Visit, VisitSampler,
+    run_study, run_study_degraded, run_study_sharded, DatasetStats, ExtensionDataset, StudyChunk,
+    StudyConfig, StudyStream, Visit, VisitSampler,
 };
 pub use render::{RenderConfig, RenderEngine};
 pub use request::{LoggedRequest, Referrer, RequestId};

@@ -311,6 +311,33 @@ pub fn classify_with_stages_threads(
     }
 }
 
+/// Recomputes both Table-2 [`MethodCounts`] rows from a request log and its
+/// per-request labels.
+///
+/// This is the streaming pipeline's finalizer: per-chunk classification
+/// yields exact labels (referrer chains never cross chunk boundaries, and
+/// every other verdict is per-request), but the *distinct* FQDN / TLD /
+/// URL counts are not additive across chunks — a host first seen in chunk
+/// 0 must not count again in chunk 3. So the stream concatenates labels
+/// and calls this once over the full log, which is exactly the
+/// `method_counts_both` pass the batch classifier ends with.
+///
+/// `labels` must be parallel to `requests` (see the index invariant on
+/// [`ClassificationResult`]).
+pub fn method_counts(
+    requests: &[LoggedRequest],
+    domains: &DomainTable,
+    labels: &[Classification],
+) -> (MethodCounts, MethodCounts) {
+    assert_eq!(
+        requests.len(),
+        labels.len(),
+        "labels must be parallel to the request slice"
+    );
+    let interned = Interned::build(requests, domains);
+    method_counts_both(&interned, labels)
+}
+
 /// Open-addressing URL interner specialized for one pass over a request log.
 ///
 /// Two things make it faster than a general-purpose map here:

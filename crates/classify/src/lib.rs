@@ -28,8 +28,8 @@ pub mod listgen;
 pub mod rules;
 
 pub use classifier::{
-    classify, classify_with_stages, classify_with_stages_threads, Classification,
-    ClassificationResult, ClassifierStages, MethodCounts,
+    classify, classify_with_stages, classify_with_stages_threads, method_counts,
+    Classification, ClassificationResult, ClassifierStages, MethodCounts,
 };
 pub use eval::{evaluate, Evaluation};
 pub use listgen::generate_lists;

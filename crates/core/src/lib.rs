@@ -27,6 +27,8 @@
 //!   DNS zones) from a [`WorldConfig`].
 //! * [`pipeline`] — runs the extension study, classification, IP-set
 //!   completion and geolocation, producing a [`pipeline::StudyOutputs`].
+//! * [`stream`] — the checkpointed streaming twin of the pipeline:
+//!   chunked ingestion, crash-safe resume (DESIGN.md §5g).
 //! * [`ips`] — tracker IP set construction + passive-DNS completion
 //!   (Sect. 3.3).
 //! * [`dedicated`] — dedicated-IP analysis (Figs. 4–5).
@@ -56,6 +58,7 @@ pub mod regulations;
 pub mod related;
 pub mod report;
 pub mod sensitive;
+pub mod stream;
 pub mod whatif;
 pub mod worldgen;
 

@@ -124,6 +124,85 @@ pub fn freeze_estimates_degraded_sharded<G: Geolocator + Sync + ?Sized>(
     (map, merged)
 }
 
+/// The geolocation stage, shared verbatim by the batch and streaming
+/// drivers: freezes all three providers over the sorted tracker IP list.
+///
+/// All world-RNG draws stay on the calling thread, in the legacy order:
+/// the IPmap build consumes `rng`, then the registry seeds are drawn. The
+/// freezes never touch `rng` (per-IP measurement RNG is seeded from the
+/// address), which is what frees them to run concurrently.
+pub(crate) fn geolocate_providers(
+    world: &World,
+    rng: &mut StdRng,
+    tracker_ips: &TrackerIpSet,
+    inj: &FaultInjector,
+    report: &mut DegradationReport,
+    threads: usize,
+) -> (EstimateMap, EstimateMap, EstimateMap) {
+    let ip_list: Vec<IpAddr> = {
+        let mut v: Vec<IpAddr> = tracker_ips.ips.keys().copied().collect();
+        v.sort();
+        v
+    };
+    let ipmap = IpMap::new(world.config.ipmap, &world.infra, rng);
+    // MaxMind and ip-api share their seat-vs-truth coin (correlated errors,
+    // Table 3) but perturb independently.
+    let seat_seed: u64 = rng.gen();
+    let mm_noise_seed: u64 = rng.gen();
+    let ia_noise_seed: u64 = rng.gen();
+    let build_mm = || {
+        let mut seat = StdRng::seed_from_u64(seat_seed);
+        let mut noise = StdRng::seed_from_u64(mm_noise_seed);
+        RegistryDb::build(RegistryStyle::MaxMindLike, &world.infra, &mut seat, &mut noise)
+    };
+    let build_ia = || {
+        let mut seat = StdRng::seed_from_u64(seat_seed);
+        let mut noise = StdRng::seed_from_u64(ia_noise_seed);
+        RegistryDb::build(RegistryStyle::IpApiLike, &world.infra, &mut seat, &mut noise)
+    };
+    let (ipmap_estimates, maxmind_estimates, ipapi_estimates) = if threads <= 1 {
+        // Exact legacy sequential path.
+        let a = freeze_estimates_degraded(&ipmap, &ip_list, inj, report);
+        let b = freeze_estimates_degraded(&build_mm(), &ip_list, inj, report);
+        let c = freeze_estimates_degraded(&build_ia(), &ip_list, inj, report);
+        (a, b, c)
+    } else {
+        // The three provider freezes run concurrently, each sharded over
+        // the IP list; per-provider reports merge in the fixed sequential
+        // order (ipmap → mm → ia), which equals the legacy totals because
+        // counter addition commutes.
+        let per_provider = threads.div_ceil(3).max(1);
+        let ((a, ra), (b, rb), (c, rc)) = std::thread::scope(|scope| {
+            let ha = scope.spawn(|| {
+                freeze_estimates_degraded_sharded(&ipmap, &ip_list, inj, per_provider)
+            });
+            let hb = scope.spawn(|| {
+                freeze_estimates_degraded_sharded(&build_mm(), &ip_list, inj, per_provider)
+            });
+            let hc = scope.spawn(|| {
+                freeze_estimates_degraded_sharded(&build_ia(), &ip_list, inj, per_provider)
+            });
+            (
+                ha.join().expect("ipmap freeze panicked"),
+                hb.join().expect("maxmind freeze panicked"),
+                hc.join().expect("ipapi freeze panicked"),
+            )
+        });
+        report.absorb_counters(&ra);
+        report.absorb_counters(&rb);
+        report.absorb_counters(&rc);
+        (a, b, c)
+    };
+    // Assignment-cache counters accumulate inside the IpMap (shared
+    // read-only across the shard threads); snapshot them into the report
+    // after the freeze. Budget-invariant by construction (DESIGN.md §5e).
+    let cache_stats = ipmap.assign_cache_stats();
+    report.geoloc_assign_cache_hits = cache_stats.hits;
+    report.geoloc_assign_cache_misses = cache_stats.misses;
+    report.geoloc_index_probe_visits = cache_stats.index_probe_visits;
+    (ipmap_estimates, maxmind_estimates, ipapi_estimates)
+}
+
 /// Runs the full extension pipeline against a built world.
 ///
 /// Consumes the world's dedicated study RNG stream, so repeated calls on
@@ -198,71 +277,8 @@ pub fn run_extension_pipeline_degraded(
 
     // 4. Geolocation with all three providers (Sect. 3.4).
     let t_stage = Instant::now();
-    let ip_list: Vec<IpAddr> = {
-        let mut v: Vec<IpAddr> = tracker_ips.ips.keys().copied().collect();
-        v.sort();
-        v
-    };
-    // All world-RNG draws stay on this thread, in the legacy order: the
-    // IPmap build consumes `rng`, then the registry seeds are drawn. The
-    // freezes below never touch `rng` (per-IP measurement RNG is seeded
-    // from the address), which is what frees them to run concurrently.
-    let ipmap = IpMap::new(world.config.ipmap, &world.infra, &mut rng);
-    // MaxMind and ip-api share their seat-vs-truth coin (correlated errors,
-    // Table 3) but perturb independently.
-    let seat_seed: u64 = rng.gen();
-    let mm_noise_seed: u64 = rng.gen();
-    let ia_noise_seed: u64 = rng.gen();
-    let build_mm = || {
-        let mut seat = StdRng::seed_from_u64(seat_seed);
-        let mut noise = StdRng::seed_from_u64(mm_noise_seed);
-        RegistryDb::build(RegistryStyle::MaxMindLike, &world.infra, &mut seat, &mut noise)
-    };
-    let build_ia = || {
-        let mut seat = StdRng::seed_from_u64(seat_seed);
-        let mut noise = StdRng::seed_from_u64(ia_noise_seed);
-        RegistryDb::build(RegistryStyle::IpApiLike, &world.infra, &mut seat, &mut noise)
-    };
-    let (ipmap_estimates, maxmind_estimates, ipapi_estimates) = if threads <= 1 {
-        // Exact legacy sequential path.
-        let a = freeze_estimates_degraded(&ipmap, &ip_list, &inj, &mut report);
-        let b = freeze_estimates_degraded(&build_mm(), &ip_list, &inj, &mut report);
-        let c = freeze_estimates_degraded(&build_ia(), &ip_list, &inj, &mut report);
-        (a, b, c)
-    } else {
-        // The three provider freezes run concurrently, each sharded over
-        // the IP list; per-provider reports merge in the fixed sequential
-        // order (ipmap → mm → ia), which equals the legacy totals because
-        // counter addition commutes.
-        let per_provider = threads.div_ceil(3).max(1);
-        let ((a, ra), (b, rb), (c, rc)) = std::thread::scope(|scope| {
-            let ha = scope.spawn(|| {
-                freeze_estimates_degraded_sharded(&ipmap, &ip_list, &inj, per_provider)
-            });
-            let hb = scope.spawn(|| {
-                freeze_estimates_degraded_sharded(&build_mm(), &ip_list, &inj, per_provider)
-            });
-            let hc = scope.spawn(|| {
-                freeze_estimates_degraded_sharded(&build_ia(), &ip_list, &inj, per_provider)
-            });
-            (
-                ha.join().expect("ipmap freeze panicked"),
-                hb.join().expect("maxmind freeze panicked"),
-                hc.join().expect("ipapi freeze panicked"),
-            )
-        });
-        report.absorb_counters(&ra);
-        report.absorb_counters(&rb);
-        report.absorb_counters(&rc);
-        (a, b, c)
-    };
-    // Assignment-cache counters accumulate inside the IpMap (shared
-    // read-only across the shard threads); snapshot them into the report
-    // after the freeze. Budget-invariant by construction (DESIGN.md §5e).
-    let cache_stats = ipmap.assign_cache_stats();
-    report.geoloc_assign_cache_hits = cache_stats.hits;
-    report.geoloc_assign_cache_misses = cache_stats.misses;
-    report.geoloc_index_probe_visits = cache_stats.index_probe_visits;
+    let (ipmap_estimates, maxmind_estimates, ipapi_estimates) =
+        geolocate_providers(world, &mut rng, &tracker_ips, &inj, &mut report, threads);
     report.timings.geolocate_ms = t_stage.elapsed().as_secs_f64() * 1e3;
 
     let out = StudyOutputs {

@@ -28,8 +28,12 @@ fn pct(x: f64) -> String {
 }
 
 /// Serializes any report struct to pretty JSON.
-pub fn to_json<T: Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).expect("report structs serialize")
+///
+/// Fallible by design (IO/serde boundaries in this workspace never panic —
+/// DESIGN.md §5g): a report struct that cannot serialize is surfaced as a
+/// typed error for the caller to report, not a crash inside rendering.
+pub fn to_json<T: Serialize>(value: &T) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(value)
 }
 
 // ---------------------------------------------------------------------------
@@ -593,9 +597,9 @@ mod tests {
         let mut world = World::build(WorldConfig::small(43));
         let out = run_extension_pipeline(&mut world);
         let fig2 = Fig2Data::compute(&out);
-        let json = to_json(&fig2);
+        let json = to_json(&fig2).expect("fig2 serializes");
         assert!(json.starts_with('{'));
-        let json = to_json(&out.dataset.stats());
+        let json = to_json(&out.dataset.stats()).expect("stats serialize");
         assert!(json.contains("n_users"));
     }
 }

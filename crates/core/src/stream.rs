@@ -1,0 +1,875 @@
+//! Crash-safe streaming ingestion: the checkpointed incremental twin of
+//! [`crate::pipeline::run_extension_pipeline_degraded`] (DESIGN.md §5g).
+//!
+//! The paper's study ran for 4.5 months; operated as a standing service
+//! (the WhoTracks.Me model), ingestion must survive kills, torn writes and
+//! restarts. This module cuts the extension study into append-only chunks
+//! of users, classifies each chunk as it lands, and — when a checkpoint
+//! directory is configured — makes every chunk durable through
+//! `xborder-checkpoint` before moving on. A killed run re-opened on the
+//! same directory replays the durable chunks from disk and continues from
+//! the first missing one.
+//!
+//! ## The determinism contract, extended
+//!
+//! Chunk size, kill schedule and thread budget are all pure
+//! performance/availability knobs: any chunking × any crash schedule ×
+//! any budget produces the dataset, classification, tracker IP set,
+//! estimates and degradation counters of the uninterrupted batch run, bit
+//! for bit (`tests/streaming_resume.rs` pins this against the batch
+//! fingerprint). The mechanisms:
+//!
+//! * **Per-user everything.** A user's simulation depends only on
+//!   `(study_seed, user_id)` (DESIGN.md §5d), so any contiguous grouping
+//!   of users reproduces the batch log after concatenation; cascade
+//!   referrers never cross users, hence never chunks.
+//! * **Offset-keyed log faults.** Post-hoc loss coins key on the *global
+//!   pre-fault request index*; each chunk carries its offset into that
+//!   sequence, so chunk-local fault application drops exactly the batch
+//!   entries.
+//! * **Chunk-local classification is exact.** Stage-1 verdicts are
+//!   per-request; stage-2/3 propagation walks referrer chains, which are
+//!   chunk-confined. Only the *distinct* FQDN/TLD/URL counts are not
+//!   additive, so the Table-2 counts are recomputed once over the full
+//!   log at finalization ([`xborder_classify::method_counts`]) — the same
+//!   pass the batch classifier ends with. Propagation-round telemetry
+//!   reassembles as the max across chunks (disjoint BFS components).
+//! * **Deferred, ordered side effects.** pDNS observations are buffered
+//!   per chunk (and checkpointed with it), then replayed into the world's
+//!   sensor in chunk order at finalization — the batch replay order.
+//! * **Resume replays, never re-randomizes.** A resuming run rebuilds the
+//!   world, regenerates the population and re-draws `study_seed` from the
+//!   same world RNG stream — leaving the RNG exactly where geolocation
+//!   expects it — then loads chunk outputs from disk instead of
+//!   simulating them.
+//!
+//! With no checkpoint directory the chunk loop runs the same arithmetic
+//! minus the IO; with `chunk_users >= n_users` it is structurally the
+//! batch pipeline.
+
+use crate::ips::{CompletionStats, IpInfo, TrackerIpSet};
+use crate::pipeline::{geolocate_providers, StudyOutputs};
+use crate::worldgen::{World, WorldConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::net::IpAddr;
+use std::path::PathBuf;
+use std::time::Instant;
+use xborder_browser::{
+    ExtensionDataset, LoggedRequest, Referrer, RequestId, StudyChunk, StudyStream, UserId,
+    UserPopulation, Visit,
+};
+use xborder_checkpoint::{
+    ByteReader, ByteWriter, CheckpointError, CheckpointStore, DecodeError,
+};
+use xborder_classify::{
+    classify_with_stages_threads, generate_lists, method_counts, Classification,
+    ClassificationResult, ClassifierStages,
+};
+use xborder_dns::PdnsIdObservation;
+use xborder_faults::{
+    stable_hash, DegradationReport, FaultInjector, FaultPlan, KillSwitch,
+};
+use xborder_geo::Region;
+use xborder_netsim::time::{SimTime, TimeWindow};
+use xborder_webgraph::{Domain, DomainId, PublisherId};
+
+/// How the streaming driver chunks and checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Users per append-only chunk (clamped to ≥ 1). A pure availability
+    /// knob: every value yields bit-identical outputs.
+    pub chunk_users: usize,
+    /// Where to write checkpoints; `None` disables durability (the chunk
+    /// loop still runs, with zero IO).
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl StreamConfig {
+    /// In-memory streaming: chunked execution, no checkpoints.
+    pub fn in_memory(chunk_users: usize) -> StreamConfig {
+        StreamConfig { chunk_users, checkpoint_dir: None }
+    }
+
+    /// Durable streaming: checkpoint every chunk and stage into `dir`.
+    pub fn durable(chunk_users: usize, dir: impl Into<PathBuf>) -> StreamConfig {
+        StreamConfig { chunk_users, checkpoint_dir: Some(dir.into()) }
+    }
+}
+
+/// Why a streaming run stopped without producing outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// A seeded kill point fired — the simulated crash. Resume by calling
+    /// the driver again on the same checkpoint directory.
+    Killed {
+        /// Kill-site counter value at which the switch fired.
+        site: u64,
+        /// Label of the site that fired.
+        label: String,
+    },
+    /// The checkpoint layer refused or failed (corrupt blob, version or
+    /// seed mismatch, IO error).
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Killed { site, label } => {
+                write!(f, "streaming run killed at site {site} ({label})")
+            }
+            StreamError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<CheckpointError> for StreamError {
+    fn from(e: CheckpointError) -> StreamError {
+        match e {
+            CheckpointError::Killed { site, label } => StreamError::Killed { site, label },
+            other => StreamError::Checkpoint(other),
+        }
+    }
+}
+
+/// Fires a driver-level kill site, turning a hit into the typed error.
+fn killable(kill: &KillSwitch, label: &str) -> Result<(), StreamError> {
+    if kill.fire(label) {
+        let site = kill.fired().map(|(s, _)| s).unwrap_or_default();
+        return Err(StreamError::Killed { site, label: label.to_string() });
+    }
+    Ok(())
+}
+
+/// The configuration fingerprint stored in the manifest: a stable hash of
+/// the world config and fault plan with the performance/availability knobs
+/// canonicalised away (the thread budget never changes outputs, so a
+/// checkpoint written at 8 threads legitimately resumes at 1 — while any
+/// seed, scale or plan change is refused as [`CheckpointError::SeedMismatch`]).
+///
+/// Chunking is likewise excluded: it lives in [`StreamConfig`], not the
+/// world config, so resuming with a different chunk size is legal too.
+pub fn config_fingerprint(config: &WorldConfig, plan: &FaultPlan) -> Result<u64, StreamError> {
+    let mut canonical = config.clone();
+    canonical.parallelism = crate::par::Parallelism::sequential();
+    let cfg_json = serde_json::to_string(&canonical).map_err(|e| {
+        StreamError::Checkpoint(CheckpointError::ManifestInvalid {
+            detail: format!("world config does not serialize: {e}"),
+        })
+    })?;
+    let plan_json = serde_json::to_string(plan).map_err(|e| {
+        StreamError::Checkpoint(CheckpointError::ManifestInvalid {
+            detail: format!("fault plan does not serialize: {e}"),
+        })
+    })?;
+    let mut h = stable_hash(cfg_json.as_bytes());
+    h ^= stable_hash(plan_json.as_bytes()).rotate_left(17);
+    Ok(h)
+}
+
+/// Everything one durable chunk carries: the study output plus its
+/// chunk-local classification (labels and propagation-round telemetry).
+#[derive(Debug)]
+struct ChunkState {
+    chunk: StudyChunk,
+    labels: Vec<Classification>,
+    stage2_rounds: usize,
+    stage3_rounds: usize,
+}
+
+/// Runs the extension pipeline as checkpointed streaming ingestion.
+///
+/// Identical outputs to [`crate::pipeline::run_extension_pipeline_degraded`]
+/// for every `(stream, kill schedule)` — see the module docs. On
+/// [`StreamError::Killed`] the process is assumed dead; call again with
+/// the same world seed and checkpoint directory to resume from the last
+/// durable chunk. `kill` is the fault harness's crash trigger; pass
+/// [`KillSwitch::none`] in production.
+pub fn run_extension_pipeline_streaming(
+    world: &mut World,
+    plan: &FaultPlan,
+    stream_cfg: &StreamConfig,
+    kill: &KillSwitch,
+) -> Result<(StudyOutputs, DegradationReport), StreamError> {
+    let inj = FaultInjector::new(plan.clone());
+    let mut report = DegradationReport::default();
+    let threads = world.config.parallelism.threads.max(1);
+    let t_total = Instant::now();
+
+    // Open (and validate) the checkpoint directory before burning any
+    // simulation time: a seed/version mismatch must refuse up front.
+    let fingerprint = config_fingerprint(&world.config, plan)?;
+    let mut store = match &stream_cfg.checkpoint_dir {
+        Some(dir) => Some(CheckpointStore::open(dir, fingerprint)?),
+        None => None,
+    };
+
+    // World-RNG draws mirror the batch pipeline exactly: one study-stream
+    // draw, then population generation, then the study seed. Resume runs
+    // repeat these draws (they are cheap and deterministic), which leaves
+    // `rng` positioned where the geolocation stage expects it.
+    let mut rng = StdRng::seed_from_u64(world.study_rng.gen());
+    let population = UserPopulation::generate(&world.config.study.population, &mut rng);
+    let study_seed: u64 = rng.gen();
+    let n_users = population.users.len();
+    let chunk_users = stream_cfg.chunk_users.max(1);
+
+    // Filter lists are a pure function of the web graph (no RNG); build
+    // them once for the per-chunk classification.
+    let (easylist, easyprivacy) = generate_lists(&world.graph);
+
+    let mut states: Vec<ChunkState> = Vec::new();
+    let mut pre_fault_offset: u64 = 0;
+    let mut next_user = 0usize;
+
+    // Replay: every chunk the manifest says is durable is loaded and
+    // validated instead of simulated. The loader never writes — a corrupt
+    // chunk surfaces as a typed error with the directory untouched.
+    if let Some(store) = &store {
+        for entry in store.chunks().to_vec() {
+            if entry.user_start != next_user as u64
+                || entry.user_end < entry.user_start
+                || entry.user_end > n_users as u64
+            {
+                return Err(CheckpointError::ManifestInvalid {
+                    detail: format!(
+                        "chunk {} covers users {}..{} but {} of {} users are accounted for",
+                        entry.index, entry.user_start, entry.user_end, next_user, n_users
+                    ),
+                }
+                .into());
+            }
+            let payload = store.load_chunk(&entry)?;
+            let state = decode_chunk_state(&entry.file, &payload)?;
+            pre_fault_offset += state.chunk.report.requests_generated;
+            next_user = entry.user_end as usize;
+            states.push(state);
+        }
+    }
+
+    // Ingest the remaining users chunk by chunk. The stream borrows the
+    // world's DNS read-only; buffered observations replay after the loop.
+    let t_ingest = Instant::now();
+    let mut classify_ms = 0.0f64;
+    let users = {
+        let stream = StudyStream::new(
+            &world.config.study,
+            &world.graph,
+            &world.dns,
+            population,
+            study_seed,
+        );
+        let mut index = states.len() as u64;
+        while next_user < n_users {
+            let end = (next_user + chunk_users).min(n_users);
+            killable(kill, &format!("chunk-{index}:begin"))?;
+            let chunk = stream.simulate_chunk(next_user..end, &inj, threads, pre_fault_offset);
+            let t_cls = Instant::now();
+            let cls = classify_with_stages_threads(
+                &chunk.requests,
+                world.graph.domains(),
+                &easylist,
+                &easyprivacy,
+                ClassifierStages::default(),
+                threads,
+            );
+            classify_ms += t_cls.elapsed().as_secs_f64() * 1e3;
+            let state = ChunkState {
+                chunk,
+                labels: cls.labels,
+                stage2_rounds: cls.stage2_rounds,
+                stage3_rounds: cls.stage3_rounds,
+            };
+            if let Some(store) = &mut store {
+                let payload = encode_chunk_state(&state);
+                store.append_chunk(index, next_user as u64, end as u64, &payload, kill)?;
+            }
+            killable(kill, &format!("chunk-{index}:committed"))?;
+            pre_fault_offset += state.chunk.report.requests_generated;
+            states.push(state);
+            next_user = end;
+            index += 1;
+        }
+        stream.into_users()
+    };
+    killable(kill, "stage:study:done")?;
+
+    // Finalize the study: replay side effects and reassemble the global
+    // log in chunk (= user) order, exactly the batch merge.
+    let mut visits: Vec<Visit> = Vec::new();
+    let mut requests: Vec<LoggedRequest> = Vec::new();
+    let mut labels: Vec<Classification> = Vec::new();
+    let mut stage2_depth = 0usize;
+    let mut stage3_rounds = 0usize;
+    for state in states {
+        world
+            .dns
+            .absorb_id_observations(&state.chunk.observations, world.graph.domains());
+        report.absorb_counters(&state.chunk.report);
+        let offset = requests.len() as u32;
+        visits.extend(state.chunk.visits);
+        requests.extend(state.chunk.requests.into_iter().map(|mut r| {
+            if let Referrer::Request(RequestId(p)) = r.referrer {
+                r.referrer = Referrer::Request(RequestId(p + offset));
+            }
+            r
+        }));
+        labels.extend(state.labels);
+        // Chunk propagation rounds are BFS depths over chunk-disjoint
+        // component sets, so the batch depth is the max across chunks.
+        stage2_depth = stage2_depth.max(state.stage2_rounds.saturating_sub(1));
+        stage3_rounds = stage3_rounds.max(state.stage3_rounds);
+    }
+    // Same stable timestamp sort as the batch driver (the pre-sort order —
+    // user-major, generation order within a user — is identical).
+    visits.sort_by_key(|v| v.time);
+    let dataset = ExtensionDataset {
+        users,
+        visits,
+        requests,
+        domains: world.graph.domains().clone(),
+    };
+    report.timings.study_ms = t_ingest.elapsed().as_secs_f64() * 1e3 - classify_ms;
+
+    // Table-2 distinct counts are not additive across chunks; recompute
+    // them over the full log — the batch classifier's own final pass.
+    let t_stage = Instant::now();
+    let (abp, semi) = method_counts(&dataset.requests, &dataset.domains, &labels);
+    let stage2_rounds = 1 + stage2_depth;
+    let classification = ClassificationResult {
+        labels,
+        abp,
+        semi,
+        propagation_rounds: stage2_rounds + stage3_rounds,
+        stage2_rounds,
+        stage3_rounds,
+    };
+    report.timings.classify_ms = classify_ms + t_stage.elapsed().as_secs_f64() * 1e3;
+    killable(kill, "stage:classify:done")?;
+
+    // Tracker IP set + pDNS completion — the stage-boundary checkpoint. A
+    // resume that already has the completion blob loads it (with its
+    // counter delta) instead of recomputing; both paths are bit-identical
+    // because completion is a deterministic function of (labels, pDNS).
+    let t_stage = Instant::now();
+    let durable_completion = match &store {
+        Some(s) => s.load_stage("completion")?,
+        None => None,
+    };
+    let (tracker_ips, completion) = match durable_completion {
+        Some(payload) => {
+            let (ips, stats, delta) = decode_completion_state(&payload)?;
+            report.absorb_counters(&delta);
+            (ips, stats)
+        }
+        None => {
+            let mut tracker_ips = TrackerIpSet::from_dataset(&dataset, &classification);
+            let mut delta = DegradationReport::default();
+            let stats =
+                tracker_ips.complete_with_pdns_degraded(world.dns.pdns(), &inj, &mut delta);
+            report.absorb_counters(&delta);
+            if let Some(store) = &mut store {
+                let payload = encode_completion_state(&tracker_ips, &stats, &delta);
+                store.put_stage("completion", &payload, kill)?;
+            }
+            (tracker_ips, stats)
+        }
+    };
+    report.timings.completion_ms = t_stage.elapsed().as_secs_f64() * 1e3;
+    killable(kill, "stage:completion:done")?;
+
+    // Geolocation — shared verbatim with the batch pipeline. Nothing
+    // after this point is checkpointed: a crash here re-runs geolocation
+    // deterministically from the durable completion state.
+    let t_stage = Instant::now();
+    let (ipmap_estimates, maxmind_estimates, ipapi_estimates) =
+        geolocate_providers(world, &mut rng, &tracker_ips, &inj, &mut report, threads);
+    report.timings.geolocate_ms = t_stage.elapsed().as_secs_f64() * 1e3;
+    killable(kill, "stage:geolocate:done")?;
+
+    let out = StudyOutputs {
+        dataset,
+        classification,
+        easylist,
+        easyprivacy,
+        tracker_ips,
+        completion,
+        ipmap_estimates,
+        maxmind_estimates,
+        ipapi_estimates,
+    };
+    report.eu28_confinement =
+        crate::confine::region_breakdown_eu28(&out, &out.ipmap_estimates).share(Region::Eu28);
+    report.timings.total_ms = t_total.elapsed().as_secs_f64() * 1e3;
+    Ok((out, report))
+}
+
+// ---------------------------------------------------------------------------
+// Blob codecs. The checkpoint crate stores opaque bytes; the typed
+// encodings live here, next to the domain types they serialize. Floats are
+// stored as IEEE-754 bit patterns, so round trips are bit-exact.
+// ---------------------------------------------------------------------------
+
+fn corrupt(file: &str, e: DecodeError) -> StreamError {
+    StreamError::Checkpoint(CheckpointError::Corrupt {
+        path: PathBuf::from(file),
+        detail: e.to_string(),
+    })
+}
+
+fn put_ip(w: &mut ByteWriter, ip: IpAddr) {
+    match ip {
+        IpAddr::V4(v4) => {
+            w.put_u8(4);
+            w.put_bytes(&v4.octets());
+        }
+        IpAddr::V6(v6) => {
+            w.put_u8(6);
+            w.put_bytes(&v6.octets());
+        }
+    }
+}
+
+fn read_ip(r: &mut ByteReader<'_>) -> Result<IpAddr, DecodeError> {
+    match r.u8()? {
+        4 => {
+            let b = r.bytes(4)?;
+            Ok(IpAddr::from([b[0], b[1], b[2], b[3]]))
+        }
+        6 => {
+            let b = r.bytes(16)?;
+            let mut o = [0u8; 16];
+            o.copy_from_slice(b);
+            Ok(IpAddr::from(o))
+        }
+        tag => Err(DecodeError {
+            offset: 0,
+            detail: format!("unknown IP tag {tag}"),
+        }),
+    }
+}
+
+/// The fixed counter order of the report codec. Only counters travel in
+/// blobs: chunk reports carry deltas, and `eu28_confinement`/timings are
+/// finalization-time observations that are never absorbed.
+fn put_counters(w: &mut ByteWriter, r: &DegradationReport) {
+    for v in [
+        r.requests_generated,
+        r.requests_delivered,
+        r.requests_dropped_loss,
+        r.requests_dropped_truncation,
+        r.dns_cache_hits,
+        r.dns_cache_misses,
+        r.dns_attempts,
+        r.dns_timeouts,
+        r.dns_retries,
+        r.dns_failures,
+        r.dns_backoff_secs,
+        r.pdns_records_seen,
+        r.pdns_records_gapped,
+        r.pdns_records_stale,
+        r.probes_assigned,
+        r.probes_out,
+        r.probes_flaky,
+        r.quorum_abstentions,
+        r.geo_lookups,
+        r.geo_misses,
+        r.geoloc_assign_cache_hits,
+        r.geoloc_assign_cache_misses,
+        r.geoloc_index_probe_visits,
+    ] {
+        w.put_u64(v);
+    }
+}
+
+fn read_counters(rd: &mut ByteReader<'_>) -> Result<DegradationReport, DecodeError> {
+    let mut r = DegradationReport::default();
+    for slot in [
+        &mut r.requests_generated,
+        &mut r.requests_delivered,
+        &mut r.requests_dropped_loss,
+        &mut r.requests_dropped_truncation,
+        &mut r.dns_cache_hits,
+        &mut r.dns_cache_misses,
+        &mut r.dns_attempts,
+        &mut r.dns_timeouts,
+        &mut r.dns_retries,
+        &mut r.dns_failures,
+        &mut r.dns_backoff_secs,
+        &mut r.pdns_records_seen,
+        &mut r.pdns_records_gapped,
+        &mut r.pdns_records_stale,
+        &mut r.probes_assigned,
+        &mut r.probes_out,
+        &mut r.probes_flaky,
+        &mut r.quorum_abstentions,
+        &mut r.geo_lookups,
+        &mut r.geo_misses,
+        &mut r.geoloc_assign_cache_hits,
+        &mut r.geoloc_assign_cache_misses,
+        &mut r.geoloc_index_probe_visits,
+    ] {
+        *slot = rd.u64()?;
+    }
+    Ok(r)
+}
+
+fn put_label(w: &mut ByteWriter, l: Classification) {
+    w.put_u8(match l {
+        Classification::AbpTracking => 0,
+        Classification::SemiTracking => 1,
+        Classification::Clean => 2,
+    });
+}
+
+fn read_label(r: &mut ByteReader<'_>) -> Result<Classification, DecodeError> {
+    match r.u8()? {
+        0 => Ok(Classification::AbpTracking),
+        1 => Ok(Classification::SemiTracking),
+        2 => Ok(Classification::Clean),
+        tag => Err(DecodeError {
+            offset: 0,
+            detail: format!("unknown classification tag {tag}"),
+        }),
+    }
+}
+
+fn encode_chunk_state(state: &ChunkState) -> Vec<u8> {
+    let c = &state.chunk;
+    let mut w = ByteWriter::with_capacity(64 + c.requests.len() * 64);
+    w.put_usize(c.visits.len());
+    for v in &c.visits {
+        w.put_u32(v.user.0);
+        w.put_u32(v.publisher.0);
+        w.put_u64(v.time.0);
+    }
+    w.put_usize(c.requests.len());
+    for r in &c.requests {
+        w.put_u32(r.user.0);
+        w.put_u64(r.time.0);
+        w.put_u32(r.first_party.0);
+        w.put_u32(r.publisher.0);
+        w.put_str(&r.url);
+        w.put_u32(r.host.0);
+        match r.referrer {
+            Referrer::None => w.put_u8(0),
+            Referrer::FirstParty => w.put_u8(1),
+            Referrer::Request(RequestId(p)) => {
+                w.put_u8(2);
+                w.put_u32(p);
+            }
+        }
+        put_ip(&mut w, r.ip);
+    }
+    w.put_usize(c.observations.len());
+    for o in &c.observations {
+        w.put_u32(o.host.0);
+        put_ip(&mut w, o.ip);
+        w.put_u64(o.time.0);
+    }
+    w.put_usize(state.labels.len());
+    for &l in &state.labels {
+        put_label(&mut w, l);
+    }
+    w.put_usize(state.stage2_rounds);
+    w.put_usize(state.stage3_rounds);
+    put_counters(&mut w, &c.report);
+    w.into_bytes()
+}
+
+fn decode_chunk_state(file: &str, payload: &[u8]) -> Result<ChunkState, StreamError> {
+    let mut rd = ByteReader::new(payload);
+    let inner = |rd: &mut ByteReader<'_>| -> Result<ChunkState, DecodeError> {
+        let n_visits = rd.len_prefix()?;
+        let mut visits = Vec::with_capacity(n_visits.min(1 << 20));
+        for _ in 0..n_visits {
+            visits.push(Visit {
+                user: UserId(rd.u32()?),
+                publisher: PublisherId(rd.u32()?),
+                time: SimTime(rd.u64()?),
+            });
+        }
+        let n_requests = rd.len_prefix()?;
+        let mut requests = Vec::with_capacity(n_requests.min(1 << 20));
+        for _ in 0..n_requests {
+            let user = UserId(rd.u32()?);
+            let time = SimTime(rd.u64()?);
+            let first_party = DomainId(rd.u32()?);
+            let publisher = PublisherId(rd.u32()?);
+            let url: Box<str> = rd.str()?.into();
+            let host = DomainId(rd.u32()?);
+            let referrer = match rd.u8()? {
+                0 => Referrer::None,
+                1 => Referrer::FirstParty,
+                2 => Referrer::Request(RequestId(rd.u32()?)),
+                tag => {
+                    return Err(DecodeError {
+                        offset: 0,
+                        detail: format!("unknown referrer tag {tag}"),
+                    })
+                }
+            };
+            let ip = read_ip(rd)?;
+            requests.push(LoggedRequest {
+                user,
+                time,
+                first_party,
+                publisher,
+                url,
+                host,
+                referrer,
+                ip,
+            });
+        }
+        let n_obs = rd.len_prefix()?;
+        let mut observations = Vec::with_capacity(n_obs.min(1 << 20));
+        for _ in 0..n_obs {
+            observations.push(PdnsIdObservation {
+                host: DomainId(rd.u32()?),
+                ip: read_ip(rd)?,
+                time: SimTime(rd.u64()?),
+            });
+        }
+        let n_labels = rd.len_prefix()?;
+        if n_labels != requests.len() {
+            return Err(DecodeError {
+                offset: 0,
+                detail: format!(
+                    "label count {n_labels} does not match request count {}",
+                    requests.len()
+                ),
+            });
+        }
+        let mut labels = Vec::with_capacity(n_labels.min(1 << 20));
+        for _ in 0..n_labels {
+            labels.push(read_label(rd)?);
+        }
+        let stage2_rounds = rd.len_prefix()?;
+        let stage3_rounds = rd.len_prefix()?;
+        let report = read_counters(rd)?;
+        Ok(ChunkState {
+            chunk: StudyChunk {
+                visits,
+                requests,
+                observations,
+                report,
+            },
+            labels,
+            stage2_rounds,
+            stage3_rounds,
+        })
+    };
+    let state = inner(&mut rd).map_err(|e| corrupt(file, e))?;
+    rd.finish().map_err(|e| corrupt(file, e))?;
+    Ok(state)
+}
+
+fn encode_completion_state(
+    ips: &TrackerIpSet,
+    stats: &CompletionStats,
+    delta: &DegradationReport,
+) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(64 + ips.len() * 48);
+    // Canonical order: sorted by IP, hosts sorted within each record. The
+    // in-memory maps hash-order freely; the blob does not.
+    let mut sorted: Vec<(&IpAddr, &IpInfo)> = ips.ips.iter().collect();
+    sorted.sort_by_key(|(ip, _)| **ip);
+    w.put_usize(sorted.len());
+    for (ip, info) in sorted {
+        put_ip(&mut w, *ip);
+        w.put_u64(info.requests);
+        let mut hosts: Vec<&str> = info.hosts.iter().map(|h| h.as_str()).collect();
+        hosts.sort_unstable();
+        w.put_usize(hosts.len());
+        for h in hosts {
+            w.put_str(h);
+        }
+        w.put_u64(info.window.start.0);
+        w.put_u64(info.window.end.0);
+        w.put_u8(info.from_pdns_only as u8);
+    }
+    w.put_usize(stats.n_observed);
+    w.put_usize(stats.n_added);
+    w.put_f64(stats.v4_share);
+    w.put_f64(stats.added_v4_share);
+    put_counters(&mut w, delta);
+    w.into_bytes()
+}
+
+fn decode_completion_state(
+    payload: &[u8],
+) -> Result<(TrackerIpSet, CompletionStats, DegradationReport), StreamError> {
+    const FILE: &str = "stage-completion.xbc";
+    let mut rd = ByteReader::new(payload);
+    let inner = |rd: &mut ByteReader<'_>| -> Result<
+        (TrackerIpSet, CompletionStats, DegradationReport),
+        DecodeError,
+    > {
+        let n = rd.len_prefix()?;
+        let mut ips: HashMap<IpAddr, IpInfo> = HashMap::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let ip = read_ip(rd)?;
+            let requests = rd.u64()?;
+            let n_hosts = rd.len_prefix()?;
+            let mut hosts = HashSet::with_capacity(n_hosts.min(1 << 16));
+            for _ in 0..n_hosts {
+                hosts.insert(Domain::new(rd.str()?));
+            }
+            let window = TimeWindow::new(SimTime(rd.u64()?), SimTime(rd.u64()?));
+            let from_pdns_only = rd.u8()? != 0;
+            ips.insert(
+                ip,
+                IpInfo {
+                    requests,
+                    hosts,
+                    window,
+                    from_pdns_only,
+                },
+            );
+        }
+        let stats = CompletionStats {
+            n_observed: rd.len_prefix()?,
+            n_added: rd.len_prefix()?,
+            v4_share: rd.f64()?,
+            added_v4_share: rd.f64()?,
+        };
+        let delta = read_counters(rd)?;
+        Ok((TrackerIpSet { ips }, stats, delta))
+    };
+    let out = inner(&mut rd).map_err(|e| corrupt(FILE, e))?;
+    rd.finish().map_err(|e| corrupt(FILE, e))?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> ChunkState {
+        let report = DegradationReport {
+            requests_generated: 3,
+            requests_delivered: 2,
+            dns_cache_hits: 7,
+            ..Default::default()
+        };
+        ChunkState {
+            chunk: StudyChunk {
+                visits: vec![Visit {
+                    user: UserId(1),
+                    publisher: PublisherId(9),
+                    time: SimTime(100),
+                }],
+                requests: vec![
+                    LoggedRequest {
+                        user: UserId(1),
+                        time: SimTime(101),
+                        first_party: DomainId(2),
+                        publisher: PublisherId(9),
+                        url: "https://t.example/px?id=1".into(),
+                        host: DomainId(3),
+                        referrer: Referrer::FirstParty,
+                        ip: "10.1.2.3".parse().unwrap(),
+                    },
+                    LoggedRequest {
+                        user: UserId(1),
+                        time: SimTime(102),
+                        first_party: DomainId(2),
+                        publisher: PublisherId(9),
+                        url: "https://u.example/js".into(),
+                        host: DomainId(4),
+                        referrer: Referrer::Request(RequestId(0)),
+                        ip: "2001:db8::7".parse().unwrap(),
+                    },
+                ],
+                observations: vec![PdnsIdObservation {
+                    host: DomainId(3),
+                    ip: "10.1.2.3".parse().unwrap(),
+                    time: SimTime(101),
+                }],
+                report,
+            },
+            labels: vec![Classification::AbpTracking, Classification::SemiTracking],
+            stage2_rounds: 1,
+            stage3_rounds: 0,
+        }
+    }
+
+    #[test]
+    fn chunk_state_round_trips() {
+        let state = sample_state();
+        let bytes = encode_chunk_state(&state);
+        let back = decode_chunk_state("chunk-00000.xbc", &bytes).unwrap();
+        assert_eq!(back.chunk, state.chunk);
+        assert_eq!(back.labels, state.labels);
+        assert_eq!(back.stage2_rounds, state.stage2_rounds);
+        assert_eq!(back.stage3_rounds, state.stage3_rounds);
+    }
+
+    #[test]
+    fn truncated_chunk_payload_is_typed_corruption() {
+        let bytes = encode_chunk_state(&sample_state());
+        let err = decode_chunk_state("chunk-00000.xbc", &bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::Checkpoint(CheckpointError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn completion_state_round_trips() {
+        let mut ips = HashMap::new();
+        let mut hosts = HashSet::new();
+        hosts.insert(Domain::new("t.x.com"));
+        hosts.insert(Domain::new("u.y.net"));
+        ips.insert(
+            "9.8.7.6".parse().unwrap(),
+            IpInfo {
+                requests: 12,
+                hosts,
+                window: TimeWindow::new(SimTime(5), SimTime(900)),
+                from_pdns_only: false,
+            },
+        );
+        let set = TrackerIpSet { ips };
+        let stats = CompletionStats {
+            n_observed: 1,
+            n_added: 0,
+            v4_share: 1.0,
+            added_v4_share: 0.0,
+        };
+        let delta = DegradationReport {
+            pdns_records_seen: 4,
+            ..Default::default()
+        };
+        let bytes = encode_completion_state(&set, &stats, &delta);
+        let (set2, stats2, delta2) = decode_completion_state(&bytes).unwrap();
+        assert_eq!(set2.ips.len(), 1);
+        let info = &set2.ips[&"9.8.7.6".parse::<IpAddr>().unwrap()];
+        assert_eq!(info.requests, 12);
+        assert_eq!(info.hosts.len(), 2);
+        assert_eq!(info.window, TimeWindow::new(SimTime(5), SimTime(900)));
+        assert_eq!(stats2, stats);
+        assert_eq!(delta2, delta);
+    }
+
+    #[test]
+    fn fingerprint_ignores_performance_knobs_only() {
+        let base = WorldConfig::small(11);
+        let plan = FaultPlan::none();
+        let a = config_fingerprint(&base, &plan).unwrap();
+        // Thread budget is canonicalised away.
+        let b = config_fingerprint(&base.clone().with_threads(8), &plan).unwrap();
+        assert_eq!(a, b);
+        // A different world seed is a different run.
+        let c = config_fingerprint(&WorldConfig::small(12), &plan).unwrap();
+        assert_ne!(a, c);
+        // A different fault plan is a different run.
+        let d = config_fingerprint(&base, &FaultPlan::aggressive(11)).unwrap();
+        assert_ne!(a, d);
+    }
+}

@@ -362,6 +362,111 @@ impl FaultInjector {
     }
 }
 
+/// Which kill point a [`KillSwitch`] triggers on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KillRule {
+    /// Never fire (the identity switch — streaming runs use this in
+    /// production).
+    Never,
+    /// Fire at the `n`-th kill site the run visits (0-based). Site numbering
+    /// is deterministic for a fixed (config, chunking) because sites are
+    /// visited in program order.
+    AtSite(u64),
+    /// Fire at the first site whose label matches exactly. Labels name
+    /// stage/chunk boundaries and write phases (e.g. `chunk-2:blob:mid`),
+    /// so harnesses can target "kill at chunk 2, mid-write" without
+    /// counting sites.
+    AtLabel(String),
+}
+
+/// A seeded crash simulator for the streaming pipeline.
+///
+/// The checkpointed ingestion path calls [`KillSwitch::fire`] at every
+/// *kill site*: chunk boundaries, stage boundaries, and inside the atomic
+/// write protocol (before the tmp write, mid-write with a torn file on
+/// disk, after the tmp is complete but unrenamed, and after the rename).
+/// When the switch fires, the caller abandons all in-memory state and
+/// returns a typed "killed" error — exactly what a real `kill -9` leaves
+/// behind, including half-written tmp files.
+///
+/// The site counter is monotonic per switch, so a harness can first run
+/// with [`KillSwitch::none`] to learn how many sites a configuration
+/// visits ([`KillSwitch::sites_visited`]), then sweep `AtSite(0..n)`.
+#[derive(Debug)]
+pub struct KillSwitch {
+    rule: KillRule,
+    sites: std::sync::atomic::AtomicU64,
+    fired: std::sync::Mutex<Option<(u64, String)>>,
+}
+
+impl KillSwitch {
+    /// A switch with an explicit rule.
+    pub fn new(rule: KillRule) -> KillSwitch {
+        KillSwitch {
+            rule,
+            sites: std::sync::atomic::AtomicU64::new(0),
+            fired: std::sync::Mutex::new(None),
+        }
+    }
+
+    /// The identity switch: never fires, only counts sites.
+    pub fn none() -> KillSwitch {
+        KillSwitch::new(KillRule::Never)
+    }
+
+    /// Fires at the `n`-th kill site visited.
+    pub fn at_site(n: u64) -> KillSwitch {
+        KillSwitch::new(KillRule::AtSite(n))
+    }
+
+    /// Fires at the first site whose label equals `label`.
+    pub fn at_label(label: impl Into<String>) -> KillSwitch {
+        KillSwitch::new(KillRule::AtLabel(label.into()))
+    }
+
+    /// A seeded switch: derives a site index in `[0, n_sites)` from `seed`
+    /// with the same [`mix64`] avalanche the fault coins use, so kill
+    /// schedules are reproducible and decorrelated across seeds.
+    pub fn seeded(seed: u64, n_sites: u64) -> KillSwitch {
+        KillSwitch::at_site(mix64(seed ^ 0x6b5f_27c4_9d13_a8e2) % n_sites.max(1))
+    }
+
+    /// Visits one kill site. Returns `true` when the simulated crash fires
+    /// here — the caller must then abandon its state and propagate a typed
+    /// killed error without any cleanup.
+    pub fn fire(&self, label: &str) -> bool {
+        let site = self
+            .sites
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let hit = match &self.rule {
+            KillRule::Never => false,
+            KillRule::AtSite(n) => site == *n,
+            KillRule::AtLabel(l) => l == label,
+        };
+        if hit {
+            let mut fired = self.fired.lock().expect("kill switch mutex");
+            if fired.is_none() {
+                *fired = Some((site, label.to_string()));
+            } else {
+                // Only the first match simulates the crash; a well-behaved
+                // caller never reaches a second site after firing.
+                return false;
+            }
+        }
+        hit
+    }
+
+    /// How many kill sites this switch has visited so far.
+    pub fn sites_visited(&self) -> u64 {
+        self.sites.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The `(site index, label)` where the switch fired, if it did.
+    pub fn fired(&self) -> Option<(u64, String)> {
+        self.fired.lock().expect("kill switch mutex").clone()
+    }
+}
+
 /// Counters quantifying how much the pipeline degraded under a plan.
 ///
 /// Invariant (checked by [`DegradationReport::is_self_consistent`]):
@@ -684,6 +789,134 @@ mod tests {
         assert!((r.delivery_coverage() - 0.8).abs() < 1e-12);
         r.requests_delivered = 81;
         assert!(!r.is_self_consistent());
+    }
+
+    /// A report whose every counter is a distinct pseudo-random value, so
+    /// algebraic identities can't pass by accident (e.g. via zeros or
+    /// symmetric values).
+    fn scrambled_report(seed: u64) -> DegradationReport {
+        let mut k = seed;
+        let mut next = || {
+            k = k.wrapping_add(1);
+            mix64(seed ^ k) % 10_000
+        };
+        DegradationReport {
+            requests_generated: next(),
+            requests_delivered: next(),
+            requests_dropped_loss: next(),
+            requests_dropped_truncation: next(),
+            dns_cache_hits: next(),
+            dns_cache_misses: next(),
+            dns_attempts: next(),
+            dns_timeouts: next(),
+            dns_retries: next(),
+            dns_failures: next(),
+            dns_backoff_secs: next(),
+            pdns_records_seen: next(),
+            pdns_records_gapped: next(),
+            pdns_records_stale: next(),
+            probes_assigned: next(),
+            probes_out: next(),
+            probes_flaky: next(),
+            quorum_abstentions: next(),
+            geo_lookups: next(),
+            geo_misses: next(),
+            geoloc_assign_cache_hits: next(),
+            geoloc_assign_cache_misses: next(),
+            geoloc_index_probe_visits: next(),
+            eu28_confinement: 0.0,
+            timings: StageTimings::default(),
+        }
+    }
+
+    /// The property the sharded and streaming merge orders both rest on:
+    /// absorbing per-shard (or per-chunk) counter deltas is commutative and
+    /// associative, so any grouping of the same deltas yields the same
+    /// totals — and the identity (default) report is neutral.
+    #[test]
+    fn absorb_counters_commutes_and_associates() {
+        for seed in 0..50u64 {
+            let a = scrambled_report(seed);
+            let b = scrambled_report(seed ^ 0xdead_beef);
+            let c = scrambled_report(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+            // Commutativity: a + b == b + a.
+            let mut ab = a.clone();
+            ab.absorb_counters(&b);
+            let mut ba = b.clone();
+            ba.absorb_counters(&a);
+            assert_eq!(ab, ba, "absorb_counters not commutative at seed {seed}");
+
+            // Associativity: (a + b) + c == a + (b + c).
+            let mut ab_c = ab.clone();
+            ab_c.absorb_counters(&c);
+            let mut bc = b.clone();
+            bc.absorb_counters(&c);
+            let mut a_bc = a.clone();
+            a_bc.absorb_counters(&bc);
+            assert_eq!(ab_c, a_bc, "absorb_counters not associative at seed {seed}");
+
+            // Identity: default + a == a (counters only; confinement and
+            // timings are excluded from absorption by contract).
+            let mut id_a = DegradationReport::default();
+            id_a.absorb_counters(&a);
+            assert_eq!(id_a, a, "default report not neutral at seed {seed}");
+
+            // Non-counters stay untouched.
+            let mut carrier = a.clone();
+            carrier.eu28_confinement = 0.75;
+            carrier.timings.total_ms = 123.0;
+            carrier.absorb_counters(&b);
+            assert_eq!(carrier.eu28_confinement, 0.75);
+            assert_eq!(carrier.timings.total_ms, 123.0);
+        }
+    }
+
+    #[test]
+    fn kill_switch_never_rule_only_counts() {
+        let k = KillSwitch::none();
+        for i in 0..10 {
+            assert!(!k.fire(&format!("site-{i}")));
+        }
+        assert_eq!(k.sites_visited(), 10);
+        assert!(k.fired().is_none());
+    }
+
+    #[test]
+    fn kill_switch_fires_at_site_once() {
+        let k = KillSwitch::at_site(3);
+        let fires: Vec<bool> = (0..6).map(|i| k.fire(&format!("s{i}"))).collect();
+        assert_eq!(fires, [false, false, false, true, false, false]);
+        assert_eq!(k.fired(), Some((3, "s3".to_string())));
+    }
+
+    #[test]
+    fn kill_switch_fires_at_label() {
+        let k = KillSwitch::at_label("chunk-2:blob:mid");
+        assert!(!k.fire("chunk-1:blob:mid"));
+        assert!(!k.fire("chunk-2:blob:pre"));
+        assert!(k.fire("chunk-2:blob:mid"));
+        let (site, label) = k.fired().expect("fired");
+        assert_eq!(site, 2);
+        assert_eq!(label, "chunk-2:blob:mid");
+    }
+
+    #[test]
+    fn seeded_kill_switch_is_deterministic_and_in_range() {
+        for seed in 0..100u64 {
+            let a = KillSwitch::seeded(seed, 17);
+            let b = KillSwitch::seeded(seed, 17);
+            let mut fired_at = None;
+            for site in 0..17u64 {
+                let fa = a.fire("x");
+                let fb = b.fire("x");
+                assert_eq!(fa, fb, "seeded switch diverged at seed {seed}");
+                if fa {
+                    fired_at = Some(site);
+                }
+            }
+            assert!(fired_at.is_some(), "seeded switch never fired for seed {seed}");
+        }
     }
 
     #[test]
