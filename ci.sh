@@ -68,11 +68,13 @@ old, new = seq_run(old_doc), seq_run(new_doc)
 # so a >20% jump there means an allocation crept back into the hot path.
 pairs = [(stage, old.get(stage), new.get(stage))
          for stage in ("study_ms", "geolocate_ms", "total_ms", "study_allocs")]
-# The streaming row rides the same gate: both the chunked driver itself
-# and the checkpointed variant must stay within the budget.
+# The streaming row rides the same gate: the chunked driver, the
+# checkpointed variant, the incremental classifier and the rolling
+# snapshot emission must all stay within the budget.
 old_s, new_s = old_doc.get("streaming", {}), new_doc.get("streaming", {})
 pairs += [(f"streaming.{key}", old_s.get(key), new_s.get(key))
-          for key in ("streaming_ms", "streaming_ckpt_ms")]
+          for key in ("streaming_ms", "streaming_ckpt_ms",
+                      "incremental_classify_ms", "snapshot_ms")]
 for stage, o, n in pairs:
     if o is None or n is None or o <= 0:
         print(f"bench check: no comparable {stage} in baseline; skipping")

@@ -65,6 +65,7 @@ fn bench_fig3_top_tlds(c: &mut Criterion) {
         ipmap_estimates: Default::default(),
         maxmind_estimates: Default::default(),
         ipapi_estimates: Default::default(),
+        snapshots: Vec::new(),
     };
     c.bench_function("fig3/top_tlds", |b| {
         b.iter(|| xborder::report::Fig3Data::compute(&out, 20))

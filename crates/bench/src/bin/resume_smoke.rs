@@ -1,7 +1,9 @@
 //! CI resume smoke (ci.sh): crash the streaming pipeline *mid-write* of
-//! chunk 2's blob — leaving a torn tmp file on disk — then resume on the
-//! same checkpoint directory and require bit-identical outputs against the
-//! uninterrupted batch pipeline. Exits nonzero on any drift, so a broken
+//! chunk 2's blob — leaving a torn file at the blob's final name — then
+//! resume on the same checkpoint directory and require bit-identical
+//! outputs against the uninterrupted batch pipeline. A second scenario
+//! crashes immediately after the first rolling snapshot is published and
+//! requires the same equality. Exits nonzero on any drift, so a broken
 //! recovery path fails the gate rather than warning.
 
 use std::net::IpAddr;
@@ -59,7 +61,8 @@ fn main() -> ExitCode {
     let want = fingerprint(&batch_out);
 
     // Crash while chunk 2's blob is half-written: chunks 0 and 1 are
-    // durable, chunk 2 exists only as a torn tmp file.
+    // durable, chunk 2 exists only as a torn, unreferenced file at its
+    // final name.
     let kill = KillSwitch::at_label("chunk-2:blob:mid");
     let mut world = World::build(cfg());
     match run_extension_pipeline_streaming(&mut world, &plan, &stream, &kill) {
@@ -97,6 +100,55 @@ fn main() -> ExitCode {
         "resume_smoke: OK — kill at chunk 2 + resume is bit-identical to batch \
          ({} requests, {} trackers)",
         want.0, want.4
+    );
+
+    // Second scenario: rolling snapshots on, crash right after the first
+    // window is published, resume, and require batch equality again (the
+    // resumed run also re-emits the full snapshot series).
+    let dir2 = std::env::temp_dir().join(format!("xborder-resume-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir2);
+    let snap_stream = StreamConfig::durable(5, &dir2).with_snapshots(4);
+    let kill = KillSwitch::at_label("snapshot-0:emitted");
+    let mut world = World::build(cfg());
+    match run_extension_pipeline_streaming(&mut world, &plan, &snap_stream, &kill) {
+        Err(StreamError::Killed { site, label }) => {
+            println!("resume_smoke: killed at site {site} ({label})");
+        }
+        Err(e) => {
+            eprintln!("resume_smoke: FAIL — expected a kill at snapshot-0:emitted, got error: {e}");
+            return ExitCode::FAILURE;
+        }
+        Ok(_) => {
+            eprintln!("resume_smoke: FAIL — run completed without firing the snapshot kill point");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut world = World::build(cfg());
+    let (out, _report) =
+        match run_extension_pipeline_streaming(&mut world, &plan, &snap_stream, &KillSwitch::none())
+        {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("resume_smoke: FAIL — resume after snapshot kill failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let _ = std::fs::remove_dir_all(&dir2);
+    if fingerprint(&out) != want {
+        eprintln!("resume_smoke: FAIL — snapshot-kill resume drifted from batch");
+        return ExitCode::FAILURE;
+    }
+    if out.snapshots.len() != 4 {
+        eprintln!(
+            "resume_smoke: FAIL — expected 4 rolling snapshots, got {}",
+            out.snapshots.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "resume_smoke: OK — kill after snapshot 0 + resume is bit-identical to batch \
+         ({} rolling snapshots re-emitted)",
+        out.snapshots.len()
     );
     ExitCode::SUCCESS
 }

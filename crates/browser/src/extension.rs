@@ -425,6 +425,20 @@ impl<'a> StudyStream<'a> {
         users: UserPopulation,
         study_seed: u64,
     ) -> StudyStream<'a> {
+        Self::with_view(cfg, graph, dns.indexed_view(graph.domains()), users, study_seed)
+    }
+
+    /// [`StudyStream::new`] over an externally built zone view — the
+    /// split-borrow variant for callers that need the DNS sensor mutable
+    /// between chunks (`DnsSim::indexed_view_and_pdns`) while the zones
+    /// stay borrowed read-only here.
+    pub fn with_view(
+        cfg: &'a StudyConfig,
+        graph: &'a WebGraph,
+        view: IndexedZoneView<'a>,
+        users: UserPopulation,
+        study_seed: u64,
+    ) -> StudyStream<'a> {
         // Mean activity normalizes per-user visit counts and is a
         // population-wide statistic: it must be computed over *all* users,
         // never per chunk, or chunking would change visit counts.
@@ -434,7 +448,7 @@ impl<'a> StudyStream<'a> {
         StudyStream {
             cfg,
             graph,
-            view: dns.indexed_view(graph.domains()),
+            view,
             users,
             study_seed,
             mean_activity,

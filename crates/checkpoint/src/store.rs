@@ -10,15 +10,29 @@
 //! <dir>/*.tmp                in-flight writes; ignored and overwritten
 //! ```
 //!
-//! ## Atomic-write protocol
+//! ## Write protocol
 //!
-//! Every durable file is produced by *write tmp → sync → rename*, and the
-//! manifest is rewritten (same protocol) only **after** the blob it
-//! references is durable. The rename of `manifest.json` is the single
-//! commit point: a crash anywhere leaves either the old manifest (the new
-//! blob is unreferenced garbage, safely overwritten on re-execution) or
-//! the new manifest (the blob is durable and validated). Torn `.tmp`
-//! files are never read.
+//! The rename of `manifest.json` is the single commit point: a crash
+//! anywhere leaves either the old manifest (any newer blob is unreferenced
+//! garbage, safely overwritten on re-execution) or the new manifest (the
+//! blob it references is durable and validated). Two write paths hang off
+//! that invariant:
+//!
+//! - **Fresh blobs** (chunk appends) are written *directly at their final
+//!   name* — create, write, one fsync. No tmp/rename is needed because a
+//!   chunk file is never referenced by any manifest until the commit that
+//!   follows it in the same call, so a torn or partial file at the final
+//!   name is unreferenced garbage. This halves the fsyncs per chunk
+//!   commit relative to the former tmp→sync→rename-everything protocol.
+//! - **Replacing writes** (the manifest itself; stage blobs, which may
+//!   replace an already-committed file of the same name) keep the full
+//!   *write tmp → sync → rename* dance, since an in-place overwrite could
+//!   tear a file the current manifest references.
+//!
+//! After the manifest rename, the parent directory is fsynced: POSIX only
+//! makes the rename durable once the directory entry itself is on disk,
+//! and the same dir fsync also covers the freshly created chunk file's
+//! directory entry (both live in the checkpoint dir).
 //!
 //! ## Validation order
 //!
@@ -30,10 +44,12 @@
 //!
 //! ## Kill points
 //!
-//! Each atomic write threads a [`KillSwitch`] through four labelled sites
-//! (`:pre`, `:mid`, `:durable`, `:post`) so the fault harness can simulate
-//! a crash before, during (torn tmp), and after durability but before /
-//! after the rename — pinning that resume recovers from every one.
+//! Each write threads a [`KillSwitch`] through labelled sites: direct blob
+//! writes get `:pre`, `:mid` (torn file), `:durable`; replacing writes get
+//! those plus `:post` (after the rename); and every manifest commit gets a
+//! fifth site, `:dirsync`, after the directory fsync that makes the rename
+//! durable. The kill-site sweep in `tests/streaming_resume.rs` pins that
+//! resume recovers from every one.
 
 use crate::error::{io_err, CheckpointError};
 use serde::{Deserialize, Serialize};
@@ -44,7 +60,7 @@ use xborder_faults::{stable_hash, KillSwitch};
 
 /// Format version written into every frame and the manifest. Bump on any
 /// incompatible layout change; old checkpoints are refused, not migrated.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Magic prefix of every framed blob file.
 pub const MAGIC: [u8; 4] = *b"XBCP";
@@ -342,7 +358,9 @@ impl CheckpointStore {
         let file = format!("chunk-{index:05}.xbc");
         let frame = encode_frame(KIND_CHUNK, payload);
         let checksum = stable_hash(&frame);
-        self.write_atomic(&file, &frame, &format!("chunk-{index}:blob"), kill)?;
+        // Chunk files are append-only and unreferenced until the manifest
+        // commit below, so the direct-write path is safe (module docs).
+        self.write_direct(&file, &frame, &format!("chunk-{index}:blob"), kill)?;
         self.manifest.chunks.push(ChunkEntry {
             index,
             user_start,
@@ -381,10 +399,57 @@ impl CheckpointStore {
     fn write_manifest(&self, label: &str, kill: &KillSwitch) -> Result<(), CheckpointError> {
         let json = serde_json::to_string_pretty(&self.manifest)
             .map_err(|e| CheckpointError::ManifestInvalid { detail: e.to_string() })?;
-        self.write_atomic("manifest.json", json.as_bytes(), label, kill)
+        self.write_atomic("manifest.json", json.as_bytes(), label, kill)?;
+        // The rename only becomes durable once the directory entry is on
+        // disk; the same fsync covers the dir entries of any blob files
+        // created earlier in this commit (they live in the same dir).
+        let d = File::open(&self.dir).map_err(|e| io_err(&self.dir, e))?;
+        d.sync_all().map_err(|e| io_err(&self.dir, e))?;
+        self.killable(kill, &format!("{label}:dirsync"))
     }
 
-    /// The tmp → sync → rename protocol, with the four kill sites.
+    /// Writes `bytes` into `f`, split in half around a `:mid` kill site so
+    /// the fault harness can leave a genuinely torn file behind, then
+    /// syncs. A sync error is propagated on both exits — the killed return
+    /// simulates a crash, not permission to lose a real I/O failure.
+    fn write_torn_syncable(
+        &self,
+        f: &mut File,
+        path: &Path,
+        bytes: &[u8],
+        label: &str,
+        kill: &KillSwitch,
+    ) -> Result<(), CheckpointError> {
+        let half = bytes.len() / 2;
+        f.write_all(&bytes[..half]).map_err(|e| io_err(path, e))?;
+        if kill.fire(&format!("{label}:mid")) {
+            f.sync_all().map_err(|e| io_err(path, e))?;
+            return Err(self.killed(kill, &format!("{label}:mid")));
+        }
+        f.write_all(&bytes[half..]).map_err(|e| io_err(path, e))?;
+        f.sync_all().map_err(|e| io_err(path, e))
+    }
+
+    /// Direct write of a fresh, never-yet-referenced blob at its final
+    /// name: three kill sites, one fsync, no tmp/rename (module docs
+    /// explain why this is crash-safe for manifest-gated files).
+    fn write_direct(
+        &self,
+        rel: &str,
+        bytes: &[u8],
+        label: &str,
+        kill: &KillSwitch,
+    ) -> Result<(), CheckpointError> {
+        let path = self.dir.join(rel);
+        self.killable(kill, &format!("{label}:pre"))?;
+        let mut f = File::create(&path).map_err(|e| io_err(&path, e))?;
+        self.write_torn_syncable(&mut f, &path, bytes, label, kill)?;
+        drop(f);
+        self.killable(kill, &format!("{label}:durable"))
+    }
+
+    /// The tmp → sync → rename protocol, with the four kill sites. Used
+    /// for writes that may replace a manifest-referenced file.
     fn write_atomic(
         &self,
         rel: &str,
@@ -397,16 +462,7 @@ impl CheckpointStore {
         self.killable(kill, &format!("{label}:pre"))?;
         {
             let mut f = File::create(&tmp_path).map_err(|e| io_err(&tmp_path, e))?;
-            // Two half-writes so the :mid site genuinely leaves a torn
-            // tmp file behind, exactly as a real crash would.
-            let half = bytes.len() / 2;
-            f.write_all(&bytes[..half]).map_err(|e| io_err(&tmp_path, e))?;
-            if kill.fire(&format!("{label}:mid")) {
-                let _ = f.sync_all();
-                return Err(self.killed(kill, &format!("{label}:mid")));
-            }
-            f.write_all(&bytes[half..]).map_err(|e| io_err(&tmp_path, e))?;
-            f.sync_all().map_err(|e| io_err(&tmp_path, e))?;
+            self.write_torn_syncable(&mut f, &tmp_path, bytes, label, kill)?;
         }
         self.killable(kill, &format!("{label}:durable"))?;
         fs::rename(&tmp_path, &final_path).map_err(|e| io_err(&final_path, e))?;
@@ -552,7 +608,9 @@ mod tests {
             let _ = fs::remove_dir_all(&dir);
         }
         let n_sites = probe.sites_visited();
-        assert!(n_sites >= 16, "expected 4 sites x 4 writes, saw {n_sites}");
+        // Per append: 3 direct-blob sites + 4 manifest write_atomic sites
+        // + 1 dirsync = 8; two appends = 16.
+        assert!(n_sites >= 16, "expected 8 sites x 2 appends, saw {n_sites}");
 
         for site in 0..n_sites {
             let dir = tmp_dir(&format!("sites-{site}"));
@@ -580,6 +638,42 @@ mod tests {
             assert_eq!(check.load_chunk(&check.chunks()[1]).unwrap(), b"beta");
             let _ = fs::remove_dir_all(&dir);
         }
+    }
+
+    #[test]
+    fn dirsync_kill_lands_after_the_commit_point() {
+        // The :dirsync site sits after the manifest rename, so a kill
+        // there must leave the chunk committed — resume sees it and does
+        // not re-execute.
+        let dir = tmp_dir("dirsync");
+        let kill = KillSwitch::at_label("chunk-0:manifest:dirsync");
+        let mut store = CheckpointStore::open(&dir, 5).unwrap();
+        let err = store.append_chunk(0, 0, 5, b"alpha", &kill).unwrap_err();
+        assert!(matches!(err, CheckpointError::Killed { .. }));
+        let resumed = CheckpointStore::open(&dir, 5).unwrap();
+        assert_eq!(resumed.chunks().len(), 1);
+        assert_eq!(resumed.load_chunk(&resumed.chunks()[0]).unwrap(), b"alpha");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn blob_kill_before_commit_leaves_chunk_uncommitted() {
+        // Direct-write path: a kill at the blob's :durable site leaves a
+        // complete file at the final name but no manifest reference — the
+        // chunk must not be visible, and re-execution overwrites the
+        // orphan cleanly.
+        let dir = tmp_dir("direct-orphan");
+        let kill = KillSwitch::at_label("chunk-0:blob:durable");
+        let mut store = CheckpointStore::open(&dir, 6).unwrap();
+        assert!(store.append_chunk(0, 0, 5, b"alpha", &kill).is_err());
+        assert!(dir.join("chunk-00000.xbc").exists(), "orphan blob at final name");
+
+        let mut resumed = CheckpointStore::open(&dir, 6).unwrap();
+        assert_eq!(resumed.chunks().len(), 0, "uncommitted blob must be invisible");
+        resumed.append_chunk(0, 0, 5, b"alpha", &KillSwitch::none()).unwrap();
+        let check = CheckpointStore::open(&dir, 6).unwrap();
+        assert_eq!(check.load_chunk(&check.chunks()[0]).unwrap(), b"alpha");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

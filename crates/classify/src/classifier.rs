@@ -442,7 +442,7 @@ impl UrlTable {
 }
 
 /// Sentinel in [`Interned::referrer_of`] for "no positional referrer".
-const NO_REFERRER: u32 = u32::MAX;
+pub(crate) const NO_REFERRER: u32 = u32::MAX;
 
 /// Dense-id view of a request log, built in one sequential pass. Requests
 /// repeat a small set of hosts and URLs thousands of times over; interning
@@ -718,7 +718,7 @@ fn stage1_shard(
 /// ASCII-case-insensitive multi-keyword matcher: one pass over the URL
 /// with a first-byte dispatch into [`TRACKING_KEYWORDS`], no lowercased
 /// allocation and no per-keyword rescans.
-struct KeywordScanner {
+pub(crate) struct KeywordScanner {
     /// Can this byte (either case) start a keyword? Checked per URL byte,
     /// so it covers both cases directly instead of lowercasing each byte.
     first_mask: [bool; 256],
@@ -726,7 +726,7 @@ struct KeywordScanner {
 }
 
 impl KeywordScanner {
-    fn new() -> KeywordScanner {
+    pub(crate) fn new() -> KeywordScanner {
         let mut first_mask = [false; 256];
         let mut by_first: [Vec<&'static [u8]>; 256] = std::array::from_fn(|_| Vec::new());
         for k in TRACKING_KEYWORDS.iter() {
@@ -738,7 +738,7 @@ impl KeywordScanner {
         KeywordScanner { first_mask, by_first }
     }
 
-    fn matches(&self, url: &str) -> bool {
+    pub(crate) fn matches(&self, url: &str) -> bool {
         let bytes = url.as_bytes();
         for start in 0..bytes.len() {
             if !self.first_mask[bytes[start] as usize] {
@@ -761,13 +761,13 @@ impl KeywordScanner {
 }
 
 /// Referrer children adjacency in CSR form, built once on demand.
-struct ChildIndex {
+pub(crate) struct ChildIndex {
     starts: Vec<u32>,
     children: Vec<u32>,
 }
 
 impl ChildIndex {
-    fn build(referrer_of: &[u32]) -> ChildIndex {
+    pub(crate) fn build(referrer_of: &[u32]) -> ChildIndex {
         let n = referrer_of.len();
         let mut counts = vec![0u32; n + 1];
         for &p in referrer_of {
@@ -790,7 +790,7 @@ impl ChildIndex {
         ChildIndex { starts, children }
     }
 
-    fn children_of(&self, i: usize) -> &[u32] {
+    pub(crate) fn children_of(&self, i: usize) -> &[u32] {
         &self.children[self.starts[i] as usize..self.starts[i + 1] as usize]
     }
 }

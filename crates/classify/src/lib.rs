@@ -16,14 +16,17 @@
 //!
 //! [`rules`] is the filter-list engine, [`listgen`] writes
 //! easylist/easyprivacy-style lists from the synthetic world's blocklist
-//! bits, [`classifier`] runs the three stages, and [`eval`] scores the
-//! result against ground truth.
+//! bits, [`classifier`] runs the three stages over a whole log,
+//! [`incremental`] is the chunk-at-a-time delta-fixpoint twin the
+//! streaming driver uses, and [`eval`] scores the result against ground
+//! truth.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod classifier;
 pub mod eval;
+pub mod incremental;
 pub mod listgen;
 pub mod rules;
 
@@ -31,6 +34,7 @@ pub use classifier::{
     classify, classify_with_stages, classify_with_stages_threads, method_counts,
     Classification, ClassificationResult, ClassifierStages, MethodCounts,
 };
+pub use incremental::{ChunkClassification, IncrementalClassifier};
 pub use eval::{evaluate, Evaluation};
 pub use listgen::generate_lists;
 pub use rules::{FilterList, FilterRule, HostGate};

@@ -58,6 +58,7 @@ pub mod regulations;
 pub mod related;
 pub mod report;
 pub mod sensitive;
+pub mod snapshots;
 pub mod stream;
 pub mod whatif;
 pub mod worldgen;

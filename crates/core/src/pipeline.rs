@@ -45,6 +45,10 @@ pub struct StudyOutputs {
     pub maxmind_estimates: EstimateMap,
     /// ip-api-style estimates per tracker IP.
     pub ipapi_estimates: EstimateMap,
+    /// Rolling-window snapshots emitted during streaming ingestion
+    /// (DESIGN.md §5g); empty for the batch pipeline, which publishes one
+    /// report at the end instead.
+    pub snapshots: Vec<crate::snapshots::RollingSnapshot>,
 }
 
 impl StudyOutputs {
@@ -291,6 +295,7 @@ pub fn run_extension_pipeline_degraded(
         ipmap_estimates,
         maxmind_estimates,
         ipapi_estimates,
+        snapshots: Vec::new(),
     };
 
     // Headline metric over whatever survived the faults, so drift can be

@@ -27,16 +27,35 @@
 //!   pre-fault request index*; each chunk carries its offset into that
 //!   sequence, so chunk-local fault application drops exactly the batch
 //!   entries.
-//! * **Chunk-local classification is exact.** Stage-1 verdicts are
-//!   per-request; stage-2/3 propagation walks referrer chains, which are
-//!   chunk-confined. Only the *distinct* FQDN/TLD/URL counts are not
-//!   additive, so the Table-2 counts are recomputed once over the full
-//!   log at finalization ([`xborder_classify::method_counts`]) — the same
-//!   pass the batch classifier ends with. Propagation-round telemetry
-//!   reassembles as the max across chunks (disjoint BFS components).
-//! * **Deferred, ordered side effects.** pDNS observations are buffered
-//!   per chunk (and checkpointed with it), then replayed into the world's
-//!   sensor in chunk order at finalization — the batch replay order.
+//! * **Delta-fixpoint classification.** An
+//!   [`xborder_classify::IncrementalClassifier`] persists the URL/host
+//!   interner, gate/keyword memos and distinct-count seen-bits across
+//!   chunks, so each chunk's stage-1/2/3 labels fall out of a worklist
+//!   seeded only by the chunk's frontier — and the Table-2 counts absorb
+//!   per chunk, with **no** full-log rebuild at finalization. Sequential
+//!   chunk order reproduces the batch first-occurrence interning order,
+//!   so labels and counts are bit-identical (pinned in
+//!   `crates/classify/src/incremental.rs` tests). Propagation-round
+//!   telemetry reassembles as the max across chunks (disjoint BFS
+//!   components). Each chunk blob carries the classifier's state *delta*
+//!   for that chunk (new unique URLs/hosts plus sparse memo/seen-bit
+//!   updates — O(unique values) total across the stream, not O(chunks ×
+//!   state)); resume re-applies the deltas in order instead of
+//!   re-deriving.
+//! * **Ordered per-chunk side effects.** pDNS observations are buffered
+//!   with the chunk (and checkpointed with it), then absorbed into the
+//!   world's sensor as each chunk commits — chunk (= user) order, the
+//!   batch replay order. The pDNS first/last-seen windows therefore
+//!   advance with the sim clock as the stream runs, which is what lets
+//!   rolling snapshots read a live view mid-stream.
+//! * **Rolling window snapshots.** With [`StreamConfig::with_snapshots`],
+//!   the study window splits into `K` equal sim-time windows and a
+//!   cumulative [`crate::snapshots::RollingSnapshot`] is emitted as soon
+//!   as every user a window covers is durable. Snapshot coverage is a
+//!   pure function of the window boundary (see `crate::snapshots`), so
+//!   each emitted snapshot equals the batch pipeline on the log truncated
+//!   at that boundary, regardless of chunking, threads or kills
+//!   (`tests/rolling_snapshots.rs`).
 //! * **Resume replays, never re-randomizes.** A resuming run rebuilds the
 //!   world, regenerates the population and re-draws `study_seed` from the
 //!   same world RNG stream — leaving the RNG exactly where geolocation
@@ -49,6 +68,7 @@
 
 use crate::ips::{CompletionStats, IpInfo, TrackerIpSet};
 use crate::pipeline::{geolocate_providers, StudyOutputs};
+use crate::snapshots::SnapshotAccumulator;
 use crate::worldgen::{World, WorldConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -65,8 +85,8 @@ use xborder_checkpoint::{
     ByteReader, ByteWriter, CheckpointError, CheckpointStore, DecodeError,
 };
 use xborder_classify::{
-    classify_with_stages_threads, generate_lists, method_counts, Classification,
-    ClassificationResult, ClassifierStages,
+    generate_lists, Classification, ClassificationResult, ClassifierStages,
+    IncrementalClassifier,
 };
 use xborder_dns::PdnsIdObservation;
 use xborder_faults::{
@@ -85,17 +105,30 @@ pub struct StreamConfig {
     /// Where to write checkpoints; `None` disables durability (the chunk
     /// loop still runs, with zero IO).
     pub checkpoint_dir: Option<PathBuf>,
+    /// Number of rolling report windows to emit during the stream; `0`
+    /// disables them. A pure observability knob: snapshots never feed
+    /// back into the pipeline outputs, and — like chunking — the value is
+    /// excluded from the checkpoint fingerprint, so a resume may change
+    /// it freely.
+    pub snapshot_windows: usize,
 }
 
 impl StreamConfig {
     /// In-memory streaming: chunked execution, no checkpoints.
     pub fn in_memory(chunk_users: usize) -> StreamConfig {
-        StreamConfig { chunk_users, checkpoint_dir: None }
+        StreamConfig { chunk_users, checkpoint_dir: None, snapshot_windows: 0 }
     }
 
     /// Durable streaming: checkpoint every chunk and stage into `dir`.
     pub fn durable(chunk_users: usize, dir: impl Into<PathBuf>) -> StreamConfig {
-        StreamConfig { chunk_users, checkpoint_dir: Some(dir.into()) }
+        StreamConfig { chunk_users, checkpoint_dir: Some(dir.into()), snapshot_windows: 0 }
+    }
+
+    /// Emits `windows` cumulative rolling snapshots over the study window
+    /// as ingestion progresses (DESIGN.md §5g).
+    pub fn with_snapshots(mut self, windows: usize) -> StreamConfig {
+        self.snapshot_windows = windows;
+        self
     }
 }
 
@@ -142,6 +175,26 @@ fn killable(kill: &KillSwitch, label: &str) -> Result<(), StreamError> {
     if kill.fire(label) {
         let site = kill.fired().map(|(s, _)| s).unwrap_or_default();
         return Err(StreamError::Killed { site, label: label.to_string() });
+    }
+    Ok(())
+}
+
+/// Emits every rolling snapshot whose window is fully covered now that
+/// `users_ingested` users are durable. Each emission is a kill site
+/// (`snapshot-{i}:emitted`): a crash immediately after publishing a
+/// snapshot is a scheduled scenario in the resume tests.
+fn emit_due_snapshots(
+    acc: &mut Option<SnapshotAccumulator>,
+    users_ingested: usize,
+    kill: &KillSwitch,
+    snapshot_ms: &mut f64,
+) -> Result<(), StreamError> {
+    let Some(acc) = acc.as_mut() else { return Ok(()) };
+    while acc.due(users_ingested) {
+        let t = Instant::now();
+        let i = acc.emit_next();
+        *snapshot_ms += t.elapsed().as_secs_f64() * 1e3;
+        killable(kill, &format!("snapshot-{i}:emitted"))?;
     }
     Ok(())
 }
@@ -220,8 +273,18 @@ pub fn run_extension_pipeline_streaming(
     let chunk_users = stream_cfg.chunk_users.max(1);
 
     // Filter lists are a pure function of the web graph (no RNG); build
-    // them once for the per-chunk classification.
+    // them once for the delta-fixpoint classifier.
     let (easylist, easyprivacy) = generate_lists(&world.graph);
+    let stages = ClassifierStages::default();
+    let mut classifier = IncrementalClassifier::new(&easylist, &easyprivacy, stages);
+    let mut snap_acc = (stream_cfg.snapshot_windows > 0).then(|| {
+        SnapshotAccumulator::new(
+            world.config.study.window,
+            &population,
+            stream_cfg.snapshot_windows,
+        )
+    });
+    let mut snapshot_ms = 0.0f64;
 
     let mut states: Vec<ChunkState> = Vec::new();
     let mut pre_fault_offset: u64 = 0;
@@ -229,7 +292,11 @@ pub fn run_extension_pipeline_streaming(
 
     // Replay: every chunk the manifest says is durable is loaded and
     // validated instead of simulated. The loader never writes — a corrupt
-    // chunk surfaces as a typed error with the directory untouched.
+    // chunk surfaces as a typed error with the directory untouched. Side
+    // effects (pDNS absorption, snapshot accumulation) re-apply in chunk
+    // order, and so do the classifier state deltas: applying them in
+    // order reconstructs the exact live classifier, so the resumed run
+    // continues without re-deriving it.
     if let Some(store) = &store {
         for entry in store.chunks().to_vec() {
             if entry.user_start != next_user as u64
@@ -245,22 +312,45 @@ pub fn run_extension_pipeline_streaming(
                 .into());
             }
             let payload = store.load_chunk(&entry)?;
-            let state = decode_chunk_state(&entry.file, &payload)?;
+            let (state, cls_bytes) = decode_chunk_payload(&entry.file, &payload)?;
+            let mut rd = ByteReader::new(cls_bytes);
+            classifier
+                .apply_delta(&mut rd, world.graph.domains())
+                .map_err(|e| corrupt(&entry.file, e))?;
+            rd.finish().map_err(|e| corrupt(&entry.file, e))?;
+            world
+                .dns
+                .absorb_id_observations(&state.chunk.observations, world.graph.domains());
+            if let Some(acc) = &mut snap_acc {
+                let t = Instant::now();
+                acc.absorb_chunk(
+                    &state.chunk.visits,
+                    &state.chunk.requests,
+                    &state.labels,
+                    &world.infra,
+                );
+                snapshot_ms += t.elapsed().as_secs_f64() * 1e3;
+            }
             pre_fault_offset += state.chunk.report.requests_generated;
             next_user = entry.user_end as usize;
             states.push(state);
+            emit_due_snapshots(&mut snap_acc, next_user, kill, &mut snapshot_ms)?;
         }
     }
 
-    // Ingest the remaining users chunk by chunk. The stream borrows the
-    // world's DNS read-only; buffered observations replay after the loop.
+    // Ingest the remaining users chunk by chunk. The view over the
+    // world's DNS zones is read-only; the pDNS sensor is borrowed
+    // mutably alongside it (disjoint fields) so each committed chunk's
+    // buffered observations absorb immediately, in chunk order.
     let t_ingest = Instant::now();
+    let snap_ms_before_ingest = snapshot_ms;
     let mut classify_ms = 0.0f64;
     let users = {
-        let stream = StudyStream::new(
+        let (view, pdns) = world.dns.indexed_view_and_pdns(world.graph.domains());
+        let stream = StudyStream::with_view(
             &world.config.study,
             &world.graph,
-            &world.dns,
+            view,
             population,
             study_seed,
         );
@@ -269,15 +359,12 @@ pub fn run_extension_pipeline_streaming(
             let end = (next_user + chunk_users).min(n_users);
             killable(kill, &format!("chunk-{index}:begin"))?;
             let chunk = stream.simulate_chunk(next_user..end, &inj, threads, pre_fault_offset);
+            // Delta-fixpoint classification: only this chunk's frontier is
+            // walked; interner/memo/count state persists across chunks.
+            // Sequential absorption is label- and count-identical to the
+            // batch pass (and trivially thread-invariant).
             let t_cls = Instant::now();
-            let cls = classify_with_stages_threads(
-                &chunk.requests,
-                world.graph.domains(),
-                &easylist,
-                &easyprivacy,
-                ClassifierStages::default(),
-                threads,
-            );
+            let cls = classifier.append_chunk(&chunk.requests, world.graph.domains());
             classify_ms += t_cls.elapsed().as_secs_f64() * 1e3;
             let state = ChunkState {
                 chunk,
@@ -286,30 +373,46 @@ pub fn run_extension_pipeline_streaming(
                 stage3_rounds: cls.stage3_rounds,
             };
             if let Some(store) = &mut store {
-                let payload = encode_chunk_state(&state);
+                let payload = encode_chunk_payload(&state, &mut classifier);
                 store.append_chunk(index, next_user as u64, end as u64, &payload, kill)?;
             }
             killable(kill, &format!("chunk-{index}:committed"))?;
+            for o in &state.chunk.observations {
+                pdns.observe(world.graph.domains().domain(o.host), o.ip, o.time);
+            }
+            if let Some(acc) = &mut snap_acc {
+                let t = Instant::now();
+                acc.absorb_chunk(
+                    &state.chunk.visits,
+                    &state.chunk.requests,
+                    &state.labels,
+                    &world.infra,
+                );
+                snapshot_ms += t.elapsed().as_secs_f64() * 1e3;
+            }
             pre_fault_offset += state.chunk.report.requests_generated;
             states.push(state);
             next_user = end;
+            emit_due_snapshots(&mut snap_acc, next_user, kill, &mut snapshot_ms)?;
             index += 1;
         }
         stream.into_users()
     };
+    // Degenerate streams (zero users) never enter the loop; drain any
+    // windows whose coverage is trivially complete.
+    emit_due_snapshots(&mut snap_acc, next_user, kill, &mut snapshot_ms)?;
     killable(kill, "stage:study:done")?;
 
-    // Finalize the study: replay side effects and reassemble the global
-    // log in chunk (= user) order, exactly the batch merge.
+    // Finalize the study: reassemble the global log in chunk (= user)
+    // order, exactly the batch merge. pDNS observations were already
+    // absorbed as each chunk committed (or replayed), so finalization is
+    // pure concatenation.
     let mut visits: Vec<Visit> = Vec::new();
     let mut requests: Vec<LoggedRequest> = Vec::new();
     let mut labels: Vec<Classification> = Vec::new();
     let mut stage2_depth = 0usize;
     let mut stage3_rounds = 0usize;
     for state in states {
-        world
-            .dns
-            .absorb_id_observations(&state.chunk.observations, world.graph.domains());
         report.absorb_counters(&state.chunk.report);
         let offset = requests.len() as u32;
         visits.extend(state.chunk.visits);
@@ -334,12 +437,15 @@ pub fn run_extension_pipeline_streaming(
         requests,
         domains: world.graph.domains().clone(),
     };
-    report.timings.study_ms = t_ingest.elapsed().as_secs_f64() * 1e3 - classify_ms;
+    report.timings.study_ms = t_ingest.elapsed().as_secs_f64() * 1e3
+        - classify_ms
+        - (snapshot_ms - snap_ms_before_ingest);
 
-    // Table-2 distinct counts are not additive across chunks; recompute
-    // them over the full log — the batch classifier's own final pass.
-    let t_stage = Instant::now();
-    let (abp, semi) = method_counts(&dataset.requests, &dataset.domains, &labels);
+    // Table-2 distinct counts absorbed chunk by chunk through the
+    // classifier's persistent seen-bits — no full-log recount. The
+    // running totals equal `method_counts` over the concatenated log
+    // (pinned in the classify crate's incremental tests).
+    let (abp, semi) = classifier.counts();
     let stage2_rounds = 1 + stage2_depth;
     let classification = ClassificationResult {
         labels,
@@ -349,7 +455,8 @@ pub fn run_extension_pipeline_streaming(
         stage2_rounds,
         stage3_rounds,
     };
-    report.timings.classify_ms = classify_ms + t_stage.elapsed().as_secs_f64() * 1e3;
+    report.timings.classify_ms = classify_ms;
+    report.timings.snapshot_ms = snapshot_ms;
     killable(kill, "stage:classify:done")?;
 
     // Tracker IP set + pDNS completion — the stage-boundary checkpoint. A
@@ -392,6 +499,9 @@ pub fn run_extension_pipeline_streaming(
     report.timings.geolocate_ms = t_stage.elapsed().as_secs_f64() * 1e3;
     killable(kill, "stage:geolocate:done")?;
 
+    // The classifier borrows the filter lists; it is fully consumed
+    // (labels emitted, counts read) before the lists move into the output.
+    drop(classifier);
     let out = StudyOutputs {
         dataset,
         classification,
@@ -402,6 +512,7 @@ pub fn run_extension_pipeline_streaming(
         ipmap_estimates,
         maxmind_estimates,
         ipapi_estimates,
+        snapshots: snap_acc.map(SnapshotAccumulator::into_snapshots).unwrap_or_default(),
     };
     report.eu28_confinement =
         crate::confine::region_breakdown_eu28(&out, &out.ipmap_estimates).share(Region::Eu28);
@@ -537,6 +648,35 @@ fn read_label(r: &mut ByteReader<'_>) -> Result<Classification, DecodeError> {
             detail: format!("unknown classification tag {tag}"),
         }),
     }
+}
+
+/// The durable chunk payload: two length-prefixed sections — the chunk
+/// state, then the incremental-classifier *delta* for this chunk.
+/// Encoding advances the classifier's delta baseline (the only caller
+/// encodes each chunk exactly once, in order); replay applies every
+/// durable chunk's delta in the same order to reconstruct the state.
+fn encode_chunk_payload(state: &ChunkState, classifier: &mut IncrementalClassifier<'_>) -> Vec<u8> {
+    let mut cw = ByteWriter::new();
+    classifier.encode_delta(&mut cw);
+    let cls = cw.into_bytes();
+    let chunk = encode_chunk_state(state);
+    let mut w = ByteWriter::with_capacity(16 + chunk.len() + cls.len());
+    w.put_blob(&chunk);
+    w.put_blob(&cls);
+    w.into_bytes()
+}
+
+/// Splits a chunk payload into its decoded chunk state and the raw bytes
+/// of the classifier delta section (applied by the replay loop).
+fn decode_chunk_payload<'p>(
+    file: &str,
+    payload: &'p [u8],
+) -> Result<(ChunkState, &'p [u8]), StreamError> {
+    let mut rd = ByteReader::new(payload);
+    let chunk = rd.blob().map_err(|e| corrupt(file, e))?;
+    let cls = rd.blob().map_err(|e| corrupt(file, e))?;
+    rd.finish().map_err(|e| corrupt(file, e))?;
+    Ok((decode_chunk_state(file, chunk)?, cls))
 }
 
 fn encode_chunk_state(state: &ChunkState) -> Vec<u8> {
@@ -808,6 +948,28 @@ mod tests {
         assert_eq!(back.labels, state.labels);
         assert_eq!(back.stage2_rounds, state.stage2_rounds);
         assert_eq!(back.stage3_rounds, state.stage3_rounds);
+    }
+
+    #[test]
+    fn chunk_payload_framing_splits_sections() {
+        // The classifier section is opaque at the framing layer; framing
+        // must hand it back byte-exact and reject trailing garbage.
+        let state = sample_state();
+        let mut w = ByteWriter::new();
+        w.put_blob(&encode_chunk_state(&state));
+        w.put_blob(&[0xAB, 0xCD, 0xEF]);
+        let payload = w.into_bytes();
+        let (back, cls) = decode_chunk_payload("chunk-00000.xbc", &payload).unwrap();
+        assert_eq!(back.chunk, state.chunk);
+        assert_eq!(cls, &[0xAB, 0xCD, 0xEF]);
+
+        let mut with_trailer = payload.clone();
+        with_trailer.push(0);
+        let err = decode_chunk_payload("chunk-00000.xbc", &with_trailer).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::Checkpoint(CheckpointError::Corrupt { .. })
+        ));
     }
 
     #[test]

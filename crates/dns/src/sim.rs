@@ -241,6 +241,22 @@ impl<'a> IndexedZoneView<'a> {
     }
 }
 
+/// Shared body of [`DnsSim::indexed_view`] and
+/// [`DnsSim::indexed_view_and_pdns`]: one string lookup plus one
+/// `stable_hash` per interned domain.
+fn build_indexed_view<'a>(
+    zones: &'a HashMap<Domain, ZoneEntry>,
+    domains: &'a DomainTable,
+) -> IndexedZoneView<'a> {
+    let mut by_id = vec![None; domains.len()];
+    let mut host_hash = vec![0u64; domains.len()];
+    for (id, d) in domains.iter() {
+        by_id[id.0 as usize] = zones.get(d);
+        host_hash[id.0 as usize] = stable_hash(d.as_str().as_bytes());
+    }
+    IndexedZoneView { by_id, host_hash, domains }
+}
+
 impl DnsSim {
     /// An empty simulator.
     pub fn new() -> Self {
@@ -265,13 +281,18 @@ impl DnsSim {
     /// string lookup plus one `stable_hash` per interned domain *here*,
     /// zero on the hot path afterwards.
     pub fn indexed_view<'a>(&'a self, domains: &'a DomainTable) -> IndexedZoneView<'a> {
-        let mut by_id = vec![None; domains.len()];
-        let mut host_hash = vec![0u64; domains.len()];
-        for (id, d) in domains.iter() {
-            by_id[id.0 as usize] = self.zones.get(d);
-            host_hash[id.0 as usize] = stable_hash(d.as_str().as_bytes());
-        }
-        IndexedZoneView { by_id, host_hash, domains }
+        build_indexed_view(&self.zones, domains)
+    }
+
+    /// [`DnsSim::indexed_view`] plus mutable access to the passive-DNS
+    /// sensor: the two borrow disjoint fields, so a streaming driver can
+    /// absorb each chunk's observations as it commits while the study
+    /// stream keeps resolving through the (read-only) zone view.
+    pub fn indexed_view_and_pdns<'a>(
+        &'a mut self,
+        domains: &'a DomainTable,
+    ) -> (IndexedZoneView<'a>, &'a mut PassiveDnsDb) {
+        (build_indexed_view(&self.zones, domains), &mut self.pdns)
     }
 
     /// Replays shard-buffered observations into the passive-DNS sensor.

@@ -569,6 +569,10 @@ pub struct StageTimings {
     /// Bytes requested by those allocations (same caveats).
     #[serde(default)]
     pub study_alloc_bytes: u64,
+    /// Rolling-window snapshot accumulation + emission in the streaming
+    /// driver; 0 when snapshots are disabled or in the batch pipeline.
+    #[serde(default)]
+    pub snapshot_ms: f64,
 }
 
 /// Cumulative allocation counters read from an installed probe:

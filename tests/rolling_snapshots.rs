@@ -1,0 +1,134 @@
+//! The rolling-window snapshot contract (DESIGN.md §5g): every snapshot a
+//! streaming run emits equals the batch pipeline on the log truncated at
+//! that window's end — for every chunking × thread budget × kill schedule.
+//!
+//! The truth side is [`xborder::snapshots::batch_snapshots`], a
+//! deliberately naive per-window filter-and-count over the *completed*
+//! batch dataset (i.e. the truncated-log recomputation), so the pin is
+//! independent of the streaming accumulator's delta bookkeeping.
+
+use std::fs;
+use std::path::PathBuf;
+use xborder::pipeline::run_extension_pipeline_degraded;
+use xborder::snapshots::{batch_snapshots, RollingSnapshot};
+use xborder::stream::{run_extension_pipeline_streaming, StreamConfig, StreamError};
+use xborder::{World, WorldConfig};
+use xborder_faults::{FaultPlan, KillSwitch};
+
+const WINDOWS: usize = 5;
+
+/// Small world (mirrors tests/streaming_resume.rs) so the matrix stays fast.
+fn tiny_config(seed: u64) -> WorldConfig {
+    let mut cfg = WorldConfig::small(seed);
+    cfg.web.n_publishers = 60;
+    cfg.web.n_adtech_orgs = 20;
+    cfg.web.n_clean_orgs = 10;
+    cfg.study.population.n_users = 10;
+    cfg.study.visits_per_user_mean = 6.0;
+    cfg.ipmap.total_probes = 300;
+    cfg.ipmap.probes_per_target = 12;
+    cfg.ipmap.samples_per_probe = 2;
+    cfg.ipmap.landmarks = 12;
+    cfg
+}
+
+/// What the snapshots must be: the naive truncated-log recomputation over
+/// the batch pipeline's outputs.
+fn truth(seed: u64, plan: &FaultPlan) -> Vec<RollingSnapshot> {
+    let mut world = World::build(tiny_config(seed).with_threads(1));
+    let (out, _) = run_extension_pipeline_degraded(&mut world, plan);
+    batch_snapshots(
+        &out.dataset,
+        &out.classification.labels,
+        &world.infra,
+        world.config.study.window,
+        WINDOWS,
+    )
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xborder-snap-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn every_snapshot_equals_batch_truncated_at_its_window() {
+    let seed = 11u64;
+    for plan in [FaultPlan::none(), FaultPlan::aggressive(seed)] {
+        let want = truth(seed, &plan);
+        assert_eq!(want.len(), WINDOWS);
+        for chunk_users in [1usize, 7, 16] {
+            for threads in [1usize, 8] {
+                let mut world = World::build(tiny_config(seed).with_threads(threads));
+                let cfg = StreamConfig::in_memory(chunk_users).with_snapshots(WINDOWS);
+                let (out, _) =
+                    run_extension_pipeline_streaming(&mut world, &plan, &cfg, &KillSwitch::none())
+                        .expect("un-killed streaming run succeeds");
+                assert_eq!(
+                    out.snapshots, want,
+                    "snapshots drifted at chunk {chunk_users}, threads {threads}, plan {plan:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn final_snapshot_converges_on_the_full_run() {
+    let seed = 11u64;
+    let plan = FaultPlan::none();
+    let mut world = World::build(tiny_config(seed).with_threads(1));
+    let cfg = StreamConfig::in_memory(4).with_snapshots(WINDOWS);
+    let (out, _) = run_extension_pipeline_streaming(&mut world, &plan, &cfg, &KillSwitch::none())
+        .expect("streaming run succeeds");
+    let last = out.snapshots.last().expect("snapshots emitted");
+    // The last window's coverage is the whole study: its cumulative totals
+    // must agree with the final outputs exactly.
+    assert_eq!(last.users_covered, out.dataset.users.users.len());
+    assert_eq!(last.visits, out.dataset.visits.len() as u64);
+    assert_eq!(last.requests, out.dataset.requests.len() as u64);
+    let tracking = out
+        .classification
+        .labels
+        .iter()
+        .filter(|l| l.is_tracking())
+        .count() as u64;
+    assert_eq!(last.tracking_requests(), tracking);
+    assert!(last.requests > 0, "degenerate dataset defeats the test");
+    assert!(tracking > 0, "degenerate classification defeats the test");
+    // Cumulative series are monotone.
+    for w in out.snapshots.windows(2) {
+        assert!(w[0].requests <= w[1].requests);
+        assert!(w[0].visits <= w[1].visits);
+        assert!(w[0].distinct_tracker_ips <= w[1].distinct_tracker_ips);
+        assert!(w[0].eu28_confined <= w[1].eu28_confined);
+    }
+}
+
+/// A crash right after a snapshot is published, then a resume on the same
+/// directory: the resumed run replays the durable chunks, re-emits every
+/// window, and the full snapshot series is bit-identical to truth.
+#[test]
+fn resume_after_snapshot_kill_reemits_identical_snapshots() {
+    let seed = 7u64;
+    let plan = FaultPlan::none();
+    let want = truth(seed, &plan);
+    let dir = tmp_dir("resume");
+    let cfg = StreamConfig::durable(3, &dir).with_snapshots(WINDOWS);
+
+    let kill = KillSwitch::at_label("snapshot-1:emitted");
+    let mut world = World::build(tiny_config(seed).with_threads(1));
+    let r = run_extension_pipeline_streaming(&mut world, &plan, &cfg, &kill);
+    match r {
+        Err(StreamError::Killed { label, .. }) => assert_eq!(label, "snapshot-1:emitted"),
+        Err(other) => panic!("expected a kill, got {other:?}"),
+        Ok(_) => panic!("expected a kill, run completed"),
+    }
+
+    let mut world = World::build(tiny_config(seed).with_threads(1));
+    let (out, _) = run_extension_pipeline_streaming(&mut world, &plan, &cfg, &KillSwitch::none())
+        .expect("resume succeeds");
+    assert_eq!(out.snapshots, want);
+    let _ = fs::remove_dir_all(&dir);
+}

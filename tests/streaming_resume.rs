@@ -7,12 +7,15 @@
 //!    uninterrupted batch pipeline's fingerprint *and* degradation report
 //!    (timings zeroed), with checkpointing off and on.
 //! 2. **Kill-anywhere resume.** Every kill site of a checkpointed run —
-//!    chunk boundaries, stage boundaries, and all four phases of every
-//!    atomic write (including mid-write, which leaves a torn tmp file) —
-//!    is swept: kill there, resume on the same directory, and the final
-//!    outputs must be bit-identical to batch. Also pinned: a double-kill
-//!    schedule (two crashes in one logical run), and that resume actually
-//!    consumes durable chunks rather than recomputing them.
+//!    chunk boundaries, stage boundaries, every phase of every blob write
+//!    (fresh chunk blobs write directly at their final name, so mid-write
+//!    kills leave a *torn final-name* file; replacing writes keep the
+//!    tmp→rename dance), and the directory fsync after each manifest
+//!    rename — is swept: kill there, resume on the same directory, and
+//!    the final outputs must be bit-identical to batch. Also pinned: a
+//!    double-kill schedule (two crashes in one logical run), an explicit
+//!    post-commit `:dirsync` kill, and that resume actually consumes
+//!    durable chunks rather than recomputing them.
 //! 3. **Corruption matrix.** A truncated blob, a bit-flipped blob, a
 //!    version-bumped manifest and a mismatched world seed each refuse
 //!    resume with the precise typed error — and leave every byte of the
@@ -234,6 +237,34 @@ fn kill_anywhere_resume_matches_batch() {
     }
 }
 
+/// The directory-entry fsync after the manifest rename is its own kill
+/// site, *after* the commit point: a crash there must leave the chunk
+/// durable, and the resume must consume it and land on batch.
+#[test]
+fn dirsync_kill_lands_after_the_commit_point() {
+    let seed = 7u64;
+    let plan = FaultPlan::none();
+    let dir = tmp_dir("dirsync");
+    let stream = StreamConfig::durable(3, &dir);
+
+    let kill = KillSwitch::at_label("chunk-1:manifest:dirsync");
+    let r = run_streaming(tiny_config(seed), &plan, &stream, &kill);
+    assert!(matches!(r, Err(StreamError::Killed { .. })), "{r:?}");
+    let manifest = fs::read_to_string(dir.join("manifest.json")).expect("manifest committed");
+    assert_eq!(
+        manifest.matches("chunk-").count(),
+        2,
+        "chunk 1 committed before the dirsync site fired:\n{manifest}"
+    );
+
+    let (batch_fp, batch_report) = run_batch(tiny_config(seed), &plan);
+    let (fp, report) = run_streaming(tiny_config(seed), &plan, &stream, &KillSwitch::none())
+        .expect("resume succeeds");
+    assert_eq!(fp, batch_fp);
+    assert_eq!(report, batch_report);
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn double_kill_schedule_still_converges() {
     let seed = 23u64;
@@ -274,8 +305,11 @@ fn resume_consumes_durable_chunks() {
     let dir = tmp_dir("consume");
     let stream = StreamConfig::durable(3, &dir);
 
-    // Kill while chunk 2's blob is mid-write: chunks 0 and 1 are durable,
-    // chunk 2 exists only as a torn tmp file.
+    // Kill while chunk 2's blob is mid-write: chunks 0 and 1 are durable.
+    // Fresh chunk blobs write directly at their final name (the manifest
+    // rename is the sole commit point), so the crash leaves a torn file
+    // at `chunk-00002.xbc` that the manifest does not reference — the
+    // resume overwrites it by re-executing the chunk.
     let kill = KillSwitch::at_label("chunk-2:blob:mid");
     let r = run_streaming(tiny_config(seed), &plan, &stream, &kill);
     assert!(matches!(r, Err(StreamError::Killed { .. })), "{r:?}");
@@ -286,8 +320,12 @@ fn resume_consumes_durable_chunks() {
         "exactly chunks 0 and 1 should be durable:\n{manifest}"
     );
     assert!(
-        dir.join("chunk-00002.xbc.tmp").exists(),
-        "mid-write kill should leave a torn tmp file"
+        dir.join("chunk-00002.xbc").exists(),
+        "mid-write kill should leave a torn file at the final name"
+    );
+    assert!(
+        !manifest.contains("chunk-00002.xbc"),
+        "the torn chunk must not be referenced:\n{manifest}"
     );
 
     let (batch_fp, _) = run_batch(tiny_config(seed), &plan);
@@ -355,7 +393,8 @@ fn corruption_matrix_refuses_with_typed_errors_and_leaves_dir_untouched() {
     fs::write(&chunk1, &pristine_chunk).unwrap();
 
     // --- Manifest from a future format version → VersionMismatch. ---
-    let bumped = pristine_manifest.replacen("\"version\": 1", "\"version\": 99", 1);
+    let needle = format!("\"version\": {}", xborder_checkpoint::CHECKPOINT_VERSION);
+    let bumped = pristine_manifest.replacen(&needle, "\"version\": 99", 1);
     assert_ne!(bumped, pristine_manifest, "manifest version field not found");
     fs::write(&manifest_path, &bumped).unwrap();
     let before = snapshot(&dir);
