@@ -74,7 +74,14 @@ pairs = [(stage, old.get(stage), new.get(stage))
 old_s, new_s = old_doc.get("streaming", {}), new_doc.get("streaming", {})
 pairs += [(f"streaming.{key}", old_s.get(key), new_s.get(key))
           for key in ("streaming_ms", "streaming_ckpt_ms",
-                      "incremental_classify_ms", "snapshot_ms")]
+                      "incremental_classify_ms", "snapshot_ms",
+                      "classify_overhead_vs_batch_pct",
+                      "checkpoint_overhead_ms")]
+# The compiled rule engine's build and match costs are microbenched on a
+# synthetic URL-dependent rule set, so they gate like any other stage.
+old_e, new_e = old_doc.get("rule_engine", {}), new_doc.get("rule_engine", {})
+pairs += [(f"rule_engine.{key}", old_e.get(key), new_e.get(key))
+          for key in ("build_ms", "engine_match_ms")]
 for stage, o, n in pairs:
     if o is None or n is None or o <= 0:
         print(f"bench check: no comparable {stage} in baseline; skipping")

@@ -1,13 +1,14 @@
 //! Benchmarks for the classification path (Table 2, Fig. 3) and the
 //! classifier-stage ablation.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use xborder::{World, WorldConfig};
 use xborder_browser::{run_study, ExtensionDataset, StudyConfig};
 use xborder_classify::classifier::{classify_with_stages, ClassifierStages};
-use xborder_classify::{classify, generate_lists, FilterList};
+use xborder_classify::{classify, generate_lists, FilterList, FilterRule, RuleEngine};
+use xborder_webgraph::Domain;
 
 fn dataset() -> (World, ExtensionDataset, FilterList, FilterList) {
     let mut world = World::build(WorldConfig::small(11));
@@ -84,11 +85,92 @@ fn bench_filter_list_matching(c: &mut Criterion) {
     g.finish();
 }
 
+/// Synthetic URL-dependent rule set + probe URLs for the engine scaling
+/// curve (the generated lists are all domain anchors; substring/path
+/// rules are where the automaton's one-pass scan beats the per-rule
+/// oracle, and where the curve's slope shows).
+fn engine_workload(n_rules: usize, n_urls: usize, seed: u64) -> (FilterList, Vec<(Domain, String)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_domains = (n_rules / 2).max(8);
+    let domains: Vec<Domain> = (0..n_domains)
+        .map(|i| Domain::new(format!("cdn{i}.ads{}.example{}.com", i % 13, i % 5)))
+        .collect();
+    let mut list = FilterList::new("bench-engine");
+    for i in 0..n_rules {
+        list.push(match i % 5 {
+            0 => FilterRule::DomainAnchor(domains[rng.gen_range(0..n_domains)].clone()),
+            1 | 2 => FilterRule::DomainWithPath {
+                domain: domains[rng.gen_range(0..n_domains)].clone(),
+                path_prefix: format!("/seg{}/", i % 97),
+            },
+            _ => FilterRule::UrlSubstring(format!("tok{:04}x", rng.gen_range(0..n_rules * 2))),
+        });
+    }
+    let probes = (0..n_urls)
+        .map(|_| {
+            let host = if rng.gen_range(0..4) == 0 {
+                domains[rng.gen_range(0..n_domains)].clone()
+            } else {
+                Domain::new(format!("www.site{}.net", rng.gen_range(0..n_domains)))
+            };
+            let url = format!(
+                "https://{host}/seg{}/page?uid=u{}&tok{:04}x=1",
+                rng.gen_range(0..97),
+                rng.gen_range(0..100_000),
+                rng.gen_range(0..n_rules * 4),
+            );
+            (host, url)
+        })
+        .collect();
+    (list, probes)
+}
+
+fn bench_rule_engine(c: &mut Criterion) {
+    // Scaling curve: match cost over a fixed URL sample as the rule count
+    // grows {64, 512, 4096}. The engine's one-pass automaton should stay
+    // near-flat in rules; the per-rule oracle grows linearly — the gap is
+    // the tentpole's whole argument. Build cost rides along so compile
+    // amortization stays visible.
+    const N_URLS: usize = 2048;
+    let mut g = c.benchmark_group("rule_engine");
+    g.throughput(Throughput::Elements(N_URLS as u64));
+    for n_rules in [64usize, 512, 4096] {
+        let (list, probes) = engine_workload(n_rules, N_URLS, 97);
+        g.bench_with_input(BenchmarkId::new("build", n_rules), &n_rules, |b, _| {
+            b.iter(|| RuleEngine::compile(&[&list]))
+        });
+        let mut engine = RuleEngine::compile(&[&list]);
+        // Warm the per-host row cache so the measured loop is the
+        // steady-state URL path, like the classifier's memoized hot loop.
+        let warm: u64 = probes.iter().filter(|(h, u)| engine.matches(h, u)).count() as u64;
+        let oracle: u64 = probes.iter().filter(|(h, u)| list.matches(h, u)).count() as u64;
+        assert_eq!(warm, oracle, "engine drifted from the rule oracle");
+        g.bench_with_input(BenchmarkId::new("engine_match", n_rules), &n_rules, |b, _| {
+            b.iter(|| {
+                probes
+                    .iter()
+                    .filter(|(host, url)| engine.matches(host, url))
+                    .count()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("oracle_match", n_rules), &n_rules, |b, _| {
+            b.iter(|| {
+                probes
+                    .iter()
+                    .filter(|(host, url)| list.matches(host, url))
+                    .count()
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_table2_classify,
     bench_ablation_stages,
     bench_fig3_top_tlds,
-    bench_filter_list_matching
+    bench_filter_list_matching,
+    bench_rule_engine
 );
 criterion_main!(benches);

@@ -11,12 +11,12 @@
 //! *unique* value, with host strings resolved through the caller's
 //! [`DomainTable`] only at those once-per-unique sites.
 //!
-//! Stage 1 matches the blocklists. Because filter rules factor into a
-//! host-level gate plus URL-dependent leftovers ([`FilterList::host_gate`]),
-//! gates resolve once per unique host; the per-request work is then a
-//! gate-array lookup plus, only where URL-dependent rules exist, a
-//! memoized per-unique-URL evaluation. Stage 1 is embarrassingly parallel
-//! and shards over the request log when given a thread budget.
+//! Stage 1 matches the blocklists through the compiled
+//! [`RuleEngine`](crate::engine::RuleEngine) (DESIGN.md §5h): hosts
+//! resolve once per unique host to a dense [`HostRow`] (always / never /
+//! url-dependent + the host's TLD id), and URL-dependent verdicts are one
+//! Aho-Corasick pass, memoized per unique URL. Stage 1 is embarrassingly
+//! parallel and shards over the request log when given a thread budget.
 //!
 //! Stage 2 propagates tracking labels along referrer edges. Referrer
 //! indices in a compacted log point *backwards* (a parent is logged before
@@ -31,11 +31,11 @@
 //! (memoized per unique URL), then re-propagates from exactly the newly
 //! labeled requests via the worklist — again to true convergence.
 
-use crate::rules::{FilterList, HostGate};
+use crate::engine::{HostRow, KeywordScanner, RuleEngine};
+use crate::rules::FilterList;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use xborder_browser::{LoggedRequest, Referrer};
-use xborder_webgraph::url::TRACKING_KEYWORDS;
 use xborder_webgraph::{fx_hash, Domain, DomainTable, FxMap};
 
 /// Per-request classification outcome.
@@ -199,10 +199,37 @@ pub fn classify_with_stages_threads(
     stages: ClassifierStages,
     threads: usize,
 ) -> ClassificationResult {
+    let mut engine = RuleEngine::compile(&[easylist, easyprivacy]);
+    classify_with_engine(requests, domains, &mut engine, stages, threads)
+}
+
+/// Runs the classifier against an already-compiled [`RuleEngine`] (the
+/// union of the lists it was compiled from). This is the amortized entry
+/// point: compile once per filter-list freeze, classify many logs —
+/// verdicts are identical to [`classify_with_stages_threads`] on the same
+/// lists. `engine` is `&mut` only to let it fill its host-row/TLD caches;
+/// reusing a warm engine across calls is the point.
+pub fn classify_with_engine(
+    requests: &[LoggedRequest],
+    domains: &DomainTable,
+    engine: &mut RuleEngine,
+    stages: ClassifierStages,
+    threads: usize,
+) -> ClassificationResult {
     // Intern the log's heavily-repeated URLs into dense ids once and remap
     // the pre-interned host ids to log-local ones; every stage after this
     // is an array pass instead of repeated string hashing.
-    let interned = Interned::build(requests, domains);
+    let mut interned = Interned::build_core(requests);
+    // One engine resolution per unique host yields the stage-1 gate AND
+    // the dense TLD id in the same pass — the separate per-unique-host
+    // `tld()` derivation the interner used to run is gone.
+    let rows: Vec<HostRow> = interned
+        .host_rep
+        .iter()
+        .map(|&rep| engine.host_row(requests[rep as usize].host, domains))
+        .collect();
+    interned.tld_of_host = rows.iter().map(|r| r.tld()).collect();
+    interned.n_tlds = engine.n_tlds();
     // Per-unique-URL predicate memos, filled on demand. Stage 2 only ever
     // asks about requests whose parent is tracking, and stage 3 only about
     // requests still clean afterwards — in a tracker-heavy log that is a
@@ -215,14 +242,7 @@ pub fn classify_with_stages_threads(
     let scanner = KeywordScanner::new();
 
     // Stage 1: blocklists, matched passively against every request.
-    let mut labels = stage1_blocklists(
-        requests,
-        &interned,
-        domains,
-        easylist,
-        easyprivacy,
-        threads.max(1),
-    );
+    let mut labels = stage1_blocklists(requests, &interned, domains, engine, &rows, threads.max(1));
 
     // Referrer edges are positional; children of dropped parents were
     // remapped to `Referrer::FirstParty` by the log compaction, so every
@@ -430,7 +450,7 @@ impl UrlTable {
             if slot.id1 == 0 {
                 continue;
             }
-            let hash = fx_hash(requests[slot.last as usize].url.as_bytes());
+            let hash = url_hash(requests[slot.last as usize].url.as_bytes());
             let mut d = hash as usize & next.mask;
             while next.slots[d].id1 != 0 {
                 d = (d + 1) & next.mask;
@@ -443,6 +463,19 @@ impl UrlTable {
 
 /// Sentinel in [`Interned::referrer_of`] for "no positional referrer".
 pub(crate) const NO_REFERRER: u32 = u32::MAX;
+
+/// Dedup-probe hash for URL strings: FxHash over the final 32 bytes,
+/// mixed with the length. Simulator URLs share long `scheme://host/path`
+/// prefixes and differ in their identity-token/query tails, so the tail
+/// carries nearly all the entropy at a fraction of the whole-string
+/// hashing cost. Safe to weaken: the hash only *locates* probe slots —
+/// equality is always verified byte-for-byte, and interned ids are
+/// assigned in first-occurrence order, so collisions cost a compare, never
+/// a wrong id.
+pub(crate) fn url_hash(bytes: &[u8]) -> u64 {
+    fx_hash(&bytes[bytes.len().saturating_sub(32)..])
+        .wrapping_add((bytes.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
 
 /// Dense-id view of a request log, built in one sequential pass. Requests
 /// repeat a small set of hosts and URLs thousands of times over; interning
@@ -498,7 +531,27 @@ impl UrlMemo {
 }
 
 impl Interned {
+    /// Full build including the standalone TLD pass — the path for callers
+    /// without a [`RuleEngine`] (e.g. [`method_counts`]). The engine-backed
+    /// classify path uses [`Interned::build_core`] and takes TLD ids from
+    /// the engine's host rows instead.
     fn build(requests: &[LoggedRequest], domains: &DomainTable) -> Interned {
+        let mut interned = Interned::build_core(requests);
+        let mut tld_ids: FxMap<Domain, u32> = FxMap::default();
+        let mut tld_of_host = Vec::with_capacity(interned.host_rep.len());
+        for &rep in &interned.host_rep {
+            let tld = domains.domain(requests[rep as usize].host).tld();
+            let next = tld_ids.len() as u32;
+            tld_of_host.push(*tld_ids.entry(tld).or_insert(next));
+        }
+        interned.tld_of_host = tld_of_host;
+        interned.n_tlds = tld_ids.len();
+        interned
+    }
+
+    /// Interns hosts/URLs/referrers but leaves `tld_of_host`/`n_tlds`
+    /// empty for the caller to fill.
+    fn build_core(requests: &[LoggedRequest]) -> Interned {
         let n = requests.len();
         // World `DomainId` -> log-local dense host id (`u32::MAX` =
         // unseen), lazily grown. Hosts arrive pre-interned from the study,
@@ -533,7 +586,7 @@ impl Interned {
         const HASH_AHEAD: usize = 8;
         let mut ring = [0u64; HASH_AHEAD];
         for (j, slot) in ring.iter_mut().enumerate().take(n.min(HASH_AHEAD)) {
-            *slot = fx_hash(requests[j].url.as_bytes());
+            *slot = url_hash(requests[j].url.as_bytes());
             url_ids.prefetch(*slot);
         }
         for (i, r) in requests.iter().enumerate() {
@@ -543,7 +596,7 @@ impl Interned {
                 std::hint::black_box(u.last().copied());
             }
             let hash = if let Some(ahead) = requests.get(i + HASH_AHEAD) {
-                let h = fx_hash(ahead.url.as_bytes());
+                let h = url_hash(ahead.url.as_bytes());
                 url_ids.prefetch(h);
                 std::mem::replace(&mut ring[i % HASH_AHEAD], h)
             } else {
@@ -581,21 +634,13 @@ impl Interned {
                 Referrer::FirstParty | Referrer::None => NO_REFERRER,
             });
         }
-        let mut tld_ids: FxMap<Domain, u32> = FxMap::default();
-        let mut tld_of_host = Vec::with_capacity(host_rep.len());
-        for &rep in &host_rep {
-            let tld = domains.domain(requests[rep as usize].host).tld();
-            let next = tld_ids.len() as u32;
-            tld_of_host.push(*tld_ids.entry(tld).or_insert(next));
-        }
-        let n_tlds = tld_ids.len();
         Interned {
             host_of,
             url_of,
             host_rep,
             url_rep,
-            tld_of_host,
-            n_tlds,
+            tld_of_host: Vec::new(),
+            n_tlds: 0,
             referrer_of,
         }
     }
@@ -609,38 +654,20 @@ impl Interned {
     }
 }
 
-/// Per-unique-host combined gate: `None` = anchor-matched (always
-/// tracking), `Some(rules)` = the URL-dependent rules of both lists (an
-/// empty vec means the host can never match).
-type Gate<'a> = Option<Vec<&'a crate::rules::FilterRule>>;
-
-/// Stage 1: blocklist matching. Host gates are resolved once per unique
-/// host, then the request log shards over `threads` contiguous chunks,
-/// each a lookup pass over dense ids (with a per-shard unique-URL memo
-/// where URL-dependent rules remain).
+/// Stage 1: blocklist matching through the compiled engine. Host rows are
+/// already resolved (once per unique host, TLD ids included); the request
+/// log shards over `threads` contiguous chunks, each a lookup pass over
+/// dense ids, with a per-shard unique-URL memo where URL-dependent rules
+/// remain. The engine is shared read-only across shards — `url_verdict`
+/// takes `&self`, so no shard-local state can diverge.
 fn stage1_blocklists(
     requests: &[LoggedRequest],
     interned: &Interned,
     domains: &DomainTable,
-    easylist: &FilterList,
-    easyprivacy: &FilterList,
+    engine: &RuleEngine,
+    rows: &[HostRow],
     threads: usize,
 ) -> Vec<Classification> {
-    let gates: Vec<Gate<'_>> = interned
-        .host_rep
-        .iter()
-        .map(|&rep| {
-            let host = domains.domain(requests[rep as usize].host);
-            match (easylist.host_gate(host), easyprivacy.host_gate(host)) {
-                (HostGate::Always, _) | (_, HostGate::Always) => None,
-                (HostGate::UrlDependent(mut a), HostGate::UrlDependent(b)) => {
-                    a.extend(b);
-                    Some(a)
-                }
-            }
-        })
-        .collect();
-
     let mut labels = vec![Classification::Clean; requests.len()];
     let n_urls = interned.n_urls();
     if threads <= 1 || requests.len() < 2 * threads {
@@ -650,21 +677,23 @@ fn stage1_blocklists(
             n_urls,
             &interned.host_of,
             &interned.url_of,
-            &gates,
+            engine,
+            rows,
             &mut labels,
         );
         return labels;
     }
     let chunk = requests.len().div_ceil(threads);
     std::thread::scope(|scope| {
-        let gates = &gates;
         for ((req_chunk, label_chunk), (host_ids, url_ids)) in requests
             .chunks(chunk)
             .zip(labels.chunks_mut(chunk))
             .zip(interned.host_of.chunks(chunk).zip(interned.url_of.chunks(chunk)))
         {
             scope.spawn(move || {
-                stage1_shard(req_chunk, domains, n_urls, host_ids, url_ids, gates, label_chunk)
+                stage1_shard(
+                    req_chunk, domains, n_urls, host_ids, url_ids, engine, rows, label_chunk,
+                )
             });
         }
     });
@@ -681,7 +710,8 @@ fn stage1_shard(
     n_urls: usize,
     host_of: &[u32],
     url_of: &[u32],
-    gates: &[Gate<'_>],
+    engine: &RuleEngine,
+    rows: &[HostRow],
     labels: &mut [Classification],
 ) {
     // Per-unique-URL verdict: 0 = unevaluated, 1 = no match, 2 = match.
@@ -689,74 +719,29 @@ fn stage1_shard(
     // URL-dependent path usually never runs.
     let mut url_memo: Vec<u8> = Vec::new();
     for i in 0..requests.len() {
-        let matched = match &gates[host_of[i] as usize] {
-            None => true,
-            Some(rules) if rules.is_empty() => false,
-            Some(rules) => {
-                if url_memo.is_empty() {
-                    url_memo = vec![0u8; n_urls];
+        let row = rows[host_of[i] as usize];
+        let matched = if row.always() {
+            true
+        } else if row.never() {
+            false
+        } else {
+            if url_memo.is_empty() {
+                url_memo = vec![0u8; n_urls];
+            }
+            let u = url_of[i] as usize;
+            match url_memo[u] {
+                0 => {
+                    let r = &requests[i];
+                    let hit = engine.url_verdict(row, domains.domain(r.host), &r.url);
+                    url_memo[u] = 1 + hit as u8;
+                    hit
                 }
-                let u = url_of[i] as usize;
-                match url_memo[u] {
-                    0 => {
-                        let r = &requests[i];
-                        let host = domains.domain(r.host);
-                        let hit = rules.iter().any(|rule| rule.matches(host, &r.url));
-                        url_memo[u] = 1 + hit as u8;
-                        hit
-                    }
-                    v => v == 2,
-                }
+                v => v == 2,
             }
         };
         if matched {
             labels[i] = Classification::AbpTracking;
         }
-    }
-}
-
-/// ASCII-case-insensitive multi-keyword matcher: one pass over the URL
-/// with a first-byte dispatch into [`TRACKING_KEYWORDS`], no lowercased
-/// allocation and no per-keyword rescans.
-pub(crate) struct KeywordScanner {
-    /// Can this byte (either case) start a keyword? Checked per URL byte,
-    /// so it covers both cases directly instead of lowercasing each byte.
-    first_mask: [bool; 256],
-    by_first: [Vec<&'static [u8]>; 256],
-}
-
-impl KeywordScanner {
-    pub(crate) fn new() -> KeywordScanner {
-        let mut first_mask = [false; 256];
-        let mut by_first: [Vec<&'static [u8]>; 256] = std::array::from_fn(|_| Vec::new());
-        for k in TRACKING_KEYWORDS.iter() {
-            let b = k.as_bytes()[0];
-            first_mask[b as usize] = true;
-            first_mask[b.to_ascii_uppercase() as usize] = true;
-            by_first[b as usize].push(k.as_bytes());
-        }
-        KeywordScanner { first_mask, by_first }
-    }
-
-    pub(crate) fn matches(&self, url: &str) -> bool {
-        let bytes = url.as_bytes();
-        for start in 0..bytes.len() {
-            if !self.first_mask[bytes[start] as usize] {
-                continue;
-            }
-            let first = bytes[start].to_ascii_lowercase();
-            for k in &self.by_first[first as usize] {
-                if bytes.len() - start >= k.len()
-                    && bytes[start..start + k.len()]
-                        .iter()
-                        .zip(*k)
-                        .all(|(b, kb)| b.to_ascii_lowercase() == *kb)
-                {
-                    return true;
-                }
-            }
-        }
-        false
     }
 }
 

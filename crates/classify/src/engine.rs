@@ -1,0 +1,1169 @@
+//! Compiled filter-list engine: Aho-Corasick literal matching with a
+//! token-indexed prefilter and dense per-host gate rows (DESIGN.md §5h).
+//!
+//! [`crate::rules`] keeps the reference semantics: a [`FilterList`] matches
+//! a request by scanning every candidate rule's substring against the URL,
+//! O(rules) per call. Production adblock engines instead compile the whole
+//! rule set once and answer each URL with a single automaton pass; this
+//! module is that compiled form, built by [`RuleEngine::compile`] from one
+//! or more frozen lists:
+//!
+//! - every URL-dependent rule contributes one *distinguishing literal* to a
+//!   single [`AhoCorasick`] automaton — the substring itself for
+//!   [`FilterRule::UrlSubstring`], `domain + path_prefix` for
+//!   [`FilterRule::DomainWithPath`] (a matching URL contains the host,
+//!   which ends with the anchored domain, immediately followed by the
+//!   prefix, so the concatenation must occur verbatim). One pass over the
+//!   URL bytes yields the candidate rules; substring candidates are
+//!   matches outright, path candidates re-check the oracle's positional
+//!   condition, so the verdict is exactly the reference implementation's;
+//! - a 512-bit token bloom ([`TokenPrefilter`]) over each literal's
+//!   *interior* alphanumeric token rejects URLs whose token stream cannot
+//!   contain any literal before the automaton ever runs — and, via
+//!   [`RuleEngine::may_match_encoded`], before a deferred
+//!   [`EncodedUrl`] is even rendered to a string;
+//! - host-level work is cached as dense [`HostRow`]s keyed by
+//!   [`DomainId`]: anchor verdicts, the pay-level-domain id, and a
+//!   content-interned bitset of the host-gated path rules — replacing the
+//!   per-host `Vec<&FilterRule>` gates the classifier used to allocate.
+//!
+//! The engine owns all of its data (no borrows into the source lists), so
+//! the streaming classifier persists it across chunks and stops re-deriving
+//! gates. Everything is deterministic: automaton states are numbered in
+//! BFS order over byte classes assigned in ascending byte order, rule and
+//! pattern ids follow list insertion order, and TLD/row-set ids follow
+//! first-resolution order — no hash-order-dependent value ever escapes.
+
+use crate::rules::{FilterList, FilterRule};
+use std::collections::VecDeque;
+use xborder_webgraph::url::{EncodedUrl, TRACKING_KEYWORDS};
+use xborder_webgraph::{Domain, DomainId, DomainTable, FxMap};
+
+/// Sentinel for an absent goto transition during construction.
+const ABSENT: u32 = u32::MAX;
+
+/// A dense, byte-class-compressed Aho-Corasick DFA over a fixed pattern
+/// set.
+///
+/// Construction builds the classic goto trie + BFS failure links, then
+/// converts to a full DFA in place (each state row maps every byte class
+/// to a next state, so matching is one table read per input byte with no
+/// failure chasing). Two layout tricks keep the hot loop tight:
+///
+/// - input bytes map through a 256-entry *class* table first; only bytes
+///   that occur in some pattern get distinct classes (class 0 = "any other
+///   byte"), shrinking each state row from 256 to `n_classes` entries;
+/// - states are renumbered so every accepting state (own or inherited
+///   match) sits at the tail, making "did anything match" a single
+///   `state >= first_accepting` comparison per byte.
+///
+/// Patterns must be non-empty (an empty needle matches everything; callers
+/// fold that case out — see [`RuleEngine::compile`]). With
+/// `case_insensitive`, patterns are lowercased at build time and upper-case
+/// input bytes share their lower-case byte's class, so matching needs no
+/// per-byte folding.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    /// Input byte -> dense class id.
+    classes: [u8; 256],
+    n_classes: u32,
+    /// Row-major `n_states x n_classes` transition table.
+    next: Vec<u32>,
+    /// States `>= first_accepting` have at least one pattern ending there.
+    first_accepting: u32,
+    /// CSR offsets into `out`: patterns ending at each state (inherited
+    /// matches included).
+    out_start: Vec<u32>,
+    out: Vec<u32>,
+}
+
+impl AhoCorasick {
+    /// Compiles the automaton. Panics if any pattern is empty.
+    pub fn new(patterns: &[&[u8]], case_insensitive: bool) -> AhoCorasick {
+        assert!(
+            patterns.iter().all(|p| !p.is_empty()),
+            "empty patterns must be folded out before automaton construction"
+        );
+        let folded: Vec<Vec<u8>> = patterns
+            .iter()
+            .map(|p| {
+                if case_insensitive {
+                    p.iter().map(|b| b.to_ascii_lowercase()).collect()
+                } else {
+                    p.to_vec()
+                }
+            })
+            .collect();
+
+        // Byte classes, assigned in ascending byte order for determinism.
+        let mut present = [false; 256];
+        for p in &folded {
+            for &b in p {
+                present[b as usize] = true;
+            }
+        }
+        let distinct = present.iter().filter(|&&p| p).count();
+        let mut classes = [0u8; 256];
+        let n_classes;
+        if distinct >= 256 {
+            // No byte left over to serve as the shared "other" class: fall
+            // back to the identity map (only reachable case-sensitively).
+            for (b, c) in classes.iter_mut().enumerate() {
+                *c = b as u8;
+            }
+            n_classes = 256u32;
+        } else {
+            let mut nxt = 1u8;
+            for b in 0..256 {
+                if present[b] {
+                    classes[b] = nxt;
+                    nxt += 1;
+                }
+            }
+            if case_insensitive {
+                for b in b'a'..=b'z' {
+                    classes[b.to_ascii_uppercase() as usize] = classes[b as usize];
+                }
+            }
+            n_classes = nxt as u32;
+        }
+        let nc = n_classes as usize;
+
+        // Goto trie.
+        let mut next: Vec<u32> = vec![ABSENT; nc];
+        let mut out_pats: Vec<Vec<u32>> = vec![Vec::new()];
+        for (pid, p) in folded.iter().enumerate() {
+            let mut s = 0usize;
+            for &b in p {
+                let slot = s * nc + classes[b as usize] as usize;
+                if next[slot] == ABSENT {
+                    let t = out_pats.len() as u32;
+                    next.resize(next.len() + nc, ABSENT);
+                    out_pats.push(Vec::new());
+                    next[slot] = t;
+                }
+                s = next[slot] as usize;
+            }
+            out_pats[s].push(pid as u32);
+        }
+        let n_states = out_pats.len();
+
+        // BFS failure links with in-place goto -> DFA conversion: when a
+        // state is dequeued its fail target (strictly shallower) is already
+        // fully converted, so absent transitions copy the fail row and
+        // output lists inherit the fail state's completed list.
+        let mut fail = vec![0u32; n_states];
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        for slot in next.iter_mut().take(nc) {
+            match *slot {
+                ABSENT => *slot = 0,
+                t => {
+                    fail[t as usize] = 0;
+                    queue.push_back(t);
+                }
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            let s = s as usize;
+            let f = fail[s] as usize;
+            if !out_pats[f].is_empty() {
+                let inherited = out_pats[f].clone();
+                out_pats[s].extend(inherited);
+            }
+            for c in 0..nc {
+                let slot = s * nc + c;
+                match next[slot] {
+                    ABSENT => next[slot] = next[f * nc + c],
+                    t => {
+                        fail[t as usize] = next[f * nc + c];
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+
+        // Renumber accepting states to the tail (stable within each group,
+        // so the permutation is deterministic). The root cannot accept —
+        // empty patterns are asserted out — so it stays state 0.
+        let n_accepting = out_pats.iter().filter(|o| !o.is_empty()).count();
+        let first_accepting = (n_states - n_accepting) as u32;
+        let mut perm = vec![0u32; n_states];
+        let (mut lo, mut hi) = (0u32, first_accepting);
+        for (s, o) in out_pats.iter().enumerate() {
+            if o.is_empty() {
+                perm[s] = lo;
+                lo += 1;
+            } else {
+                perm[s] = hi;
+                hi += 1;
+            }
+        }
+        let mut dfa = vec![0u32; n_states * nc];
+        for s in 0..n_states {
+            let base = perm[s] as usize * nc;
+            for c in 0..nc {
+                dfa[base + c] = perm[next[s * nc + c] as usize];
+            }
+        }
+        let mut inv = vec![0u32; n_states];
+        for (s, &p) in perm.iter().enumerate() {
+            inv[p as usize] = s as u32;
+        }
+        let mut out_start = Vec::with_capacity(n_states + 1);
+        let mut out = Vec::new();
+        for &old in &inv {
+            out_start.push(out.len() as u32);
+            out.extend_from_slice(&out_pats[old as usize]);
+        }
+        out_start.push(out.len() as u32);
+
+        AhoCorasick {
+            classes,
+            n_classes,
+            next: dfa,
+            first_accepting,
+            out_start,
+            out,
+        }
+    }
+
+    /// True if any pattern occurs in `hay` — one table read per byte.
+    pub fn contains(&self, hay: &[u8]) -> bool {
+        let nc = self.n_classes as usize;
+        let mut s = 0usize;
+        for &b in hay {
+            s = self.next[s * nc + self.classes[b as usize] as usize] as usize;
+            if s as u32 >= self.first_accepting {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Streams every pattern occurrence (by pattern id, at each match end
+    /// position) into `on_match`; a `true` return stops the scan early.
+    /// Returns whether the scan was stopped.
+    pub fn scan(&self, hay: &[u8], mut on_match: impl FnMut(u32) -> bool) -> bool {
+        let nc = self.n_classes as usize;
+        let mut s = 0usize;
+        for &b in hay {
+            s = self.next[s * nc + self.classes[b as usize] as usize] as usize;
+            if s as u32 >= self.first_accepting {
+                let (a, z) = (self.out_start[s] as usize, self.out_start[s + 1] as usize);
+                for &pid in &self.out[a..z] {
+                    if on_match(pid) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Number of DFA states (build-cost/bench reporting).
+    pub fn n_states(&self) -> usize {
+        self.out_start.len() - 1
+    }
+
+    /// Number of byte classes (build-cost/bench reporting).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes as usize
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric()
+}
+
+/// 512-bit bloom filter over the *required token* of every automaton
+/// pattern: the longest alphanumeric run bounded by non-alphanumeric bytes
+/// on **both sides within the literal**. Wherever the literal occurs in a
+/// URL, those two boundary bytes come with it, so the run appears as a
+/// complete token of the URL's own token stream — which means a URL none
+/// of whose tokens hits the bloom cannot contain any literal, and the scan
+/// (or even the string rendering, via [`EncodedUrl::visit_bytes`]) can be
+/// skipped. Runs touching a literal's edge are *not* usable: they can
+/// extend into neighboring URL bytes and hash differently.
+///
+/// Only built when every pattern has such an interior token; false
+/// positives merely cost the scan that would have run anyway.
+#[derive(Debug, Clone)]
+pub struct TokenPrefilter {
+    bloom: [u64; 8],
+}
+
+impl TokenPrefilter {
+    /// Builds the bloom, or `None` if some pattern has no interior token
+    /// (the prefilter would then be unsound to consult).
+    fn build(patterns: &[Vec<u8>]) -> Option<TokenPrefilter> {
+        if patterns.is_empty() {
+            return None;
+        }
+        let mut bloom = [0u64; 8];
+        for p in patterns {
+            let h = required_token_hash(p)?;
+            bloom[(h >> 6) as usize & 7] |= 1u64 << (h & 63);
+        }
+        Some(TokenPrefilter { bloom })
+    }
+
+    fn hit(&self, h: u64) -> bool {
+        self.bloom[(h >> 6) as usize & 7] & (1u64 << (h & 63)) != 0
+    }
+
+    /// True unless the byte stream provably contains no pattern literal.
+    pub fn may_match(&self, bytes: &[u8]) -> bool {
+        let mut scan = TokenScan::new(self);
+        scan.feed(bytes);
+        scan.finish()
+    }
+}
+
+/// FNV-1a hash of the longest interior alphanumeric run of `p`.
+fn required_token_hash(p: &[u8]) -> Option<u64> {
+    let mut best: Option<(usize, usize)> = None;
+    let mut i = 0usize;
+    while i < p.len() {
+        if is_token_byte(p[i]) {
+            let start = i;
+            while i < p.len() && is_token_byte(p[i]) {
+                i += 1;
+            }
+            if start > 0 && i < p.len() && best.is_none_or(|(s, e)| i - start > e - s) {
+                best = Some((start, i));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    best.map(|(s, e)| fnv1a(&p[s..e]))
+}
+
+/// Incremental token-stream walker over a byte sequence delivered in
+/// slices (the shape [`EncodedUrl::visit_bytes`] produces), carrying the
+/// in-progress token hash across slice boundaries.
+struct TokenScan<'a> {
+    pf: &'a TokenPrefilter,
+    h: u64,
+    in_token: bool,
+    hit: bool,
+}
+
+impl<'a> TokenScan<'a> {
+    fn new(pf: &'a TokenPrefilter) -> TokenScan<'a> {
+        TokenScan {
+            pf,
+            h: FNV_OFFSET,
+            in_token: false,
+            hit: false,
+        }
+    }
+
+    fn feed(&mut self, bytes: &[u8]) {
+        if self.hit {
+            return;
+        }
+        for &b in bytes {
+            if is_token_byte(b) {
+                if !self.in_token {
+                    self.h = FNV_OFFSET;
+                    self.in_token = true;
+                }
+                self.h = (self.h ^ b as u64).wrapping_mul(FNV_PRIME);
+            } else if self.in_token {
+                self.in_token = false;
+                if self.pf.hit(self.h) {
+                    self.hit = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn finish(mut self) -> bool {
+        if !self.hit && self.in_token {
+            self.hit = self.pf.hit(self.h);
+        }
+        self.hit
+    }
+}
+
+/// ASCII-case-insensitive multi-keyword matcher over
+/// [`TRACKING_KEYWORDS`] — a thin wrapper around a case-folded
+/// [`AhoCorasick`], replacing the first-byte-dispatch scanner the
+/// classifier used to carry (which rescanned from every candidate start
+/// byte; the automaton reads each URL byte exactly once).
+#[derive(Debug, Clone)]
+pub struct KeywordScanner {
+    ac: AhoCorasick,
+}
+
+impl KeywordScanner {
+    /// Builds the automaton over the paper's keyword list.
+    pub fn new() -> KeywordScanner {
+        let patterns: Vec<&[u8]> = TRACKING_KEYWORDS.iter().map(|k| k.as_bytes()).collect();
+        KeywordScanner {
+            ac: AhoCorasick::new(&patterns, true),
+        }
+    }
+
+    /// True if the URL contains any tracking keyword, case-insensitively.
+    pub fn matches(&self, url: &str) -> bool {
+        self.ac.contains(url.as_bytes())
+    }
+}
+
+impl Default for KeywordScanner {
+    fn default() -> Self {
+        KeywordScanner::new()
+    }
+}
+
+const ROW_UNRESOLVED: u8 = 0;
+const ROW_NEVER: u8 = 1;
+const ROW_ALWAYS: u8 = 2;
+const ROW_SCAN: u8 = 3;
+
+/// A host's compiled gate: the engine-level replacement for
+/// [`crate::rules::HostGate`], 12 bytes and `Copy` instead of a
+/// heap-allocated rule vector.
+///
+/// Exactly one of three verdict shapes, plus the host's dense
+/// pay-level-domain id (resolved here so classifiers stop re-deriving
+/// `tld()` separately):
+/// - **always**: an anchor rule covers the host — every URL matches;
+/// - **never**: no rule of any compiled list can match the host;
+/// - **url-dependent**: only the automaton scan can decide, against this
+///   row's bitset of host-gated path rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostRow {
+    kind: u8,
+    /// Index of this host's path-rule bitset in the engine's interned
+    /// set pool (0 = the empty set).
+    set: u32,
+    tld: u32,
+}
+
+impl HostRow {
+    const UNRESOLVED: HostRow = HostRow {
+        kind: ROW_UNRESOLVED,
+        set: 0,
+        tld: 0,
+    };
+
+    /// Every URL on this host matches (anchor-covered).
+    pub fn always(&self) -> bool {
+        self.kind == ROW_ALWAYS
+    }
+
+    /// No URL on this host can ever match.
+    pub fn never(&self) -> bool {
+        self.kind == ROW_NEVER
+    }
+
+    /// The verdict needs a per-URL [`RuleEngine::url_verdict`] scan.
+    pub fn url_dependent(&self) -> bool {
+        self.kind == ROW_SCAN
+    }
+
+    /// Dense pay-level-domain id (engine-assigned, first-resolution
+    /// order).
+    pub fn tld(&self) -> u32 {
+        self.tld
+    }
+}
+
+/// One compiled `DomainWithPath` rule (owned copy).
+struct PathRule {
+    domain: Domain,
+    prefix: String,
+}
+
+/// What an automaton pattern id stands for.
+enum LitRef {
+    /// A `UrlSubstring` literal: a candidate hit *is* a match.
+    Substring,
+    /// A `DomainWithPath` literal: candidate for path rule `.0`, subject
+    /// to the host bitset and the positional verify.
+    Path(u32),
+}
+
+/// Consulting the token prefilter costs a second pass over the URL bytes,
+/// which only pays off once the automaton (and its candidate set) is big
+/// enough to be worth skipping; below this many patterns the scan itself
+/// is the cheaper filter.
+const PREFILTER_HOT_MIN_PATTERNS: usize = 16;
+
+/// The compiled engine over one or more frozen filter lists. See the
+/// module docs for the construction; the verdict contract is
+///
+/// ```text
+/// engine.matches(host, url) == lists.iter().any(|l| l.matches(host, url))
+/// ```
+///
+/// for every host and URL (property-pinned against the reference
+/// implementation in this module's tests). The engine owns all compiled
+/// data and is `Send + Sync` for shared read-only use across stage-1
+/// shards; only host-row resolution ([`RuleEngine::host_row`] /
+/// [`RuleEngine::resolve`]) takes `&mut self`, to fill caches.
+pub struct RuleEngine {
+    /// Anchor domains bucketed by their pay-level domain (the same
+    /// `tld_key` bucketing [`FilterList`] uses, so bucket-miss semantics —
+    /// e.g. an anchor on a bare public suffix — replicate exactly).
+    anchors_by_tld: FxMap<Domain, Vec<Domain>>,
+    path_rules: Vec<PathRule>,
+    /// Path-rule ids bucketed by the anchored domain's pay-level domain.
+    path_by_tld: FxMap<Domain, Vec<u32>>,
+    /// Automaton pattern id -> rule meaning (parallel to the pattern set).
+    lit_ref: Vec<LitRef>,
+    /// The literal automaton; `None` when no URL-dependent literals exist
+    /// (anchor-only lists — the generated-list hot path).
+    ac: Option<AhoCorasick>,
+    /// An empty `UrlSubstring` rule was present: everything matches.
+    match_all: bool,
+    /// Any non-empty `UrlSubstring` rules (they apply to every host).
+    has_substrings: bool,
+    prefilter: Option<TokenPrefilter>,
+    prefilter_hot: bool,
+    /// Words per path-rule bitset (`ceil(path_rules / 64)`).
+    n_path_words: usize,
+    n_rules: usize,
+
+    /// Dense per-[`DomainId`] row cache, lazily resolved.
+    rows: Vec<HostRow>,
+    /// Interned bitset pool, `n_path_words` words per set; set 0 is the
+    /// empty set.
+    row_sets: Vec<u64>,
+    row_dedup: FxMap<Box<[u64]>, u32>,
+    /// Pay-level domain -> dense id, assigned in first-resolution order.
+    tld_ids: FxMap<Domain, u32>,
+    /// Reused scratch for building a host's bitset during resolution.
+    scratch_set: Vec<u64>,
+}
+
+impl RuleEngine {
+    /// Compiles the union of `lists` (rule ids follow list order, then
+    /// insertion order within each list — the reference evaluation order).
+    pub fn compile(lists: &[&FilterList]) -> RuleEngine {
+        let mut anchors_by_tld: FxMap<Domain, Vec<Domain>> = FxMap::default();
+        let mut path_rules: Vec<PathRule> = Vec::new();
+        let mut path_by_tld: FxMap<Domain, Vec<u32>> = FxMap::default();
+        let mut lit_ref: Vec<LitRef> = Vec::new();
+        let mut patterns: Vec<Vec<u8>> = Vec::new();
+        let mut match_all = false;
+        let mut has_substrings = false;
+        let mut n_rules = 0usize;
+        for list in lists {
+            for rule in list.rules() {
+                n_rules += 1;
+                match rule {
+                    FilterRule::DomainAnchor(d) => {
+                        anchors_by_tld.entry(d.tld()).or_default().push(d.clone());
+                    }
+                    FilterRule::DomainWithPath { domain, path_prefix } => {
+                        if domain.as_str().is_empty() && path_prefix.is_empty() {
+                            // Degenerate rule: its literal is empty, but it
+                            // can only ever match the empty host (the only
+                            // subdomain of ""), for which `url.find("")`
+                            // always succeeds — i.e. exact anchor
+                            // semantics. Fold it there instead of feeding
+                            // the automaton an empty needle.
+                            anchors_by_tld.entry(domain.tld()).or_default().push(domain.clone());
+                            continue;
+                        }
+                        let rid = path_rules.len() as u32;
+                        let mut lit =
+                            Vec::with_capacity(domain.as_str().len() + path_prefix.len());
+                        lit.extend_from_slice(domain.as_str().as_bytes());
+                        lit.extend_from_slice(path_prefix.as_bytes());
+                        path_by_tld.entry(domain.tld()).or_default().push(rid);
+                        path_rules.push(PathRule {
+                            domain: domain.clone(),
+                            prefix: path_prefix.clone(),
+                        });
+                        lit_ref.push(LitRef::Path(rid));
+                        patterns.push(lit);
+                    }
+                    FilterRule::UrlSubstring(s) => {
+                        if s.is_empty() {
+                            // `url.contains("")` is always true.
+                            match_all = true;
+                            continue;
+                        }
+                        has_substrings = true;
+                        lit_ref.push(LitRef::Substring);
+                        patterns.push(s.as_bytes().to_vec());
+                    }
+                }
+            }
+        }
+        let prefilter = TokenPrefilter::build(&patterns);
+        let prefilter_hot = patterns.len() >= PREFILTER_HOT_MIN_PATTERNS;
+        let ac = if patterns.is_empty() {
+            None
+        } else {
+            let refs: Vec<&[u8]> = patterns.iter().map(|p| p.as_slice()).collect();
+            // The reference predicate is case-sensitive `str::contains`.
+            Some(AhoCorasick::new(&refs, false))
+        };
+        let n_path_words = path_rules.len().div_ceil(64);
+        let mut row_dedup: FxMap<Box<[u64]>, u32> = FxMap::default();
+        row_dedup.insert(vec![0u64; n_path_words].into_boxed_slice(), 0);
+        RuleEngine {
+            anchors_by_tld,
+            path_rules,
+            path_by_tld,
+            lit_ref,
+            ac,
+            match_all,
+            has_substrings,
+            prefilter,
+            prefilter_hot,
+            n_path_words,
+            n_rules,
+            rows: Vec::new(),
+            row_sets: vec![0u64; n_path_words],
+            row_dedup,
+            tld_ids: FxMap::default(),
+            scratch_set: Vec::new(),
+        }
+    }
+
+    /// The cached [`HostRow`] for an interned host, resolving (and
+    /// memoizing, keyed by the dense [`DomainId`]) on first sight.
+    pub fn host_row(&mut self, host_id: DomainId, domains: &DomainTable) -> HostRow {
+        let i = host_id.0 as usize;
+        if i >= self.rows.len() {
+            self.rows.resize(i + 1, HostRow::UNRESOLVED);
+        }
+        if self.rows[i].kind != ROW_UNRESOLVED {
+            return self.rows[i];
+        }
+        let row = self.resolve(domains.domain(host_id));
+        self.rows[i] = row;
+        row
+    }
+
+    /// Resolves a host's row without consulting or filling the
+    /// [`DomainId`] cache (still interns TLD ids and bitsets). One `tld()`
+    /// derivation per call — the classifiers' former three per unique host
+    /// (two `host_gate`s plus the interner's own pass) collapse into this.
+    pub fn resolve(&mut self, host: &Domain) -> HostRow {
+        let tld = host.tld();
+        let next_t = self.tld_ids.len() as u32;
+        let t = *self.tld_ids.entry(tld.clone()).or_insert(next_t);
+        if self.match_all {
+            return HostRow { kind: ROW_ALWAYS, set: 0, tld: t };
+        }
+        if let Some(anchors) = self.anchors_by_tld.get(&tld) {
+            if anchors.iter().any(|d| host.is_subdomain_of(d)) {
+                return HostRow { kind: ROW_ALWAYS, set: 0, tld: t };
+            }
+        }
+        let mut scratch = std::mem::take(&mut self.scratch_set);
+        scratch.clear();
+        scratch.resize(self.n_path_words, 0);
+        let mut any_path = false;
+        if let Some(rids) = self.path_by_tld.get(&tld) {
+            for &rid in rids {
+                if host.is_subdomain_of(&self.path_rules[rid as usize].domain) {
+                    scratch[rid as usize >> 6] |= 1u64 << (rid & 63);
+                    any_path = true;
+                }
+            }
+        }
+        let row = if !any_path && !self.has_substrings {
+            HostRow { kind: ROW_NEVER, set: 0, tld: t }
+        } else {
+            let set = if any_path { self.intern_set(&scratch) } else { 0 };
+            HostRow { kind: ROW_SCAN, set, tld: t }
+        };
+        self.scratch_set = scratch;
+        row
+    }
+
+    /// Content-interns a path-rule bitset into the pool.
+    fn intern_set(&mut self, set: &[u64]) -> u32 {
+        debug_assert!(self.n_path_words > 0, "non-empty set with no path rules");
+        if let Some(&id) = self.row_dedup.get(set) {
+            return id;
+        }
+        let id = (self.row_sets.len() / self.n_path_words) as u32;
+        self.row_sets.extend_from_slice(set);
+        self.row_dedup.insert(set.to_vec().into_boxed_slice(), id);
+        id
+    }
+
+    /// The URL-dependent verdict for a host whose row is
+    /// [`HostRow::url_dependent`]: one automaton pass over the URL bytes
+    /// (behind the token prefilter when the pattern set is large enough to
+    /// make the extra pass pay), with candidates filtered through the
+    /// row's bitset and the positional path verify.
+    pub fn url_verdict(&self, row: HostRow, host: &Domain, url: &str) -> bool {
+        debug_assert_eq!(row.kind, ROW_SCAN, "url_verdict wants a url-dependent row");
+        let Some(ac) = &self.ac else {
+            return false;
+        };
+        let bytes = url.as_bytes();
+        if self.prefilter_hot {
+            if let Some(pf) = &self.prefilter {
+                if !pf.may_match(bytes) {
+                    return false;
+                }
+            }
+        }
+        let words = &self.row_sets[row.set as usize * self.n_path_words..][..self.n_path_words];
+        ac.scan(bytes, |pid| match self.lit_ref[pid as usize] {
+            LitRef::Substring => true,
+            LitRef::Path(rid) => {
+                words[rid as usize >> 6] & (1u64 << (rid & 63)) != 0
+                    && verify_path(&self.path_rules[rid as usize], host, url)
+            }
+        })
+    }
+
+    /// Full per-request verdict (row resolution + URL scan). The
+    /// classifiers inline these steps around their own caches; this entry
+    /// point exists for the equivalence tests and ad-hoc callers.
+    pub fn matches(&mut self, host: &Domain, url: &str) -> bool {
+        let row = self.resolve(host);
+        match row.kind {
+            ROW_ALWAYS => true,
+            ROW_NEVER => false,
+            _ => self.url_verdict(row, host, url),
+        }
+    }
+
+    /// Token-prefilter screen over a rendered URL: `false` means no
+    /// URL-dependent rule can match it (host rows still apply). `true`
+    /// when the prefilter is unavailable.
+    pub fn may_match_url(&self, url: &str) -> bool {
+        match &self.prefilter {
+            Some(pf) => pf.may_match(url.as_bytes()),
+            None => true,
+        }
+    }
+
+    /// Token-prefilter screen over a *deferred* URL: walks the exact byte
+    /// stream [`EncodedUrl::write_into`] would render — via
+    /// [`EncodedUrl::visit_bytes`] — without materializing the string, so
+    /// a rejected URL is never allocated at all.
+    pub fn may_match_encoded(&self, enc: &EncodedUrl, host: &str) -> bool {
+        match &self.prefilter {
+            Some(pf) => {
+                let mut scan = TokenScan::new(pf);
+                enc.visit_bytes(host, |chunk| scan.feed(chunk));
+                scan.finish()
+            }
+            None => true,
+        }
+    }
+
+    /// Distinct pay-level domains interned so far (sizes the classifiers'
+    /// TLD seen-bit arrays).
+    pub fn n_tlds(&self) -> usize {
+        self.tld_ids.len()
+    }
+
+    /// Total rules compiled in.
+    pub fn n_rules(&self) -> usize {
+        self.n_rules
+    }
+
+    /// Automaton pattern count (0 = anchor-only lists).
+    pub fn n_patterns(&self) -> usize {
+        self.lit_ref.len()
+    }
+
+    /// The compiled automaton, when URL-dependent literals exist.
+    pub fn automaton(&self) -> Option<&AhoCorasick> {
+        self.ac.as_ref()
+    }
+
+    /// Whether the token prefilter was buildable *and* is consulted on the
+    /// hot path.
+    pub fn prefilter_active(&self) -> bool {
+        self.prefilter.is_some() && self.prefilter_hot
+    }
+}
+
+/// The oracle's positional condition for a path rule, minus the subdomain
+/// check (already encoded in the host bitset): the path starts right after
+/// the *first occurrence of the host* in the URL string.
+fn verify_path(rule: &PathRule, host: &Domain, url: &str) -> bool {
+    match url.find(host.as_str()) {
+        Some(i) => url[i + host.as_str().len()..].starts_with(rule.prefix.as_str()),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn d(s: &str) -> Domain {
+        Domain::new(s)
+    }
+
+    /// Naive multi-pattern reference for the automaton tests.
+    fn naive_occurring(patterns: &[&[u8]], hay: &[u8]) -> Vec<u32> {
+        patterns
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| hay.windows(p.len()).any(|w| w == **p))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn ac_basics() {
+        let pats: Vec<&[u8]> = vec![b"he", b"she", b"his", b"hers"];
+        let ac = AhoCorasick::new(&pats, false);
+        assert!(ac.contains(b"ushers"));
+        assert!(ac.contains(b"this"));
+        assert!(!ac.contains(b"thi"));
+        assert!(!ac.contains(b""));
+        let mut seen = Vec::new();
+        ac.scan(b"ushers", |p| {
+            seen.push(p);
+            false
+        });
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, vec![0, 1, 3]); // "he", "she", "hers"
+    }
+
+    #[test]
+    fn ac_case_insensitive() {
+        let pats: Vec<&[u8]> = vec![b"rtb", b"usermatch"];
+        let ac = AhoCorasick::new(&pats, true);
+        assert!(ac.contains(b"https://x.com/RTB_id=1"));
+        assert!(ac.contains(b"/UserMatch?p=1"));
+        assert!(!ac.contains(b"/collect?p=1"));
+    }
+
+    #[test]
+    fn ac_overlapping_and_nested_literals() {
+        let pats: Vec<&[u8]> = vec![b"ab", b"abab", b"baba", b"b"];
+        let ac = AhoCorasick::new(&pats, false);
+        let mut seen = Vec::new();
+        ac.scan(b"ababab", |p| {
+            seen.push(p);
+            false
+        });
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty patterns")]
+    fn ac_rejects_empty_pattern() {
+        let pats: Vec<&[u8]> = vec![b"a", b""];
+        AhoCorasick::new(&pats, false);
+    }
+
+    #[test]
+    fn keyword_scanner_equivalent_to_reference() {
+        let scanner = KeywordScanner::new();
+        let cases = [
+            ("https://x.com/usermatch?p=1", true),
+            ("https://x.com/UserMatch?p=1", true),
+            ("https://x.com/collect?rtb_id=abc", true),
+            ("https://x.com/collect?uid=abc", false),
+            ("https://x.com/js/widget.js", false),
+            ("https://x.com/PIXEL", true),
+            ("", false),
+        ];
+        for (url, want) in cases {
+            assert_eq!(scanner.matches(url), want, "{url}");
+            // Reference: lowercase + contains over the keyword list.
+            let lc = url.to_ascii_lowercase();
+            let reference = TRACKING_KEYWORDS.iter().any(|k| lc.contains(k));
+            assert_eq!(scanner.matches(url), reference, "{url}");
+        }
+    }
+
+    fn engine_for(rules: Vec<FilterRule>) -> (FilterList, RuleEngine) {
+        let mut list = FilterList::new("t");
+        for r in rules {
+            list.push(r);
+        }
+        let engine = RuleEngine::compile(&[&list]);
+        (list, engine)
+    }
+
+    #[test]
+    fn engine_matches_reference_on_fixed_cases() {
+        let (list, mut engine) = engine_for(vec![
+            FilterRule::DomainAnchor(d("tracker.com")),
+            FilterRule::DomainWithPath {
+                domain: d("cdn.com"),
+                path_prefix: "/ads/".into(),
+            },
+            FilterRule::DomainWithPath {
+                domain: d("cdn.com"),
+                path_prefix: "".into(),
+            },
+            FilterRule::UrlSubstring("cookiesync".into()),
+        ]);
+        let cases = [
+            (d("px.tracker.com"), "https://px.tracker.com/x"),
+            (d("tracker.com.evil.net"), "https://tracker.com.evil.net/x"),
+            (d("cdn.com"), "https://cdn.com/ads/banner.js"),
+            (d("a.cdn.com"), "http://a.cdn.com/ads/x?y=1"),
+            (d("cdn.com"), "https://cdn.com/static/app.js"),
+            (d("clean.org"), "https://clean.org/cookiesync?x=1"),
+            (d("clean.org"), "https://clean.org/app.js"),
+            (d("clean.org"), "mismatched-host-not-in-url"),
+        ];
+        for (host, url) in &cases {
+            assert_eq!(
+                engine.matches(host, url),
+                list.matches(host, url),
+                "host {host} url {url}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_substring_matches_everything() {
+        let (list, mut engine) = engine_for(vec![FilterRule::UrlSubstring(String::new())]);
+        for (host, url) in [(d("a.com"), "https://a.com/x"), (d("b.net"), "")] {
+            assert!(list.matches(&host, url));
+            assert!(engine.matches(&host, url));
+            assert!(engine.resolve(&host).always());
+        }
+    }
+
+    #[test]
+    fn empty_lists_match_nothing() {
+        let (list, mut engine) = engine_for(vec![]);
+        assert!(!list.matches(&d("a.com"), "https://a.com/x"));
+        assert!(!engine.matches(&d("a.com"), "https://a.com/x"));
+        assert!(engine.resolve(&d("a.com")).never());
+    }
+
+    #[test]
+    fn host_rows_are_cached_and_bitsets_interned() {
+        let mut list = FilterList::new("t");
+        for i in 0..70usize {
+            list.push(FilterRule::DomainWithPath {
+                domain: d("cdn.com"),
+                path_prefix: format!("/p{i}/"),
+            });
+        }
+        let mut engine = RuleEngine::compile(&[&list]);
+        assert_eq!(engine.n_patterns(), 70);
+        let mut domains = DomainTable::new();
+        let a = domains.intern(&d("a.cdn.com"));
+        let b = domains.intern(&d("b.cdn.com"));
+        let ra = engine.host_row(a, &domains);
+        let rb = engine.host_row(b, &domains);
+        assert!(ra.url_dependent() && rb.url_dependent());
+        // Same rule subset -> same interned bitset, and the cache returns
+        // the identical row on re-query.
+        assert_eq!(ra.set, rb.set);
+        assert_eq!(engine.host_row(a, &domains), ra);
+        assert!(engine.url_verdict(ra, &d("a.cdn.com"), "https://a.cdn.com/p42/x"));
+        assert!(!engine.url_verdict(ra, &d("a.cdn.com"), "https://a.cdn.com/q/x"));
+    }
+
+    #[test]
+    fn prefilter_soundness_on_simulator_urls() {
+        let mut list = FilterList::new("t");
+        for i in 0..20usize {
+            list.push(FilterRule::UrlSubstring(format!("/seg{i}?x")));
+        }
+        let engine = RuleEngine::compile(&[&list]);
+        assert!(engine.prefilter_active());
+        // A URL that matches must pass the prefilter…
+        assert!(engine.may_match_url("https://a.com/seg7?x=1"));
+        // …and one with token-disjoint content must be rejected.
+        assert!(!engine.may_match_url("https://a.com/collect?uid=abc"));
+    }
+
+    // ---- randomized equivalence: engine == reference lists ----
+    //
+    // The vendored proptest shim only generates primitives, so the
+    // structured inputs (rule sets, hosts, URLs) are derived from a seeded
+    // RNG inside each case — still a fresh input space per case, still
+    // fully deterministic per test name.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Domains drawn from small overlapping pools so anchors, subdomain
+    /// relations, and tld-bucket collisions all actually occur (`zz` is an
+    /// unknown public suffix, exercising the fallback).
+    fn rand_domain(rng: &mut StdRng) -> Domain {
+        const LABELS: &[&str] = &["a", "b", "ads", "tr1", "x9", "sync"];
+        const SUFFIXES: &[&str] = &["com", "net", "co.uk", "zz"];
+        let depth = rng.gen_range(1..=2);
+        let mut s = String::new();
+        for _ in 0..depth {
+            s.push_str(LABELS[rng.gen_range(0..LABELS.len())]);
+            s.push('.');
+        }
+        s.push_str(SUFFIXES[rng.gen_range(0..SUFFIXES.len())]);
+        Domain::new(s)
+    }
+
+    fn rand_text(rng: &mut StdRng, max_len: usize) -> String {
+        const CHARS: &[u8] = b"ab1/?=._-";
+        let len = rng.gen_range(0..=max_len);
+        (0..len).map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char).collect()
+    }
+
+    fn rand_rule(rng: &mut StdRng) -> FilterRule {
+        match rng.gen_range(0..6u32) {
+            0 | 1 => FilterRule::DomainAnchor(rand_domain(rng)),
+            2 | 3 => {
+                // Empty prefixes are common on purpose.
+                let path_prefix = if rng.gen_bool(0.3) {
+                    String::new()
+                } else {
+                    format!("/{}", rand_text(rng, 5))
+                };
+                FilterRule::DomainWithPath { domain: rand_domain(rng), path_prefix }
+            }
+            4 => FilterRule::UrlSubstring(rand_text(rng, 8)), // possibly empty
+            _ => FilterRule::UrlSubstring(
+                ["/ads/", "cookiesync", "b1", "?="][rng.gen_range(0..4)].to_string(),
+            ),
+        }
+    }
+
+    /// URLs that usually embed the host (simulator-shaped) but sometimes
+    /// don't (exercising the positional verify's `find` miss).
+    fn rand_url(rng: &mut StdRng, host: &Domain) -> String {
+        if rng.gen_bool(0.7) {
+            format!("https://{host}{}", rand_text(rng, 16))
+        } else {
+            rand_text(rng, 24)
+        }
+    }
+
+    proptest! {
+        /// Tentpole satellite: for random rule sets x hosts x URLs
+        /// (overlapping literals, empty prefixes, empty substrings, empty
+        /// lists all reachable), the compiled engine's verdict equals the
+        /// reference `FilterList::matches` for each list union, and the
+        /// prefilter never rejects a matching URL.
+        #[test]
+        fn engine_equals_reference(seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut la = FilterList::new("a");
+            for _ in 0..rng.gen_range(0..10) { la.push(rand_rule(&mut rng)); }
+            let mut lb = FilterList::new("b");
+            for _ in 0..rng.gen_range(0..6) { lb.push(rand_rule(&mut rng)); }
+            let mut engine = RuleEngine::compile(&[&la, &lb]);
+            let mut single = RuleEngine::compile(&[&la]);
+            for _ in 0..rng.gen_range(1..20) {
+                let host = rand_domain(&mut rng);
+                let url = rand_url(&mut rng, &host);
+                let want = la.matches(&host, &url) || lb.matches(&host, &url);
+                prop_assert_eq!(
+                    engine.matches(&host, &url), want,
+                    "union verdict diverged for host {} url {:?}", host, url
+                );
+                prop_assert_eq!(
+                    single.matches(&host, &url), la.matches(&host, &url),
+                    "single-list verdict diverged for host {} url {:?}", host, url
+                );
+                // Prefilter soundness: a URL matched by a *URL-dependent*
+                // rule is never screened out (anchor matches carry no
+                // literal, so the screen owes them nothing).
+                let row = engine.resolve(&host);
+                if row.url_dependent() && engine.url_verdict(row, &host, &url) {
+                    prop_assert!(engine.may_match_url(&url));
+                }
+            }
+        }
+
+        /// The automaton agrees with naive multi-substring search on
+        /// arbitrary byte patterns and haystacks, in both case modes, and
+        /// `scan` reports exactly the occurring pattern set.
+        #[test]
+        fn ac_equals_naive(seed in any::<u64>(), ci in any::<bool>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Narrow alphabet so patterns overlap and nest frequently.
+            let rand_bytes = |rng: &mut StdRng, lo: usize, hi: usize| -> Vec<u8> {
+                let len = rng.gen_range(lo..hi);
+                (0..len).map(|_| rng.gen_range(b'a'..=b'd')).collect()
+            };
+            let pats: Vec<Vec<u8>> =
+                (0..rng.gen_range(1..12)).map(|_| rand_bytes(&mut rng, 1, 6)).collect();
+            let hay = rand_bytes(&mut rng, 0, 64);
+            let folded: Vec<Vec<u8>> = pats
+                .iter()
+                .map(|p| if ci { p.iter().map(|b| b.to_ascii_lowercase()).collect() } else { p.clone() })
+                .collect();
+            let hay_folded: Vec<u8> = if ci {
+                hay.iter().map(|b| b.to_ascii_lowercase()).collect()
+            } else {
+                hay.clone()
+            };
+            let refs: Vec<&[u8]> = pats.iter().map(|p| p.as_slice()).collect();
+            let folded_refs: Vec<&[u8]> = folded.iter().map(|p| p.as_slice()).collect();
+            let ac = AhoCorasick::new(&refs, ci);
+            let want = naive_occurring(&folded_refs, &hay_folded);
+            prop_assert_eq!(ac.contains(&hay), !want.is_empty());
+            let mut seen = Vec::new();
+            ac.scan(&hay, |p| { seen.push(p); false });
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(seen, want);
+        }
+
+        /// Prefilter screens computed over the deferred byte stream agree
+        /// with the rendered-string screen (the streaming sink must hash
+        /// tokens across slice boundaries identically).
+        #[test]
+        fn encoded_prefilter_agrees_with_rendered(
+            seed in any::<u64>(),
+            style_idx in 0usize..3,
+            identity in any::<u64>(),
+        ) {
+            use xborder_webgraph::url::{Scheme, UrlStyle};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut list = FilterList::new("t");
+            for _ in 0..rng.gen_range(16..24) {
+                let a: String =
+                    (0..rng.gen_range(2..6)).map(|_| rng.gen_range(b'a'..=b'z') as char).collect();
+                let b: String =
+                    (0..rng.gen_range(1..4)).map(|_| rng.gen_range(b'a'..=b'z') as char).collect();
+                list.push(FilterRule::UrlSubstring(format!("{a}?{b}")));
+            }
+            let engine = RuleEngine::compile(&[&list]);
+            let style = [UrlStyle::Plain, UrlStyle::Args, UrlStyle::ArgsAndKeywords][style_idx];
+            let enc = EncodedUrl {
+                scheme: Scheme::Https,
+                style,
+                path_idx: 0,
+                event_idx: 0,
+                identity,
+                cb: None,
+            };
+            let host = "sync.gtrack.com";
+            let mut rendered = String::new();
+            enc.write_into(host, &mut rendered);
+            prop_assert_eq!(
+                engine.may_match_encoded(&enc, host),
+                engine.may_match_url(&rendered)
+            );
+        }
+    }
+}

@@ -11,9 +11,12 @@
 //! cross-chunk state between [`IncrementalClassifier::append_chunk`] calls:
 //!
 //! - the URL interner (owned strings + open-addressing dedup table), the
-//!   host remap, and the per-host gate/TLD tables, so every string is
-//!   hashed, gate-resolved and `tld()`-ed once per *unique* value across
-//!   the whole stream, not once per chunk it appears in;
+//!   host remap, and the compiled [`RuleEngine`] with its dense
+//!   [`HostRow`] table (DESIGN.md §5h), so every string is hashed, every
+//!   host gate-resolved and `tld()`-ed, once per *unique* value across the
+//!   whole stream, not once per chunk it appears in — and the engine
+//!   itself (automaton, anchor buckets, prefilter) is compiled exactly
+//!   once, at construction;
 //! - the per-unique-URL predicate memos (argument presence, keyword
 //!   verdict, URL-dependent stage-1 gate verdict) — all pure functions of
 //!   the URL string, so a memo filled in chunk 0 is exact in chunk 40;
@@ -53,12 +56,13 @@
 //! domain table), both of which the resuming process re-derives from the
 //! seed before the store is opened.
 
-use crate::classifier::{ChildIndex, Classification, ClassifierStages, KeywordScanner, MethodCounts, NO_REFERRER};
-use crate::rules::{FilterList, FilterRule, HostGate};
+use crate::classifier::{url_hash, ChildIndex, Classification, ClassifierStages, MethodCounts, NO_REFERRER};
+use crate::engine::{HostRow, KeywordScanner, RuleEngine};
+use crate::rules::FilterList;
 use std::collections::VecDeque;
 use xborder_browser::{LoggedRequest, Referrer};
 use xborder_checkpoint::{ByteReader, ByteWriter, DecodeError};
-use xborder_webgraph::{fx_hash, Domain, DomainId, DomainTable, FxMap};
+use xborder_webgraph::{DomainId, DomainTable};
 
 /// Tri-state memo values (shared by the args/keyword/gate memos).
 const MEMO_UNKNOWN: u8 = 0;
@@ -125,6 +129,12 @@ struct UrlSlots {
     slots: Vec<Slot>,
     mask: usize,
     len: u32,
+    /// Interned id -> full 64-bit hash, dense. Kept so a table grow is a
+    /// sequential re-insert of (hash, id) pairs instead of re-hashing
+    /// every owned string through cold arena reads — on the streaming
+    /// workload each of those rehashes cost multiple milliseconds (the
+    /// arena is several MB by the time the table crosses a power of two).
+    hashes: Vec<u64>,
 }
 
 /// `id1` is the interned id plus one (0 = empty slot).
@@ -141,6 +151,7 @@ struct Slot {
 /// streaming chunk sizes it stays cache-resident and absorbs the ~40% of
 /// requests that repeat a URL within their own chunk without ever
 /// touching the big cross-chunk table.
+#[derive(Default)]
 struct ScratchSlots {
     slots: Vec<ScratchSlot>,
     mask: usize,
@@ -154,13 +165,21 @@ struct ScratchSlot {
 }
 
 impl ScratchSlots {
-    /// Sized so `n` insertions stay under 3/4 load: no grow path needed.
-    fn for_chunk(n: usize) -> ScratchSlots {
-        let slots = (n * 4 / 3 + 1).max(16).next_power_of_two();
-        ScratchSlots {
-            slots: vec![ScratchSlot::default(); slots],
-            mask: slots - 1,
+    /// Re-sizes/clears the persistent table so `n` insertions stay under
+    /// 3/4 load: no grow path needed, and at steady-state chunk sizes no
+    /// allocation either — just a `fill` of an already-warm buffer. A
+    /// larger-than-needed table from an earlier chunk is kept (table size
+    /// only shifts probe positions; interned ids are first-occurrence
+    /// ranks either way).
+    fn reset_for_chunk(&mut self, n: usize) {
+        let want = (n * 4 / 3 + 1).max(16).next_power_of_two();
+        if self.slots.len() < want {
+            self.slots.clear();
+            self.slots.resize(want, ScratchSlot::default());
+        } else {
+            self.slots.fill(ScratchSlot::default());
         }
+        self.mask = self.slots.len() - 1;
     }
 
     /// Interns one request against the live chunk slice. `next_uid` is the
@@ -204,6 +223,7 @@ impl UrlSlots {
             slots: vec![Slot::default(); slots],
             mask: slots - 1,
             len: 0,
+            hashes: Vec::new(),
         }
     }
 
@@ -228,7 +248,7 @@ impl UrlSlots {
     /// exists).
     fn intern_owned(&mut self, hash: u64, url: &str, urls: &UrlArena) -> UrlSlot {
         if self.len as usize * 4 >= self.slots.len() * 3 {
-            self.grow(urls);
+            self.grow();
         }
         let tag = (hash >> 32) as u32;
         let mut s = hash as usize & self.mask;
@@ -237,9 +257,17 @@ impl UrlSlots {
             if slot.id1 == 0 {
                 self.len += 1;
                 self.slots[s] = Slot { tag, id1: self.len };
+                self.hashes.push(hash);
                 return UrlSlot::New(self.len - 1);
             }
-            if slot.tag == tag && urls.bytes_of((slot.id1 - 1) as usize) == url.as_bytes() {
+            // Tag (high 32 bits) filters in the slot line itself; the full
+            // 64-bit hash from the dense sidecar then rejects nearly every
+            // residual false tag match without touching the (colder) arena
+            // bytes. The byte equality stays authoritative.
+            if slot.tag == tag
+                && self.hashes[(slot.id1 - 1) as usize] == hash
+                && urls.bytes_of((slot.id1 - 1) as usize) == url.as_bytes()
+            {
                 return UrlSlot::Existing(slot.id1 - 1);
             }
             s = (s + 1) & self.mask;
@@ -254,52 +282,83 @@ impl UrlSlots {
     /// probe chains (measurably dragging the pipelined intern pass), while
     /// oversizing it past the batch rule doubles the cache footprint every
     /// probe has to miss through. It also means a chunk never pays
-    /// repeated doublings mid-pass (each rehash recomputes every stored
-    /// URL's hash from the arena — cold reads).
-    fn reserve_for_total(&mut self, total_requests: usize, urls: &UrlArena) {
+    /// repeated doublings mid-pass.
+    fn reserve_for_total(&mut self, total_requests: usize) {
         let target = total_requests.max(16).next_power_of_two();
         if target > self.slots.len() {
-            self.grow_to(target, urls);
+            self.grow_to(target);
         }
     }
 
-    /// Doubles the table, recomputing hashes from the owned strings.
-    fn grow(&mut self, urls: &UrlArena) {
-        self.grow_to(self.slots.len() * 2, urls);
+    /// Doubles the table.
+    fn grow(&mut self) {
+        self.grow_to(self.slots.len() * 2);
     }
 
-    fn grow_to(&mut self, n: usize, urls: &UrlArena) {
-        let mut next = UrlSlots {
-            slots: vec![Slot::default(); n],
-            mask: n - 1,
-            len: self.len,
-        };
-        for slot in &self.slots {
-            if slot.id1 == 0 {
-                continue;
+    /// Rebuilds the table at `n` slots from the dense id -> hash sidecar:
+    /// one sequential walk, no arena reads. Linear-probe lookups only need
+    /// every key reachable from its home slot without crossing an empty
+    /// slot, and re-inserting every key into an empty table preserves that
+    /// regardless of insertion order — slot layout is not part of the
+    /// determinism contract (interned ids are, and they don't move).
+    fn grow_to(&mut self, n: usize) {
+        let mut slots = vec![Slot::default(); n];
+        let mask = n - 1;
+        for (id, &hash) in self.hashes.iter().enumerate() {
+            let mut d = hash as usize & mask;
+            while slots[d].id1 != 0 {
+                d = (d + 1) & mask;
             }
-            let hash = fx_hash(urls.bytes_of((slot.id1 - 1) as usize));
-            let mut d = hash as usize & next.mask;
-            while next.slots[d].id1 != 0 {
-                d = (d + 1) & next.mask;
-            }
-            next.slots[d] = *slot;
+            slots[d] = Slot { tag: (hash >> 32) as u32, id1: id as u32 + 1 };
         }
-        *self = next;
+        self.slots = slots;
+        self.mask = mask;
     }
-
 }
 
-/// Per-unique-host combined gate, resolved once when the host is first
-/// interned: `None` = anchor-matched (always tracking), `Some(rules)` =
-/// the URL-dependent rules of both lists (empty = can never match).
-type Gate<'l> = Option<Vec<&'l FilterRule>>;
+/// Reusable per-chunk working memory: the chunk-local dedup table and the
+/// dense per-request/per-chunk-distinct views. `append_chunk` used to
+/// allocate these eight buffers afresh every chunk; at streaming chunk
+/// sizes (~1.3K requests) that fixed cost repeats hundreds of times over a
+/// stream, so the buffers persist across chunks and are cleared instead.
+#[derive(Default)]
+struct ChunkScratch {
+    scratch: ScratchSlots,
+    chunk_of: Vec<u32>,
+    uid_first: Vec<u32>,
+    uid_hash: Vec<u64>,
+    uid_verdict: Vec<bool>,
+    gid_of: Vec<u32>,
+    url_of: Vec<u32>,
+    host_of: Vec<u32>,
+    referrer_of: Vec<u32>,
+}
+
+impl ChunkScratch {
+    fn reset_for_chunk(&mut self, n: usize) {
+        self.scratch.reset_for_chunk(n);
+        self.chunk_of.clear();
+        self.uid_first.clear();
+        self.uid_hash.clear();
+        self.uid_verdict.clear();
+        self.gid_of.clear();
+        self.url_of.clear();
+        self.host_of.clear();
+        self.referrer_of.clear();
+        self.chunk_of.reserve(n);
+        self.url_of.reserve(n);
+        self.host_of.reserve(n);
+        self.referrer_of.reserve(n);
+    }
+}
 
 /// Cross-chunk classifier state. See the module docs for what persists and
 /// why feeding chunks in order is bit-identical to batch classification.
-pub struct IncrementalClassifier<'l> {
-    easylist: &'l FilterList,
-    easyprivacy: &'l FilterList,
+pub struct IncrementalClassifier {
+    /// The compiled filter-list engine (DESIGN.md §5h) — automaton, anchor
+    /// buckets, prefilter, and the dense per-host row cache, all owned, so
+    /// nothing about the frozen lists is re-derived per chunk.
+    engine: RuleEngine,
     stages: ClassifierStages,
     scanner: KeywordScanner,
 
@@ -314,14 +373,11 @@ pub struct IncrementalClassifier<'l> {
     /// World `DomainId` -> classifier-local dense host id (`u32::MAX` =
     /// unseen), lazily grown.
     host_remap: Vec<u32>,
-    /// Dense host id -> world `DomainId` (serialization + gate/TLD
-    /// re-resolution on decode).
+    /// Dense host id -> world `DomainId` (serialization + row re-resolution
+    /// on decode).
     host_ids: Vec<DomainId>,
-    /// Dense host id -> combined stage-1 gate.
-    gates: Vec<Gate<'l>>,
-    /// Dense host id -> dense pay-level-domain id.
-    tld_of_host: Vec<u32>,
-    tld_ids: FxMap<Domain, u32>,
+    /// Dense host id -> compiled engine row (gate verdict + TLD id).
+    rows: Vec<HostRow>,
 
     /// Per-unique-URL memos, all pure functions of the URL string:
     /// argument presence, keyword verdict, and the stage-1 URL-dependent
@@ -351,18 +407,23 @@ pub struct IncrementalClassifier<'l> {
     enc_gate: Vec<u8>,
     enc_url_seen: Vec<u8>,
     enc_host_seen: Vec<u8>,
+
+    /// Reusable per-chunk working memory (see [`ChunkScratch`]).
+    chunk_scratch: ChunkScratch,
 }
 
-impl<'l> IncrementalClassifier<'l> {
+impl IncrementalClassifier {
     /// A fresh classifier over the given filter lists and stage toggles.
+    /// Compiles the lists into a [`RuleEngine`] once, here — the
+    /// classifier owns the compiled form, so the lists themselves are not
+    /// borrowed past construction.
     pub fn new(
-        easylist: &'l FilterList,
-        easyprivacy: &'l FilterList,
+        easylist: &FilterList,
+        easyprivacy: &FilterList,
         stages: ClassifierStages,
-    ) -> IncrementalClassifier<'l> {
+    ) -> IncrementalClassifier {
         IncrementalClassifier {
-            easylist,
-            easyprivacy,
+            engine: RuleEngine::compile(&[easylist, easyprivacy]),
             stages,
             scanner: KeywordScanner::new(),
             urls: UrlArena::default(),
@@ -370,9 +431,7 @@ impl<'l> IncrementalClassifier<'l> {
             host_of_url: Vec::new(),
             host_remap: Vec::new(),
             host_ids: Vec::new(),
-            gates: Vec::new(),
-            tld_of_host: Vec::new(),
-            tld_ids: FxMap::default(),
+            rows: Vec::new(),
             args_memo: Vec::new(),
             kw_memo: Vec::new(),
             gate_memo: Vec::new(),
@@ -389,6 +448,7 @@ impl<'l> IncrementalClassifier<'l> {
             enc_gate: Vec::new(),
             enc_url_seen: Vec::new(),
             enc_host_seen: Vec::new(),
+            chunk_scratch: ChunkScratch::default(),
         }
     }
 
@@ -418,22 +478,11 @@ impl<'l> IncrementalClassifier<'l> {
         self.host_remap[hid] = h;
         self.host_ids.push(host_id);
         self.host_seen.push(0);
-        let host = domains.domain(host_id);
-        self.gates.push(
-            match (self.easylist.host_gate(host), self.easyprivacy.host_gate(host)) {
-                (HostGate::Always, _) | (_, HostGate::Always) => None,
-                (HostGate::UrlDependent(mut a), HostGate::UrlDependent(b)) => {
-                    a.extend(b);
-                    Some(a)
-                }
-            },
-        );
-        let tld = host.tld();
-        let next = self.tld_ids.len() as u32;
-        let t = *self.tld_ids.entry(tld).or_insert(next);
-        self.tld_of_host.push(t);
-        if t as usize >= self.tld_seen.len() {
-            self.tld_seen.push(0);
+        let row = self.engine.host_row(host_id, domains);
+        self.rows.push(row);
+        let t = row.tld() as usize;
+        if t >= self.tld_seen.len() {
+            self.tld_seen.resize(t + 1, 0);
         }
         h
     }
@@ -454,11 +503,23 @@ impl<'l> IncrementalClassifier<'l> {
         // unique) before the resolve pass, like the batch interner's
         // whole-log `with_capacity` — the pipelined loop never rehashes.
         self.url_slots
-            .reserve_for_total(self.n_requests as usize + n, &self.urls);
-        // Chunk-local dense views (global ids, chunk positions).
-        let mut url_of: Vec<u32> = Vec::with_capacity(n);
-        let mut host_of: Vec<u32> = Vec::with_capacity(n);
-        let mut referrer_of: Vec<u32> = Vec::with_capacity(n);
+            .reserve_for_total(self.n_requests as usize + n);
+        // Per-chunk working memory persists across chunks (reset, not
+        // reallocated); taken out of `self` so the borrow checker lets the
+        // passes below index `self`'s per-unique tables while filling it.
+        let mut sc = std::mem::take(&mut self.chunk_scratch);
+        sc.reset_for_chunk(n);
+        let ChunkScratch {
+            scratch,
+            chunk_of,
+            uid_first,
+            uid_hash,
+            uid_verdict,
+            gid_of,
+            url_of,
+            host_of,
+            referrer_of,
+        } = &mut sc;
 
         // Two-level interning. Pass 1 dedups the chunk against itself in a
         // cache-resident scratch table — the batch interner's exact loop,
@@ -468,17 +529,13 @@ impl<'l> IncrementalClassifier<'l> {
         // ranks, so walking them in order preserves the global
         // first-occurrence id assignment the determinism contract pins.
         const BYTES_AHEAD: usize = 16;
-        let mut scratch = ScratchSlots::for_chunk(n);
-        let mut chunk_of: Vec<u32> = Vec::with_capacity(n);
-        let mut uid_first: Vec<u32> = Vec::new();
-        let mut uid_hash: Vec<u64> = Vec::new();
         for (i, r) in requests.iter().enumerate() {
             if let Some(ahead) = requests.get(i + BYTES_AHEAD) {
                 let u = ahead.url.as_bytes();
                 std::hint::black_box(u.first().copied());
                 std::hint::black_box(u.last().copied());
             }
-            let hash = fx_hash(r.url.as_bytes());
+            let hash = url_hash(r.url.as_bytes());
             let uid = match scratch.intern(hash, &r.url, requests, i as u32, uid_first.len() as u32)
             {
                 UrlSlot::New(uid) => {
@@ -499,7 +556,17 @@ impl<'l> IncrementalClassifier<'l> {
         // otherwise stall every first-recurrence-this-chunk probe.
         const SLOT_AHEAD: usize = 8;
         const ARENA_AHEAD: usize = 4;
-        let mut gid_of: Vec<u32> = Vec::with_capacity(uid_first.len());
+        gid_of.reserve(uid_first.len());
+        // Worst case every chunk-distinct URL is stream-new: reserving the
+        // per-unique side tables once keeps the New arm's scattered pushes
+        // from re-amortizing six separate grows mid-loop.
+        let worst_new = uid_first.len();
+        self.urls.spans.reserve(worst_new);
+        self.host_of_url.reserve(worst_new);
+        self.args_memo.reserve(worst_new);
+        self.kw_memo.reserve(worst_new);
+        self.gate_memo.reserve(worst_new);
+        self.url_seen.reserve(worst_new);
         for (j, &h) in uid_hash.iter().enumerate().take(SLOT_AHEAD.min(uid_hash.len())) {
             self.url_slots.prefetch(h);
             if j < ARENA_AHEAD {
@@ -532,42 +599,44 @@ impl<'l> IncrementalClassifier<'l> {
                 r.host,
                 "requests sharing a URL string must share its embedded host"
             );
+            // Stage-1 verdict, hoisted to the chunk-distinct level: the
+            // blocklist verdict is a pure function of the URL (the host is
+            // embedded in it), so it is decided once per chunk-distinct
+            // URL here — where the request string is already in cache —
+            // and the per-request loop below only projects a bool.
+            let row = self.rows[self.host_of_url[u as usize] as usize];
+            let hit = if row.always() {
+                true
+            } else if row.never() {
+                false
+            } else {
+                match self.gate_memo[u as usize] {
+                    MEMO_UNKNOWN => {
+                        let hit = self.engine.url_verdict(row, domains.domain(r.host), &r.url);
+                        self.gate_memo[u as usize] = 1 + hit as u8;
+                        hit
+                    }
+                    v => v == MEMO_YES,
+                }
+            };
+            uid_verdict.push(hit);
             gid_of.push(u);
         }
 
-        // Pass 3 projects the per-request views through the two maps —
-        // linear over arrays that are all still warm.
+        // Pass 3 projects the per-request views (and the stage-1 labels)
+        // through the two maps — linear over arrays that are all still
+        // warm.
+        let mut labels = vec![Classification::Clean; n];
         for (i, r) in requests.iter().enumerate() {
-            let u = gid_of[chunk_of[i] as usize];
+            let cu = chunk_of[i] as usize;
+            let u = gid_of[cu];
             url_of.push(u);
             host_of.push(self.host_of_url[u as usize]);
             referrer_of.push(match r.referrer {
                 Referrer::Request(parent) => parent.0,
                 Referrer::FirstParty | Referrer::None => NO_REFERRER,
             });
-        }
-
-        // Stage 1: blocklists via the persistent gates + gate memo.
-        let mut labels = vec![Classification::Clean; n];
-        for i in 0..n {
-            let matched = match &self.gates[host_of[i] as usize] {
-                None => true,
-                Some(rules) if rules.is_empty() => false,
-                Some(rules) => {
-                    let u = url_of[i] as usize;
-                    match self.gate_memo[u] {
-                        MEMO_UNKNOWN => {
-                            let r = &requests[i];
-                            let host = domains.domain(r.host);
-                            let hit = rules.iter().any(|rule| rule.matches(host, &r.url));
-                            self.gate_memo[u] = 1 + hit as u8;
-                            hit
-                        }
-                        v => v == MEMO_YES,
-                    }
-                }
-            };
-            if matched {
+            if uid_verdict[cu] {
                 labels[i] = Classification::AbpTracking;
             }
         }
@@ -606,11 +675,11 @@ impl<'l> IncrementalClassifier<'l> {
                 labels[i] = Classification::SemiTracking;
             }
             if forward_edges {
-                let idx = children.get_or_insert_with(|| ChildIndex::build(&referrer_of));
+                let idx = children.get_or_insert_with(|| ChildIndex::build(referrer_of));
                 let seeds: Vec<usize> = (0..n).filter(|&i| labels[i].is_tracking()).collect();
                 stage2_rounds += propagate_worklist(
                     requests,
-                    &url_of,
+                    url_of,
                     &mut labels,
                     self.stages,
                     &mut self.args_memo,
@@ -639,10 +708,10 @@ impl<'l> IncrementalClassifier<'l> {
                 newly.push(i);
             }
             if self.stages.referrer_propagation && !newly.is_empty() {
-                let idx = children.get_or_insert_with(|| ChildIndex::build(&referrer_of));
+                let idx = children.get_or_insert_with(|| ChildIndex::build(referrer_of));
                 stage3_rounds = propagate_worklist(
                     requests,
-                    &url_of,
+                    url_of,
                     &mut labels,
                     self.stages,
                     &mut self.args_memo,
@@ -666,7 +735,7 @@ impl<'l> IncrementalClassifier<'l> {
             if self.host_seen[h] & bit == 0 {
                 self.host_seen[h] |= bit;
                 slot.n_fqdn += 1;
-                let t = self.tld_of_host[h] as usize;
+                let t = self.rows[h].tld() as usize;
                 if self.tld_seen[t] & bit == 0 {
                     self.tld_seen[t] |= bit;
                     slot.n_tld += 1;
@@ -679,6 +748,7 @@ impl<'l> IncrementalClassifier<'l> {
             }
         }
         self.n_requests += n as u64;
+        self.chunk_scratch = sc;
 
         ChunkClassification {
             labels,
@@ -811,7 +881,7 @@ impl<'l> IncrementalClassifier<'l> {
         self.host_of_url.reserve(n_new_urls);
         for _ in 0..n_new_urls {
             let url = r.str()?;
-            match self.url_slots.intern_owned(fx_hash(url.as_bytes()), url, &self.urls) {
+            match self.url_slots.intern_owned(url_hash(url.as_bytes()), url, &self.urls) {
                 UrlSlot::New(u) => debug_assert_eq!(u as usize, self.urls.len()),
                 UrlSlot::Existing(_) => {
                     return Err(bad(format!("duplicate url in delta: {url}")));
@@ -891,7 +961,7 @@ impl<'l> IncrementalClassifier<'l> {
         // recomputed rather than stored.
         self.tld_seen.fill(0);
         for h in 0..self.host_ids.len() {
-            self.tld_seen[self.tld_of_host[h] as usize] |= self.host_seen[h];
+            self.tld_seen[self.rows[h].tld() as usize] |= self.host_seen[h];
         }
         for c in [&mut self.abp, &mut self.semi] {
             c.n_fqdn = r.len_prefix()?;
@@ -967,7 +1037,7 @@ mod tests {
     use xborder_dns::{DnsSim, MappingPolicy, ZoneEntry, ZoneServer};
     use xborder_geo::{CountryCode, WORLD};
     use xborder_netsim::ServerId;
-    use xborder_webgraph::{generate, WebGraph, WebGraphConfig};
+    use xborder_webgraph::{generate, Domain, WebGraph, WebGraphConfig};
 
     fn dataset(seed: u64) -> (WebGraph, Vec<LoggedRequest>) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -1036,13 +1106,9 @@ mod tests {
         requests: &[LoggedRequest],
         graph: &WebGraph,
         users_per_chunk: usize,
-    ) -> (Vec<Classification>, MethodCounts, MethodCounts, IncrementalClassifier<'static>) {
-        // Leak the lists to get a 'static classifier back out for
-        // follow-up assertions; fine in tests.
+    ) -> (Vec<Classification>, MethodCounts, MethodCounts, IncrementalClassifier) {
         let (el, ep) = generate_lists(graph);
-        let el: &'static FilterList = Box::leak(Box::new(el));
-        let ep: &'static FilterList = Box::leak(Box::new(ep));
-        let mut cls = IncrementalClassifier::new(el, ep, ClassifierStages::default());
+        let mut cls = IncrementalClassifier::new(&el, &ep, ClassifierStages::default());
         let mut labels = Vec::new();
         let mut offset = 0usize;
         for chunk in user_chunks(requests, users_per_chunk) {

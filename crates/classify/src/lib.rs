@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod classifier;
+pub mod engine;
 pub mod eval;
 pub mod incremental;
 pub mod listgen;
@@ -34,6 +35,7 @@ pub use classifier::{
     classify, classify_with_stages, classify_with_stages_threads, method_counts,
     Classification, ClassificationResult, ClassifierStages, MethodCounts,
 };
+pub use engine::{AhoCorasick, HostRow, KeywordScanner, RuleEngine, TokenPrefilter};
 pub use incremental::{ChunkClassification, IncrementalClassifier};
 pub use eval::{evaluate, Evaluation};
 pub use listgen::generate_lists;

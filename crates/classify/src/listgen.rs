@@ -7,6 +7,7 @@
 //! lists, split the way the real ones are: **easylist** carries
 //! advertising rules, **easyprivacy** carries tracker/analytics rules.
 
+use crate::engine::RuleEngine;
 use crate::rules::{FilterList, FilterRule};
 use xborder_webgraph::{ServiceKind, WebGraph};
 
@@ -34,6 +35,17 @@ pub fn generate_lists(graph: &WebGraph) -> (FilterList, FilterList) {
         }
     }
     (easylist, easyprivacy)
+}
+
+/// Builds the lists and compiles them straight into a [`RuleEngine`]
+/// (DESIGN.md §5h) — the form every matching path consumes. The textual
+/// lists stay the source of truth (and the test oracle); callers that
+/// only ever match should take the compiled engine and skip holding the
+/// lists alive.
+pub fn generate_engine(graph: &WebGraph) -> (RuleEngine, FilterList, FilterList) {
+    let (easylist, easyprivacy) = generate_lists(graph);
+    let engine = RuleEngine::compile(&[&easylist, &easyprivacy]);
+    (engine, easylist, easyprivacy)
 }
 
 #[cfg(test)]
@@ -85,6 +97,26 @@ mod tests {
                 let url = format!("https://{h}/js/widget.js");
                 assert!(!el.matches(h, &url), "clean host {h} in easylist");
                 assert!(!ep.matches(h, &url), "clean host {h} in easyprivacy");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_engine_agrees_with_lists_on_every_service_host() {
+        // `generate_engine` must be a pure repackaging: the compiled
+        // engine's verdict equals the union of the two lists' on every
+        // host the generator can emit, listed or not.
+        let g = graph();
+        let (mut engine, el, ep) = generate_engine(&g);
+        for s in &g.services {
+            for h in &s.hosts {
+                for url in [format!("https://{h}/t?x=1"), format!("https://{h}/js/widget.js")] {
+                    assert_eq!(
+                        engine.matches(h, &url),
+                        el.matches(h, &url) || ep.matches(h, &url),
+                        "engine/list divergence on {h} {url}"
+                    );
+                }
             }
         }
     }
