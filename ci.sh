@@ -41,6 +41,64 @@ if "streaming_ckpt_ms" not in doc.get("streaming", {}):
 print("bench output sanity: ok")
 EOF
 
+echo "== netflow bench smoke (1e6 records; writes BENCH_netflow.json) =="
+# The committed BENCH_netflow.json documents a full 1e8-record run; stash
+# it so the smoke run's numbers can gate against it without clobbering it.
+nf_baseline=""
+if [ -f BENCH_netflow.json ]; then
+    nf_baseline="$(mktemp)"
+    cp BENCH_netflow.json "$nf_baseline"
+fi
+XBORDER_NETFLOW_MAX_RECORDS=1000000 ./target/release/bench_netflow
+
+echo "== netflow bench sanity (BENCH_netflow.json must exist and parse) =="
+python3 - BENCH_netflow.json <<'EOF'
+import json, sys
+try:
+    doc = json.load(open(sys.argv[1]))
+except (OSError, ValueError) as e:
+    print(f"FATAL: BENCH_netflow.json missing or unparseable: {e}")
+    sys.exit(1)
+if doc.get("netflow_records_per_sec", 0) <= 0:
+    print("FATAL: BENCH_netflow.json has no positive netflow_records_per_sec")
+    sys.exit(1)
+if doc.get("oracle", {}).get("speedup_vs_oracle", 0) < 5.0:
+    print("FATAL: interval-set join under the 5x oracle floor")
+    sys.exit(1)
+print("netflow bench sanity: ok")
+EOF
+
+if [ -n "$nf_baseline" ]; then
+    echo "== netflow regression check (records/sec vs committed baseline) =="
+    python3 - "$nf_baseline" BENCH_netflow.json <<'EOF'
+import json, sys
+
+def load(path):
+    try:
+        return json.load(open(path))
+    except (OSError, ValueError) as e:
+        print(f"FATAL: {path} missing or unparseable: {e}")
+        sys.exit(1)
+
+old_doc, new_doc = load(sys.argv[1]), load(sys.argv[2])
+# The headline is the 1e6-record threads=1 row in both docs, so the smoke
+# run compares like-for-like against the committed full-scale document.
+o = old_doc.get("netflow_records_per_sec")
+n = new_doc.get("netflow_records_per_sec")
+if not o or not n:
+    print("netflow check: no comparable netflow_records_per_sec; skipping")
+elif n < o * 0.80:
+    print(f"WARNING: netflow_records_per_sec regressed >20%: "
+          f"{o:,.0f} -> {n:,.0f} ({n / o - 1:+.0%})")
+else:
+    print(f"netflow check: netflow_records_per_sec {o:,.0f} -> {n:,.0f} "
+          f"({n / o - 1:+.0%}), within the 20% budget")
+EOF
+    # Restore the committed full-scale document; the smoke doc is CI-only.
+    cp "$nf_baseline" BENCH_netflow.json
+    rm -f "$nf_baseline"
+fi
+
 if [ -n "$baseline" ]; then
     echo "== bench regression check (study/geolocate/total/allocs/streaming vs committed baseline) =="
     # An unparseable baseline or fresh bench doc fails the gate; a >20%
@@ -67,7 +125,8 @@ old, new = seq_run(old_doc), seq_run(new_doc)
 # study_allocs is deterministic (counting allocator over a fixed workload),
 # so a >20% jump there means an allocation crept back into the hot path.
 pairs = [(stage, old.get(stage), new.get(stage))
-         for stage in ("study_ms", "geolocate_ms", "total_ms", "study_allocs")]
+         for stage in ("study_ms", "geolocate_ms", "total_ms", "study_allocs",
+                       "netflow_generate_ms", "netflow_match_ms")]
 # The streaming row rides the same gate: the chunked driver, the
 # checkpointed variant, the incremental classifier and the rolling
 # snapshot emission must all stay within the budget.

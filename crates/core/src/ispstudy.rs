@@ -2,19 +2,36 @@
 //!
 //! The tracker-IP list built from a few hundred extension users is joined
 //! against sampled NetFlow from four ISPs with 60M+ subscribers. The join
-//! happens per IP (hash matching, subscriber side anonymized to a country
-//! code); geolocation of the matched tracker IPs then gives the
-//! destination mix per ISP and per snapshot day.
+//! happens per IP (subscriber side anonymized to a country code);
+//! geolocation of the matched tracker IPs then gives the destination mix
+//! per ISP and per snapshot day.
+//!
+//! Since the scale-up refactor (DESIGN.md §5i) the study runs as a
+//! sharded columnar workload: the tracker list is compiled once per
+//! snapshot day into a [`TrackerIntervalSet`], each of the 16 (ISP, day)
+//! cells generates its flows as [`FlowBlock`](xborder_netflow::FlowBlock)s
+//! from its own hash-derived RNG stream against a read-only DNS view, and
+//! cells are partitioned across the world's [`Parallelism`] budget under
+//! `std::thread::scope`. Per-cell results — statistics *and* the pDNS
+//! observations the per-view stub caches buffered — merge in canonical
+//! cell order, so every thread budget and every block size produces
+//! bit-identical results.
+//!
+//! [`Parallelism`]: crate::par::Parallelism
 
 use crate::ips::TrackerIpSet;
 use crate::pipeline::EstimateMap;
 use crate::worldgen::World;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::net::IpAddr;
+use std::time::Instant;
+use xborder_dns::PdnsIdObservation;
+use xborder_faults::derive_stream_seed;
 use xborder_geo::{CountryCode, Region};
-use xborder_netflow::{generate_snapshot, FlowCollector, IspProfile, SnapshotConfig};
+use xborder_netflow::{
+    generate_snapshot_blocks, IspProfile, SnapshotConfig, TrackerIntervalSet, DEFAULT_BLOCK_LEN,
+};
 use xborder_netsim::time::{anchors, SimTime};
 
 /// The four snapshot days of Table 8.
@@ -39,6 +56,9 @@ pub struct IspStudyConfig {
     pub seed: u64,
     /// Whether to scope matching with pDNS validity windows.
     pub use_validity_windows: bool,
+    /// Records per columnar flow block. A pure performance knob: results
+    /// are bit-identical for every value (pinned in tests).
+    pub block_len: usize,
 }
 
 impl Default for IspStudyConfig {
@@ -47,6 +67,7 @@ impl Default for IspStudyConfig {
             base_page_views: 400.0,
             seed: 0xC0FFEE,
             use_validity_windows: true,
+            block_len: DEFAULT_BLOCK_LEN,
         }
     }
 }
@@ -72,10 +93,11 @@ pub struct SnapshotStats {
     pub web_flows: u64,
     /// Tracking flows on port 443.
     pub encrypted_flows: u64,
-    /// Destination-region mix of the tracking flows.
-    pub region_counts: HashMap<Region, u64>,
-    /// Destination-country mix of the tracking flows.
-    pub country_counts: HashMap<CountryCode, u64>,
+    /// Destination-region mix of the tracking flows (canonical order, so
+    /// serialized reports are byte-stable).
+    pub region_counts: BTreeMap<Region, u64>,
+    /// Destination-country mix of the tracking flows (canonical order).
+    pub country_counts: BTreeMap<CountryCode, u64>,
 }
 
 impl SnapshotStats {
@@ -113,11 +135,28 @@ impl SnapshotStats {
     }
 }
 
-/// Full study results: `results[isp_name][day_name]`.
+/// Wall-clock attribution of one study run. Observational only, never
+/// part of the determinism contract: zero it
+/// (`results.timings = IspStudyTimings::default()`) before comparing
+/// serialized results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct IspStudyTimings {
+    /// Summed per-cell flow-generation time.
+    pub generate_ms: f64,
+    /// Summed per-cell interval-set matching time.
+    pub match_ms: f64,
+}
+
+/// Full study results: `results[isp_name][day_name]`, in canonical
+/// (lexicographic) order so serialization is byte-stable.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct IspStudyResults {
     /// Per-ISP, per-day statistics.
-    pub cells: HashMap<String, HashMap<String, SnapshotStats>>,
+    pub cells: BTreeMap<String, BTreeMap<String, SnapshotStats>>,
+    /// Per-stage timing attribution. Machine-dependent: zero before
+    /// comparing serialized results (the stats cells are deterministic,
+    /// the timings are not).
+    pub timings: IspStudyTimings,
 }
 
 impl IspStudyResults {
@@ -127,68 +166,148 @@ impl IspStudyResults {
     }
 }
 
-/// Runs the four-ISP, four-day study.
+/// What one (ISP, day) cell's worker hands back to the merge step.
+struct CellOutput {
+    stats: SnapshotStats,
+    observations: Vec<PdnsIdObservation>,
+    generate_ms: f64,
+    match_ms: f64,
+}
+
+/// Runs the four-ISP, four-day study, sharding the 16 cells across the
+/// world's `Parallelism` budget. The budget is a pure performance knob:
+/// each cell is generated from its own hash-derived seed against
+/// read-only shared state, and cell outputs (statistics and buffered pDNS
+/// observations alike) merge in canonical cell order — bit-identical
+/// results at every thread count and block size.
 pub fn run_isp_study(
     world: &mut World,
     tracker_ips: &TrackerIpSet,
     estimates: &EstimateMap,
     cfg: &IspStudyConfig,
 ) -> IspStudyResults {
-    let mut results = IspStudyResults::default();
     let days = snapshot_days();
+    let profiles = IspProfile::all();
 
-    for profile in IspProfile::all() {
-        let n_views =
-            (cfg.base_page_views * profile.subscribers_m * profile.web_activity).round() as usize;
-        let mut per_day = HashMap::new();
-        for (day_idx, (day_name, day_start)) in days.iter().enumerate() {
-            let mut rng = StdRng::seed_from_u64(
-                cfg.seed ^ (profile.name.len() as u64) << 32
-                    ^ (profile.subscribers_m as u64) << 16
-                    ^ day_idx as u64,
-            );
+    // Compile the tracker list once per snapshot day: same interval set
+    // for every ISP of that day, replacing a per-cell HashSet + two
+    // HashMaps. Windows scope *start*, matching stays open-ended past the
+    // snapshot (the paper kept collecting through July 2018).
+    let day_sets: Vec<TrackerIntervalSet> = days
+        .iter()
+        .map(|(_, day_start)| {
+            TrackerIntervalSet::build(tracker_ips.ips.iter().filter_map(|(ip, info)| {
+                let IpAddr::V4(v) = ip else { return None };
+                let w = cfg.use_validity_windows.then(|| {
+                    let mut w = info.window;
+                    w.extend_to(SimTime(day_start.0 + 2 * 86_400));
+                    w
+                });
+                Some((*v, w))
+            }))
+        })
+        .collect();
+
+    // Canonical cell order: ISP-major, day-minor — the merge order, and
+    // the order the sequential path runs in.
+    let cells: Vec<(usize, usize)> = (0..profiles.len())
+        .flat_map(|p| (0..days.len()).map(move |d| (p, d)))
+        .collect();
+    let threads = world.config.parallelism.threads.clamp(1, cells.len());
+
+    let outputs: Vec<CellOutput> = {
+        let graph = &world.graph;
+        let view = world.dns.indexed_view(graph.domains());
+        let run_cell = |&(p_idx, d_idx): &(usize, usize)| -> CellOutput {
+            let profile = &profiles[p_idx];
+            let (_, day_start) = days[d_idx];
+            let n_views = (cfg.base_page_views * profile.subscribers_m * profile.web_activity)
+                .round() as usize;
             let snap_cfg = SnapshotConfig {
-                day_start: *day_start,
+                day_start,
                 n_page_views: n_views.max(1),
                 ..Default::default()
             };
-            let snapshot =
-                generate_snapshot(&profile, &snap_cfg, &world.graph, &mut world.dns, &mut rng);
-
-            // Collection + matching (hash set, anonymized subscribers).
-            let mut collector = FlowCollector::new(tracker_ips.ips.keys().copied());
-            if cfg.use_validity_windows {
-                for (ip, info) in &tracker_ips.ips {
-                    // The ISP snapshots run months past the extension study;
-                    // windows scope *start*, matching stays open-ended
-                    // (paper kept collecting through July 2018).
-                    let mut w = info.window;
-                    w.extend_to(SimTime(day_start.0 + 2 * 86_400));
-                    collector.set_validity(*ip, w);
-                }
-            }
-            for flow in &snapshot.flows {
-                collector.ingest(flow, profile.country);
-            }
-            let match_stats = collector.into_stats();
+            // Per-cell stream (PR 3 pattern): any shard owning this cell
+            // generates the same flows.
+            let cell_seed =
+                derive_stream_seed(cfg.seed, ((p_idx as u64) << 32) | d_idx as u64);
+            let set = &day_sets[d_idx];
+            let mut bstats = set.new_stats();
+            let t_cell = Instant::now();
+            let mut match_secs = 0.0f64;
+            let gen = generate_snapshot_blocks(
+                profile,
+                &snap_cfg,
+                graph,
+                &view,
+                cell_seed,
+                cfg.block_len.max(1),
+                |block| {
+                    let t_match = Instant::now();
+                    set.match_block(block, &mut bstats);
+                    match_secs += t_match.elapsed().as_secs_f64();
+                },
+            );
+            let total_secs = t_cell.elapsed().as_secs_f64();
+            let matched = bstats.to_match_stats(set);
 
             // Join matched IP counters with geolocation.
-            let mut cell = SnapshotStats {
-                tracking_flows: match_stats.tracking_flows,
-                total_flows: match_stats.total_flows,
-                web_flows: match_stats.tracking_web_flows,
-                encrypted_flows: match_stats.tracking_encrypted_flows,
+            let mut stats = SnapshotStats {
+                tracking_flows: matched.tracking_flows,
+                total_flows: matched.total_flows,
+                web_flows: matched.tracking_web_flows,
+                encrypted_flows: matched.tracking_encrypted_flows,
                 ..Default::default()
             };
-            for (ip, n) in &match_stats.per_ip {
+            for (ip, n) in &matched.per_ip {
                 if let Some(est) = estimates.get(ip) {
-                    *cell.region_counts.entry(est.region()).or_insert(0) += n;
-                    *cell.country_counts.entry(est.country).or_insert(0) += n;
+                    *stats.region_counts.entry(est.region()).or_insert(0) += n;
+                    *stats.country_counts.entry(est.country).or_insert(0) += n;
                 }
             }
-            per_day.insert((*day_name).to_owned(), cell);
+            CellOutput {
+                stats,
+                observations: gen.id_observations,
+                generate_ms: (total_secs - match_secs) * 1000.0,
+                match_ms: match_secs * 1000.0,
+            }
+        };
+
+        if threads == 1 {
+            cells.iter().map(run_cell).collect()
+        } else {
+            // Contiguous cell runs per worker; outputs keep cell order.
+            let per = cells.len().div_ceil(threads);
+            let run_cell = &run_cell;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = cells
+                    .chunks(per)
+                    .map(|chunk| s.spawn(move || chunk.iter().map(run_cell).collect::<Vec<_>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("ISP study worker panicked"))
+                    .collect()
+            })
         }
-        results.cells.insert(profile.name.to_owned(), per_day);
+    };
+
+    // Merge in canonical cell order: results into the table, buffered
+    // pDNS observations into the central database (the replay the
+    // read-only view deferred).
+    let mut results = IspStudyResults::default();
+    for (&(p_idx, d_idx), out) in cells.iter().zip(outputs) {
+        world
+            .dns
+            .absorb_id_observations(&out.observations, world.graph.domains());
+        results.timings.generate_ms += out.generate_ms;
+        results.timings.match_ms += out.match_ms;
+        results
+            .cells
+            .entry(profiles[p_idx].name.to_owned())
+            .or_default()
+            .insert(days[d_idx].0.to_owned(), out.stats);
     }
     results
 }

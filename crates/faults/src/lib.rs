@@ -573,6 +573,14 @@ pub struct StageTimings {
     /// driver; 0 when snapshots are disabled or in the batch pipeline.
     #[serde(default)]
     pub snapshot_ms: f64,
+    /// NetFlow snapshot generation in the ISP scale-up study (Sect. 7);
+    /// 0 when the study is not run alongside the pipeline.
+    #[serde(default)]
+    pub netflow_generate_ms: f64,
+    /// Tracker-IP interval-set matching in the ISP scale-up study; same
+    /// caveats as `netflow_generate_ms`.
+    #[serde(default)]
+    pub netflow_match_ms: f64,
 }
 
 /// Cumulative allocation counters read from an installed probe:

@@ -8,13 +8,16 @@
 //! mechanically. Non-web background flows are mixed in so the tracker
 //! matcher has something to reject.
 
+use crate::block::FlowBlock;
 use crate::isp::{AccessKind, IspProfile};
 use crate::record::{proto, FlowRecord};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::net::{IpAddr, Ipv4Addr};
 use xborder_browser::{LoggedRequest, RenderConfig, RenderEngine, User, UserId, VisitSampler};
-use xborder_dns::{DnsSim, ResolverKind};
+use xborder_dns::{DnsCache, DnsSim, IndexedZoneView, PdnsIdObservation, ResolverKind};
+use xborder_faults::{DegradationReport, FaultInjector};
 use xborder_geo::WORLD;
 use xborder_netsim::time::{SimTime, SECS_PER_DAY};
 use xborder_webgraph::WebGraph;
@@ -192,6 +195,138 @@ pub fn generate_snapshot<R: Rng>(
     snapshot
 }
 
+/// Tallies of one block-mode snapshot generation (the flows themselves
+/// stream through the `on_block` callback and are never held whole).
+#[derive(Debug, Default)]
+pub struct SnapshotBlocksOutput {
+    /// Total sampled flows emitted (web + background).
+    pub n_flows: u64,
+    /// Flows that came from rendered third-party requests.
+    pub n_web_flows: u64,
+    /// pDNS observations the per-view stub caches buffered, in view
+    /// order, for deterministic central replay
+    /// ([`DnsSim::absorb_id_observations`]).
+    pub id_observations: Vec<PdnsIdObservation>,
+}
+
+/// Block-mode snapshot generation: the scaled ISP-study path.
+///
+/// Same traffic model as [`generate_snapshot`], restructured for scale and
+/// sharding (DESIGN.md §5i):
+///
+/// * Flows are emitted as columnar [`FlowBlock`]s through `on_block` —
+///   resident memory is one block, not the day's `Vec<FlowRecord>`.
+/// * DNS runs read-only: renders resolve against the shared
+///   [`IndexedZoneView`] through a fresh per-view [`DnsCache`] (each
+///   sampled view is an ephemeral subscriber with an empty stub cache,
+///   the paper's per-client caching), and the observations a production
+///   resolver's sensor would have recorded are buffered for replay in
+///   canonical order after the sharded join.
+/// * All randomness comes from `cell_seed`: one sequential generation
+///   stream per (ISP, day) cell, plus hash-derived per-view lookup
+///   streams inside the caches. Nothing depends on `block_len` except
+///   where block boundaries fall, so any block size yields the identical
+///   record stream — and any thread that owns the whole cell reproduces
+///   it bit for bit.
+pub fn generate_snapshot_blocks(
+    profile: &IspProfile,
+    cfg: &SnapshotConfig,
+    graph: &WebGraph,
+    view: &IndexedZoneView<'_>,
+    cell_seed: u64,
+    block_len: usize,
+    mut on_block: impl FnMut(&FlowBlock),
+) -> SnapshotBlocksOutput {
+    let engine = RenderEngine::new(graph, cfg.render);
+    let mut sampler = VisitSampler::new();
+    let country = WORLD.country_or_panic(profile.country);
+    let inj = FaultInjector::inactive();
+    let mut scratch_report = DegradationReport::default();
+
+    let cap = block_len.max(1);
+    let mut out = SnapshotBlocksOutput::default();
+    let mut scratch: Vec<LoggedRequest> = Vec::new();
+    let mut block = FlowBlock::with_capacity(cap);
+    let mut rng = StdRng::seed_from_u64(cell_seed);
+
+    for view_idx in 0..cfg.n_page_views {
+        // Ephemeral subscriber for this sampled view (same coins, in the
+        // same order, as the per-record generator).
+        let on_mobile = match profile.access {
+            AccessKind::Broadband => false,
+            AccessKind::Mobile => true,
+            AccessKind::Mixed { mobile_share } => rng.gen::<f64>() < mobile_share,
+        };
+        let resolver_kind = if on_mobile || rng.gen::<f64>() >= profile.public_dns_share {
+            ResolverKind::IspLocal
+        } else {
+            ResolverKind::PublicAnycast
+        };
+        let user = User {
+            id: UserId(0),
+            country: profile.country,
+            location: country.centroid().jitter(country.radius_km * 0.8, &mut rng),
+            resolver_kind,
+            activity: 1.0,
+            interaction_p: 0.7,
+        };
+        let t = SimTime(cfg.day_start.0 + rng.gen_range(0..SECS_PER_DAY));
+        let pid = sampler.sample(
+            profile.country,
+            graph,
+            cfg.home_visit_share,
+            cfg.foreign_site_damping,
+            &mut rng,
+        );
+        let publisher = graph.publisher(pid);
+        let sub_ip = subscriber_ip(&mut rng);
+
+        // A fresh stub cache per ephemeral subscriber; its lookup streams
+        // hash-derive from (cell_seed, view index), never from `rng`.
+        let mut cache = DnsCache::for_user(cell_seed, view_idx as u64);
+        scratch.clear();
+        engine.render_visit_cached(
+            &user,
+            publisher,
+            t,
+            view,
+            &mut cache,
+            &mut scratch,
+            &mut rng,
+            &inj,
+            &mut scratch_report,
+        );
+        for req in &scratch {
+            if let Some(flow) = flow_from_request(req, sub_ip, &mut rng) {
+                out.n_web_flows += 1;
+                out.n_flows += 1;
+                block.push_record(&flow);
+                if block.len() >= cap {
+                    on_block(&block);
+                    block.clear();
+                }
+            }
+        }
+        out.id_observations.extend(cache.take_id_observations());
+
+        let n_bg = cfg.background_per_view.floor() as usize
+            + usize::from(rng.gen::<f64>() < cfg.background_per_view.fract());
+        for _ in 0..n_bg {
+            let flow = background_flow(t, sub_ip, &mut rng);
+            out.n_flows += 1;
+            block.push_record(&flow);
+            if block.len() >= cap {
+                on_block(&block);
+                block.clear();
+            }
+        }
+    }
+    if !block.is_empty() {
+        on_block(&block);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,5 +413,54 @@ mod tests {
         for f in &s.flows {
             assert!(f.start.0 < SECS_PER_DAY + 60);
         }
+    }
+
+    /// Materializes one block-mode run into a single concatenated block.
+    fn blocks_for(name: &str, seed: u64, block_len: usize) -> (FlowBlock, SnapshotBlocksOutput) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = generate(&WebGraphConfig::small(), &mut rng);
+        let mut dns = DnsSim::new();
+        wire_all(&graph, &mut dns);
+        let view = dns.indexed_view(graph.domains());
+        let profile = IspProfile::by_name(name).unwrap();
+        let cfg = SnapshotConfig {
+            n_page_views: 150,
+            ..Default::default()
+        };
+        let mut all = FlowBlock::default();
+        let out = generate_snapshot_blocks(&profile, &cfg, &graph, &view, seed, block_len, |b| {
+            for i in 0..b.len() {
+                all.push(b.remote[i], b.remote_port[i], b.proto[i], SimTime(b.start[i] as u64));
+            }
+        });
+        (all, out)
+    }
+
+    #[test]
+    fn block_mode_emits_web_and_background() {
+        let (all, out) = blocks_for("DE-Broadband", 11, 256);
+        assert_eq!(all.len() as u64, out.n_flows);
+        assert!(out.n_web_flows > 300, "web flows {}", out.n_web_flows);
+        assert!(out.n_flows > out.n_web_flows, "no background flows");
+        assert!(!out.id_observations.is_empty(), "no pDNS observations buffered");
+        // Every flow falls on the snapshot day.
+        for &t in &all.start {
+            assert!((t as u64) < SECS_PER_DAY + 60);
+        }
+    }
+
+    #[test]
+    fn block_size_is_a_pure_perf_knob() {
+        // The concatenated record stream (and every tally) must be
+        // bit-identical whatever the block size.
+        let (a, out_a) = blocks_for("PL", 12, 64);
+        let (b, out_b) = blocks_for("PL", 12, 997);
+        let (c, out_c) = blocks_for("PL", 12, 1 << 20);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(out_a.n_flows, out_b.n_flows);
+        assert_eq!(out_a.n_web_flows, out_c.n_web_flows);
+        assert_eq!(out_a.id_observations, out_b.id_observations);
+        assert_eq!(out_a.id_observations, out_c.id_observations);
     }
 }

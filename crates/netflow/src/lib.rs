@@ -15,20 +15,31 @@
 //!   views rendered through the shared web-graph/DNS machinery, plus
 //!   non-web background flows, emitted as sampled flow records.
 //! * [`collector`] — ingestion with the paper's ethics constraints applied
-//!   (subscriber IPs replaced by the ISP's country code) and the
-//!   hash-set tracker-IP matcher.
+//!   (subscriber IPs replaced by the ISP's country code), the hash-set
+//!   tracker-IP oracle matcher, and the scaled interval-set matcher.
+//! * [`block`] — columnar [`FlowBlock`]s plus the line-rate synthetic
+//!   generator and the sharded deterministic join (DESIGN.md §5i).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod collector;
 pub mod generate;
 pub mod isp;
 pub mod record;
 pub mod v9;
 
-pub use collector::{AnonymizedFlow, FlowCollector, MatchStats};
-pub use generate::{generate_snapshot, SnapshotConfig};
+pub use block::{
+    generate_and_match_sharded, generate_only_sharded, FlowBlock, SyntheticConfig,
+    SyntheticFlowGen, DEFAULT_BLOCK_LEN,
+};
+pub use collector::{
+    AnonymizedFlow, BlockMatchStats, FlowCollector, MatchStats, TrackerIntervalSet,
+};
+pub use generate::{
+    generate_snapshot, generate_snapshot_blocks, SnapshotBlocksOutput, SnapshotConfig,
+};
 pub use isp::{AccessKind, IspProfile};
-pub use record::{FlowRecord, V5Packet};
+pub use record::{FlowRecord, V5Packet, V5View};
 pub use v9::{Template, V9Decoder};

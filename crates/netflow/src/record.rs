@@ -6,7 +6,7 @@
 //! only; the simulator's rare IPv6 flows are exported by the ISPs as
 //! pre-decoded records (the paper's collectors received both).
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 use xborder_netsim::time::SimTime;
@@ -155,72 +155,107 @@ impl V5Packet {
     }
 
     /// Decodes a packet from its wire representation.
-    pub fn decode(mut buf: Bytes) -> Result<V5Packet, CodecError> {
-        if buf.len() < V5_HEADER_LEN {
+    ///
+    /// This is a convenience wrapper that materializes the borrowed
+    /// [`V5View`]; collectors on the hot path should parse the view and
+    /// iterate it directly to avoid the per-packet `Vec`.
+    pub fn decode(buf: Bytes) -> Result<V5Packet, CodecError> {
+        let view = V5View::parse(&buf)?;
+        Ok(V5Packet {
+            flow_sequence: view.flow_sequence,
+            engine_id: view.engine_id,
+            sampling_interval: view.sampling_interval,
+            records: view.records().collect(),
+        })
+    }
+}
+
+/// A zero-allocation view over one v5 packet's wire bytes.
+///
+/// `parse` validates the header and the byte budget once; `records()`
+/// then decodes each fixed 48-byte record straight off the borrowed slice
+/// as it is consumed. Nothing is heap-allocated per packet.
+#[derive(Debug, Clone, Copy)]
+pub struct V5View<'a> {
+    /// Sequence number of the first flow in this packet.
+    pub flow_sequence: u32,
+    /// Exporting device id.
+    pub engine_id: u8,
+    /// Sampling interval (packets): `N` means 1-in-N.
+    pub sampling_interval: u16,
+    /// The record region: exactly `count * V5_RECORD_LEN` bytes.
+    body: &'a [u8],
+}
+
+#[inline]
+fn be_u16(b: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([b[off], b[off + 1]])
+}
+
+#[inline]
+fn be_u32(b: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes([b[off], b[off + 1], b[off + 2], b[off + 3]])
+}
+
+impl<'a> V5View<'a> {
+    /// Validates the header and record budget of `wire`.
+    pub fn parse(wire: &'a [u8]) -> Result<V5View<'a>, CodecError> {
+        if wire.len() < V5_HEADER_LEN {
             return Err(CodecError::Truncated);
         }
-        let version = buf.get_u16();
+        let version = be_u16(wire, 0);
         if version != 5 {
             return Err(CodecError::BadVersion(version));
         }
-        let count = buf.get_u16();
+        let count = be_u16(wire, 2);
         if count as usize > V5_MAX_RECORDS {
             return Err(CodecError::BadCount(count));
         }
-        let _sys_uptime = buf.get_u32();
-        let _unix_secs = buf.get_u32();
-        let _unix_nanos = buf.get_u32();
-        let flow_sequence = buf.get_u32();
-        let _engine_type = buf.get_u8();
-        let engine_id = buf.get_u8();
-        let sampling = buf.get_u16();
-        let sampling_interval = sampling & 0x3FFF;
-        if buf.len() < count as usize * V5_RECORD_LEN {
+        let body_len = count as usize * V5_RECORD_LEN;
+        if wire.len() < V5_HEADER_LEN + body_len {
             return Err(CodecError::Truncated);
         }
-        let mut records = Vec::with_capacity(count as usize);
-        for _ in 0..count {
-            let src = Ipv4Addr::from(buf.get_u32());
-            let dst = Ipv4Addr::from(buf.get_u32());
-            let _nexthop = buf.get_u32();
-            let input_if = buf.get_u16();
-            let output_if = buf.get_u16();
-            let packets = buf.get_u32();
-            let bytes = buf.get_u32();
-            let start = SimTime(buf.get_u32() as u64);
-            let end = SimTime(buf.get_u32() as u64);
-            let src_port = buf.get_u16();
-            let dst_port = buf.get_u16();
-            let _pad = buf.get_u8();
-            let _flags = buf.get_u8();
-            let protocol = buf.get_u8();
-            let tos = buf.get_u8();
-            let _src_as = buf.get_u16();
-            let _dst_as = buf.get_u16();
-            let _src_mask = buf.get_u8();
-            let _dst_mask = buf.get_u8();
-            let _pad2 = buf.get_u16();
-            records.push(FlowRecord {
-                src,
-                dst,
-                src_port,
-                dst_port,
-                protocol,
-                tos,
-                packets,
-                bytes,
-                start,
-                end,
-                input_if,
-                output_if,
-            });
-        }
-        Ok(V5Packet {
-            flow_sequence,
-            engine_id,
-            sampling_interval,
-            records,
+        Ok(V5View {
+            flow_sequence: be_u32(wire, 16),
+            engine_id: wire[21],
+            sampling_interval: be_u16(wire, 22) & 0x3FFF,
+            body: &wire[V5_HEADER_LEN..V5_HEADER_LEN + body_len],
         })
+    }
+
+    /// Number of records in the packet.
+    pub fn len(&self) -> usize {
+        self.body.len() / V5_RECORD_LEN
+    }
+
+    /// True when the packet carries no records.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Decodes record `i` (panics if out of range).
+    pub fn record(&self, i: usize) -> FlowRecord {
+        let r = &self.body[i * V5_RECORD_LEN..(i + 1) * V5_RECORD_LEN];
+        FlowRecord {
+            src: Ipv4Addr::from(be_u32(r, 0)),
+            dst: Ipv4Addr::from(be_u32(r, 4)),
+            input_if: be_u16(r, 12),
+            output_if: be_u16(r, 14),
+            packets: be_u32(r, 16),
+            bytes: be_u32(r, 20),
+            start: SimTime(be_u32(r, 24) as u64),
+            end: SimTime(be_u32(r, 28) as u64),
+            src_port: be_u16(r, 32),
+            dst_port: be_u16(r, 34),
+            protocol: r[38],
+            tos: r[39],
+        }
+    }
+
+    /// Iterates the packet's records, decoding lazily off the slice.
+    pub fn records(&self) -> impl Iterator<Item = FlowRecord> + 'a {
+        let view = *self;
+        (0..view.len()).map(move |i| view.record(i))
     }
 }
 
@@ -340,6 +375,34 @@ mod tests {
             total += decoded.records.len();
         }
         assert_eq!(total, 95);
+    }
+
+    #[test]
+    fn view_matches_owned_decode() {
+        let pkt = V5Packet {
+            flow_sequence: 41,
+            engine_id: 9,
+            sampling_interval: 500,
+            records: (0..17).map(sample_record).collect(),
+        };
+        let wire = pkt.encode();
+        let view = V5View::parse(&wire).unwrap();
+        assert_eq!(view.len(), 17);
+        assert_eq!(view.flow_sequence, 41);
+        assert_eq!(view.engine_id, 9);
+        assert_eq!(view.sampling_interval, 500);
+        let lazy: Vec<FlowRecord> = view.records().collect();
+        assert_eq!(lazy, pkt.records);
+        // Trailing garbage after the declared records is tolerated, same
+        // as the owned decoder (UDP datagrams can be padded).
+        let mut padded = wire.to_vec();
+        padded.extend_from_slice(&[0xAA; 7]);
+        assert_eq!(V5View::parse(&padded).unwrap().len(), 17);
+        // Header-only truncation still fails.
+        assert!(matches!(
+            V5View::parse(&wire[..V5_HEADER_LEN + 3]),
+            Err(CodecError::Truncated)
+        ));
     }
 
     #[test]

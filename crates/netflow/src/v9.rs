@@ -443,5 +443,85 @@ mod tests {
             let out = dec.decode(wire).unwrap();
             prop_assert_eq!(out, flows);
         }
+
+        #[test]
+        fn roundtrip_random_templates(case_seed in any::<u64>()) {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+
+            // Random field subsets in random order, with unknown fields of
+            // random length interleaved: the decoder must recover exactly
+            // the declared known columns and skip the rest by length.
+            let rng = &mut StdRng::seed_from_u64(case_seed);
+            let standard = Template::standard(256).fields;
+            let mut known: Vec<FieldSpec> = standard
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(0.6))
+                .collect();
+            if known.is_empty() {
+                known.push(standard[rng.gen_range(0..standard.len())]);
+            }
+            // Fisher-Yates permutation of the kept fields.
+            for i in (1..known.len()).rev() {
+                known.swap(i, rng.gen_range(0..=i));
+            }
+            let mut fields = Vec::new();
+            for f in known {
+                if rng.gen_bool(0.3) {
+                    fields.push(FieldSpec {
+                        field_type: rng.gen_range(500..1000),
+                        length: rng.gen_range(1..9),
+                    });
+                }
+                fields.push(f);
+            }
+            let template = Template { id: rng.gen_range(256..1000), fields };
+
+            let n = rng.gen_range(1..25u32);
+            let flows: Vec<FlowRecord> = (0..n).map(sample).collect();
+            let wire = encode_v9(&template, &flows, 0, 7);
+            let mut dec = V9Decoder::new();
+            let out = dec.decode(wire).unwrap();
+            prop_assert_eq!(out.len(), flows.len());
+
+            // Expected: only the template's known columns survive; the
+            // rest stay at the decoder's defaults.
+            let default = FlowRecord {
+                src: Ipv4Addr::UNSPECIFIED,
+                dst: Ipv4Addr::UNSPECIFIED,
+                src_port: 0,
+                dst_port: 0,
+                protocol: 0,
+                tos: 0,
+                packets: 0,
+                bytes: 0,
+                start: SimTime(0),
+                end: SimTime(0),
+                input_if: 0,
+                output_if: 0,
+            };
+            for (got, orig) in out.iter().zip(&flows) {
+                let mut want = default;
+                for f in &template.fields {
+                    match (f.field_type, f.length) {
+                        (field::IPV4_SRC_ADDR, 4) => want.src = orig.src,
+                        (field::IPV4_DST_ADDR, 4) => want.dst = orig.dst,
+                        (field::L4_SRC_PORT, 2) => want.src_port = orig.src_port,
+                        (field::L4_DST_PORT, 2) => want.dst_port = orig.dst_port,
+                        (field::PROTOCOL, 1) => want.protocol = orig.protocol,
+                        (field::SRC_TOS, 1) => want.tos = orig.tos,
+                        (field::IN_PKTS, 4) => want.packets = orig.packets,
+                        (field::IN_BYTES, 4) => want.bytes = orig.bytes,
+                        (field::FIRST_SWITCHED, 4) => want.start = orig.start,
+                        (field::LAST_SWITCHED, 4) => want.end = orig.end,
+                        (field::INPUT_SNMP, 2) => want.input_if = orig.input_if,
+                        (field::OUTPUT_SNMP, 2) => want.output_if = orig.output_if,
+                        _ => {}
+                    }
+                }
+                prop_assert_eq!(*got, want);
+            }
+        }
     }
 }
