@@ -99,6 +99,83 @@ EOF
     rm -f "$nf_baseline"
 fi
 
+echo "== worldscale bench smoke (1e5 users; writes BENCH_worldscale.json) =="
+# The committed BENCH_worldscale.json documents a full 1e6-user run; stash
+# it so the smoke run's numbers can gate against it without clobbering it.
+# The binary itself asserts the resident-memory ceiling (segment-store
+# peak under the configured budget) and fingerprint equality across
+# segment sizes, so a smoke pass is also a memory-bound + determinism pass.
+ws_baseline=""
+if [ -f BENCH_worldscale.json ]; then
+    ws_baseline="$(mktemp)"
+    cp BENCH_worldscale.json "$ws_baseline"
+fi
+XBORDER_WORLDSCALE_MAX_USERS=100000 ./target/release/bench_worldscale
+
+echo "== worldscale bench sanity (BENCH_worldscale.json must exist and parse) =="
+python3 - BENCH_worldscale.json <<'EOF'
+import json, sys
+try:
+    doc = json.load(open(sys.argv[1]))
+except (OSError, ValueError) as e:
+    print(f"FATAL: BENCH_worldscale.json missing or unparseable: {e}")
+    sys.exit(1)
+if doc.get("worldscale_users_per_sec", 0) <= 0:
+    print("FATAL: BENCH_worldscale.json has no positive worldscale_users_per_sec")
+    sys.exit(1)
+budget = doc.get("resident_budget_bytes", 0)
+runs = doc.get("runs", [])
+if not runs or budget <= 0:
+    print("FATAL: BENCH_worldscale.json has no runs or no resident budget")
+    sys.exit(1)
+over = [r for r in runs if r.get("peak_resident_bytes", 0) > budget]
+if over:
+    print(f"FATAL: {len(over)} run(s) over the resident-memory budget")
+    sys.exit(1)
+if not any(r.get("segments_spilled", 0) > 0 for r in runs):
+    print("FATAL: no run exercised the spill path")
+    sys.exit(1)
+print("worldscale bench sanity: ok")
+EOF
+
+if [ -n "$ws_baseline" ]; then
+    echo "== worldscale regression check (users/sec vs committed baseline) =="
+    python3 - "$ws_baseline" BENCH_worldscale.json <<'EOF'
+import json, sys
+
+def load(path):
+    try:
+        return json.load(open(path))
+    except (OSError, ValueError) as e:
+        print(f"FATAL: {path} missing or unparseable: {e}")
+        sys.exit(1)
+
+old_doc, new_doc = load(sys.argv[1]), load(sys.argv[2])
+# The committed doc goes up to 1e6 users, the smoke run stops at 1e5:
+# compare like-for-like on the largest (users, segment) row both share.
+def rows(doc):
+    return {(r["users"], r["segment_users"]): r.get("users_per_sec")
+            for r in doc.get("runs", [])}
+common = sorted(set(rows(old_doc)) & set(rows(new_doc)))
+if not common:
+    print("worldscale check: no comparable runs; skipping")
+else:
+    key = common[-1]
+    o, n = rows(old_doc)[key], rows(new_doc)[key]
+    if not o or not n:
+        print("worldscale check: no comparable users_per_sec; skipping")
+    elif n < o * 0.80:
+        print(f"WARNING: users_per_sec at {key} regressed >20%: "
+              f"{o:,.0f} -> {n:,.0f} ({n / o - 1:+.0%})")
+    else:
+        print(f"worldscale check: users_per_sec at {key} {o:,.0f} -> {n:,.0f} "
+              f"({n / o - 1:+.0%}), within the 20% budget")
+EOF
+    # Restore the committed full-scale document; the smoke doc is CI-only.
+    cp "$ws_baseline" BENCH_worldscale.json
+    rm -f "$ws_baseline"
+fi
+
 if [ -n "$baseline" ]; then
     echo "== bench regression check (study/geolocate/total/allocs/streaming vs committed baseline) =="
     # An unparseable baseline or fresh bench doc fails the gate; a >20%

@@ -1,0 +1,147 @@
+//! Worldscale bench: the out-of-core segmented driver at population scales
+//! the batch pipeline cannot hold resident, written to
+//! `BENCH_worldscale.json` (run from the repo root; see ci.sh).
+//!
+//! Sweeps users 10⁴/10⁵/10⁶ (capped by `XBORDER_WORLDSCALE_MAX_USERS` for
+//! CI smoke runs) × segment sizes, always with a bounded resident window,
+//! and records wall time, users/sec, the segment store's peak resident
+//! bytes and spill counts, plus the process high-water mark (`VmHWM`).
+//! Two guards make a fast-but-wrong run impossible to report:
+//!
+//! 1. at every scale the two segment sizes must land on the same
+//!    [`ScaleOutputs::fingerprint`] (the knob-invariance contract of
+//!    DESIGN.md §5j at bench scale), and
+//! 2. the store's peak resident bytes must stay under the configured
+//!    budget — resident memory is O(segment × window), not O(world).
+
+use std::time::Instant;
+use xborder::worldscale::{run_worldscale_pipeline, ScaleConfig};
+use xborder::{Parallelism, World, WorldConfig};
+use xborder_faults::{FaultPlan, KillSwitch};
+
+/// `VmHWM` (peak resident set size) from `/proc/self/status`, in bytes.
+/// Monotone over the process lifetime, so scales are run smallest-first
+/// and each run reports the mark reached *by the end of* that run.
+fn vm_hwm_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+fn main() {
+    let n_threads = Parallelism::from_env().threads;
+    let cap: usize = std::env::var("XBORDER_WORLDSCALE_MAX_USERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX);
+    let scales: Vec<usize> = [10_000usize, 100_000, 1_000_000]
+        .into_iter()
+        .filter(|&s| s <= cap)
+        .collect();
+    assert!(
+        !scales.is_empty(),
+        "XBORDER_WORLDSCALE_MAX_USERS below the smallest scale (1e4)"
+    );
+    let seed = 0x5CA1Eu64;
+    let plan = FaultPlan::none();
+    // Resident budget for the bounded window: ~16 KiB of columnar log per
+    // user (measured), so a 20k-user segment is ~320 MiB and the window
+    // holds at most 2 committed + 1 in-flight segment. The assert is on
+    // the store's logical resident bytes — the quantity the window
+    // actually bounds — not on allocator slack.
+    let window = 2usize;
+    let budget_bytes: u64 = 1024 * 1024 * 1024;
+
+    let spill_root = std::env::temp_dir().join(format!("xborder-bench-scale-{}", std::process::id()));
+    let mut runs: Vec<serde_json::Value> = Vec::new();
+    let mut headline_users_per_sec = 0.0f64;
+    for &users in &scales {
+        let mut fingerprints: Vec<u64> = Vec::new();
+        for &segment_users in &[5_000usize, 20_000] {
+            let spill = spill_root.join(format!("{users}-{segment_users}"));
+            let t = Instant::now();
+            let mut world = World::build(WorldConfig::large(seed, users));
+            let build_ms = t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            let (out, report) = run_worldscale_pipeline(
+                &mut world,
+                &plan,
+                &ScaleConfig::in_memory(segment_users).with_resident_window(window, &spill),
+                &KillSwitch::none(),
+            )
+            .expect("worldscale bench run succeeds");
+            let run_ms = t.elapsed().as_secs_f64() * 1e3;
+            let _ = std::fs::remove_dir_all(&spill);
+            assert_eq!(out.stats.n_users, users, "driver lost users");
+            let peak = report.timings.peak_resident_bytes;
+            assert!(
+                peak <= budget_bytes,
+                "segment store peak {peak} B blew the {budget_bytes} B budget \
+                 at {users} users, segment {segment_users}"
+            );
+            fingerprints.push(out.fingerprint());
+            let users_per_sec = users as f64 / (run_ms / 1e3).max(f64::MIN_POSITIVE);
+            println!(
+                "{users} users, segment {segment_users}, window {window}: \
+                 {run_ms:.0} ms (+{build_ms:.0} ms world build; \
+                 {users_per_sec:.2e} users/s, {} requests, peak resident {:.1} MiB, \
+                 {} spilled / {} reloaded, VmHWM {:.0} MiB)",
+                out.stats.n_third_party_requests,
+                peak as f64 / (1024.0 * 1024.0),
+                report.timings.segments_spilled,
+                report.timings.segments_reloaded,
+                vm_hwm_bytes().unwrap_or(0) as f64 / (1024.0 * 1024.0),
+            );
+            if users == *scales.last().unwrap() && segment_users == 20_000 {
+                headline_users_per_sec = users_per_sec;
+            }
+            runs.push(serde_json::json!({
+                "users": users,
+                "segment_users": segment_users,
+                "resident_segments": window,
+                "build_ms": build_ms,
+                "run_ms": run_ms,
+                "users_per_sec": users_per_sec,
+                "requests": out.stats.n_third_party_requests,
+                "segments": out.n_segments,
+                "peak_resident_bytes": peak,
+                "segments_spilled": report.timings.segments_spilled,
+                "segments_reloaded": report.timings.segments_reloaded,
+                "spill_ms": report.timings.segment_io_ms,
+                "vm_hwm_bytes": vm_hwm_bytes(),
+            }));
+        }
+        assert!(
+            fingerprints.windows(2).all(|w| w[0] == w[1]),
+            "segment size changed the fingerprint at {users} users: {fingerprints:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&spill_root);
+
+    let doc = serde_json::json!({
+        "bench": "worldscale",
+        "threads_available": n_threads,
+        "resident_segments": window,
+        "resident_budget_bytes": budget_bytes,
+        "worldscale_users_per_sec": headline_users_per_sec,
+        "runs": runs,
+    });
+    let out = "BENCH_worldscale.json";
+    let doc = match serde_json::to_string_pretty(&doc) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("bench_worldscale: FAIL — bench doc does not serialize: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(out, doc) {
+        eprintln!("bench_worldscale: FAIL — cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {out} ({headline_users_per_sec:.2e} users/s headline at {} users / \
+         segment 20000; {n_threads} threads available)",
+        scales.last().unwrap()
+    );
+}

@@ -402,85 +402,63 @@ pub struct StudyChunk {
 /// user's output never depends on which chunk — or how large a chunk —
 /// simulated them.
 pub struct StudyStream<'a> {
+    ctx: StudyCtx<'a>,
+    users: UserPopulation,
+}
+
+/// The population-independent share of the study session: config, graph,
+/// DNS view, `study_seed` and the population-wide mean activity.
+///
+/// [`StudyStream`] owns one next to its materialized population; the
+/// out-of-core driver (`xborder::worldscale`) builds one directly and
+/// feeds it regenerated user segments, never holding the population —
+/// both paths run the same [`StudyCtx::simulate_users`], so segmenting
+/// cannot change a single byte of output.
+pub struct StudyCtx<'a> {
     cfg: &'a StudyConfig,
     graph: &'a WebGraph,
     view: IndexedZoneView<'a>,
-    users: UserPopulation,
     study_seed: u64,
     mean_activity: f64,
     window_len: u64,
 }
 
-impl<'a> StudyStream<'a> {
-    /// Prepares a chunked study over an already-generated population.
-    ///
-    /// `study_seed` must be the draw that followed population generation
-    /// on the caller's world RNG (see [`run_study_sharded`]); `dns` is
-    /// borrowed read-only for the stream's lifetime — observations are
-    /// buffered per chunk and absorbed by the caller afterwards.
+impl<'a> StudyCtx<'a> {
+    /// Builds the shared session state. `mean_activity` must be the
+    /// *population-wide* mean (never a per-segment mean — visit budgets
+    /// normalize by it, so a segment-local figure would make segment size
+    /// observable).
     pub fn new(
         cfg: &'a StudyConfig,
         graph: &'a WebGraph,
-        dns: &'a DnsSim,
-        users: UserPopulation,
-        study_seed: u64,
-    ) -> StudyStream<'a> {
-        Self::with_view(cfg, graph, dns.indexed_view(graph.domains()), users, study_seed)
-    }
-
-    /// [`StudyStream::new`] over an externally built zone view — the
-    /// split-borrow variant for callers that need the DNS sensor mutable
-    /// between chunks (`DnsSim::indexed_view_and_pdns`) while the zones
-    /// stay borrowed read-only here.
-    pub fn with_view(
-        cfg: &'a StudyConfig,
-        graph: &'a WebGraph,
         view: IndexedZoneView<'a>,
-        users: UserPopulation,
         study_seed: u64,
-    ) -> StudyStream<'a> {
-        // Mean activity normalizes per-user visit counts and is a
-        // population-wide statistic: it must be computed over *all* users,
-        // never per chunk, or chunking would change visit counts.
-        let mean_activity: f64 =
-            users.users.iter().map(|u| u.activity).sum::<f64>() / users.users.len().max(1) as f64;
-        let window_len = cfg.window.len_secs().max(1);
-        StudyStream {
+        mean_activity: f64,
+    ) -> StudyCtx<'a> {
+        StudyCtx {
             cfg,
             graph,
             view,
-            users,
             study_seed,
             mean_activity,
-            window_len,
+            window_len: cfg.window.len_secs().max(1),
         }
     }
 
-    /// Number of users in the population (the stream's total extent).
-    pub fn n_users(&self) -> usize {
-        self.users.users.len()
-    }
-
-    /// The recruited population.
-    pub fn users(&self) -> &UserPopulation {
-        &self.users
-    }
-
-    /// Simulates users `user_range` as one append-only chunk.
+    /// Simulates `chunk_users` as one append-only chunk.
     ///
     /// `pre_fault_offset` is the total number of requests *generated*
     /// (pre-fault) by all earlier chunks: post-hoc log-loss coins key on
     /// the global pre-fault request index, so the chunk must know where in
     /// the global sequence its requests fall. Referrers in the returned
     /// chunk are chunk-local (they never cross users, hence never chunks).
-    pub fn simulate_chunk(
+    pub fn simulate_users(
         &self,
-        user_range: std::ops::Range<usize>,
+        chunk_users: &[User],
         inj: &FaultInjector,
         threads: usize,
         pre_fault_offset: u64,
     ) -> StudyChunk {
-        let chunk_users = &self.users.users[user_range];
         let threads = threads.clamp(1, chunk_users.len().max(1));
         let shards: Vec<ShardOutput> = if threads <= 1 {
             vec![self.simulate(chunk_users, inj)]
@@ -547,6 +525,70 @@ impl<'a> StudyStream<'a> {
             self.mean_activity,
             self.window_len,
         )
+    }
+}
+
+impl<'a> StudyStream<'a> {
+    /// Prepares a chunked study over an already-generated population.
+    ///
+    /// `study_seed` must be the draw that followed population generation
+    /// on the caller's world RNG (see [`run_study_sharded`]); `dns` is
+    /// borrowed read-only for the stream's lifetime — observations are
+    /// buffered per chunk and absorbed by the caller afterwards.
+    pub fn new(
+        cfg: &'a StudyConfig,
+        graph: &'a WebGraph,
+        dns: &'a DnsSim,
+        users: UserPopulation,
+        study_seed: u64,
+    ) -> StudyStream<'a> {
+        Self::with_view(cfg, graph, dns.indexed_view(graph.domains()), users, study_seed)
+    }
+
+    /// [`StudyStream::new`] over an externally built zone view — the
+    /// split-borrow variant for callers that need the DNS sensor mutable
+    /// between chunks (`DnsSim::indexed_view_and_pdns`) while the zones
+    /// stay borrowed read-only here.
+    pub fn with_view(
+        cfg: &'a StudyConfig,
+        graph: &'a WebGraph,
+        view: IndexedZoneView<'a>,
+        users: UserPopulation,
+        study_seed: u64,
+    ) -> StudyStream<'a> {
+        // Mean activity normalizes per-user visit counts and is a
+        // population-wide statistic: it must be computed over *all* users,
+        // never per chunk, or chunking would change visit counts.
+        let mean_activity: f64 =
+            users.users.iter().map(|u| u.activity).sum::<f64>() / users.users.len().max(1) as f64;
+        StudyStream {
+            ctx: StudyCtx::new(cfg, graph, view, study_seed, mean_activity),
+            users,
+        }
+    }
+
+    /// Number of users in the population (the stream's total extent).
+    pub fn n_users(&self) -> usize {
+        self.users.users.len()
+    }
+
+    /// The recruited population.
+    pub fn users(&self) -> &UserPopulation {
+        &self.users
+    }
+
+    /// Simulates users `user_range` as one append-only chunk — see
+    /// [`StudyCtx::simulate_users`] (this is that, over the owned
+    /// population's slice).
+    pub fn simulate_chunk(
+        &self,
+        user_range: std::ops::Range<usize>,
+        inj: &FaultInjector,
+        threads: usize,
+        pre_fault_offset: u64,
+    ) -> StudyChunk {
+        self.ctx
+            .simulate_users(&self.users.users[user_range], inj, threads, pre_fault_offset)
     }
 
     /// Consumes the stream, releasing the DNS borrow and yielding the

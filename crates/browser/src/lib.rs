@@ -15,18 +15,23 @@
 //!   schema: domains, URL string, IP — never full browsing history).
 //! * [`extension`] — the study driver producing an [`ExtensionDataset`]
 //!   over the simulated study window, plus Table-1-style statistics.
+//! * [`colog`] — the log's columnar (SoA) twin: per-segment
+//!   [`SegmentBlock`]s that spill to disk behind a bounded resident
+//!   window for out-of-core million-user worlds (DESIGN.md §5j).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod colog;
 pub mod extension;
 pub mod render;
 pub mod request;
 pub mod user;
 
+pub use colog::{SegmentBlock, LABEL_ABP, LABEL_CLEAN, LABEL_SEMI};
 pub use extension::{
     run_study, run_study_degraded, run_study_sharded, DatasetStats, ExtensionDataset, StudyChunk,
-    StudyConfig, StudyStream, Visit, VisitSampler,
+    StudyConfig, StudyCtx, StudyStream, Visit, VisitSampler,
 };
 pub use render::{RenderConfig, RenderEngine};
 pub use request::{LoggedRequest, Referrer, RequestId};

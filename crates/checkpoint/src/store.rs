@@ -60,7 +60,8 @@ use xborder_faults::{stable_hash, KillSwitch};
 
 /// Format version written into every frame and the manifest. Bump on any
 /// incompatible layout change; old checkpoints are refused, not migrated.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// (v3: chunk blobs carry columnar segment blocks, DESIGN.md §5j.)
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// Magic prefix of every framed blob file.
 pub const MAGIC: [u8; 4] = *b"XBCP";

@@ -852,6 +852,16 @@ impl IncrementalClassifier {
             )));
         }
         let n_new_hosts = r.len_prefix()?;
+        // Pre-reserve the host-side tables from the delta header, and the
+        // world-id remap to its final extent, so cross-segment replay
+        // never pays doubling spikes mid-chunk (the same cold-growth
+        // class `reserve_for_total` kills for the URL table below).
+        self.host_ids.reserve(n_new_hosts);
+        self.host_seen.reserve(n_new_hosts);
+        self.rows.reserve(n_new_hosts);
+        if self.host_remap.len() < domains.len() {
+            self.host_remap.resize(domains.len(), u32::MAX);
+        }
         for _ in 0..n_new_hosts {
             let wid = r.u32()?;
             if wid as usize >= domains.len() {
@@ -877,8 +887,17 @@ impl IncrementalClassifier {
                 base_urls + n_new_urls
             )));
         }
+        // Size the open-addressing URL table for the post-chunk total
+        // before interning (the batch interner's sizing rule; without
+        // this, replaying a large run rehashes the full table mid-delta),
+        // and every dense per-URL column alongside it.
+        self.url_slots.reserve_for_total(n_requests as usize);
         self.urls.spans.reserve(n_new_urls);
         self.host_of_url.reserve(n_new_urls);
+        self.args_memo.reserve(n_new_urls);
+        self.kw_memo.reserve(n_new_urls);
+        self.gate_memo.reserve(n_new_urls);
+        self.url_seen.reserve(n_new_urls);
         for _ in 0..n_new_urls {
             let url = r.str()?;
             match self.url_slots.intern_owned(url_hash(url.as_bytes()), url, &self.urls) {

@@ -118,6 +118,33 @@ impl DestBreakdown {
     pub fn europe_continent_share(&self) -> f64 {
         self.share(Region::Eu28) + self.share(Region::RestOfEurope)
     }
+
+    /// Absorbs one tracking flow, counting it only when the origin is an
+    /// EU28 user country and the destination IP has a regioned estimate —
+    /// the exact per-flow filter of [`region_breakdown_eu28`], exposed so
+    /// the out-of-core driver can fold flows segment by segment without a
+    /// materialized dataset (the fold is commutative: counts and total).
+    pub fn absorb_eu28_flow(
+        &mut self,
+        user_country: CountryCode,
+        ip: std::net::IpAddr,
+        estimates: &EstimateMap,
+    ) {
+        let Ok(country) = WORLD.country(user_country) else {
+            return;
+        };
+        if !country.eu28 {
+            return;
+        }
+        let Some(est) = estimates.get(&ip) else {
+            return;
+        };
+        let Some(to) = est.try_region() else {
+            return;
+        };
+        self.total += 1;
+        *self.counts.entry(to).or_insert(0) += 1;
+    }
 }
 
 /// Origin-country × destination-country counts for EU28 users (Fig. 8).
@@ -229,20 +256,7 @@ pub fn region_matrix(out: &StudyOutputs, estimates: &EstimateMap) -> RegionMatri
 pub fn region_breakdown_eu28(out: &StudyOutputs, estimates: &EstimateMap) -> DestBreakdown {
     let mut b = DestBreakdown::default();
     for (_, r) in tracking_flows(out) {
-        let Ok(user_country) = WORLD.country(out.dataset.user_country(r.user)) else {
-            continue;
-        };
-        if !user_country.eu28 {
-            continue;
-        }
-        let Some(est) = estimates.get(&r.ip) else {
-            continue;
-        };
-        let Some(to) = est.try_region() else {
-            continue;
-        };
-        b.total += 1;
-        *b.counts.entry(to).or_insert(0) += 1;
+        b.absorb_eu28_flow(out.dataset.user_country(r.user), r.ip, estimates);
     }
     b
 }

@@ -69,24 +69,36 @@ impl TrackerIpSet {
             if !labels.is_tracking(i) {
                 continue;
             }
-            let info = set.ips.entry(r.ip).or_insert_with(|| IpInfo {
-                requests: 0,
-                hosts: HashSet::new(),
-                window: TimeWindow::new(r.time, r.time.plus_secs(1)),
-                from_pdns_only: false,
-            });
-            info.requests += 1;
-            // Hosts are interned ids on the request; resolve through the
-            // dataset's table and clone the string only on first sight of
-            // a (ip, host) pair — repeat requests (the common case) stay
-            // allocation-free.
-            let host = dataset.domains.domain(r.host);
-            if !info.hosts.contains(host) {
-                info.hosts.insert(host.clone());
-            }
-            info.window.extend_to(r.time);
+            set.absorb_tracking_request(r.ip, dataset.domains.domain(r.host), r.time);
         }
         set
+    }
+
+    /// Absorbs one tracking request into the observed set. Request order
+    /// never matters — the per-IP record is a commutative fold (count,
+    /// host-set union, window hull) — so the out-of-core driver can feed
+    /// this segment by segment and land on exactly
+    /// [`TrackerIpSet::from_dataset`] over the concatenated log.
+    pub fn absorb_tracking_request(
+        &mut self,
+        ip: IpAddr,
+        host: &Domain,
+        time: xborder_netsim::time::SimTime,
+    ) {
+        let info = self.ips.entry(ip).or_insert_with(|| IpInfo {
+            requests: 0,
+            hosts: HashSet::new(),
+            window: TimeWindow::new(time, time.plus_secs(1)),
+            from_pdns_only: false,
+        });
+        info.requests += 1;
+        // Hosts arrive as interned ids resolved through the domain table;
+        // clone the string only on first sight of an (ip, host) pair —
+        // repeat requests (the common case) stay allocation-free.
+        if !info.hosts.contains(host) {
+            info.hosts.insert(host.clone());
+        }
+        info.window.extend_to(time);
     }
 
     /// All tracking FQDNs currently in the set.
@@ -118,7 +130,12 @@ impl TrackerIpSet {
         report: &mut DegradationReport,
     ) -> CompletionStats {
         let n_observed = self.ips.len();
-        let hosts = self.tracking_hosts();
+        // Canonical (sorted) host order: when two tracking FQDNs resolve to
+        // the same pdns-only IP, the host recorded on the new record is the
+        // first one iterated, so the iteration order must not depend on the
+        // hasher. The out-of-core fingerprint hashes these host sets.
+        let mut hosts: Vec<Domain> = self.tracking_hosts().into_iter().collect();
+        hosts.sort_unstable();
         for host in &hosts {
             for rec in pdns.forward_degraded(host, inj, report) {
                 match self.ips.get_mut(&rec.ip) {

@@ -62,6 +62,7 @@ pub mod snapshots;
 pub mod stream;
 pub mod whatif;
 pub mod worldgen;
+pub mod worldscale;
 
 pub use par::Parallelism;
 pub use pipeline::StudyOutputs;

@@ -78,8 +78,8 @@ use std::net::IpAddr;
 use std::path::PathBuf;
 use std::time::Instant;
 use xborder_browser::{
-    ExtensionDataset, LoggedRequest, Referrer, RequestId, StudyChunk, StudyStream, UserId,
-    UserPopulation, Visit,
+    ExtensionDataset, LoggedRequest, Referrer, RequestId, SegmentBlock, StudyStream,
+    UserPopulation, Visit, LABEL_ABP, LABEL_CLEAN, LABEL_SEMI,
 };
 use xborder_checkpoint::{
     ByteReader, ByteWriter, CheckpointError, CheckpointStore, DecodeError,
@@ -88,13 +88,12 @@ use xborder_classify::{
     generate_lists, Classification, ClassificationResult, ClassifierStages,
     IncrementalClassifier,
 };
-use xborder_dns::PdnsIdObservation;
 use xborder_faults::{
     stable_hash, DegradationReport, FaultInjector, FaultPlan, KillSwitch,
 };
 use xborder_geo::Region;
 use xborder_netsim::time::{SimTime, TimeWindow};
-use xborder_webgraph::{Domain, DomainId, PublisherId};
+use xborder_webgraph::{Domain, SegmentError, SegmentStore, SegmentStoreConfig};
 
 /// How the streaming driver chunks and checkpoints.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,23 +110,60 @@ pub struct StreamConfig {
     /// excluded from the checkpoint fingerprint, so a resume may change
     /// it freely.
     pub snapshot_windows: usize,
+    /// Maximum committed segments resident in memory at once; `0` keeps
+    /// every segment resident (the pre-segmentation behavior). With a
+    /// window and a [`StreamConfig::spill_dir`], older segments spill to
+    /// disk and resident memory is `O(chunk_users × resident_segments)`
+    /// instead of `O(n_users)`. A pure performance knob: every value
+    /// yields bit-identical outputs (DESIGN.md §5j), and — like chunking —
+    /// it is excluded from the checkpoint fingerprint.
+    pub resident_segments: usize,
+    /// Scratch directory for spilled segments (distinct from the
+    /// checkpoint directory: spill files are disposable, deleted when the
+    /// run ends, and carry no durability guarantees). Ignored when
+    /// `resident_segments == 0`.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl StreamConfig {
     /// In-memory streaming: chunked execution, no checkpoints.
     pub fn in_memory(chunk_users: usize) -> StreamConfig {
-        StreamConfig { chunk_users, checkpoint_dir: None, snapshot_windows: 0 }
+        StreamConfig {
+            chunk_users,
+            checkpoint_dir: None,
+            snapshot_windows: 0,
+            resident_segments: 0,
+            spill_dir: None,
+        }
     }
 
     /// Durable streaming: checkpoint every chunk and stage into `dir`.
     pub fn durable(chunk_users: usize, dir: impl Into<PathBuf>) -> StreamConfig {
-        StreamConfig { chunk_users, checkpoint_dir: Some(dir.into()), snapshot_windows: 0 }
+        StreamConfig {
+            chunk_users,
+            checkpoint_dir: Some(dir.into()),
+            snapshot_windows: 0,
+            resident_segments: 0,
+            spill_dir: None,
+        }
     }
 
     /// Emits `windows` cumulative rolling snapshots over the study window
     /// as ingestion progresses (DESIGN.md §5g).
     pub fn with_snapshots(mut self, windows: usize) -> StreamConfig {
         self.snapshot_windows = windows;
+        self
+    }
+
+    /// Bounds resident memory: keep at most `window` committed segments
+    /// in RAM, spilling older ones to `dir` (DESIGN.md §5j).
+    pub fn with_resident_window(
+        mut self,
+        window: usize,
+        dir: impl Into<PathBuf>,
+    ) -> StreamConfig {
+        self.resident_segments = window;
+        self.spill_dir = Some(dir.into());
         self
     }
 }
@@ -171,7 +207,7 @@ impl From<CheckpointError> for StreamError {
 }
 
 /// Fires a driver-level kill site, turning a hit into the typed error.
-fn killable(kill: &KillSwitch, label: &str) -> Result<(), StreamError> {
+pub(crate) fn killable(kill: &KillSwitch, label: &str) -> Result<(), StreamError> {
     if kill.fire(label) {
         let site = kill.fired().map(|(s, _)| s).unwrap_or_default();
         return Err(StreamError::Killed { site, label: label.to_string() });
@@ -225,14 +261,57 @@ pub fn config_fingerprint(config: &WorldConfig, plan: &FaultPlan) -> Result<u64,
     Ok(h)
 }
 
-/// Everything one durable chunk carries: the study output plus its
-/// chunk-local classification (labels and propagation-round telemetry).
-#[derive(Debug)]
-struct ChunkState {
-    chunk: StudyChunk,
-    labels: Vec<Classification>,
-    stage2_rounds: usize,
-    stage3_rounds: usize,
+/// Maps chunk labels onto the [`SegmentBlock`] tag bytes (the tag values
+/// are part of the checkpoint format; `xborder_browser::colog` documents
+/// them as matching this codec).
+pub(crate) fn labels_to_bytes(labels: &[Classification]) -> Vec<u8> {
+    labels
+        .iter()
+        .map(|l| match l {
+            Classification::AbpTracking => LABEL_ABP,
+            Classification::SemiTracking => LABEL_SEMI,
+            Classification::Clean => LABEL_CLEAN,
+        })
+        .collect()
+}
+
+/// Reverses [`labels_to_bytes`]; an unknown tag is typed corruption (the
+/// bytes came from a spill file or checkpoint blob).
+pub(crate) fn labels_from_bytes(
+    file: &str,
+    bytes: &[u8],
+) -> Result<Vec<Classification>, StreamError> {
+    bytes
+        .iter()
+        .map(|&b| match b {
+            LABEL_ABP => Ok(Classification::AbpTracking),
+            LABEL_SEMI => Ok(Classification::SemiTracking),
+            LABEL_CLEAN => Ok(Classification::Clean),
+            tag => Err(corrupt(
+                file,
+                DecodeError {
+                    offset: 0,
+                    detail: format!("unknown classification tag {tag}"),
+                },
+            )),
+        })
+        .collect()
+}
+
+/// Lifts segment-store failures into the stream's error space. Spill
+/// files are checkpoint-adjacent scratch state, so the checkpoint error
+/// vocabulary (IO, corruption, bookkeeping) maps exactly.
+pub(crate) fn seg_err(e: SegmentError) -> StreamError {
+    StreamError::Checkpoint(match e {
+        SegmentError::Io { path, op, source } => CheckpointError::Io {
+            path,
+            detail: format!("{op}: {source}"),
+        },
+        SegmentError::Corrupt { path, detail } => CheckpointError::Corrupt { path, detail },
+        SegmentError::Missing { index } => CheckpointError::ManifestInvalid {
+            detail: format!("segment {index} missing or already consumed"),
+        },
+    })
 }
 
 /// Runs the extension pipeline as checkpointed streaming ingestion.
@@ -291,7 +370,16 @@ pub fn run_extension_pipeline_streaming(
     });
     let mut snapshot_ms = 0.0f64;
 
-    let mut states: Vec<ChunkState> = Vec::new();
+    // Committed segments live in a bounded-residency store: columnar
+    // blocks, FIFO-evicted to disposable spill files once the resident
+    // window fills (DESIGN.md §5j). Unbounded (the default) keeps the
+    // pre-segmentation behavior: everything resident, zero spill IO.
+    let seg_cfg = match (&stream_cfg.spill_dir, stream_cfg.resident_segments) {
+        (Some(dir), window) if window > 0 => SegmentStoreConfig::bounded(window, dir.clone()),
+        _ => SegmentStoreConfig::unbounded(),
+    };
+    let mut segments: SegmentStore<SegmentBlock> = SegmentStore::new(seg_cfg);
+    let mut segment_io_ms = 0.0f64;
     let mut pre_fault_offset: u64 = 0;
     let mut next_user = 0usize;
 
@@ -317,28 +405,29 @@ pub fn run_extension_pipeline_streaming(
                 .into());
             }
             let payload = store.load_chunk(&entry)?;
-            let (state, cls_bytes) = decode_chunk_payload(&entry.file, &payload)?;
+            let (block, cls_bytes) = decode_chunk_payload(&entry.file, &payload)?;
             let mut rd = ByteReader::new(cls_bytes);
             classifier
                 .apply_delta(&mut rd, world.graph.domains())
                 .map_err(|e| corrupt(&entry.file, e))?;
             rd.finish().map_err(|e| corrupt(&entry.file, e))?;
+            let observations = block.observations_vec();
             world
                 .dns
-                .absorb_id_observations(&state.chunk.observations, world.graph.domains());
+                .absorb_id_observations(&observations, world.graph.domains());
             if let Some(acc) = &mut snap_acc {
+                // Snapshots absorb AoS rows; materialize this segment once.
+                let (chunk, label_bytes, _, _) = block.to_chunk();
+                let labels = labels_from_bytes(&entry.file, &label_bytes)?;
                 let t = Instant::now();
-                acc.absorb_chunk(
-                    &state.chunk.visits,
-                    &state.chunk.requests,
-                    &state.labels,
-                    &world.infra,
-                );
+                acc.absorb_chunk(&chunk.visits, &chunk.requests, &labels, &world.infra);
                 snapshot_ms += t.elapsed().as_secs_f64() * 1e3;
             }
-            pre_fault_offset += state.chunk.report.requests_generated;
+            pre_fault_offset += block.counters().requests_generated;
             next_user = entry.user_end as usize;
-            states.push(state);
+            let t_seg = Instant::now();
+            segments.push(block).map_err(seg_err)?;
+            segment_io_ms += t_seg.elapsed().as_secs_f64() * 1e3;
             emit_due_snapshots(&mut snap_acc, next_user, kill, &mut snapshot_ms)?;
         }
     }
@@ -350,6 +439,7 @@ pub fn run_extension_pipeline_streaming(
     let t_ingest = Instant::now();
     let snap_ms_before_ingest = snapshot_ms;
     let cls_ms_before_ingest = classify_ms;
+    let seg_ms_before_ingest = segment_io_ms;
     let users = {
         let (view, pdns) = world.dns.indexed_view_and_pdns(world.graph.domains());
         let stream = StudyStream::with_view(
@@ -359,7 +449,7 @@ pub fn run_extension_pipeline_streaming(
             population,
             study_seed,
         );
-        let mut index = states.len() as u64;
+        let mut index = segments.len() as u64;
         while next_user < n_users {
             let end = (next_user + chunk_users).min(n_users);
             killable(kill, &format!("chunk-{index}:begin"))?;
@@ -371,32 +461,33 @@ pub fn run_extension_pipeline_streaming(
             let t_cls = Instant::now();
             let cls = classifier.append_chunk(&chunk.requests, world.graph.domains());
             classify_ms += t_cls.elapsed().as_secs_f64() * 1e3;
-            let state = ChunkState {
-                chunk,
-                labels: cls.labels,
-                stage2_rounds: cls.stage2_rounds,
-                stage3_rounds: cls.stage3_rounds,
-            };
+            // The AoS chunk condenses into its columnar twin; the AoS form
+            // dies with this iteration, so resident memory during ingest
+            // is one live chunk plus the store's resident window.
+            let block = SegmentBlock::from_chunk(
+                &chunk,
+                &labels_to_bytes(&cls.labels),
+                cls.stage2_rounds as u32,
+                cls.stage3_rounds as u32,
+                (next_user as u32, end as u32),
+            );
             if let Some(store) = &mut store {
-                let payload = encode_chunk_payload(&state, &mut classifier);
+                let payload = encode_chunk_payload(&block, &mut classifier);
                 store.append_chunk(index, next_user as u64, end as u64, &payload, kill)?;
             }
             killable(kill, &format!("chunk-{index}:committed"))?;
-            for o in &state.chunk.observations {
+            for o in &chunk.observations {
                 pdns.observe(world.graph.domains().domain(o.host), o.ip, o.time);
             }
             if let Some(acc) = &mut snap_acc {
                 let t = Instant::now();
-                acc.absorb_chunk(
-                    &state.chunk.visits,
-                    &state.chunk.requests,
-                    &state.labels,
-                    &world.infra,
-                );
+                acc.absorb_chunk(&chunk.visits, &chunk.requests, &cls.labels, &world.infra);
                 snapshot_ms += t.elapsed().as_secs_f64() * 1e3;
             }
-            pre_fault_offset += state.chunk.report.requests_generated;
-            states.push(state);
+            pre_fault_offset += chunk.report.requests_generated;
+            let t_seg = Instant::now();
+            segments.push(block).map_err(seg_err)?;
+            segment_io_ms += t_seg.elapsed().as_secs_f64() * 1e3;
             next_user = end;
             emit_due_snapshots(&mut snap_acc, next_user, kill, &mut snapshot_ms)?;
             index += 1;
@@ -417,22 +508,37 @@ pub fn run_extension_pipeline_streaming(
     let mut labels: Vec<Classification> = Vec::new();
     let mut stage2_depth = 0usize;
     let mut stage3_rounds = 0usize;
-    for state in states {
-        report.absorb_counters(&state.chunk.report);
+    for i in 0..segments.len() {
+        // Consume segments in append (= user) order; spilled ones reload
+        // from disk here, one at a time, and their spill files are gone
+        // once taken.
+        let t_seg = Instant::now();
+        let block = segments.take(i).map_err(seg_err)?;
+        segment_io_ms += t_seg.elapsed().as_secs_f64() * 1e3;
+        let (chunk, label_bytes, seg_stage2, seg_stage3) = block.to_chunk();
+        labels.extend(labels_from_bytes(&format!("segment-{i:05}"), &label_bytes)?);
+        report.absorb_counters(&chunk.report);
         let offset = requests.len() as u32;
-        visits.extend(state.chunk.visits);
-        requests.extend(state.chunk.requests.into_iter().map(|mut r| {
+        visits.extend(chunk.visits);
+        requests.extend(chunk.requests.into_iter().map(|mut r| {
             if let Referrer::Request(RequestId(p)) = r.referrer {
                 r.referrer = Referrer::Request(RequestId(p + offset));
             }
             r
         }));
-        labels.extend(state.labels);
         // Chunk propagation rounds are BFS depths over chunk-disjoint
         // component sets, so the batch depth is the max across chunks.
-        stage2_depth = stage2_depth.max(state.stage2_rounds.saturating_sub(1));
-        stage3_rounds = stage3_rounds.max(state.stage3_rounds);
+        stage2_depth = stage2_depth.max((seg_stage2 as usize).saturating_sub(1));
+        stage3_rounds = stage3_rounds.max(seg_stage3 as usize);
     }
+    // Segment-store telemetry: deterministic under the contract, but a
+    // function of the segment-size/window knobs — reported as timings,
+    // outside report equality (DESIGN.md §5j).
+    let seg_stats = segments.stats();
+    report.timings.peak_resident_bytes = seg_stats.peak_resident_bytes;
+    report.timings.segments_spilled = seg_stats.segments_spilled;
+    report.timings.segments_reloaded = seg_stats.segments_reloaded;
+    report.timings.segment_io_ms = segment_io_ms;
     // Same stable timestamp sort as the batch driver (the pre-sort order —
     // user-major, generation order within a user — is identical).
     visits.sort_by_key(|v| v.time);
@@ -444,7 +550,8 @@ pub fn run_extension_pipeline_streaming(
     };
     report.timings.study_ms = t_ingest.elapsed().as_secs_f64() * 1e3
         - (classify_ms - cls_ms_before_ingest)
-        - (snapshot_ms - snap_ms_before_ingest);
+        - (snapshot_ms - snap_ms_before_ingest)
+        - (segment_io_ms - seg_ms_before_ingest);
 
     // Table-2 distinct counts absorbed chunk by chunk through the
     // classifier's persistent seen-bits — no full-log recount. The
@@ -531,7 +638,7 @@ pub fn run_extension_pipeline_streaming(
 // stored as IEEE-754 bit patterns, so round trips are bit-exact.
 // ---------------------------------------------------------------------------
 
-fn corrupt(file: &str, e: DecodeError) -> StreamError {
+pub(crate) fn corrupt(file: &str, e: DecodeError) -> StreamError {
     StreamError::Checkpoint(CheckpointError::Corrupt {
         path: PathBuf::from(file),
         detail: e.to_string(),
@@ -570,251 +677,72 @@ fn read_ip(r: &mut ByteReader<'_>) -> Result<IpAddr, DecodeError> {
     }
 }
 
-/// The fixed counter order of the report codec. Only counters travel in
+/// The fixed counter order of the report codec
+/// ([`DegradationReport::counter_values`]). Only counters travel in
 /// blobs: chunk reports carry deltas, and `eu28_confinement`/timings are
 /// finalization-time observations that are never absorbed.
 fn put_counters(w: &mut ByteWriter, r: &DegradationReport) {
-    for v in [
-        r.requests_generated,
-        r.requests_delivered,
-        r.requests_dropped_loss,
-        r.requests_dropped_truncation,
-        r.dns_cache_hits,
-        r.dns_cache_misses,
-        r.dns_attempts,
-        r.dns_timeouts,
-        r.dns_retries,
-        r.dns_failures,
-        r.dns_backoff_secs,
-        r.pdns_records_seen,
-        r.pdns_records_gapped,
-        r.pdns_records_stale,
-        r.probes_assigned,
-        r.probes_out,
-        r.probes_flaky,
-        r.quorum_abstentions,
-        r.geo_lookups,
-        r.geo_misses,
-        r.geoloc_assign_cache_hits,
-        r.geoloc_assign_cache_misses,
-        r.geoloc_index_probe_visits,
-    ] {
+    for v in r.counter_values() {
         w.put_u64(v);
     }
 }
 
 fn read_counters(rd: &mut ByteReader<'_>) -> Result<DegradationReport, DecodeError> {
-    let mut r = DegradationReport::default();
-    for slot in [
-        &mut r.requests_generated,
-        &mut r.requests_delivered,
-        &mut r.requests_dropped_loss,
-        &mut r.requests_dropped_truncation,
-        &mut r.dns_cache_hits,
-        &mut r.dns_cache_misses,
-        &mut r.dns_attempts,
-        &mut r.dns_timeouts,
-        &mut r.dns_retries,
-        &mut r.dns_failures,
-        &mut r.dns_backoff_secs,
-        &mut r.pdns_records_seen,
-        &mut r.pdns_records_gapped,
-        &mut r.pdns_records_stale,
-        &mut r.probes_assigned,
-        &mut r.probes_out,
-        &mut r.probes_flaky,
-        &mut r.quorum_abstentions,
-        &mut r.geo_lookups,
-        &mut r.geo_misses,
-        &mut r.geoloc_assign_cache_hits,
-        &mut r.geoloc_assign_cache_misses,
-        &mut r.geoloc_index_probe_visits,
-    ] {
+    let mut values = [0u64; DegradationReport::N_COUNTERS];
+    for slot in &mut values {
         *slot = rd.u64()?;
     }
-    Ok(r)
+    Ok(DegradationReport::from_counter_values(&values))
 }
 
-fn put_label(w: &mut ByteWriter, l: Classification) {
-    w.put_u8(match l {
-        Classification::AbpTracking => 0,
-        Classification::SemiTracking => 1,
-        Classification::Clean => 2,
-    });
-}
-
-fn read_label(r: &mut ByteReader<'_>) -> Result<Classification, DecodeError> {
-    match r.u8()? {
-        0 => Ok(Classification::AbpTracking),
-        1 => Ok(Classification::SemiTracking),
-        2 => Ok(Classification::Clean),
-        tag => Err(DecodeError {
-            offset: 0,
-            detail: format!("unknown classification tag {tag}"),
-        }),
-    }
-}
-
-/// The durable chunk payload: two length-prefixed sections — the chunk
-/// state, then the incremental-classifier *delta* for this chunk.
+/// The durable chunk payload: two length-prefixed sections — the columnar
+/// segment block, then the incremental-classifier *delta* for this chunk.
 /// Encoding advances the classifier's delta baseline (the only caller
 /// encodes each chunk exactly once, in order); replay applies every
 /// durable chunk's delta in the same order to reconstruct the state.
-fn encode_chunk_payload(state: &ChunkState, classifier: &mut IncrementalClassifier) -> Vec<u8> {
+pub(crate) fn encode_chunk_payload(
+    block: &SegmentBlock,
+    classifier: &mut IncrementalClassifier,
+) -> Vec<u8> {
     let mut cw = ByteWriter::new();
     classifier.encode_delta(&mut cw);
     let cls = cw.into_bytes();
-    let chunk = encode_chunk_state(state);
-    let mut w = ByteWriter::with_capacity(16 + chunk.len() + cls.len());
-    w.put_blob(&chunk);
+    let seg = block.encode_bytes();
+    let mut w = ByteWriter::with_capacity(16 + seg.len() + cls.len());
+    w.put_blob(&seg);
     w.put_blob(&cls);
     w.into_bytes()
 }
 
-/// Splits a chunk payload into its decoded chunk state and the raw bytes
+/// Splits a chunk payload into its decoded segment block and the raw bytes
 /// of the classifier delta section (applied by the replay loop).
-fn decode_chunk_payload<'p>(
+pub(crate) fn decode_chunk_payload<'p>(
     file: &str,
     payload: &'p [u8],
-) -> Result<(ChunkState, &'p [u8]), StreamError> {
+) -> Result<(SegmentBlock, &'p [u8]), StreamError> {
     let mut rd = ByteReader::new(payload);
-    let chunk = rd.blob().map_err(|e| corrupt(file, e))?;
+    let seg = rd.blob().map_err(|e| corrupt(file, e))?;
     let cls = rd.blob().map_err(|e| corrupt(file, e))?;
     rd.finish().map_err(|e| corrupt(file, e))?;
-    Ok((decode_chunk_state(file, chunk)?, cls))
-}
-
-fn encode_chunk_state(state: &ChunkState) -> Vec<u8> {
-    let c = &state.chunk;
-    let mut w = ByteWriter::with_capacity(64 + c.requests.len() * 64);
-    w.put_usize(c.visits.len());
-    for v in &c.visits {
-        w.put_u32(v.user.0);
-        w.put_u32(v.publisher.0);
-        w.put_u64(v.time.0);
-    }
-    w.put_usize(c.requests.len());
-    for r in &c.requests {
-        w.put_u32(r.user.0);
-        w.put_u64(r.time.0);
-        w.put_u32(r.first_party.0);
-        w.put_u32(r.publisher.0);
-        w.put_str(&r.url);
-        w.put_u32(r.host.0);
-        match r.referrer {
-            Referrer::None => w.put_u8(0),
-            Referrer::FirstParty => w.put_u8(1),
-            Referrer::Request(RequestId(p)) => {
-                w.put_u8(2);
-                w.put_u32(p);
-            }
-        }
-        put_ip(&mut w, r.ip);
-    }
-    w.put_usize(c.observations.len());
-    for o in &c.observations {
-        w.put_u32(o.host.0);
-        put_ip(&mut w, o.ip);
-        w.put_u64(o.time.0);
-    }
-    w.put_usize(state.labels.len());
-    for &l in &state.labels {
-        put_label(&mut w, l);
-    }
-    w.put_usize(state.stage2_rounds);
-    w.put_usize(state.stage3_rounds);
-    put_counters(&mut w, &c.report);
-    w.into_bytes()
-}
-
-fn decode_chunk_state(file: &str, payload: &[u8]) -> Result<ChunkState, StreamError> {
-    let mut rd = ByteReader::new(payload);
-    let inner = |rd: &mut ByteReader<'_>| -> Result<ChunkState, DecodeError> {
-        let n_visits = rd.len_prefix()?;
-        let mut visits = Vec::with_capacity(n_visits.min(1 << 20));
-        for _ in 0..n_visits {
-            visits.push(Visit {
-                user: UserId(rd.u32()?),
-                publisher: PublisherId(rd.u32()?),
-                time: SimTime(rd.u64()?),
-            });
-        }
-        let n_requests = rd.len_prefix()?;
-        let mut requests = Vec::with_capacity(n_requests.min(1 << 20));
-        for _ in 0..n_requests {
-            let user = UserId(rd.u32()?);
-            let time = SimTime(rd.u64()?);
-            let first_party = DomainId(rd.u32()?);
-            let publisher = PublisherId(rd.u32()?);
-            let url: Box<str> = rd.str()?.into();
-            let host = DomainId(rd.u32()?);
-            let referrer = match rd.u8()? {
-                0 => Referrer::None,
-                1 => Referrer::FirstParty,
-                2 => Referrer::Request(RequestId(rd.u32()?)),
-                tag => {
-                    return Err(DecodeError {
-                        offset: 0,
-                        detail: format!("unknown referrer tag {tag}"),
-                    })
-                }
-            };
-            let ip = read_ip(rd)?;
-            requests.push(LoggedRequest {
-                user,
-                time,
-                first_party,
-                publisher,
-                url,
-                host,
-                referrer,
-                ip,
-            });
-        }
-        let n_obs = rd.len_prefix()?;
-        let mut observations = Vec::with_capacity(n_obs.min(1 << 20));
-        for _ in 0..n_obs {
-            observations.push(PdnsIdObservation {
-                host: DomainId(rd.u32()?),
-                ip: read_ip(rd)?,
-                time: SimTime(rd.u64()?),
-            });
-        }
-        let n_labels = rd.len_prefix()?;
-        if n_labels != requests.len() {
-            return Err(DecodeError {
+    let block = SegmentBlock::decode_bytes(seg).map_err(|e| corrupt(file, e))?;
+    // Durable chunks are always classified: one label byte per request.
+    if block.labels().len() != block.n_requests() {
+        return Err(corrupt(
+            file,
+            DecodeError {
                 offset: 0,
                 detail: format!(
-                    "label count {n_labels} does not match request count {}",
-                    requests.len()
+                    "label count {} does not match request count {}",
+                    block.labels().len(),
+                    block.n_requests()
                 ),
-            });
-        }
-        let mut labels = Vec::with_capacity(n_labels.min(1 << 20));
-        for _ in 0..n_labels {
-            labels.push(read_label(rd)?);
-        }
-        let stage2_rounds = rd.len_prefix()?;
-        let stage3_rounds = rd.len_prefix()?;
-        let report = read_counters(rd)?;
-        Ok(ChunkState {
-            chunk: StudyChunk {
-                visits,
-                requests,
-                observations,
-                report,
             },
-            labels,
-            stage2_rounds,
-            stage3_rounds,
-        })
-    };
-    let state = inner(&mut rd).map_err(|e| corrupt(file, e))?;
-    rd.finish().map_err(|e| corrupt(file, e))?;
-    Ok(state)
+        ));
+    }
+    Ok((block, cls))
 }
 
-fn encode_completion_state(
+pub(crate) fn encode_completion_state(
     ips: &TrackerIpSet,
     stats: &CompletionStats,
     delta: &DegradationReport,
@@ -846,7 +774,7 @@ fn encode_completion_state(
     w.into_bytes()
 }
 
-fn decode_completion_state(
+pub(crate) fn decode_completion_state(
     payload: &[u8],
 ) -> Result<(TrackerIpSet, CompletionStats, DegradationReport), StreamError> {
     const FILE: &str = "stage-completion.xbc";
@@ -894,78 +822,83 @@ fn decode_completion_state(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xborder_browser::{StudyChunk, UserId};
+    use xborder_dns::PdnsIdObservation;
+    use xborder_webgraph::{DomainId, PublisherId};
 
-    fn sample_state() -> ChunkState {
+    fn sample_block() -> SegmentBlock {
         let report = DegradationReport {
             requests_generated: 3,
             requests_delivered: 2,
             dns_cache_hits: 7,
             ..Default::default()
         };
-        ChunkState {
-            chunk: StudyChunk {
-                visits: vec![Visit {
+        let chunk = StudyChunk {
+            visits: vec![Visit {
+                user: UserId(1),
+                publisher: PublisherId(9),
+                time: SimTime(100),
+            }],
+            requests: vec![
+                LoggedRequest {
                     user: UserId(1),
-                    publisher: PublisherId(9),
-                    time: SimTime(100),
-                }],
-                requests: vec![
-                    LoggedRequest {
-                        user: UserId(1),
-                        time: SimTime(101),
-                        first_party: DomainId(2),
-                        publisher: PublisherId(9),
-                        url: "https://t.example/px?id=1".into(),
-                        host: DomainId(3),
-                        referrer: Referrer::FirstParty,
-                        ip: "10.1.2.3".parse().unwrap(),
-                    },
-                    LoggedRequest {
-                        user: UserId(1),
-                        time: SimTime(102),
-                        first_party: DomainId(2),
-                        publisher: PublisherId(9),
-                        url: "https://u.example/js".into(),
-                        host: DomainId(4),
-                        referrer: Referrer::Request(RequestId(0)),
-                        ip: "2001:db8::7".parse().unwrap(),
-                    },
-                ],
-                observations: vec![PdnsIdObservation {
-                    host: DomainId(3),
-                    ip: "10.1.2.3".parse().unwrap(),
                     time: SimTime(101),
-                }],
-                report,
-            },
-            labels: vec![Classification::AbpTracking, Classification::SemiTracking],
-            stage2_rounds: 1,
-            stage3_rounds: 0,
-        }
+                    first_party: DomainId(2),
+                    publisher: PublisherId(9),
+                    url: "https://t.example/px?id=1".into(),
+                    host: DomainId(3),
+                    referrer: Referrer::FirstParty,
+                    ip: "10.1.2.3".parse().unwrap(),
+                },
+                LoggedRequest {
+                    user: UserId(1),
+                    time: SimTime(102),
+                    first_party: DomainId(2),
+                    publisher: PublisherId(9),
+                    url: "https://u.example/js".into(),
+                    host: DomainId(4),
+                    referrer: Referrer::Request(RequestId(0)),
+                    ip: "2001:db8::7".parse().unwrap(),
+                },
+            ],
+            observations: vec![PdnsIdObservation {
+                host: DomainId(3),
+                ip: "10.1.2.3".parse().unwrap(),
+                time: SimTime(101),
+            }],
+            report,
+        };
+        SegmentBlock::from_chunk(&chunk, &[LABEL_ABP, LABEL_SEMI], 1, 0, (0, 2))
     }
 
     #[test]
-    fn chunk_state_round_trips() {
-        let state = sample_state();
-        let bytes = encode_chunk_state(&state);
-        let back = decode_chunk_state("chunk-00000.xbc", &bytes).unwrap();
-        assert_eq!(back.chunk, state.chunk);
-        assert_eq!(back.labels, state.labels);
-        assert_eq!(back.stage2_rounds, state.stage2_rounds);
-        assert_eq!(back.stage3_rounds, state.stage3_rounds);
+    fn labels_round_trip_and_reject_unknown_tags() {
+        let labels = vec![
+            Classification::AbpTracking,
+            Classification::SemiTracking,
+            Classification::Clean,
+        ];
+        let bytes = labels_to_bytes(&labels);
+        assert_eq!(bytes, vec![LABEL_ABP, LABEL_SEMI, LABEL_CLEAN]);
+        assert_eq!(labels_from_bytes("seg", &bytes).unwrap(), labels);
+        let err = labels_from_bytes("seg", &[LABEL_ABP, 9]).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::Checkpoint(CheckpointError::Corrupt { .. })
+        ));
     }
 
     #[test]
     fn chunk_payload_framing_splits_sections() {
         // The classifier section is opaque at the framing layer; framing
         // must hand it back byte-exact and reject trailing garbage.
-        let state = sample_state();
+        let block = sample_block();
         let mut w = ByteWriter::new();
-        w.put_blob(&encode_chunk_state(&state));
+        w.put_blob(&block.encode_bytes());
         w.put_blob(&[0xAB, 0xCD, 0xEF]);
         let payload = w.into_bytes();
         let (back, cls) = decode_chunk_payload("chunk-00000.xbc", &payload).unwrap();
-        assert_eq!(back.chunk, state.chunk);
+        assert_eq!(back, block);
         assert_eq!(cls, &[0xAB, 0xCD, 0xEF]);
 
         let mut with_trailer = payload.clone();
@@ -979,8 +912,29 @@ mod tests {
 
     #[test]
     fn truncated_chunk_payload_is_typed_corruption() {
-        let bytes = encode_chunk_state(&sample_state());
-        let err = decode_chunk_state("chunk-00000.xbc", &bytes[..bytes.len() - 3]).unwrap_err();
+        // A torn segment blob inside valid framing must surface as typed
+        // corruption, not a panic.
+        let seg = sample_block().encode_bytes();
+        let mut w = ByteWriter::new();
+        w.put_blob(&seg[..seg.len() - 3]);
+        w.put_blob(&[]);
+        let err = decode_chunk_payload("chunk-00000.xbc", &w.into_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::Checkpoint(CheckpointError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn unclassified_chunk_payload_is_rejected() {
+        // The streaming format stores one label byte per request; a block
+        // whose labels column is missing (or short) is corrupt.
+        let (chunk, _, _, _) = sample_block().to_chunk();
+        let unlabeled = SegmentBlock::from_chunk(&chunk, &[], 0, 0, (0, 2));
+        let mut w = ByteWriter::new();
+        w.put_blob(&unlabeled.encode_bytes());
+        w.put_blob(&[]);
+        let err = decode_chunk_payload("chunk-00000.xbc", &w.into_bytes()).unwrap_err();
         assert!(matches!(
             err,
             StreamError::Checkpoint(CheckpointError::Corrupt { .. })

@@ -100,6 +100,22 @@ impl WorldConfig {
         }
     }
 
+    /// Out-of-core scale: the small world shape under a huge *segmented*
+    /// population (DESIGN.md §5j). Worldgen stays a pure function of the
+    /// seed, and user `i`'s simulation derives from `(pop_seed, i)` alone
+    /// — never from `users` — so any segment of the population can be
+    /// regenerated on demand without materializing the rest. Per-user
+    /// visit volume is kept low: the point of this configuration is
+    /// population *breadth* (10⁶ users), and the resident-memory budget
+    /// covers the classifier's URL interner, which grows with unique URLs.
+    pub fn large(seed: u64, users: usize) -> WorldConfig {
+        let mut cfg = WorldConfig::small(seed);
+        cfg.study.population.n_users = users;
+        cfg.study.population.segmented = true;
+        cfg.study.visits_per_user_mean = 3.0;
+        cfg
+    }
+
     /// The same configuration with an explicit thread budget.
     pub fn with_threads(mut self, threads: usize) -> WorldConfig {
         self.parallelism = crate::par::Parallelism::with_threads(threads);

@@ -581,6 +581,24 @@ pub struct StageTimings {
     /// caveats as `netflow_generate_ms`.
     #[serde(default)]
     pub netflow_match_ms: f64,
+    /// High-water mark of logical bytes resident in the driver's segment
+    /// store (DESIGN.md §5j); 0 when the run is not segmented. The value
+    /// is thread-budget invariant (the store is driven from the
+    /// sequential driver loop) but depends on the segment-size and
+    /// resident-window knobs, so like every field here it is
+    /// observational: zero `timings` before comparing reports.
+    #[serde(default)]
+    pub peak_resident_bytes: u64,
+    /// Segments evicted from the resident window (same caveats).
+    #[serde(default)]
+    pub segments_spilled: u64,
+    /// Segments reloaded from spill files (same caveats).
+    #[serde(default)]
+    pub segments_reloaded: u64,
+    /// Wall-clock spent encoding/writing/reading spill files (same
+    /// caveats as the other `_ms` fields).
+    #[serde(default)]
+    pub segment_io_ms: f64,
 }
 
 /// Cumulative allocation counters read from an installed probe:
@@ -637,6 +655,81 @@ impl DegradationReport {
         self.geoloc_assign_cache_hits += other.geoloc_assign_cache_hits;
         self.geoloc_assign_cache_misses += other.geoloc_assign_cache_misses;
         self.geoloc_index_probe_visits += other.geoloc_index_probe_visits;
+    }
+
+    /// Number of commutative-additive counters (the fields
+    /// [`DegradationReport::absorb_counters`] adds, in its order).
+    pub const N_COUNTERS: usize = 23;
+
+    /// The commutative counters as a fixed-order array — the single
+    /// source of truth for byte codecs (checkpoint chunk blobs, columnar
+    /// segment blocks) that serialize counter deltas. The order is
+    /// `absorb_counters`'s field order and is part of the checkpoint
+    /// format: append new counters at the end and bump the checkpoint
+    /// version.
+    pub fn counter_values(&self) -> [u64; Self::N_COUNTERS] {
+        [
+            self.requests_generated,
+            self.requests_delivered,
+            self.requests_dropped_loss,
+            self.requests_dropped_truncation,
+            self.dns_cache_hits,
+            self.dns_cache_misses,
+            self.dns_attempts,
+            self.dns_timeouts,
+            self.dns_retries,
+            self.dns_failures,
+            self.dns_backoff_secs,
+            self.pdns_records_seen,
+            self.pdns_records_gapped,
+            self.pdns_records_stale,
+            self.probes_assigned,
+            self.probes_out,
+            self.probes_flaky,
+            self.quorum_abstentions,
+            self.geo_lookups,
+            self.geo_misses,
+            self.geoloc_assign_cache_hits,
+            self.geoloc_assign_cache_misses,
+            self.geoloc_index_probe_visits,
+        ]
+    }
+
+    /// Rebuilds a counters-only report from [`DegradationReport::counter_values`]'s
+    /// order (`eu28_confinement` and `timings` stay default).
+    pub fn from_counter_values(values: &[u64; Self::N_COUNTERS]) -> DegradationReport {
+        let mut r = DegradationReport::default();
+        for (slot, &v) in [
+            &mut r.requests_generated,
+            &mut r.requests_delivered,
+            &mut r.requests_dropped_loss,
+            &mut r.requests_dropped_truncation,
+            &mut r.dns_cache_hits,
+            &mut r.dns_cache_misses,
+            &mut r.dns_attempts,
+            &mut r.dns_timeouts,
+            &mut r.dns_retries,
+            &mut r.dns_failures,
+            &mut r.dns_backoff_secs,
+            &mut r.pdns_records_seen,
+            &mut r.pdns_records_gapped,
+            &mut r.pdns_records_stale,
+            &mut r.probes_assigned,
+            &mut r.probes_out,
+            &mut r.probes_flaky,
+            &mut r.quorum_abstentions,
+            &mut r.geo_lookups,
+            &mut r.geo_misses,
+            &mut r.geoloc_assign_cache_hits,
+            &mut r.geoloc_assign_cache_misses,
+            &mut r.geoloc_index_probe_visits,
+        ]
+        .into_iter()
+        .zip(values.iter())
+        {
+            *slot = v;
+        }
+        r
     }
 
     /// The log-layer accounting invariant.
@@ -929,6 +1022,20 @@ mod tests {
             }
             assert!(fired_at.is_some(), "seeded switch never fired for seed {seed}");
         }
+    }
+
+    #[test]
+    fn counter_values_round_trip_and_match_absorb() {
+        let vals: [u64; DegradationReport::N_COUNTERS] =
+            core::array::from_fn(|i| (i as u64 + 1) * 3);
+        let r = DegradationReport::from_counter_values(&vals);
+        assert_eq!(r.counter_values(), vals);
+        // absorb_counters adds exactly the fields counter_values lists.
+        let mut acc = DegradationReport::default();
+        acc.absorb_counters(&r);
+        assert_eq!(acc.counter_values(), vals);
+        assert_eq!(acc.eu28_confinement, 0.0);
+        assert_eq!(acc.timings, StageTimings::default());
     }
 
     #[test]

@@ -1,0 +1,555 @@
+//! Fixed-size disk-backed segments with a bounded resident window.
+//!
+//! The million-user refactor (DESIGN.md §5j) shards the study's world
+//! state — the request log above all — into fixed-size *segments* so a
+//! world can exceed memory: only a small FIFO window of segments stays
+//! resident, the rest spill to disk and reload on demand. The design
+//! follows Cuely's webgraph (the graph is split into disk-backed segments
+//! so the structure can exceed memory), adapted to this repo's
+//! determinism contract: the store is driven from the sequential driver
+//! loop, so every spill/reload decision — and therefore every statistic
+//! it records — is a pure function of (segment sizes, window size), never
+//! of the thread budget or wall clock.
+//!
+//! The store is generic over the payload: anything that can encode itself
+//! to bytes and report its resident footprint can be segmented. The
+//! columnar study-log block lives in `xborder-browser` (`colog`); this
+//! module only knows about opaque payloads and spill files.
+//!
+//! Spill files are *scratch*, not checkpoints: durability belongs to
+//! `xborder-checkpoint`. A spill file is written once, read back at most
+//! a handful of times, and deleted when its segment is consumed or the
+//! store drops. Corruption is still a typed error (never UB, never a
+//! wrong answer): each file carries a magic, a version, a length and an
+//! FNV-1a checksum over the payload.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Spill-file magic ("xborder segment").
+const MAGIC: [u8; 4] = *b"XBSG";
+/// Spill-file format version.
+const VERSION: u32 = 1;
+
+/// A payload the [`SegmentStore`] can spill and reload.
+pub trait SegmentPayload: Sized {
+    /// Serializes the payload (the exact bytes [`SegmentPayload::decode`]
+    /// reverses).
+    fn encode(&self) -> Vec<u8>;
+    /// Reverses [`SegmentPayload::encode`]. Returns a human-readable
+    /// detail on malformed input (the store wraps it into
+    /// [`SegmentError::Corrupt`]).
+    fn decode(bytes: &[u8]) -> Result<Self, String>;
+    /// Logical resident footprint in bytes, used for the window's
+    /// accounting. Must be deterministic (a function of the payload's
+    /// contents, not of allocator behavior or thread budget).
+    fn resident_bytes(&self) -> usize;
+}
+
+/// How a [`SegmentStore`] bounds residency.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SegmentStoreConfig {
+    /// Maximum segments resident at once; `0` = unbounded (nothing ever
+    /// spills). With a window but no `spill_dir`, the store cannot evict
+    /// and also keeps everything resident.
+    pub resident_window: usize,
+    /// Directory for spill files (created on first spill).
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl SegmentStoreConfig {
+    /// Everything stays resident (the pre-segmentation behavior).
+    pub fn unbounded() -> SegmentStoreConfig {
+        SegmentStoreConfig::default()
+    }
+
+    /// At most `window` segments resident; older segments spill to `dir`.
+    pub fn bounded(window: usize, dir: impl Into<PathBuf>) -> SegmentStoreConfig {
+        SegmentStoreConfig {
+            resident_window: window,
+            spill_dir: Some(dir.into()),
+        }
+    }
+}
+
+/// Spill/reload statistics. All values are deterministic under the
+/// determinism contract (the store is driven sequentially), but they
+/// depend on the segment-size and window knobs — they are observational,
+/// reported through `StageTimings`, and excluded from report equality
+/// exactly like wall-clock timings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Segments written to spill files.
+    pub segments_spilled: u64,
+    /// Segments read back from spill files.
+    pub segments_reloaded: u64,
+    /// Bytes written to spill files (encoded size).
+    pub spill_bytes_written: u64,
+    /// Current logical resident bytes across resident segments.
+    pub resident_bytes: u64,
+    /// High-water mark of `resident_bytes`.
+    pub peak_resident_bytes: u64,
+}
+
+/// Why a segment operation failed.
+#[derive(Debug)]
+pub enum SegmentError {
+    /// A spill-file IO operation failed.
+    Io {
+        /// File being written or read.
+        path: PathBuf,
+        /// Operation ("write", "read", "create-dir").
+        op: &'static str,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// A spill file exists but its frame or payload is malformed.
+    Corrupt {
+        /// Offending file.
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The segment index is out of range or already consumed.
+    Missing {
+        /// Requested segment.
+        index: usize,
+    },
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::Io { path, op, source } => {
+                write!(f, "segment spill {op} failed for {}: {source}", path.display())
+            }
+            SegmentError::Corrupt { path, detail } => {
+                write!(f, "segment spill file {} corrupt: {detail}", path.display())
+            }
+            SegmentError::Missing { index } => {
+                write!(f, "segment {index} missing or already consumed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SegmentError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// FNV-1a over a byte slice (spill checksums; must match nothing else).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+enum Slot<P> {
+    Resident {
+        payload: P,
+        bytes: u64,
+        /// A valid spill file already exists (the segment was evicted and
+        /// reloaded); re-evicting it can skip the rewrite because encode
+        /// is deterministic.
+        on_disk: bool,
+    },
+    Spilled,
+}
+
+/// An append-only sequence of segments with a bounded resident window.
+///
+/// Segments are appended with [`SegmentStore::push`], addressed by their
+/// append index, and either borrowed back ([`SegmentStore::get`]) or
+/// consumed ([`SegmentStore::take`]). When a resident window and spill
+/// directory are configured, the store keeps at most `resident_window`
+/// segments in memory, FIFO: pushing or reloading past the window spills
+/// the oldest resident segment to disk. Spill files die with the store.
+pub struct SegmentStore<P: SegmentPayload> {
+    cfg: SegmentStoreConfig,
+    slots: Vec<Option<Slot<P>>>,
+    /// FIFO of resident segment indices (front = oldest = next to spill).
+    resident: VecDeque<usize>,
+    stats: SegmentStats,
+    spill_dir_ready: bool,
+}
+
+impl<P: SegmentPayload> SegmentStore<P> {
+    /// An empty store.
+    pub fn new(cfg: SegmentStoreConfig) -> SegmentStore<P> {
+        SegmentStore {
+            cfg,
+            slots: Vec::new(),
+            resident: VecDeque::new(),
+            stats: SegmentStats::default(),
+            spill_dir_ready: false,
+        }
+    }
+
+    /// Number of segments ever pushed (consumed ones included).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no segment was ever pushed.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Spill/reload statistics so far.
+    pub fn stats(&self) -> SegmentStats {
+        self.stats
+    }
+
+    /// Appends a segment, evicting past the window if needed. Returns the
+    /// segment's index.
+    pub fn push(&mut self, payload: P) -> Result<usize, SegmentError> {
+        let index = self.slots.len();
+        let bytes = payload.resident_bytes() as u64;
+        self.slots.push(Some(Slot::Resident {
+            payload,
+            bytes,
+            on_disk: false,
+        }));
+        self.resident.push_back(index);
+        self.stats.resident_bytes += bytes;
+        self.stats.peak_resident_bytes =
+            self.stats.peak_resident_bytes.max(self.stats.resident_bytes);
+        self.enforce_window()?;
+        Ok(index)
+    }
+
+    /// Borrows segment `index`, reloading it from its spill file if it was
+    /// evicted (which may in turn evict an older resident segment).
+    pub fn get(&mut self, index: usize) -> Result<&P, SegmentError> {
+        self.make_resident(index)?;
+        match self.slots.get(index).and_then(|s| s.as_ref()) {
+            Some(Slot::Resident { payload, .. }) => Ok(payload),
+            _ => Err(SegmentError::Missing { index }),
+        }
+    }
+
+    /// Removes and returns segment `index`, reloading it first if spilled.
+    /// Its spill file (if any) is deleted.
+    pub fn take(&mut self, index: usize) -> Result<P, SegmentError> {
+        self.make_resident(index)?;
+        let slot = self
+            .slots
+            .get_mut(index)
+            .and_then(Option::take)
+            .ok_or(SegmentError::Missing { index })?;
+        match slot {
+            Slot::Resident {
+                payload,
+                bytes,
+                on_disk,
+            } => {
+                self.stats.resident_bytes -= bytes;
+                if let Some(pos) = self.resident.iter().position(|&i| i == index) {
+                    self.resident.remove(pos);
+                }
+                if on_disk {
+                    let _ = fs::remove_file(self.spill_path(index));
+                }
+                Ok(payload)
+            }
+            Slot::Spilled => unreachable!("make_resident loaded the slot"),
+        }
+    }
+
+    fn spill_path(&self, index: usize) -> PathBuf {
+        let dir = self.cfg.spill_dir.as_deref().unwrap_or(Path::new("."));
+        dir.join(format!("seg-{index:06}.xbs"))
+    }
+
+    fn make_resident(&mut self, index: usize) -> Result<(), SegmentError> {
+        match self.slots.get(index) {
+            Some(Some(Slot::Resident { .. })) => return Ok(()),
+            Some(Some(Slot::Spilled)) => {}
+            _ => return Err(SegmentError::Missing { index }),
+        }
+        let path = self.spill_path(index);
+        let payload = read_spill::<P>(&path)?;
+        let bytes = payload.resident_bytes() as u64;
+        self.slots[index] = Some(Slot::Resident {
+            payload,
+            bytes,
+            on_disk: true,
+        });
+        self.resident.push_back(index);
+        self.stats.segments_reloaded += 1;
+        self.stats.resident_bytes += bytes;
+        self.stats.peak_resident_bytes =
+            self.stats.peak_resident_bytes.max(self.stats.resident_bytes);
+        self.enforce_window()
+    }
+
+    /// Spills the oldest resident segments until the window holds. A
+    /// missing spill directory disables eviction (everything stays
+    /// resident), so an unbounded config never touches the filesystem.
+    fn enforce_window(&mut self) -> Result<(), SegmentError> {
+        if self.cfg.resident_window == 0 || self.cfg.spill_dir.is_none() {
+            return Ok(());
+        }
+        while self.resident.len() > self.cfg.resident_window {
+            let victim = self.resident.pop_front().expect("len checked");
+            self.spill(victim)?;
+        }
+        Ok(())
+    }
+
+    fn spill(&mut self, index: usize) -> Result<(), SegmentError> {
+        let dir = self.cfg.spill_dir.clone().expect("spill dir checked");
+        if !self.spill_dir_ready {
+            fs::create_dir_all(&dir).map_err(|source| SegmentError::Io {
+                path: dir.clone(),
+                op: "create-dir",
+                source,
+            })?;
+            self.spill_dir_ready = true;
+        }
+        let slot = self.slots[index].take().expect("resident slot");
+        let (payload, bytes, on_disk) = match slot {
+            Slot::Resident {
+                payload,
+                bytes,
+                on_disk,
+            } => (payload, bytes, on_disk),
+            Slot::Spilled => unreachable!("resident FIFO holds only resident slots"),
+        };
+        if !on_disk {
+            // A reloaded segment's file is still valid (encode is
+            // deterministic), so only first evictions write.
+            let encoded = payload.encode();
+            write_spill(&self.spill_path(index), &encoded)?;
+            self.stats.spill_bytes_written += encoded.len() as u64;
+        }
+        self.stats.segments_spilled += 1;
+        self.stats.resident_bytes -= bytes;
+        self.slots[index] = Some(Slot::Spilled);
+        Ok(())
+    }
+}
+
+impl<P: SegmentPayload> Drop for SegmentStore<P> {
+    fn drop(&mut self) {
+        // Spill files are scratch: delete best-effort on drop. Reloaded
+        // segments may have left a file behind too, so sweep every index
+        // that could ever have spilled.
+        if self.cfg.spill_dir.is_some() && self.spill_dir_ready {
+            for index in 0..self.slots.len() {
+                let _ = fs::remove_file(self.spill_path(index));
+            }
+        }
+    }
+}
+
+fn write_spill(path: &Path, payload: &[u8]) -> Result<(), SegmentError> {
+    let io = |op: &'static str| {
+        let path = path.to_path_buf();
+        move |source: std::io::Error| SegmentError::Io { path, op, source }
+    };
+    let mut frame = Vec::with_capacity(24 + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&VERSION.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    let mut f = fs::File::create(path).map_err(io("write"))?;
+    f.write_all(&frame).map_err(io("write"))?;
+    Ok(())
+}
+
+fn read_spill<P: SegmentPayload>(path: &Path) -> Result<P, SegmentError> {
+    let corrupt = |detail: String| SegmentError::Corrupt {
+        path: path.to_path_buf(),
+        detail,
+    };
+    let mut f = fs::File::open(path).map_err(|source| SegmentError::Io {
+        path: path.to_path_buf(),
+        op: "read",
+        source,
+    })?;
+    let mut frame = Vec::new();
+    f.read_to_end(&mut frame).map_err(|source| SegmentError::Io {
+        path: path.to_path_buf(),
+        op: "read",
+        source,
+    })?;
+    if frame.len() < 24 {
+        return Err(corrupt(format!("{} bytes is shorter than the frame header", frame.len())));
+    }
+    if frame[0..4] != MAGIC {
+        return Err(corrupt("bad magic".into()));
+    }
+    let version = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(corrupt(format!("version {version}, expected {VERSION}")));
+    }
+    let len = u64::from_le_bytes(frame[8..16].try_into().expect("8 bytes")) as usize;
+    let checksum = u64::from_le_bytes(frame[16..24].try_into().expect("8 bytes"));
+    let payload = &frame[24..];
+    if payload.len() != len {
+        return Err(corrupt(format!("payload {} bytes, header says {len}", payload.len())));
+    }
+    if fnv1a(payload) != checksum {
+        return Err(corrupt("checksum mismatch".into()));
+    }
+    P::decode(payload).map_err(corrupt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test payload: a vector of bytes.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Blob(Vec<u8>);
+
+    impl SegmentPayload for Blob {
+        fn encode(&self) -> Vec<u8> {
+            self.0.clone()
+        }
+        fn decode(bytes: &[u8]) -> Result<Self, String> {
+            Ok(Blob(bytes.to_vec()))
+        }
+        fn resident_bytes(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("xbsg-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn unbounded_store_never_touches_disk() {
+        let mut s: SegmentStore<Blob> = SegmentStore::new(SegmentStoreConfig::unbounded());
+        for i in 0..10 {
+            s.push(Blob(vec![i as u8; 100])).unwrap();
+        }
+        assert_eq!(s.stats().segments_spilled, 0);
+        assert_eq!(s.stats().resident_bytes, 1000);
+        assert_eq!(s.stats().peak_resident_bytes, 1000);
+        for i in 0..10 {
+            assert_eq!(s.get(i).unwrap().0[0], i as u8);
+        }
+        assert_eq!(s.stats().segments_reloaded, 0);
+    }
+
+    #[test]
+    fn window_spills_and_reloads_round_trip() {
+        let dir = tmpdir("window");
+        let mut s: SegmentStore<Blob> =
+            SegmentStore::new(SegmentStoreConfig::bounded(2, &dir));
+        for i in 0..5u8 {
+            s.push(Blob(vec![i; 64])).unwrap();
+        }
+        // 5 pushed, window 2: the 3 oldest spilled.
+        assert_eq!(s.stats().segments_spilled, 3);
+        assert_eq!(s.stats().resident_bytes, 128);
+        assert_eq!(s.stats().peak_resident_bytes, 192); // push triggers at 3 resident
+        // Reading an old segment reloads it (and spills another).
+        assert_eq!(s.get(0).unwrap().0, vec![0u8; 64]);
+        assert_eq!(s.stats().segments_reloaded, 1);
+        assert_eq!(s.stats().segments_spilled, 4);
+        // Everything still round-trips.
+        for i in 0..5u8 {
+            assert_eq!(s.get(i as usize).unwrap().0, vec![i; 64]);
+        }
+        drop(s);
+        // Spill files cleaned up on drop.
+        let left = fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        assert_eq!(left, 0, "spill files left behind");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn take_consumes_in_any_order() {
+        let dir = tmpdir("take");
+        let mut s: SegmentStore<Blob> =
+            SegmentStore::new(SegmentStoreConfig::bounded(1, &dir));
+        for i in 0..4u8 {
+            s.push(Blob(vec![i; 32])).unwrap();
+        }
+        for i in 0..4usize {
+            assert_eq!(s.take(i).unwrap().0, vec![i as u8; 32]);
+        }
+        assert_eq!(s.stats().resident_bytes, 0);
+        assert!(matches!(s.take(0), Err(SegmentError::Missing { index: 0 })));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn window_without_spill_dir_stays_resident() {
+        let mut s: SegmentStore<Blob> = SegmentStore::new(SegmentStoreConfig {
+            resident_window: 1,
+            spill_dir: None,
+        });
+        for i in 0..5u8 {
+            s.push(Blob(vec![i; 16])).unwrap();
+        }
+        assert_eq!(s.stats().segments_spilled, 0);
+        assert_eq!(s.stats().resident_bytes, 80);
+    }
+
+    #[test]
+    fn torn_spill_file_is_typed_corruption() {
+        let dir = tmpdir("torn");
+        let mut s: SegmentStore<Blob> =
+            SegmentStore::new(SegmentStoreConfig::bounded(1, &dir));
+        s.push(Blob(vec![7; 128])).unwrap();
+        s.push(Blob(vec![8; 128])).unwrap(); // spills segment 0
+        let f = dir.join("seg-000000.xbs");
+        let bytes = fs::read(&f).unwrap();
+        // Truncation: frame shorter than the header promises.
+        fs::write(&f, &bytes[..bytes.len() - 10]).unwrap();
+        match s.get(0) {
+            Err(SegmentError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // Bit flip inside the payload: checksum catches it.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        fs::write(&f, &flipped).unwrap();
+        match s.get(0) {
+            Err(SegmentError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("checksum"), "detail: {detail}")
+            }
+            other => panic!("expected checksum Corrupt, got {other:?}"),
+        }
+        // Restoring the original bytes restores the segment.
+        fs::write(&f, &bytes).unwrap();
+        assert_eq!(s.get(0).unwrap().0, vec![7; 128]);
+        drop(s);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn peak_accounting_tracks_logical_bytes() {
+        let dir = tmpdir("peak");
+        let mut s: SegmentStore<Blob> =
+            SegmentStore::new(SegmentStoreConfig::bounded(2, &dir));
+        s.push(Blob(vec![0; 100])).unwrap();
+        s.push(Blob(vec![1; 200])).unwrap();
+        assert_eq!(s.stats().peak_resident_bytes, 300);
+        s.push(Blob(vec![2; 50])).unwrap();
+        // Momentarily 350 before the oldest spills.
+        assert_eq!(s.stats().peak_resident_bytes, 350);
+        assert_eq!(s.stats().resident_bytes, 250);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
